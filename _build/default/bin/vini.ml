@@ -1,0 +1,434 @@
+(* The vini command-line tool: run the paper's experiments, inspect the
+   built-in topologies, and mirror arbitrary router configurations into a
+   convergence experiment. *)
+
+open Cmdliner
+open Vini_repro
+module Report = Vini_measure.Report
+
+let f = Report.fmt_f
+
+(* --- shared options ------------------------------------------------------ *)
+
+let runs_arg =
+  let doc = "Repetitions for throughput experiments (the paper used 10)." in
+  Arg.(value & opt int 3 & info [ "r"; "runs" ] ~docv:"N" ~doc)
+
+let seconds_arg =
+  let doc = "Measurement window per run, in simulated seconds." in
+  Arg.(value & opt int 5 & info [ "s"; "seconds" ] ~docv:"SEC" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed (runs are deterministic given a seed)." in
+  Arg.(value & opt int 1001 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* --- deter ---------------------------------------------------------------- *)
+
+let deter_cmd =
+  let run runs seconds seed =
+    let net = Deter.network_tcp ~runs ~duration_s:seconds ~seed () in
+    let iias = Deter.iias_tcp ~runs ~duration_s:seconds ~seed:(seed + 1000) () in
+    Report.table ~title:"Table 2: TCP throughput on DETER"
+      ~header:[ ""; "Mb/s"; "std"; "fwdr CPU%" ]
+      ~rows:
+        [
+          [ "Network"; f net.Deter.mbps_mean; f net.mbps_stddev; f net.fwdr_cpu_pct ];
+          [ "IIAS"; f iias.Deter.mbps_mean; f iias.mbps_stddev; f iias.fwdr_cpu_pct ];
+        ];
+    let pn = Deter.network_ping ~seed:(seed + 2000) () in
+    let pi = Deter.iias_ping ~seed:(seed + 3000) () in
+    Report.table ~title:"Table 3: flood ping on DETER (ms)"
+      ~header:[ ""; "min"; "avg"; "max"; "mdev"; "loss%" ]
+      ~rows:
+        [
+          [ "Network"; f pn.Deter.p_min; f pn.p_avg; f pn.p_max; f pn.p_mdev; f pn.p_loss_pct ];
+          [ "IIAS"; f pi.Deter.p_min; f pi.p_avg; f pi.p_max; f pi.p_mdev; f pi.p_loss_pct ];
+        ]
+  in
+  let doc = "Microbenchmark #1: overlay efficiency on dedicated hardware (§5.1.1)." in
+  Cmd.v (Cmd.info "deter" ~doc)
+    Term.(const run $ runs_arg $ seconds_arg $ seed_arg)
+
+(* --- planetlab -------------------------------------------------------------- *)
+
+let planetlab_cmd =
+  let run runs seconds seed =
+    let conditions =
+      [ Planetlab.Network; Planetlab.Iias_default; Planetlab.Iias_plvini ]
+    in
+    Report.table ~title:"Table 4: TCP throughput on PlanetLab"
+      ~header:[ ""; "Mb/s"; "std"; "Click CPU%" ]
+      ~rows:
+        (List.map
+           (fun c ->
+             let r = Planetlab.tcp c ~runs ~duration_s:seconds ~seed () in
+             [ Planetlab.condition_name c; f r.Planetlab.mbps_mean;
+               f r.mbps_stddev;
+               (if Float.is_nan r.cpu_pct then "n/a" else f r.cpu_pct) ])
+           conditions);
+    Report.table ~title:"Table 5: flood ping on PlanetLab (ms)"
+      ~header:[ ""; "min"; "avg"; "max"; "mdev" ]
+      ~rows:
+        (List.map
+           (fun c ->
+             let p = Planetlab.ping c ~seed:(seed + 500) () in
+             [ Planetlab.condition_name c; f p.Planetlab.p_min; f p.p_avg;
+               f p.p_max; f p.p_mdev ])
+           conditions);
+    Report.table ~title:"Table 6: UDP jitter on PlanetLab (ms)"
+      ~header:[ ""; "mean"; "std" ]
+      ~rows:
+        (List.map
+           (fun c ->
+             let j = Planetlab.jitter c ~duration_s:seconds ~seed:(seed + 900) () in
+             [ Planetlab.condition_name c; f j.Planetlab.jitter_mean_ms;
+               f j.jitter_stddev_ms ])
+           conditions);
+    Report.table ~title:"Figure 6: loss vs UDP rate (%)"
+      ~header:[ "Mb/s"; "Network"; "default share"; "PL-VINI" ]
+      ~rows:
+        (let s c = Planetlab.loss_sweep c ~duration_s:seconds ~seed:(seed + 1300) () in
+         let n = s Planetlab.Network
+         and d = s Planetlab.Iias_default
+         and p = s Planetlab.Iias_plvini in
+         List.map2
+           (fun (rate, ln) ((_, ld), (_, lp)) -> [ f rate; f ln; f ld; f lp ])
+           n (List.combine d p))
+  in
+  let doc = "Microbenchmark #2: the overlay on shared PlanetLab nodes (§5.1.2)." in
+  Cmd.v (Cmd.info "planetlab" ~doc)
+    Term.(const run $ runs_arg $ seconds_arg $ seed_arg)
+
+(* --- abilene ------------------------------------------------------------------ *)
+
+let abilene_cmd =
+  let run seed fail_at restore_at =
+    let r = Abilene.fig8_run ~seed ~fail_at ~restore_at () in
+    Report.table ~title:"Figure 8: OSPF convergence seen by ping"
+      ~header:[ ""; "value" ]
+      ~rows:
+        [
+          [ "RTT before failure (ms)"; f r.Abilene.rtt_before ];
+          [ "RTT on backup path (ms)"; f r.rtt_after ];
+          [ "detection delay (s)"; f r.detect_delay ];
+          [ "RTT after restore (ms)"; f r.restore_rtt ];
+        ];
+    Report.series ~title:"RTT vs time" ~x_label:"s" ~y_label:"ms"
+      r.Abilene.rtt_series;
+    let t = Abilene.fig9_run ~seed:(seed + 100) ~fail_at ~restore_at () in
+    Report.table ~title:"Figure 9: TCP through the event" ~header:[ ""; "value" ]
+      ~rows:
+        [
+          [ "total transferred (MB)"; f t.Abilene.total_mb ];
+          [ "stall starts (s)"; f t.stall_start ];
+          [ "transfer resumes (s)"; f t.stall_end ];
+        ];
+    Report.series ~title:"MB transferred vs time" ~x_label:"s" ~y_label:"MB"
+      t.Abilene.cumulative
+  in
+  let fail_arg =
+    Arg.(value & opt float 10.0 & info [ "fail-at" ] ~docv:"SEC"
+           ~doc:"When to fail Denver-Kansas City (s).")
+  in
+  let restore_arg =
+    Arg.(value & opt float 34.0 & info [ "restore-at" ] ~docv:"SEC"
+           ~doc:"When to restore the link (s).")
+  in
+  let doc = "The §5.2 intra-domain routing experiment on the Abilene mirror." in
+  Cmd.v (Cmd.info "abilene" ~doc)
+    Term.(const run $ seed_arg $ fail_arg $ restore_arg)
+
+(* --- topo ---------------------------------------------------------------------- *)
+
+let topo_cmd =
+  let run name configs =
+    let g =
+      match name with
+      | "abilene" -> Abilene.topology ()
+      | "deter" -> Vini_topo.Datasets.Deter.topology ()
+      | "planetlab3" -> Vini_topo.Datasets.Planetlab3.topology ()
+      | "nlr" -> Vini_topo.Datasets.Nlr.topology ()
+      | other -> failwith ("unknown topology " ^ other)
+    in
+    Format.printf "%a@?" Vini_topo.Graph.pp g;
+    if name = "abilene" then begin
+      let primary, backup = Abilene.expected_paths () in
+      Printf.printf "D.C.->Seattle primary : %s\n" (String.concat " > " primary);
+      Printf.printf "D.C.->Seattle backup  : %s\n" (String.concat " > " backup)
+    end;
+    if configs then begin
+      Printf.printf "\n--- generated XORP configuration (node 0) ---\n%s"
+        (Vini_rcc.Rcc.xorp_config g 0);
+      Printf.printf "\n--- generated Click configuration (node 0) ---\n%s"
+        (Vini_rcc.Rcc.click_config g 0)
+    end
+  in
+  let name_arg =
+    Arg.(value & pos 0 string "abilene"
+         & info [] ~docv:"NAME" ~doc:"abilene, nlr, deter, or planetlab3.")
+  in
+  let configs_arg =
+    Arg.(value & flag & info [ "configs" ]
+           ~doc:"Also print generated XORP/Click configurations.")
+  in
+  let doc = "Inspect a built-in topology (Figure 7 and friends)." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ name_arg $ configs_arg)
+
+(* --- mirror -------------------------------------------------------------------- *)
+
+let mirror_cmd =
+  let run file fail_spec seed =
+    let text =
+      match file with
+      | None -> Vini_rcc.Rcc.abilene_text ()
+      | Some path ->
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+    in
+    let cfgs =
+      match Vini_rcc.Config.parse_many text with
+      | Ok cfgs -> cfgs
+      | Error e -> failwith ("config parse error: " ^ e)
+    in
+    (match Vini_rcc.Rcc.audit cfgs with
+    | [] -> Printf.printf "audit: clean (%d routers)\n" (List.length cfgs)
+    | faults ->
+        Printf.printf "audit found %d fault(s):\n" (List.length faults);
+        List.iter (fun x -> Printf.printf "  - %s\n" x) faults;
+        failwith "refusing to mirror a faulty configuration");
+    let g =
+      match Vini_rcc.Rcc.build_topology cfgs with
+      | Ok g -> g
+      | Error e -> failwith e
+    in
+    Format.printf "%a@?" Vini_topo.Graph.pp g;
+    (* Run a convergence experiment: ping across the diameter while the
+       requested link (default: the first) fails at t=10 and heals at t=34. *)
+    let module Graph = Vini_topo.Graph in
+    let module Engine = Vini_sim.Engine in
+    let module Time = Vini_sim.Time in
+    let a, b =
+      match fail_spec with
+      | Some s -> (
+          match String.split_on_char ',' s with
+          | [ x; y ] -> (Graph.id_of_name g x, Graph.id_of_name g y)
+          | _ -> failwith "expected --fail NAME,NAME")
+      | None ->
+          let l = List.hd (Graph.links g) in
+          (l.Graph.a, l.Graph.b)
+    in
+    let engine = Engine.create ~seed () in
+    let vini = Vini_core.Vini.create ~engine ~graph:g () in
+    let spec =
+      Vini_core.Experiment.make ~name:"mirror"
+        ~slice:(Vini_phys.Slice.pl_vini "mirror") ~vtopo:g
+        ~events:
+          [
+            Vini_core.Experiment.at 50.0 (Vini_core.Experiment.Fail_vlink (a, b));
+            Vini_core.Experiment.at 74.0
+              (Vini_core.Experiment.Restore_vlink (a, b));
+          ]
+        ()
+    in
+    let inst = Vini_core.Vini.deploy vini spec in
+    Vini_core.Vini.start inst;
+    Engine.run ~until:(Time.sec 40) engine;
+    let iias = Vini_core.Vini.iias inst in
+    (* Ping across the graph's diameter. *)
+    let src = 0 and dst = Graph.node_count g - 1 in
+    let ping =
+      Vini_measure.Ping.start
+        ~stack:(Vini_overlay.Iias.tap (Vini_overlay.Iias.vnode iias src))
+        ~dst:(Vini_overlay.Iias.tap_addr (Vini_overlay.Iias.vnode iias dst))
+        ~count:200
+        ~mode:(Vini_measure.Ping.Interval (Time.ms 500))
+        ()
+    in
+    Engine.run ~until:(Time.sec 145) engine;
+    Printf.printf "\nfailing %s--%s at t=10s, restoring at t=34s\n"
+      (Graph.name g a) (Graph.name g b);
+    Report.series
+      ~title:
+        (Printf.sprintf "ping %s -> %s RTT during the event" (Graph.name g src)
+           (Graph.name g dst))
+      ~x_label:"s" ~y_label:"ms"
+      (List.map
+         (fun (t, r) -> (t -. 40.0, r))
+         (Vini_measure.Ping.series ping))
+  in
+  let file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "configs" ] ~docv:"FILE"
+             ~doc:"Router configuration file (default: embedded Abilene).")
+  in
+  let fail_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fail" ] ~docv:"A,B"
+             ~doc:"Link to fail, by router names (default: first link).")
+  in
+  let doc =
+    "Mirror router configurations into a virtual network and run a \
+     convergence experiment (the §6.2 pipeline)."
+  in
+  Cmd.v (Cmd.info "mirror" ~doc) Term.(const run $ file_arg $ fail_arg $ seed_arg)
+
+(* --- ablate ---------------------------------------------------------------------- *)
+
+let ablate_cmd =
+  let run seconds =
+    Report.table ~title:"Ablation A: PL-VINI scheduler knobs, decomposed"
+      ~header:[ "slice treatment"; "TCP Mb/s"; "ping avg ms"; "ping mdev ms" ]
+      ~rows:
+        (List.map
+           (fun (r : Ablation.knob_result) ->
+             [ r.Ablation.label; f r.mbps; f r.ping_avg_ms; f r.ping_mdev_ms ])
+           (Ablation.scheduler_knobs ~duration_s:seconds ()));
+    Report.table ~title:"Ablation B: loss vs Click socket buffer (35 Mb/s CBR)"
+      ~header:[ "rcvbuf KB"; "loss %" ]
+      ~rows:
+        (List.map
+           (fun (kb, loss) -> [ string_of_int kb; f loss ])
+           (Ablation.buffer_sweep ~duration_s:seconds ()));
+    Report.table ~title:"Isolation study (§3.4): measuring vs noisy neighbour"
+      ~header:[ "isolation"; "TCP Mb/s"; "ping avg ms"; "ping mdev ms" ]
+      ~rows:
+        (List.map
+           (fun (r : Ablation.knob_result) ->
+             [ r.Ablation.label; f r.mbps; f r.ping_avg_ms; f r.ping_mdev_ms ])
+           (Ablation.isolation_matrix ()));
+    Report.table ~title:"Ablation C: detection delay vs OSPF timers"
+      ~header:[ "hello s"; "dead s"; "detection s" ]
+      ~rows:
+        (List.map
+           (fun (h, d, det) -> [ string_of_int h; string_of_int d; f det ])
+           (Ablation.timer_sweep ()))
+  in
+  let doc = "Ablation studies of the design choices (scheduler knobs, socket \
+             buffers, OSPF timers)." in
+  Cmd.v (Cmd.info "ablate" ~doc) Term.(const run $ seconds_arg)
+
+(* --- run ----------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run spec_file phys_name watch seed duration =
+    let module Engine = Vini_sim.Engine in
+    let module Time = Vini_sim.Time in
+    let module Graph = Vini_topo.Graph in
+    let text =
+      match spec_file with
+      | None -> Vini_core.Spec_lang.example
+      | Some path ->
+          let ic = open_in path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+    in
+    let phys =
+      match phys_name with
+      | "abilene" -> Abilene.topology ()
+      | "deter" -> Vini_topo.Datasets.Deter.topology ()
+      | "planetlab3" -> Vini_topo.Datasets.Planetlab3.topology ()
+      | "nlr" -> Vini_topo.Datasets.Nlr.topology ()
+      | "mesh" ->
+          (* A generous default substrate: 16 well-connected sites. *)
+          Vini_topo.Datasets.waxman ~rng:(Vini_std.Rng.create seed) ~n:16 ()
+      | other -> failwith ("unknown substrate " ^ other)
+    in
+    let spec =
+      match Vini_core.Spec_lang.load text ~phys with
+      | Ok s -> s
+      | Error e -> failwith ("spec error: " ^ e)
+    in
+    Printf.printf "experiment %S: %d virtual nodes on substrate %S\n"
+      spec.Vini_core.Experiment.exp_name
+      (Graph.node_count spec.Vini_core.Experiment.vtopo)
+      phys_name;
+    let engine = Engine.create ~seed () in
+    let vini = Vini_core.Vini.create ~engine ~graph:phys () in
+    let inst = Vini_core.Vini.deploy vini spec in
+    (* Converge before the measurement clock starts. *)
+    Vini_core.Vini.start inst;
+    let iias = Vini_core.Vini.iias inst in
+    Engine.run ~until:(Time.sec 0) engine;
+    let src, dst =
+      match watch with
+      | Some s -> (
+          match String.split_on_char ',' s with
+          | [ a; b ] ->
+              ( Graph.id_of_name spec.Vini_core.Experiment.vtopo a,
+                Graph.id_of_name spec.Vini_core.Experiment.vtopo b )
+          | _ -> failwith "--watch expects NAME,NAME")
+      | None -> (0, Graph.node_count spec.Vini_core.Experiment.vtopo - 1)
+    in
+    let ping =
+      Vini_measure.Ping.start
+        ~stack:(Vini_overlay.Iias.tap (Vini_overlay.Iias.vnode iias src))
+        ~dst:(Vini_overlay.Iias.tap_addr (Vini_overlay.Iias.vnode iias dst))
+        ~count:(duration * 4)
+        ~mode:(Vini_measure.Ping.Interval (Time.ms 250))
+        ()
+    in
+    Engine.run ~until:(Time.sec (duration + 10)) engine;
+    Report.series
+      ~title:
+        (Printf.sprintf "ping %s -> %s during the experiment"
+           (Graph.name spec.Vini_core.Experiment.vtopo src)
+           (Graph.name spec.Vini_core.Experiment.vtopo dst))
+      ~x_label:"s" ~y_label:"ms"
+      (Vini_measure.Ping.series ping);
+    Printf.printf "replies %d/%d (%.1f%% lost)\n"
+      (Vini_measure.Ping.received ping)
+      (Vini_measure.Ping.sent ping)
+      (Vini_measure.Ping.loss_pct ping)
+  in
+  let spec_arg =
+    Arg.(value & opt (some file) None
+         & info [ "spec" ] ~docv:"FILE"
+             ~doc:"Experiment specification (default: a built-in example).")
+  in
+  let phys_arg =
+    Arg.(value & opt string "mesh"
+         & info [ "phys" ] ~docv:"NAME"
+             ~doc:"Physical substrate: mesh, abilene, nlr, deter, planetlab3.")
+  in
+  let watch_arg =
+    Arg.(value & opt (some string) None
+         & info [ "watch" ] ~docv:"A,B"
+             ~doc:"Virtual node pair to ping during the run (default: first \
+                   and last).")
+  in
+  let duration_arg =
+    Arg.(value & opt int 60 & info [ "duration" ] ~docv:"SEC"
+           ~doc:"Observation window after convergence.")
+  in
+  let doc =
+    "Deploy a textual experiment specification (§6.2) and watch it run."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg)
+
+(* --- upcalls --------------------------------------------------------------------- *)
+
+let upcalls_cmd =
+  let run seed =
+    let u1, u2 = Abilene.upcall_demo ~seed () in
+    Printf.printf
+      "physical Denver-KC failed and restored; upcalls delivered: exp1=%d \
+       exp2=%d (§6.1 exposure of underlying topology changes)\n"
+      u1 u2
+  in
+  let doc = "Demonstrate physical-failure upcalls to concurrent experiments." in
+  Cmd.v (Cmd.info "upcalls" ~doc) Term.(const run $ seed_arg)
+
+let main =
+  let doc = "VINI: a virtual network infrastructure (SIGCOMM 2006), reproduced" in
+  Cmd.group
+    (Cmd.info "vini" ~version:"1.0.0" ~doc)
+    [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
+      ablate_cmd; upcalls_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/abilene_failover.ml: Float List Printf String Vini_rcc Vini_repro Vini_sim Vini_topo

@@ -1,0 +1,1 @@
+examples/bgp_mux_demo.ml: List Printf String Vini_net Vini_routing Vini_sim

@@ -1,0 +1,1 @@
+examples/dht_keyspace.ml: Fun List Printf Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+examples/dht_keyspace.mli:

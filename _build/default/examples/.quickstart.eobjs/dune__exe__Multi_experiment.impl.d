@@ -1,0 +1,1 @@
+examples/multi_experiment.ml: Printf Vini_core Vini_measure Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

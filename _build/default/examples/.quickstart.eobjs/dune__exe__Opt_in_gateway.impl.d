@@ -1,0 +1,1 @@
+examples/opt_in_gateway.ml: Fun Printf Vini_net Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo Vini_transport

@@ -1,0 +1,1 @@
+examples/opt_in_gateway.mli:

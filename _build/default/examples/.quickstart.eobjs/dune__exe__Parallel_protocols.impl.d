@@ -1,0 +1,1 @@
+examples/parallel_protocols.ml: Float List Printf Vini_core Vini_measure Vini_overlay Vini_phys Vini_sim Vini_topo

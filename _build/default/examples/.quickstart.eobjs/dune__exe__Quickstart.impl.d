@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Fun List Printf Vini_measure Vini_net Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

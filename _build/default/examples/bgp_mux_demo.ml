@@ -1,0 +1,104 @@
+(* The BGP multiplexer (§6.1): two experiments share VINI's single eBGP
+   adjacency with a neighbouring domain.  The mux confines each to its
+   allocated sub-block, rate-limits update storms, and redistributes
+   externally learned routes to everyone.
+
+     dune exec examples/bgp_mux_demo.exe *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Prefix = Vini_net.Prefix
+module Addr = Vini_net.Addr
+module Bgp = Vini_routing.Bgp
+module Bgp_mux = Vini_routing.Bgp_mux
+
+let pfx = Prefix.of_string
+
+let () =
+  let engine = Engine.create ~seed:65000 () in
+  let wire deliver msg ~size =
+    ignore size;
+    ignore (Engine.after engine (Time.ms 20) (fun () -> deliver msg))
+  in
+  (* VINI's multiplexer owns AS 64512 and the 10.128.0.0/9 allocation. *)
+  let mux =
+    Bgp_mux.create ~engine ~asn:64512 ~rid:1 ~addr:(Addr.of_string "198.32.154.10")
+      ~vini_block:(pfx "10.128.0.0/9")
+  in
+  (* The neighbouring domain: one real router, one real session. *)
+  let upstream =
+    Bgp.create ~engine
+      ~config:
+        (Bgp.default_config ~asn:701 ~rid:7
+           ~next_hop_self:(Addr.of_string "198.32.200.1")
+           ~originate:[ pfx "64.236.0.0/16"; pfx "0.0.0.0/0" ])
+      ()
+  in
+  let up_peer = ref 0 and mux_ext = ref 0 in
+  mux_ext :=
+    Bgp_mux.attach_external mux ~name:"AS701"
+      ~send:(wire (fun m -> Bgp.receive upstream ~peer:!up_peer m));
+  up_peer :=
+    Bgp.add_peer upstream ~name:"vini-mux" ~kind:`Ebgp
+      ~send:(wire (fun m -> Bgp_mux.receive mux ~peer:!mux_ext m))
+      ();
+  (* Two experiments, each a BGP speaker on a virtual node. *)
+  let experiment name rid prefixes allowed rate =
+    let speaker =
+      Bgp.create ~engine
+        ~config:
+          (Bgp.default_config ~asn:64512 ~rid
+             ~next_hop_self:(Addr.of_string "10.200.0.1")
+             ~originate:(List.map pfx prefixes))
+        ()
+    in
+    let sp = ref 0 and mp = ref 0 in
+    mp :=
+      Bgp_mux.attach_client mux
+        ~spec:
+          {
+            Bgp_mux.client_name = name;
+            allowed = List.map pfx allowed;
+            max_announce_per_sec = rate;
+            burst = 4;
+          }
+        ~send:(wire (fun m -> Bgp.receive speaker ~peer:!sp m));
+    sp :=
+      Bgp.add_peer speaker ~name:"mux" ~kind:`Ibgp
+        ~send:(wire (fun m -> Bgp_mux.receive mux ~peer:!mp m))
+        ();
+    speaker
+  in
+  (* exp1 is polite; exp2 tries to announce space it does not own. *)
+  let exp1 = experiment "exp1" 11 [ "10.128.0.0/16" ] [ "10.128.0.0/16" ] 10.0 in
+  let exp2 =
+    experiment "exp2" 12
+      [ "10.129.0.0/16"; "10.64.0.0/16"; "192.0.2.0/24" ]
+      [ "10.129.0.0/16" ] 10.0
+  in
+  Bgp_mux.start mux;
+  Bgp.start upstream;
+  Bgp.start exp1;
+  Bgp.start exp2;
+  Engine.run ~until:(Time.sec 60) engine;
+
+  Printf.printf "what the neighbouring domain (AS 701) learned from VINI:\n";
+  List.iter
+    (fun (p, (path : Bgp.path)) ->
+      Printf.printf "  %-18s as-path %s\n" (Prefix.to_string p)
+        (String.concat " " (List.map string_of_int path.Bgp.as_path)))
+    (Bgp.loc_rib upstream);
+  Printf.printf "\nwhat exp1 learned through the shared adjacency:\n";
+  List.iter
+    (fun (p, (path : Bgp.path)) ->
+      Printf.printf "  %-18s as-path %s\n" (Prefix.to_string p)
+        (String.concat " " (List.map string_of_int path.Bgp.as_path)))
+    (Bgp.loc_rib exp1);
+  Printf.printf "\nmux enforcement on exp2: %d announcements rejected \
+                 (outside its 10.129.0.0/16 allocation)\n"
+    (Bgp_mux.rejected mux ~client:"exp2");
+  Printf.printf "exp2's own view still works: it %s the upstream default.\n"
+    (if Bgp.best exp2 (pfx "0.0.0.0/0") <> None then "learned" else "missed");
+  Printf.printf
+    "\none adjacency, many experiments: stability and scaling concerns from \
+     §3.4 handled in the mux.\n"

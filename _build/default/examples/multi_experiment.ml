@@ -1,0 +1,100 @@
+(* Simultaneous experiments on shared infrastructure (§3.4): two research
+   slices run their own virtual networks over the same PlanetLab-like
+   nodes.  One is a well-behaved PL-VINI slice with a CPU reservation;
+   the other hammers the CPU from a default fair share.  The reservation
+   is what keeps the first experiment's results repeatable.
+
+     dune exec examples/multi_experiment.exe *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Graph = Vini_topo.Graph
+module Slice = Vini_phys.Slice
+module Underlay = Vini_phys.Underlay
+module Iias = Vini_overlay.Iias
+module Experiment = Vini_core.Experiment
+module Vini = Vini_core.Vini
+module Iperf = Vini_measure.Iperf
+module Ping = Vini_measure.Ping
+
+let link a b =
+  {
+    Graph.a;
+    b;
+    bandwidth_bps = 100e6;
+    delay = Time.ms 5;
+    loss = 0.0;
+    weight = 1;
+  }
+
+let run ~reserved () =
+  let engine = Engine.create ~seed:4242 () in
+  let phys =
+    Graph.create ~names:[| "siteA"; "siteB"; "siteC" |]
+      ~links:[ link 0 1; link 1 2 ]
+  in
+  (* Shared PlanetLab-style machines: contention is the whole point. *)
+  let profile _ = Underlay.planetlab_profile ~speed_ghz:2.0 in
+  let vini = Vini.create ~engine ~graph:phys ~profile () in
+  let vtopo =
+    Graph.create ~names:[| "x"; "y"; "z" |] ~links:[ link 0 1; link 1 2 ]
+  in
+  let slice1 =
+    if reserved then Slice.pl_vini "careful-exp"
+    else Slice.default_share "careful-exp"
+  in
+  let e1 =
+    Vini.deploy vini
+      (Experiment.make ~name:"careful" ~slice:slice1 ~vtopo ())
+  in
+  let e2 =
+    Vini.deploy vini
+      (Experiment.make ~name:"noisy" ~slice:(Slice.default_share "noisy-exp")
+         ~vtopo ())
+  in
+  Vini.start e1;
+  Vini.start e2;
+  Engine.run ~until:(Time.sec 25) engine;
+  (* The noisy experiment blasts 40 Mb/s of UDP through its own overlay
+     for the whole measurement window. *)
+  let i2 = Vini.iias e2 in
+  let _noise =
+    Iperf.udp
+      ~client:(Iias.tap (Iias.vnode i2 0))
+      ~server:(Iias.tap (Iias.vnode i2 2))
+      ~rate_bps:40e6 ~start:(Time.sec 26) ~duration:(Time.sec 16) ()
+  in
+  (* The careful experiment measures TCP throughput and latency. *)
+  let i1 = Vini.iias e1 in
+  let tcp =
+    Iperf.tcp
+      ~client:(Iias.tap (Iias.vnode i1 0))
+      ~server:(Iias.tap (Iias.vnode i1 2))
+      ~streams:10 ~start:(Time.sec 26) ~warmup:(Time.sec 2)
+      ~duration:(Time.sec 10) ()
+  in
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode i1 0))
+      ~dst:(Iias.tap_addr (Iias.vnode i1 2))
+      ~count:500 ()
+  in
+  Engine.run ~until:(Time.sec 45) engine;
+  (Iperf.tcp_mbps tcp, Vini_std.Stats.mean (Ping.rtt_ms ping),
+   Vini_std.Stats.stddev (Ping.rtt_ms ping))
+
+let () =
+  Printf.printf
+    "two experiments share three physical nodes; the 'noisy' slice blasts \
+     40 Mb/s of UDP while the 'careful' slice measures.\n\n";
+  let mbps_d, rtt_d, std_d = run ~reserved:false () in
+  let mbps_r, rtt_r, std_r = run ~reserved:true () in
+  Printf.printf "%-34s %12s %14s\n" "careful experiment's slice" "TCP Mb/s"
+    "ping ms (std)";
+  Printf.printf "%-34s %12.1f %9.1f (%.2f)\n" "default fair share" mbps_d rtt_d
+    std_d;
+  Printf.printf "%-34s %12.1f %9.1f (%.2f)\n"
+    "PL-VINI (25% reservation + rt)" mbps_r rtt_r std_r;
+  Printf.printf
+    "\nthe reservation + real-time boost is what makes the experiment \
+     repeatable while sharing nodes (§4.1.2).\n"

@@ -1,0 +1,1 @@
+lib/click/element.ml: Lazy List Vini_net

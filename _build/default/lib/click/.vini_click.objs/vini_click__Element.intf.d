@@ -1,0 +1,1 @@
+lib/click/element.mli: Vini_net

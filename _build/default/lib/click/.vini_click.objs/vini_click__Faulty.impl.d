@@ -1,0 +1,1 @@
+lib/click/faulty.ml: Element Option Vini_std

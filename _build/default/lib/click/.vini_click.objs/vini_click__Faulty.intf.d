@@ -1,0 +1,1 @@
+lib/click/faulty.mli: Element Vini_std

@@ -1,0 +1,1 @@
+lib/click/fib.ml: Format List Option Vini_net

@@ -1,0 +1,1 @@
+lib/click/fib.mli: Format Vini_net

@@ -1,0 +1,1 @@
+lib/click/napt.ml: Hashtbl Vini_net

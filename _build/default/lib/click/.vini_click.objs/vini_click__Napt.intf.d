@@ -1,0 +1,1 @@
+lib/click/napt.mli: Vini_net

@@ -1,0 +1,1 @@
+lib/click/shaper.ml: Element Float Option Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/click/shaper.mli: Element Vini_sim

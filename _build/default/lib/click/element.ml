@@ -1,0 +1,57 @@
+module Packet = Vini_net.Packet
+
+type t = {
+  name : string;
+  f : Packet.t -> unit;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable drops : int;
+}
+
+let make name f = { name; f; packets = 0; bytes = 0; drops = 0 }
+
+let push t pkt =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + Packet.size pkt;
+  t.f pkt
+
+let name t = t.name
+let packets t = t.packets
+let bytes t = t.bytes
+let discard name = make name (fun _ -> ())
+
+let tee name outs =
+  make name (fun pkt -> List.iter (fun o -> push o pkt) outs)
+
+let classifier name ~rules ~default =
+  make name (fun pkt ->
+      let rec fire = function
+        | [] -> push default pkt
+        | (test, out) :: rest -> if test pkt then push out pkt else fire rest
+      in
+      fire rules)
+
+let queue name ?(capacity_packets = max_int) ?(capacity_bytes = max_int) ~out
+    () =
+  let occupancy_packets = ref 0 and occupancy_bytes = ref 0 in
+  let rec t =
+    lazy
+      (make name (fun pkt ->
+           let size = Packet.size pkt in
+           if
+             !occupancy_packets >= capacity_packets
+             || !occupancy_bytes + size > capacity_bytes
+           then (Lazy.force t).drops <- (Lazy.force t).drops + 1
+           else begin
+             (* Synchronous drain: occupancy spikes and falls within the
+                same processing step. *)
+             incr occupancy_packets;
+             occupancy_bytes := !occupancy_bytes + size;
+             push out pkt;
+             decr occupancy_packets;
+             occupancy_bytes := !occupancy_bytes - size
+           end))
+  in
+  Lazy.force t
+
+let queue_drops t = t.drops

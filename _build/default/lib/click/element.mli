@@ -1,0 +1,34 @@
+(** Click-style packet-processing elements.
+
+    An element is a named push port with packet/byte counters; elements
+    compose into the per-virtual-node data planes of Figure 1.  Processing
+    inside a data plane is synchronous — the hosting user-space process has
+    already been charged the per-packet CPU cost by [Vini_phys] — so
+    elements stay pure plumbing with observable statistics. *)
+
+type t
+
+val make : string -> (Vini_net.Packet.t -> unit) -> t
+val push : t -> Vini_net.Packet.t -> unit
+val name : t -> string
+val packets : t -> int
+val bytes : t -> int
+
+val discard : string -> t
+(** Count-and-drop sink. *)
+
+val tee : string -> t list -> t
+(** Duplicate each packet to every downstream element. *)
+
+val classifier :
+  string -> rules:((Vini_net.Packet.t -> bool) * t) list -> default:t -> t
+(** First matching rule wins. *)
+
+val queue : string -> ?capacity_packets:int -> ?capacity_bytes:int -> out:t -> unit -> t
+(** Drop-tail queue that forwards immediately (occupancy is transient in
+    the synchronous data plane, but drops still enforce the bound and the
+    counters feed tests). *)
+
+val queue_drops : t -> int
+(** Drops recorded by a {!queue}, {!shaper_drops} for shapers; 0 for other
+    elements. *)

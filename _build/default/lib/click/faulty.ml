@@ -1,0 +1,34 @@
+type mode = Pass | Fail | Lossy of float
+
+type t = {
+  rng : Vini_std.Rng.t;
+  out : Element.t;
+  mutable mode : mode;
+  mutable dropped : int;
+  mutable element : Element.t option;
+}
+
+let create ~rng ~out name =
+  let t = { rng; out; mode = Pass; dropped = 0; element = None } in
+  let el =
+    Element.make name (fun pkt ->
+        match t.mode with
+        | Pass -> Element.push t.out pkt
+        | Fail -> t.dropped <- t.dropped + 1
+        | Lossy p ->
+            if Vini_std.Rng.float t.rng 1.0 < p then t.dropped <- t.dropped + 1
+            else Element.push t.out pkt)
+  in
+  t.element <- Some el;
+  t
+
+let element t = Option.get t.element
+
+let set_mode t mode =
+  (match mode with
+  | Lossy p when p < 0.0 || p > 1.0 -> invalid_arg "Faulty.set_mode: loss rate"
+  | Lossy _ | Pass | Fail -> ());
+  t.mode <- mode
+
+let mode t = t.mode
+let dropped t = t.dropped

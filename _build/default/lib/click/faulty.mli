@@ -1,0 +1,19 @@
+(** The failure-injection element.
+
+    §5.2 fails the Denver–Kansas City virtual link "by dropping packets
+    within Click on the virtual link (UDP tunnel) connecting two Abilene
+    nodes".  This element sits in front of a tunnel output and switches
+    between passing, dropping everything (failed), and dropping a random
+    fraction (lossy link emulation). *)
+
+type mode = Pass | Fail | Lossy of float
+
+type t
+
+val create :
+  rng:Vini_std.Rng.t -> out:Element.t -> string -> t
+
+val element : t -> Element.t
+val set_mode : t -> mode -> unit
+val mode : t -> mode
+val dropped : t -> int

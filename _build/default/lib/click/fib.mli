@@ -1,0 +1,31 @@
+(** Longest-prefix-match forwarding table (a binary trie).
+
+    The FIB each Click instance holds (Figure 1): XORP populates it with
+    prefix → next-hop entries; the data plane looks packets up per
+    destination address.  Values are arbitrary, so the same structure
+    serves the IIAS overlay FIB (next hop = neighbour virtual address),
+    the encapsulation table, and test fixtures. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> Vini_net.Prefix.t -> 'a -> unit
+(** Insert or replace the entry for a prefix. *)
+
+val remove : 'a t -> Vini_net.Prefix.t -> unit
+(** No-op when absent. *)
+
+val lookup : 'a t -> Vini_net.Addr.t -> 'a option
+(** Longest matching prefix's value. *)
+
+val lookup_prefix : 'a t -> Vini_net.Addr.t -> (Vini_net.Prefix.t * 'a) option
+(** Also reports which prefix matched. *)
+
+val find_exact : 'a t -> Vini_net.Prefix.t -> 'a option
+val entries : 'a t -> (Vini_net.Prefix.t * 'a) list
+(** Sorted by (network, length). *)
+
+val length : 'a t -> int
+val clear : 'a t -> unit
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

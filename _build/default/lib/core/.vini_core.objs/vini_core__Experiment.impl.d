@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Fun Hashtbl List Printf String Vini_net Vini_overlay Vini_phys Vini_sim Vini_topo

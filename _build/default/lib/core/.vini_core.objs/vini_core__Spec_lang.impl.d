@@ -1,0 +1,1 @@
+lib/core/spec_lang.ml: Array Experiment Hashtbl List Option Printf Result String Vini_net Vini_overlay Vini_phys Vini_sim Vini_topo

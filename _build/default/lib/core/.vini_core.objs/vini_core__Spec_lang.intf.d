@@ -1,0 +1,1 @@
+lib/core/spec_lang.mli: Experiment Vini_phys Vini_topo

@@ -1,0 +1,1 @@
+lib/core/vini.ml: Experiment List Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

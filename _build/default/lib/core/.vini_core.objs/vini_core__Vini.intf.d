@@ -1,0 +1,1 @@
+lib/core/vini.mli: Experiment Vini_overlay Vini_phys Vini_sim Vini_topo

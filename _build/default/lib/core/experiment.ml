@@ -1,0 +1,93 @@
+module Time = Vini_sim.Time
+module Graph = Vini_topo.Graph
+module Iias = Vini_overlay.Iias
+
+type action =
+  | Fail_vlink of int * int
+  | Restore_vlink of int * int
+  | Fail_plink of int * int
+  | Restore_plink of int * int
+  | Set_vlink_loss of int * int * float
+  | Set_vlink_bandwidth of int * int * float option
+  | Set_vlink_cost of int * int * int
+  | Custom of string * (Iias.t -> unit)
+
+type event = { at : Time.t; action : action }
+
+type spec = {
+  exp_name : string;
+  slice : Vini_phys.Slice.t;
+  vtopo : Graph.t;
+  embedding : int -> int;
+  routing : Iias.routing_choice;
+  ingresses : (int * Vini_net.Prefix.t) list;
+  egresses : int list;
+  events : event list;
+}
+
+let make ~name ~slice ~vtopo ?(embedding = Fun.id)
+    ?(routing = Iias.default_ospf) ?(ingresses = []) ?(egresses = [])
+    ?(events = []) () =
+  {
+    exp_name = name;
+    slice;
+    vtopo;
+    embedding;
+    routing;
+    ingresses;
+    egresses;
+    events;
+  }
+
+let mirror ~name ~slice ~graph ?(events = []) () =
+  make ~name ~slice ~vtopo:graph ~events ()
+
+let at seconds action = { at = Time.of_sec_f seconds; action }
+
+let validate spec =
+  let n = Graph.node_count spec.vtopo in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let seen = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    let p = spec.embedding v in
+    if Hashtbl.mem seen p then
+      err "virtual nodes %d and %d share physical node %d" (Hashtbl.find seen p)
+        v p
+    else Hashtbl.replace seen p v
+  done;
+  let check_vlink what a b =
+    if a < 0 || a >= n || b < 0 || b >= n then
+      err "%s references node out of range (%d, %d)" what a b
+    else if Graph.find_link spec.vtopo a b = None then
+      err "%s references non-adjacent nodes (%d, %d)" what a b
+  in
+  List.iter
+    (fun ev ->
+      if Time.compare ev.at Time.zero < 0 then err "event before t=0";
+      match ev.action with
+      | Fail_vlink (a, b) -> check_vlink "Fail_vlink" a b
+      | Restore_vlink (a, b) -> check_vlink "Restore_vlink" a b
+      | Set_vlink_loss (a, b, loss) ->
+          check_vlink "Set_vlink_loss" a b;
+          if loss < 0.0 || loss > 1.0 then err "loss outside [0,1]"
+      | Set_vlink_bandwidth (a, b, rate) ->
+          check_vlink "Set_vlink_bandwidth" a b;
+          (match rate with
+          | Some r when r <= 0.0 -> err "bandwidth must be positive"
+          | Some _ | None -> ())
+      | Set_vlink_cost (a, b, cost) ->
+          check_vlink "Set_vlink_cost" a b;
+          if cost <= 0 then err "cost must be positive"
+      | Fail_plink _ | Restore_plink _ | Custom _ -> ())
+    spec.events;
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= n then err "ingress node %d out of range" v)
+    spec.ingresses;
+  List.iter
+    (fun v -> if v < 0 || v >= n then err "egress node %d out of range" v)
+    spec.egresses;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))

@@ -1,0 +1,66 @@
+(** Experiment specifications (§6.2).
+
+    The paper argues VINI experiments should be specified the way ns or
+    Emulab scripts are: a topology, routing configuration, and a timeline
+    of events (link failures, traffic changes).  A [spec] is exactly that,
+    and [Vini.deploy] turns one into a running virtual network.  Events
+    are relative to the experiment's start instant. *)
+
+type action =
+  | Fail_vlink of int * int
+      (** drop packets inside Click on this virtual link (§5.2) *)
+  | Restore_vlink of int * int
+  | Fail_plink of int * int
+      (** fail the underlying physical link (exercises masking/upcalls) *)
+  | Restore_plink of int * int
+  | Set_vlink_loss of int * int * float
+      (** emulate a lossy virtual link *)
+  | Set_vlink_bandwidth of int * int * float option
+      (** cap (or uncap) a virtual link's rate via a Click shaper (§6.2) *)
+  | Set_vlink_cost of int * int * int
+      (** reconfigure an IGP cost and re-advertise (§7 maintenance) *)
+  | Custom of string * (Vini_overlay.Iias.t -> unit)
+      (** named scripted action (start traffic, change rates, ...) *)
+
+type event = { at : Vini_sim.Time.t; action : action }
+
+type spec = {
+  exp_name : string;
+  slice : Vini_phys.Slice.t;
+  vtopo : Vini_topo.Graph.t;
+  embedding : int -> int;
+  routing : Vini_overlay.Iias.routing_choice;
+  ingresses : (int * Vini_net.Prefix.t) list;
+  egresses : int list;
+  events : event list;
+}
+
+val make :
+  name:string ->
+  slice:Vini_phys.Slice.t ->
+  vtopo:Vini_topo.Graph.t ->
+  ?embedding:(int -> int) ->
+  ?routing:Vini_overlay.Iias.routing_choice ->
+  ?ingresses:(int * Vini_net.Prefix.t) list ->
+  ?egresses:int list ->
+  ?events:event list ->
+  unit ->
+  spec
+(** Defaults: identity embedding (virtual node i on physical node i),
+    OSPF with the paper's timers, no ingress/egress, no events. *)
+
+val mirror :
+  name:string ->
+  slice:Vini_phys.Slice.t ->
+  graph:Vini_topo.Graph.t ->
+  ?events:event list ->
+  unit ->
+  spec
+(** A virtual network that mirrors a physical topology one-to-one with
+    the same link weights — the §5.2 "Abilene mirror" construction. *)
+
+val at : float -> action -> event
+(** [at seconds action] — sugar for building timelines. *)
+
+val validate : spec -> (unit, string) result
+(** Check embedding injectivity and event references before deploying. *)

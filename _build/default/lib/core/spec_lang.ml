@@ -1,0 +1,462 @@
+module Time = Vini_sim.Time
+module Graph = Vini_topo.Graph
+module Prefix = Vini_net.Prefix
+module Slice = Vini_phys.Slice
+module Iias = Vini_overlay.Iias
+
+type link_decl = {
+  l_a : string;
+  l_b : string;
+  bw : float;
+  delay : Time.t;
+  weight : int;
+  l_loss : float;
+}
+
+type event_decl = { ev_at : float; verb : string; args : string list }
+
+type parsed = {
+  p_name : string;
+  p_slice : Slice.t;
+  nodes : string list;           (* declaration order *)
+  links : link_decl list;
+  p_routing : Iias.routing_choice;
+  embeds : (string * string) list;
+  p_ingresses : (string * Prefix.t) list;
+  p_egresses : string list;
+  p_events : event_decl list;
+}
+
+(* --- unit parsing -------------------------------------------------------- *)
+
+let parse_bw s =
+  let s = String.lowercase_ascii s in
+  let n = String.length s in
+  let scaled suffix mult =
+    if n > 1 && String.sub s (n - String.length suffix) (String.length suffix) = suffix
+    then
+      Option.map
+        (fun v -> v *. mult)
+        (float_of_string_opt (String.sub s 0 (n - String.length suffix)))
+    else None
+  in
+  match (scaled "g" 1e9, scaled "m" 1e6, scaled "k" 1e3) with
+  | Some v, _, _ | _, Some v, _ | _, _, Some v -> Some v
+  | None, None, None -> float_of_string_opt s
+
+let parse_delay s =
+  let s = String.lowercase_ascii s in
+  let n = String.length s in
+  let with_suffix suffix to_time =
+    let sl = String.length suffix in
+    if n > sl && String.sub s (n - sl) sl = suffix then
+      Option.map to_time (float_of_string_opt (String.sub s 0 (n - sl)))
+    else None
+  in
+  match with_suffix "us" (fun v -> Time.of_sec_f (v *. 1e-6)) with
+  | Some t -> Some t
+  | None -> (
+      match with_suffix "ms" Time.of_ms_f with
+      | Some t -> Some t
+      | None -> with_suffix "s" Time.of_sec_f)
+
+(* --- line parsing ---------------------------------------------------------- *)
+
+let tokens line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "")
+
+type builder = {
+  mutable b_name : string option;
+  mutable b_slice : Slice.t option;
+  mutable b_nodes : string list;
+  mutable b_links : link_decl list;
+  mutable b_routing : Iias.routing_choice option;
+  mutable b_embeds : (string * string) list;
+  mutable b_ingresses : (string * Prefix.t) list;
+  mutable b_egresses : string list;
+  mutable b_events : event_decl list;
+}
+
+let known_node b n = List.mem n b.b_nodes
+
+let parse_link_opts b a bnode rest =
+  let rec go l = function
+    | [] -> Ok l
+    | "bw" :: v :: rest -> (
+        match parse_bw v with
+        | Some bw when bw > 0.0 -> go { l with bw } rest
+        | Some _ | None -> Error (Printf.sprintf "bad bandwidth %S" v))
+    | "delay" :: v :: rest -> (
+        match parse_delay v with
+        | Some delay -> go { l with delay } rest
+        | None -> Error (Printf.sprintf "bad delay %S" v))
+    | "weight" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some weight when weight > 0 -> go { l with weight } rest
+        | Some _ | None -> Error (Printf.sprintf "bad weight %S" v))
+    | "loss" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some l_loss when l_loss >= 0.0 && l_loss <= 1.0 ->
+            go { l with l_loss } rest
+        | Some _ | None -> Error (Printf.sprintf "bad loss %S" v))
+    | tok :: _ -> Error (Printf.sprintf "unknown link option %S" tok)
+  in
+  let base =
+    { l_a = a; l_b = bnode; bw = 1e9; delay = Time.ms 1; weight = 1; l_loss = 0.0 }
+  in
+  match go base rest with
+  | Error _ as e -> e
+  | Ok l ->
+      if not (known_node b a) then Error (Printf.sprintf "unknown node %S" a)
+      else if not (known_node b bnode) then
+        Error (Printf.sprintf "unknown node %S" bnode)
+      else if a = bnode then Error "self-loop link"
+      else if
+        List.exists
+          (fun x ->
+            (x.l_a = a && x.l_b = bnode) || (x.l_a = bnode && x.l_b = a))
+          b.b_links
+      then Error (Printf.sprintf "duplicate link %s -- %s" a bnode)
+      else begin
+        b.b_links <- l :: b.b_links;
+        Ok ()
+      end
+
+let event_verbs =
+  [ ("fail-link", 2); ("restore-link", 2); ("set-loss", 3);
+    ("set-bandwidth", 3); ("clear-bandwidth", 2); ("set-cost", 3);
+    ("fail-physical", 2); ("restore-physical", 2) ]
+
+let feed b line =
+  match tokens line with
+  | [] -> Ok ()
+  | [ "experiment"; n ] ->
+      if b.b_name = None then begin
+        b.b_name <- Some n;
+        Ok ()
+      end
+      else Error "duplicate experiment line"
+  | "slice" :: rest -> (
+      if b.b_slice <> None then Error "duplicate slice line"
+      else
+        match rest with
+        | [ "fair" ] ->
+            b.b_slice <- Some (Slice.default_share "spec");
+            Ok ()
+        | [ "plvini" ] ->
+            b.b_slice <- Some (Slice.pl_vini "spec");
+            Ok ()
+        | [ "reserved"; frac ] | [ "reserved"; frac; "rt" ] -> (
+            match float_of_string_opt frac with
+            | Some r when r >= 0.0 && r <= 1.0 ->
+                let realtime = List.length rest = 3 in
+                b.b_slice <- Some (Slice.create ~reservation:r ~realtime "spec");
+                Ok ()
+            | Some _ | None -> Error "bad reservation fraction")
+        | _ -> Error "slice expects: fair | plvini | reserved FRAC [rt]")
+  | [ "node"; n ] ->
+      if known_node b n then Error (Printf.sprintf "duplicate node %S" n)
+      else begin
+        b.b_nodes <- b.b_nodes @ [ n ];
+        Ok ()
+      end
+  | "link" :: a :: bnode :: rest -> parse_link_opts b a bnode rest
+  | "routing" :: rest -> (
+      if b.b_routing <> None then Error "duplicate routing line"
+      else
+        match rest with
+        | [ "static" ] ->
+            b.b_routing <- Some Iias.Static_routes;
+            Ok ()
+        | [ "ospf" ] ->
+            b.b_routing <- Some Iias.default_ospf;
+            Ok ()
+        | [ "ospf"; "hello"; h; "dead"; d ] -> (
+            match (int_of_string_opt h, int_of_string_opt d) with
+            | Some h, Some d when h > 0 && d > h ->
+                b.b_routing <-
+                  Some
+                    (Iias.Ospf_routing
+                       {
+                         hello = Time.sec h;
+                         dead = Time.sec d;
+                         spf_delay = Time.ms 200;
+                       });
+                Ok ()
+            | _ -> Error "ospf timers must satisfy 0 < hello < dead")
+        | [ "rip" ] ->
+            b.b_routing <- Some (Iias.Rip_routing { scale = 1.0 });
+            Ok ()
+        | [ "rip"; "scale"; s ] -> (
+            match float_of_string_opt s with
+            | Some scale when scale > 0.0 ->
+                b.b_routing <- Some (Iias.Rip_routing { scale });
+                Ok ()
+            | Some _ | None -> Error "bad rip scale")
+        | _ -> Error "routing expects: ospf [hello H dead D] | rip [scale S] | static")
+  | [ "embed"; v; "on"; p ] ->
+      if not (known_node b v) then Error (Printf.sprintf "unknown node %S" v)
+      else if List.mem_assoc v b.b_embeds then
+        Error (Printf.sprintf "duplicate embed for %S" v)
+      else begin
+        b.b_embeds <- b.b_embeds @ [ (v, p) ];
+        Ok ()
+      end
+  | [ "ingress"; v; "pool"; pool ] -> (
+      if not (known_node b v) then Error (Printf.sprintf "unknown node %S" v)
+      else
+        match Prefix.of_string_opt pool with
+        | Some p ->
+            b.b_ingresses <- b.b_ingresses @ [ (v, p) ];
+            Ok ()
+        | None -> Error (Printf.sprintf "bad pool prefix %S" pool))
+  | [ "egress"; v ] ->
+      if not (known_node b v) then Error (Printf.sprintf "unknown node %S" v)
+      else begin
+        b.b_egresses <- b.b_egresses @ [ v ];
+        Ok ()
+      end
+  | "at" :: when_ :: verb :: args -> (
+      match float_of_string_opt when_ with
+      | None -> Error (Printf.sprintf "bad event time %S" when_)
+      | Some t when t < 0.0 -> Error "event before t=0"
+      | Some t -> (
+          match List.assoc_opt verb event_verbs with
+          | None -> Error (Printf.sprintf "unknown event %S" verb)
+          | Some arity ->
+              if List.length args <> arity then
+                Error (Printf.sprintf "%s expects %d arguments" verb arity)
+              else begin
+                b.b_events <- b.b_events @ [ { ev_at = t; verb; args } ];
+                Ok ()
+              end))
+  | tok :: _ -> Error (Printf.sprintf "unknown directive %S" tok)
+
+let parse text =
+  let b =
+    {
+      b_name = None;
+      b_slice = None;
+      b_nodes = [];
+      b_links = [];
+      b_routing = None;
+      b_embeds = [];
+      b_ingresses = [];
+      b_egresses = [];
+      b_events = [];
+    }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go n = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match feed b line with
+        | Ok () -> go (n + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" n e))
+  in
+  match go 1 lines with
+  | Error _ as e -> e
+  | Ok () -> (
+      match b.b_name with
+      | None -> Error "missing experiment line"
+      | Some p_name ->
+          if b.b_nodes = [] then Error "no nodes declared"
+          else
+            Ok
+              {
+                p_name;
+                p_slice =
+                  Option.value b.b_slice ~default:(Slice.pl_vini p_name);
+                nodes = b.b_nodes;
+                links = List.rev b.b_links;
+                p_routing = Option.value b.b_routing ~default:Iias.default_ospf;
+                embeds = b.b_embeds;
+                p_ingresses = b.b_ingresses;
+                p_egresses = b.b_egresses;
+                p_events = b.b_events;
+              })
+
+(* --- elaboration ----------------------------------------------------------- *)
+
+let name p = p.p_name
+let slice p = p.p_slice
+
+let node_index p n =
+  let rec go i = function
+    | [] -> None
+    | x :: _ when x = n -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 p.nodes
+
+let vtopo p =
+  let names = Array.of_list p.nodes in
+  let links =
+    List.map
+      (fun l ->
+        {
+          Graph.a = Option.get (node_index p l.l_a);
+          b = Option.get (node_index p l.l_b);
+          bandwidth_bps = l.bw;
+          delay = l.delay;
+          loss = l.l_loss;
+          weight = l.weight;
+        })
+      p.links
+  in
+  Graph.create ~names ~links
+
+let elaborate_event p ev =
+  let node n =
+    match node_index p n with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "event references unknown node %S" n)
+  in
+  let ( let* ) = Result.bind in
+  let two k = function
+    | [ a; b ] ->
+        let* a = node a in
+        let* b = node b in
+        Ok (k a b)
+    | _ -> Error "bad arity"
+  in
+  let* action =
+    match (ev.verb, ev.args) with
+    | "fail-link", args -> two (fun a b -> Experiment.Fail_vlink (a, b)) args
+    | "restore-link", args ->
+        two (fun a b -> Experiment.Restore_vlink (a, b)) args
+    | "clear-bandwidth", args ->
+        two (fun a b -> Experiment.Set_vlink_bandwidth (a, b, None)) args
+    | "fail-physical", args -> two (fun a b -> Experiment.Fail_plink (a, b)) args
+    | "restore-physical", args ->
+        two (fun a b -> Experiment.Restore_plink (a, b)) args
+    | "set-loss", [ a; b; v ] -> (
+        match float_of_string_opt v with
+        | Some loss when loss >= 0.0 && loss <= 1.0 ->
+            two (fun a b -> Experiment.Set_vlink_loss (a, b, loss)) [ a; b ]
+        | Some _ | None -> Error (Printf.sprintf "bad loss %S" v))
+    | "set-bandwidth", [ a; b; v ] -> (
+        match parse_bw v with
+        | Some bw when bw > 0.0 ->
+            two
+              (fun a b -> Experiment.Set_vlink_bandwidth (a, b, Some bw))
+              [ a; b ]
+        | Some _ | None -> Error (Printf.sprintf "bad bandwidth %S" v))
+    | "set-cost", [ a; b; v ] -> (
+        match int_of_string_opt v with
+        | Some cost when cost > 0 ->
+            two (fun a b -> Experiment.Set_vlink_cost (a, b, cost)) [ a; b ]
+        | Some _ | None -> Error (Printf.sprintf "bad cost %S" v))
+    | verb, _ -> Error (Printf.sprintf "unknown event %S" verb)
+  in
+  Ok { Experiment.at = Time.of_sec_f ev.ev_at; action }
+
+let to_spec p ~phys =
+  let ( let* ) = Result.bind in
+  (* Embedding: explicit embeds first, then same-name physical nodes, then
+     the free physical indices in order. *)
+  let phys_index name =
+    match Graph.id_of_name phys name with
+    | i -> Some i
+    | exception Not_found -> None
+  in
+  let* explicit =
+    List.fold_left
+      (fun acc (v, pname) ->
+        let* acc = acc in
+        match phys_index pname with
+        | Some pi -> Ok ((v, pi) :: acc)
+        | None -> Error (Printf.sprintf "unknown physical node %S" pname))
+      (Ok []) p.embeds
+  in
+  let used = Hashtbl.create 8 in
+  List.iter (fun (_, pi) -> Hashtbl.replace used pi ()) explicit;
+  let assignment = Hashtbl.create 8 in
+  List.iter (fun (v, pi) -> Hashtbl.replace assignment v pi) explicit;
+  (* Same-name pass. *)
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem assignment v) then
+        match phys_index v with
+        | Some pi when not (Hashtbl.mem used pi) ->
+            Hashtbl.replace assignment v pi;
+            Hashtbl.replace used pi ()
+        | Some _ | None -> ())
+    p.nodes;
+  (* Free-index pass. *)
+  let next_free = ref 0 in
+  let* () =
+    List.fold_left
+      (fun acc v ->
+        let* () = acc in
+        if Hashtbl.mem assignment v then Ok ()
+        else begin
+          while
+            !next_free < Graph.node_count phys && Hashtbl.mem used !next_free
+          do
+            incr next_free
+          done;
+          if !next_free >= Graph.node_count phys then
+            Error "physical substrate too small for the virtual topology"
+          else begin
+            Hashtbl.replace assignment v !next_free;
+            Hashtbl.replace used !next_free ();
+            Ok ()
+          end
+        end)
+      (Ok ()) p.nodes
+  in
+  let* events =
+    List.fold_left
+      (fun acc ev ->
+        let* acc = acc in
+        let* e = elaborate_event p ev in
+        Ok (e :: acc))
+      (Ok []) p.p_events
+  in
+  let index_of name = Option.get (node_index p name) in
+  let vtopo = vtopo p in
+  let nodes_arr = Array.of_list p.nodes in
+  let embedding v = Hashtbl.find assignment nodes_arr.(v) in
+  let spec =
+    Experiment.make ~name:p.p_name ~slice:p.p_slice ~vtopo ~embedding
+      ~routing:p.p_routing
+      ~ingresses:(List.map (fun (v, pool) -> (index_of v, pool)) p.p_ingresses)
+      ~egresses:(List.map index_of p.p_egresses)
+      ~events:(List.rev events) ()
+  in
+  let* () = Experiment.validate spec in
+  Ok spec
+
+let load text ~phys =
+  let ( let* ) = Result.bind in
+  let* p = parse text in
+  to_spec p ~phys
+
+let example =
+  {|# A four-site ring with a controlled failure and a maintenance event.
+experiment ring-demo
+slice reserved 0.25 rt
+
+node alpha
+node beta
+node gamma
+node delta
+link alpha beta  bw 1g delay 5ms  weight 50
+link beta  gamma bw 1g delay 8ms  weight 80
+link gamma delta bw 1g delay 4ms  weight 40
+link delta alpha bw 1g delay 12ms weight 120
+
+routing ospf hello 5 dead 10
+
+at 10 fail-link alpha beta
+at 20 set-cost gamma delta 4000
+at 34 restore-link alpha beta
+at 40 set-bandwidth beta gamma 5m
+at 45 clear-bandwidth beta gamma
+|}

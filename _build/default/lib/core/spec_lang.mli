@@ -1,0 +1,57 @@
+(** A textual experiment-specification language (§6.2).
+
+    The paper argues researchers should specify VINI experiments the way
+    they write ns or Emulab scripts — topology, routing configuration,
+    and a timeline of events — so experiments can migrate between
+    simulation, emulation, and VINI.  This module parses that kind of
+    description:
+
+    {v
+    experiment abilene-demo
+    slice reserved 0.25 rt           # or: slice fair
+
+    node Seattle
+    node Denver
+    node Washington
+    link Seattle Denver bw 10g delay 14.5ms weight 1450
+    link Denver Washington bw 10g delay 10ms weight 1000
+
+    routing ospf hello 5 dead 10    # or: routing rip scale 0.1 | routing static
+
+    embed Seattle on pop0            # physical node by name (optional)
+    ingress Seattle pool 10.8.0.0/24
+    egress Washington
+
+    at 10 fail-link Seattle Denver
+    at 12 set-loss Denver Washington 0.05
+    at 15 set-bandwidth Denver Washington 2m
+    at 20 clear-bandwidth Denver Washington
+    at 25 set-cost Seattle Denver 5000
+    at 34 restore-link Seattle Denver
+    v}
+
+    Bandwidths accept [k]/[m]/[g] suffixes (bits per second); delays accept
+    [us]/[ms]/[s]. *)
+
+type parsed
+
+val parse : string -> (parsed, string) result
+(** Syntax and local-consistency checking (named nodes exist, links are
+    declared once, values are in range). *)
+
+val name : parsed -> string
+val vtopo : parsed -> Vini_topo.Graph.t
+val slice : parsed -> Vini_phys.Slice.t
+
+val to_spec :
+  parsed -> phys:Vini_topo.Graph.t -> (Experiment.spec, string) result
+(** Resolve against a physical substrate: [embed] lines map virtual nodes
+    to physical nodes by name; unembedded nodes take the physical node of
+    the same name if one exists, otherwise the next free index. *)
+
+val load :
+  string -> phys:Vini_topo.Graph.t -> (Experiment.spec, string) result
+(** [parse] + [to_spec]. *)
+
+val example : string
+(** A complete, runnable specification (used by tests and [vini run]). *)

@@ -1,0 +1,106 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Graph = Vini_topo.Graph
+module Underlay = Vini_phys.Underlay
+module Iias = Vini_overlay.Iias
+
+type instance = {
+  ispec : Experiment.spec;
+  overlay : Iias.t;
+  owner : t;
+  mutable started : bool;
+  mutable instance_epoch : Time.t;
+  mutable upcall_hooks : (Underlay.event -> unit) list;
+  mutable upcalls : int;
+}
+
+and t = {
+  engine : Engine.t;
+  under : Underlay.t;
+  mutable deployed : instance list;
+  mutable next_tunnel_port : int;
+}
+
+let create ~engine ~graph ?profile ?mask_failures () =
+  let rng = Vini_std.Rng.split (Engine.rng engine) in
+  let under =
+    Underlay.create ~engine ~rng ~graph ?profile ?mask_failures ()
+  in
+  let t = { engine; under; deployed = []; next_tunnel_port = 33000 } in
+  (* Fan underlay alarms out to every experiment: the upcalls of §6.1. *)
+  Underlay.subscribe under (fun ev ->
+      List.iter
+        (fun inst ->
+          inst.upcalls <- inst.upcalls + 1;
+          List.iter (fun f -> f ev) inst.upcall_hooks)
+        t.deployed);
+  t
+
+let engine t = t.engine
+let underlay t = t.under
+
+let deploy t spec =
+  (match Experiment.validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Vini.deploy: " ^ msg));
+  let tunnel_port = t.next_tunnel_port in
+  t.next_tunnel_port <- t.next_tunnel_port + 10;
+  let overlay =
+    Iias.create ~underlay:t.under ~slice:spec.Experiment.slice
+      ~vtopo:spec.Experiment.vtopo ~embedding:spec.Experiment.embedding
+      ~routing:spec.Experiment.routing ~tunnel_port ()
+  in
+  List.iter
+    (fun (v, pool) -> Iias.enable_ingress overlay v ~pool)
+    spec.Experiment.ingresses;
+  List.iter (fun v -> Iias.enable_egress overlay v) spec.Experiment.egresses;
+  let inst =
+    {
+      ispec = spec;
+      overlay;
+      owner = t;
+      started = false;
+      instance_epoch = Time.zero;
+      upcall_hooks = [];
+      upcalls = 0;
+    }
+  in
+  t.deployed <- t.deployed @ [ inst ];
+  inst
+
+let run_action inst = function
+  | Experiment.Fail_vlink (a, b) -> Iias.set_vlink_state inst.overlay a b false
+  | Experiment.Restore_vlink (a, b) ->
+      Iias.set_vlink_state inst.overlay a b true
+  | Experiment.Fail_plink (a, b) ->
+      Underlay.set_link_state inst.owner.under a b false
+  | Experiment.Restore_plink (a, b) ->
+      Underlay.set_link_state inst.owner.under a b true
+  | Experiment.Set_vlink_loss (a, b, loss) ->
+      Iias.set_vlink_loss inst.overlay a b loss
+  | Experiment.Set_vlink_bandwidth (a, b, rate) ->
+      Iias.set_vlink_bandwidth inst.overlay a b rate
+  | Experiment.Set_vlink_cost (a, b, cost) ->
+      Iias.set_vlink_cost inst.overlay a b cost
+  | Experiment.Custom (_, f) -> f inst.overlay
+
+let start inst =
+  if not inst.started then begin
+    inst.started <- true;
+    inst.instance_epoch <- Engine.now inst.owner.engine;
+    Iias.start inst.overlay;
+    List.iter
+      (fun (ev : Experiment.event) ->
+        ignore
+          (Engine.at inst.owner.engine
+             (Time.add inst.instance_epoch ev.Experiment.at)
+             (fun () -> run_action inst ev.Experiment.action)))
+      inst.ispec.Experiment.events
+  end
+
+let iias inst = inst.overlay
+let spec inst = inst.ispec
+let instances t = t.deployed
+let on_upcall inst f = inst.upcall_hooks <- inst.upcall_hooks @ [ f ]
+let upcalls_delivered inst = inst.upcalls
+let epoch inst = inst.instance_epoch

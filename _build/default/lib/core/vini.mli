@@ -1,0 +1,43 @@
+(** The VINI infrastructure: a fixed physical substrate hosting multiple
+    simultaneous virtual-network experiments (§3.4).
+
+    One [Vini.t] owns the underlay (physical nodes, links, underlying IP
+    routing).  Each deployed experiment gets its own slice, its own IIAS
+    overlay with a distinct tunnel port, and a subscription to underlay
+    topology-change upcalls (§6.1) so it can react to — or at least know
+    about — physical failures the underlay would otherwise mask. *)
+
+type t
+type instance
+
+val create :
+  engine:Vini_sim.Engine.t ->
+  graph:Vini_topo.Graph.t ->
+  ?profile:(Vini_topo.Graph.node_id -> Vini_phys.Underlay.node_profile) ->
+  ?mask_failures:bool ->
+  unit ->
+  t
+
+val engine : t -> Vini_sim.Engine.t
+val underlay : t -> Vini_phys.Underlay.t
+
+val deploy : t -> Experiment.spec -> instance
+(** Validate and instantiate an experiment (not yet started).
+    @raise Invalid_argument when the spec fails validation or a physical
+    node would host two virtual nodes of the same experiment. *)
+
+val start : instance -> unit
+(** Start the overlay's routing and schedule the spec's events relative
+    to this instant. *)
+
+val iias : instance -> Vini_overlay.Iias.t
+val spec : instance -> Experiment.spec
+val instances : t -> instance list
+
+val on_upcall : instance -> (Vini_phys.Underlay.event -> unit) -> unit
+(** Subscribe the experiment to physical-topology alarms. *)
+
+val upcalls_delivered : instance -> int
+
+val epoch : instance -> Vini_sim.Time.t
+(** The start instant (events are relative to it). *)

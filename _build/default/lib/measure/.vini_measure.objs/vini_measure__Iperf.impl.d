@@ -1,0 +1,1 @@
+lib/measure/iperf.ml: List Vini_phys Vini_sim Vini_transport

@@ -1,0 +1,1 @@
+lib/measure/iperf.mli: Vini_phys Vini_sim

@@ -1,0 +1,1 @@
+lib/measure/monitor.ml: Iias List Vini_overlay Vini_sim

@@ -1,0 +1,1 @@
+lib/measure/monitor.mli: Vini_overlay Vini_sim

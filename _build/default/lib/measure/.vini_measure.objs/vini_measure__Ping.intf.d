@@ -1,0 +1,1 @@
+lib/measure/ping.mli: Vini_net Vini_phys Vini_sim Vini_std

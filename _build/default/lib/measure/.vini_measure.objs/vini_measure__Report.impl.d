@@ -1,0 +1,1 @@
+lib/measure/report.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/measure/tcpdump.ml: List Vini_net Vini_sim Vini_transport

@@ -1,0 +1,1 @@
+lib/measure/tcpdump.mli: Vini_net Vini_sim Vini_transport

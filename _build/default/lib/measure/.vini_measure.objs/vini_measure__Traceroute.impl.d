@@ -1,0 +1,1 @@
+lib/measure/traceroute.ml: List Vini_net Vini_phys Vini_sim

@@ -1,0 +1,1 @@
+lib/measure/traceroute.mli: Vini_net Vini_phys Vini_sim

@@ -1,0 +1,58 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+
+type gauge = { g_name : string; read : unit -> float; mutable samples_rev : (float * float) list }
+
+type t = {
+  engine : Engine.t;
+  mutable gauges : gauge list;
+  mutable running : bool;
+}
+
+let create ~engine ?(interval = Time.sec 1) () =
+  let t = { engine; gauges = []; running = true } in
+  Engine.every t.engine interval (fun () ->
+      if t.running then begin
+        let now = Time.to_sec_f (Engine.now t.engine) in
+        List.iter
+          (fun g -> g.samples_rev <- (now, g.read ()) :: g.samples_rev)
+          t.gauges
+      end;
+      t.running);
+  t
+
+let gauge t ~name read =
+  if List.exists (fun g -> g.g_name = name) t.gauges then
+    invalid_arg "Monitor.gauge: duplicate name";
+  t.gauges <- t.gauges @ [ { g_name = name; read; samples_rev = [] } ]
+
+let names t = List.map (fun g -> g.g_name) t.gauges
+
+let find t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None -> invalid_arg ("Monitor: unknown gauge " ^ name)
+
+let series t ~name = List.rev (find t name).samples_rev
+
+let rate t ~name =
+  let rec diff = function
+    | (t1, v1) :: ((t2, v2) :: _ as rest) when t2 > t1 ->
+        (t2, (v2 -. v1) /. (t2 -. t1)) :: diff rest
+    | _ :: rest -> diff rest
+    | [] -> []
+  in
+  diff (series t ~name)
+
+let stop t = t.running <- false
+
+let watch_vnode t vn ~prefix =
+  let open Vini_overlay in
+  gauge t ~name:(prefix ^ ".cpu_s") (fun () ->
+      Time.to_sec_f (Iias.cpu_time vn));
+  gauge t ~name:(prefix ^ ".forwarded") (fun () ->
+      float_of_int (Iias.stats vn).Iias.forwarded);
+  gauge t ~name:(prefix ^ ".delivered") (fun () ->
+      float_of_int (Iias.stats vn).Iias.delivered);
+  gauge t ~name:(prefix ^ ".sock_drops") (fun () ->
+      float_of_int (Iias.socket_drops vn))

@@ -1,0 +1,33 @@
+(** Periodic gauge sampling — the "collect traces of the experiment"
+    facility §6.2 asks for.
+
+    Register named gauges (any [unit -> float]); the monitor samples them
+    all on a fixed period and keeps the time series.  For cumulative
+    counters (bytes forwarded, CPU time), {!rate} differentiates the
+    series into a per-second rate. *)
+
+type t
+
+val create :
+  engine:Vini_sim.Engine.t -> ?interval:Vini_sim.Time.t -> unit -> t
+(** Sampling starts immediately (default every second) and runs until
+    {!stop}. *)
+
+val gauge : t -> name:string -> (unit -> float) -> unit
+(** @raise Invalid_argument on duplicate names. *)
+
+val names : t -> string list
+
+val series : t -> name:string -> (float * float) list
+(** (sample time s, value) — raw samples, chronological. *)
+
+val rate : t -> name:string -> (float * float) list
+(** Per-second first difference of a cumulative gauge. *)
+
+val stop : t -> unit
+
+(** {2 Prewired gauges} *)
+
+val watch_vnode : t -> Vini_overlay.Iias.vnode -> prefix:string -> unit
+(** Registers [<prefix>.cpu_s], [<prefix>.forwarded], [<prefix>.delivered]
+    and [<prefix>.sock_drops] for an IIAS virtual node. *)

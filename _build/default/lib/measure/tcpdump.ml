@@ -1,0 +1,44 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+module Tcp = Vini_transport.Tcp
+
+type t = {
+  engine : Engine.t;
+  mutable cumulative : int;
+  mutable cumulative_rev : (float * int) list;
+  mutable positions_rev : (float * int) list;
+  mutable packets_rev : (float * string) list;
+  mutable count : int;
+}
+
+let create engine =
+  {
+    engine;
+    cumulative = 0;
+    cumulative_rev = [];
+    positions_rev = [];
+    packets_rev = [];
+    count = 0;
+  }
+
+let now_s t = Time.to_sec_f (Engine.now t.engine)
+
+let record_packet t pkt =
+  t.count <- t.count + 1;
+  t.packets_rev <- (now_s t, Packet.describe pkt) :: t.packets_rev;
+  match pkt.Packet.proto with
+  | Packet.Tcp seg when seg.Packet.payload_len > 0 ->
+      t.positions_rev <- (now_s t, seg.Packet.seq) :: t.positions_rev
+  | Packet.Tcp _ | Packet.Udp _ | Packet.Icmp _ -> ()
+
+let attach t conn =
+  Tcp.on_segment_arrival conn (fun pkt -> record_packet t pkt);
+  Tcp.on_deliver conn (fun n ->
+      t.cumulative <- t.cumulative + n;
+      t.cumulative_rev <- (now_s t, t.cumulative) :: t.cumulative_rev)
+
+let cumulative_bytes t = List.rev t.cumulative_rev
+let segment_positions t = List.rev t.positions_rev
+let packets t = List.rev t.packets_rev
+let count t = t.count

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Addr Format Int Option Printf String

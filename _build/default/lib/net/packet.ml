@@ -1,0 +1,133 @@
+type control = ..
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+type echo = { ident : int; icmp_seq : int; sent_ns : int64; data_len : int }
+
+type icmp =
+  | Echo_request of echo
+  | Echo_reply of echo
+  | Time_exceeded of { orig_src : Addr.t; orig_dst : Addr.t }
+  | Dest_unreachable of { orig_src : Addr.t; orig_dst : Addr.t }
+
+type probe = { flow : int; seq : int; sent_ns : int64; pad : int }
+
+type tcp = {
+  sport : int;
+  dport : int;
+  seq : int;
+  ack : int;
+  flags : tcp_flags;
+  window : int;
+  payload_len : int;
+  sent_ns : int64;
+}
+
+type body =
+  | Bytes_ of int
+  | Tunnel of t
+  | Vpn of t
+  | Probe of probe
+  | Control of { size : int; msg : control }
+
+and udp = { usport : int; udport : int; body : body }
+and proto = Udp of udp | Tcp of tcp | Icmp of icmp
+and t = { id : int; src : Addr.t; dst : Addr.t; ttl : int; proto : proto }
+
+let default_ttl = 64
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let rec size t = Wire.ipv4_header + proto_size t.proto
+
+and proto_size = function
+  | Udp u -> Wire.udp_header + body_size u.body
+  | Tcp seg -> Wire.tcp_header + seg.payload_len
+  | Icmp i -> Wire.icmp_header + icmp_size i
+
+and body_size = function
+  | Bytes_ n -> n
+  | Tunnel inner -> size inner
+  | Vpn inner ->
+      (* Crypto framing beyond the outer IP+UDP already accounted for. *)
+      size inner + (Wire.openvpn_overhead - Wire.ipv4_header - Wire.udp_header)
+  | Probe p -> max p.pad 12
+  | Control c -> c.size
+
+and icmp_size = function
+  | Echo_request e | Echo_reply e -> e.data_len
+  | Time_exceeded _ | Dest_unreachable _ ->
+      (* Quoted IP header + 8 bytes of the offending datagram. *)
+      Wire.ipv4_header + 8
+
+let udp ?(ttl = default_ttl) ~src ~dst ~sport ~dport body =
+  { id = fresh_id (); src; dst; ttl;
+    proto = Udp { usport = sport; udport = dport; body } }
+
+let tcp ?(ttl = default_ttl) ~src ~dst seg =
+  { id = fresh_id (); src; dst; ttl; proto = Tcp seg }
+
+let icmp ?(ttl = default_ttl) ~src ~dst msg =
+  { id = fresh_id (); src; dst; ttl; proto = Icmp msg }
+
+let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+let with_src t src = { t with src }
+let with_dst t dst = { t with dst }
+
+let with_udp_ports t ~sport ~dport =
+  match t.proto with
+  | Udp u -> { t with proto = Udp { u with usport = sport; udport = dport } }
+  | Tcp _ | Icmp _ -> invalid_arg "Packet.with_udp_ports: not UDP"
+
+let with_tcp_ports t ~sport ~dport =
+  match t.proto with
+  | Tcp seg -> { t with proto = Tcp { seg with sport; dport } }
+  | Udp _ | Icmp _ -> invalid_arg "Packet.with_tcp_ports: not TCP"
+
+let flags_to_string f =
+  let b = Buffer.create 4 in
+  if f.syn then Buffer.add_char b 'S';
+  if f.fin then Buffer.add_char b 'F';
+  if f.rst then Buffer.add_char b 'R';
+  if f.ack then Buffer.add_char b '.';
+  if Buffer.length b = 0 then "-" else Buffer.contents b
+
+let rec pp ppf t =
+  match t.proto with
+  | Udp u -> (
+      match u.body with
+      | Tunnel inner ->
+          Format.fprintf ppf "%a.%d > %a.%d: TUNNEL[%a]" Addr.pp t.src u.usport
+            Addr.pp t.dst u.udport pp inner
+      | Vpn inner ->
+          Format.fprintf ppf "%a.%d > %a.%d: VPN[%a]" Addr.pp t.src u.usport
+            Addr.pp t.dst u.udport pp inner
+      | Control c ->
+          Format.fprintf ppf "%a.%d > %a.%d: CTRL %d bytes" Addr.pp t.src
+            u.usport Addr.pp t.dst u.udport c.size
+      | Probe p ->
+          Format.fprintf ppf "%a.%d > %a.%d: UDP probe flow %d seq %d" Addr.pp
+            t.src u.usport Addr.pp t.dst u.udport p.flow p.seq
+      | Bytes_ n ->
+          Format.fprintf ppf "%a.%d > %a.%d: UDP %d bytes" Addr.pp t.src
+            u.usport Addr.pp t.dst u.udport n)
+  | Tcp seg ->
+      Format.fprintf ppf "%a.%d > %a.%d: TCP %s seq %d ack %d win %d len %d"
+        Addr.pp t.src seg.sport Addr.pp t.dst seg.dport
+        (flags_to_string seg.flags) seg.seq seg.ack seg.window seg.payload_len
+  | Icmp (Echo_request e) ->
+      Format.fprintf ppf "%a > %a: ICMP echo request seq %d" Addr.pp t.src
+        Addr.pp t.dst e.icmp_seq
+  | Icmp (Echo_reply e) ->
+      Format.fprintf ppf "%a > %a: ICMP echo reply seq %d" Addr.pp t.src
+        Addr.pp t.dst e.icmp_seq
+  | Icmp (Time_exceeded o) ->
+      Format.fprintf ppf "%a > %a: ICMP time exceeded (orig %a > %a)" Addr.pp
+        t.src Addr.pp t.dst Addr.pp o.orig_src Addr.pp o.orig_dst
+  | Icmp (Dest_unreachable o) ->
+      Format.fprintf ppf "%a > %a: ICMP unreachable (orig %a > %a)" Addr.pp
+        t.src Addr.pp t.dst Addr.pp o.orig_src Addr.pp o.orig_dst
+
+let describe t = Format.asprintf "%a" pp t

@@ -1,0 +1,85 @@
+(** The simulated IPv4 packet.
+
+    A packet is structured metadata plus exact wire-size accounting; links
+    charge serialisation time from {!size} and encapsulation (UDP tunnels,
+    OpenVPN) nests whole packets, mirroring how IIAS carries Ethernet/IP
+    frames inside UDP (§4.2.1).
+
+    Routing-protocol messages travel inside ordinary packets via the
+    extensible {!type-control} type: each protocol registers its own
+    constructor, so control traffic crosses the same tunnels, queues, and
+    failure-injection elements as data traffic — the property the paper's
+    Figure 8 experiment depends on. *)
+
+type control = ..
+(** Extended by [vini_routing] (OSPF/RIP/BGP messages). *)
+
+type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
+
+type echo = { ident : int; icmp_seq : int; sent_ns : int64; data_len : int }
+
+type icmp =
+  | Echo_request of echo
+  | Echo_reply of echo
+  | Time_exceeded of { orig_src : Addr.t; orig_dst : Addr.t }
+  | Dest_unreachable of { orig_src : Addr.t; orig_dst : Addr.t }
+
+type probe = { flow : int; seq : int; sent_ns : int64; pad : int }
+(** A measurement datagram: flow id, sequence number, send timestamp and
+    padding bytes (iperf UDP test packets). *)
+
+type tcp = {
+  sport : int;
+  dport : int;
+  seq : int;            (** first payload byte's stream offset *)
+  ack : int;            (** cumulative ack (next expected byte) *)
+  flags : tcp_flags;
+  window : int;         (** advertised receive window, bytes *)
+  payload_len : int;
+  sent_ns : int64;      (** sender timestamp (for tracing; RTT uses timers) *)
+}
+
+type body =
+  | Bytes_ of int                              (** opaque payload of n bytes *)
+  | Tunnel of t                                (** IIAS UDP-tunnel encapsulation *)
+  | Vpn of t                                   (** OpenVPN encapsulation *)
+  | Probe of probe
+  | Control of { size : int; msg : control }   (** routing-protocol message *)
+
+and udp = { usport : int; udport : int; body : body }
+
+and proto = Udp of udp | Tcp of tcp | Icmp of icmp
+
+and t = private {
+  id : int;             (** unique per process run, for tracing *)
+  src : Addr.t;
+  dst : Addr.t;
+  ttl : int;
+  proto : proto;
+}
+
+val default_ttl : int
+
+val udp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> sport:int -> dport:int -> body -> t
+val tcp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> tcp -> t
+val icmp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> icmp -> t
+
+val size : t -> int
+(** Total IP datagram size in bytes (header + nested contents). *)
+
+val body_size : body -> int
+
+val decr_ttl : t -> t option
+(** [None] when the TTL would reach zero (caller sends Time_exceeded). *)
+
+val with_src : t -> Addr.t -> t
+val with_dst : t -> Addr.t -> t
+val with_udp_ports : t -> sport:int -> dport:int -> t
+(** @raise Invalid_argument on a non-UDP packet. Used by NAPT. *)
+
+val with_tcp_ports : t -> sport:int -> dport:int -> t
+(** @raise Invalid_argument on a non-TCP packet. Used by NAPT. *)
+
+val pp : Format.formatter -> t -> unit
+val describe : t -> string
+(** One-line human-readable summary (tcpdump-ish). *)

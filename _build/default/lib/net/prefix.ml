@@ -1,0 +1,48 @@
+type t = { network : Addr.t; length : int }
+
+let mask_of_length len =
+  if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+let make addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.make: bad length";
+  let network = Addr.of_int (Addr.to_int addr land mask_of_length len) in
+  { network; length = len }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map (fun a -> make a 32) (Addr.of_string_opt s)
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Addr.of_string_opt addr, int_of_string_opt len) with
+      | Some a, Some l when l >= 0 && l <= 32 -> Some (make a l)
+      | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg ("Prefix.of_string: " ^ s)
+
+let to_string t =
+  Printf.sprintf "%s/%d" (Addr.to_string t.network) t.length
+
+let network t = t.network
+let length t = t.length
+
+let contains t addr =
+  Addr.to_int addr land mask_of_length t.length = Addr.to_int t.network
+
+let subsumes outer inner =
+  outer.length <= inner.length && contains outer inner.network
+
+let host t i = Addr.of_int (Addr.to_int t.network + i)
+let broadcast_addr t = host t ((1 lsl (32 - t.length)) - 1)
+let size t = 1 lsl (32 - t.length)
+let default_route = make Addr.any 0
+
+let compare a b =
+  let c = Addr.compare a.network b.network in
+  if c <> 0 then c else Int.compare a.length b.length
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.pp_print_string ppf (to_string t)

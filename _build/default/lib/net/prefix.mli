@@ -1,0 +1,34 @@
+(** CIDR prefixes (network address + mask length). *)
+
+type t
+
+val make : Addr.t -> int -> t
+(** [make addr len] masks [addr] down to its network address.
+    @raise Invalid_argument when [len] is outside [0, 32]. *)
+
+val of_string : string -> t
+(** Parse ["10.0.0.0/8"]. A bare address parses as a /32.
+    @raise Invalid_argument on bad input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val network : t -> Addr.t
+val length : t -> int
+
+val contains : t -> Addr.t -> bool
+val subsumes : t -> t -> bool
+(** [subsumes outer inner]: every address of [inner] is in [outer]. *)
+
+val host : t -> int -> Addr.t
+(** [host t i] is the [i]-th address of the prefix (0 = network address). *)
+
+val broadcast_addr : t -> Addr.t
+val size : t -> int
+(** Number of addresses covered (2^(32-len)); saturates at [max_int]. *)
+
+val default_route : t  (** 0.0.0.0/0 *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

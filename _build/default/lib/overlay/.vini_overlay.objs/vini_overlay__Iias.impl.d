@@ -1,0 +1,1 @@
+lib/overlay/iias.ml: Array Hashtbl List Option Printf Vini_click Vini_net Vini_phys Vini_routing Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+lib/overlay/iias.mli: Vini_net Vini_phys Vini_routing Vini_sim Vini_topo

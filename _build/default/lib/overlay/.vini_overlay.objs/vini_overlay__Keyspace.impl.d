@@ -1,0 +1,1 @@
+lib/overlay/keyspace.ml: Array Char Hashtbl Iias List Printf String Vini_net Vini_phys

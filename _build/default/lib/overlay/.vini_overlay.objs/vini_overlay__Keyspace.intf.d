@@ -1,0 +1,1 @@
+lib/overlay/keyspace.mli: Iias Vini_net

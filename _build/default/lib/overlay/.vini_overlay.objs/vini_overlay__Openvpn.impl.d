@@ -1,0 +1,1 @@
+lib/overlay/openvpn.ml: Lazy Vini_net Vini_phys

@@ -1,0 +1,1 @@
+lib/overlay/openvpn.mli: Vini_net Vini_phys

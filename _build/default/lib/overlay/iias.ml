@@ -1,0 +1,676 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+module Addr = Vini_net.Addr
+module Prefix = Vini_net.Prefix
+module Graph = Vini_topo.Graph
+module Pnode = Vini_phys.Pnode
+module Process = Vini_phys.Process
+module Ipstack = Vini_phys.Ipstack
+module Underlay = Vini_phys.Underlay
+module Fib = Vini_click.Fib
+module Element = Vini_click.Element
+module Faulty = Vini_click.Faulty
+module Shaper = Vini_click.Shaper
+module Napt = Vini_click.Napt
+module Rib = Vini_routing.Rib
+module Io = Vini_routing.Io
+module Ospf = Vini_routing.Ospf
+module Rip = Vini_routing.Rip
+
+type routing_choice =
+  | Static_routes
+  | Ospf_routing of { hello : Time.t; dead : Time.t; spf_delay : Time.t }
+  | Rip_routing of { scale : float }
+
+let default_ospf =
+  Ospf_routing { hello = Time.sec 5; dead = Time.sec 10; spf_delay = Time.ms 200 }
+
+let vpn_port = 1194
+let private_space = Prefix.of_string "10.0.0.0/8"
+
+(* What the FIB tells the data plane to do with a destination. *)
+type action =
+  | Deliver                 (* terminate here (tap / ingress / egress) *)
+  | Direct                  (* connected subnet: encapsulate to dst itself *)
+  | Via of Addr.t           (* encapsulate to this next-hop virtual addr *)
+
+let action_name = function
+  | Deliver -> "deliver"
+  | Direct -> "direct"
+  | Via a -> "via " ^ Addr.to_string a
+
+type tunnel = {
+  nbr : int;
+  local_vaddr : Addr.t;
+  remote_vaddr : Addr.t;
+  remote_pub : Addr.t;
+  faulty : Faulty.t;
+  to_wire : Element.t;              (* final ToTunnel element *)
+  tail : Element.t ref;             (* faulty's downstream: shaper or wire *)
+  mutable vshaper : Shaper.t option;
+  iface : Io.iface;
+}
+
+type vstats = {
+  forwarded : int;
+  delivered : int;
+  no_route : int;
+  ttl_drops : int;
+  napt_out : int;
+  napt_in : int;
+  vpn_in : int;
+  vpn_out : int;
+  tunnel_drops : int;
+}
+
+type vnode = {
+  vid : int;
+  vnode_name : string;
+  slice_name : string;
+  node : Pnode.t;
+  proc : Process.t;
+  tap_stack : Ipstack.t;
+  vtap_addr : Addr.t;
+  fib : action Fib.t;
+  vrib : Rib.t;
+  napt : Napt.t;
+  tunnels : tunnel list;
+  connected_actions : (Prefix.t, action) Hashtbl.t;
+  vpn_clients : (Addr.t, Addr.t * int) Hashtbl.t;
+  mutable ingress_pool : Prefix.t option;
+  mutable extra_locals : (Prefix.t * bool) list; (* (prefix, advertised) *)
+  mutable next_vpn_host : int;
+  mutable egress : bool;
+  mutable vospf : Ospf.t option;
+  mutable vrip : Rip.t option;
+  mutable control_hooks :
+    (src:Addr.t -> ifindex:int -> Packet.control -> unit) list;
+  bound_napt_ports : (int * int, unit) Hashtbl.t; (* (0=udp|1=tcp, port) *)
+  mutable n_forwarded : int;
+  mutable n_delivered : int;
+  mutable n_no_route : int;
+  mutable n_ttl : int;
+  mutable n_napt_out : int;
+  mutable n_napt_in : int;
+  mutable n_vpn_in : int;
+  mutable n_vpn_out : int;
+}
+
+type t = {
+  underlay : Underlay.t;
+  engine : Engine.t;
+  slice : Vini_phys.Slice.t;
+  vtopo : Graph.t;
+  routing : routing_choice;
+  tunnel_port : int;
+  tunnel_rcvbuf_bytes : int;
+  embedding_fn : int -> int;
+  mutable vnodes : vnode array;
+  rng : Vini_std.Rng.t;
+  mutable started : bool;
+}
+
+(* --- address plan ----------------------------------------------------- *)
+
+let tap_addr_of vid = Addr.of_octets 10 0 (vid / 250) ((vid mod 250) + 1)
+
+let link_subnet k =
+  Prefix.make (Addr.of_octets 10 1 (k / 64) ((k mod 64) * 4)) 30
+
+(* --- data plane -------------------------------------------------------- *)
+
+let is_local_vaddr vn dst =
+  Addr.equal dst vn.vtap_addr
+  || List.exists (fun tun -> Addr.equal dst tun.local_vaddr) vn.tunnels
+
+let tunnel_towards vn vaddr =
+  List.find_opt
+    (fun tun ->
+      Addr.equal tun.remote_vaddr vaddr || Addr.equal tun.local_vaddr vaddr)
+    vn.tunnels
+
+let dispatch_control vn (pkt : Packet.t) msg =
+  (* Which interface did this arrive on?  Match the sender's address. *)
+  let ifindex =
+    match
+      List.find_opt (fun tun -> Addr.equal pkt.Packet.src tun.remote_vaddr)
+        vn.tunnels
+    with
+    | Some tun -> tun.iface.Io.ifindex
+    | None -> -1
+  in
+  (match vn.vospf with Some o -> Ospf.receive o ~ifindex msg | None -> ());
+  (match vn.vrip with Some r -> Rip.receive r ~ifindex msg | None -> ());
+  List.iter (fun f -> f ~src:pkt.Packet.src ~ifindex msg) vn.control_hooks
+
+let rec route vn (pkt : Packet.t) =
+  match Fib.lookup vn.fib pkt.Packet.dst with
+  | None ->
+      vn.n_no_route <- vn.n_no_route + 1
+  | Some Deliver -> deliver_local vn pkt
+  | Some Direct -> forward vn pkt.Packet.dst pkt
+  | Some (Via nh) -> forward vn nh pkt
+
+and forward vn nh pkt =
+  match Packet.decr_ttl pkt with
+  | None ->
+      vn.n_ttl <- vn.n_ttl + 1;
+      let notice =
+        Packet.icmp ~src:vn.vtap_addr ~dst:pkt.Packet.src
+          (Packet.Time_exceeded
+             { orig_src = pkt.Packet.src; orig_dst = pkt.Packet.dst })
+      in
+      route vn notice
+  | Some pkt -> emit vn nh pkt 4
+
+(* Recursive next-hop resolution: a BGP next hop is a remote address that
+   the IGP knows how to reach, not a directly connected neighbour — chase
+   it through the FIB (bounded depth) until it lands on a tunnel. *)
+and emit vn nh pkt depth =
+  match tunnel_towards vn nh with
+  | Some tun ->
+      vn.n_forwarded <- vn.n_forwarded + 1;
+      Element.push (Faulty.element tun.faulty) pkt
+  | None when depth > 0 -> (
+      match Fib.lookup vn.fib nh with
+      | Some (Via nh2) when not (Addr.equal nh2 nh) -> emit vn nh2 pkt (depth - 1)
+      | Some Direct | Some (Via _) | Some Deliver | None ->
+          vn.n_no_route <- vn.n_no_route + 1)
+  | None -> vn.n_no_route <- vn.n_no_route + 1
+
+and deliver_local vn (pkt : Packet.t) =
+  (* Routing-protocol traffic terminates in the control plane. *)
+  let control_msg =
+    match pkt.Packet.proto with
+    | Packet.Udp { body = Packet.Control c; _ } -> Some c.msg
+    | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ -> None
+  in
+  match control_msg with
+  | Some msg -> dispatch_control vn pkt msg
+  | None ->
+      if
+        is_local_vaddr vn pkt.Packet.dst
+        || List.exists
+             (fun (p, _) -> Prefix.contains p pkt.Packet.dst)
+             vn.extra_locals
+      then begin
+        vn.n_delivered <- vn.n_delivered + 1;
+        Ipstack.deliver vn.tap_stack pkt
+      end
+      else begin
+        let in_pool =
+          match vn.ingress_pool with
+          | Some pool -> Prefix.contains pool pkt.Packet.dst
+          | None -> false
+        in
+        if in_pool then vpn_out vn pkt
+        else if (not (Prefix.contains private_space pkt.Packet.dst)) && vn.egress
+        then napt_out vn pkt
+        else vn.n_no_route <- vn.n_no_route + 1
+      end
+
+and vpn_out vn pkt =
+  match Hashtbl.find_opt vn.vpn_clients pkt.Packet.dst with
+  | None -> vn.n_no_route <- vn.n_no_route + 1
+  | Some (client_pub, client_port) ->
+      vn.n_vpn_out <- vn.n_vpn_out + 1;
+      let outer =
+        Packet.udp ~src:(Pnode.addr vn.node) ~dst:client_pub ~sport:vpn_port
+          ~dport:client_port (Packet.Vpn pkt)
+      in
+      Pnode.send_as vn.node ~cls:vn.slice_name outer
+
+and napt_out vn pkt =
+  match Napt.translate_out vn.napt pkt with
+  | None -> vn.n_no_route <- vn.n_no_route + 1
+  | Some out ->
+      vn.n_napt_out <- vn.n_napt_out + 1;
+      ensure_napt_binding vn out;
+      Pnode.send_as vn.node ~cls:vn.slice_name out
+
+and ensure_napt_binding vn (out : Packet.t) =
+  (* Return traffic to the translated port must re-enter the Click
+     process rather than the kernel's unmatched-packet bin. *)
+  let bind_kind kind port binder =
+    if not (Hashtbl.mem vn.bound_napt_ports (kind, port)) then begin
+      Hashtbl.replace vn.bound_napt_ports (kind, port) ();
+      binder ()
+    end
+  in
+  let stack = Pnode.stack vn.node in
+  let inject = napt_injector vn in
+  match out.Packet.proto with
+  | Packet.Udp u ->
+      bind_kind 0 u.Packet.usport (fun () ->
+          Ipstack.bind_udp stack ~port:u.Packet.usport inject)
+  | Packet.Tcp seg ->
+      bind_kind 1 seg.Packet.sport (fun () ->
+          Ipstack.bind_tcp stack ~port:seg.Packet.sport inject)
+  | Packet.Icmp _ -> ()
+
+and napt_injector vn pkt =
+  match Napt.translate_in vn.napt pkt with
+  | Some inner ->
+      vn.n_napt_in <- vn.n_napt_in + 1;
+      route vn inner
+  | None -> ()
+
+(* Packets reaching the Click process: outer packets addressed to the
+   physical node (tunnels, VPN, NAT returns) vs. inner packets injected
+   locally (tap, control plane). *)
+let click_handler t vn (pkt : Packet.t) =
+  if not (Addr.equal pkt.Packet.dst (Pnode.addr vn.node)) then route vn pkt
+  else
+    match pkt.Packet.proto with
+    | Packet.Udp { udport; body = Packet.Tunnel inner; _ }
+      when udport = t.tunnel_port ->
+        route vn inner
+    | Packet.Udp { udport; usport; body = Packet.Vpn inner; _ }
+      when udport = vpn_port ->
+        vn.n_vpn_in <- vn.n_vpn_in + 1;
+        (* Learn/refresh the client's location for return traffic. *)
+        Hashtbl.replace vn.vpn_clients inner.Packet.src
+          (pkt.Packet.src, usport);
+        route vn inner
+    | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ -> napt_injector vn pkt
+
+(* --- construction ------------------------------------------------------ *)
+
+let build_vnode t ~vid ~pnode ~links_of_vid =
+  let engine = t.engine in
+  let vtap = tap_addr_of vid in
+  let fib = Fib.create () in
+       let connected_actions = Hashtbl.create 8 in
+       let fea (change : Rib.change) =
+         match change with
+         | Rib.Install (p, r) ->
+             let action =
+               if r.Rib.proto = Rib.Connected then
+                 Option.value
+                   (Hashtbl.find_opt connected_actions p)
+                   ~default:Deliver
+               else Via r.Rib.next_hop
+             in
+             Fib.add fib p action
+         | Rib.Withdraw p -> Fib.remove fib p
+       in
+       let proc =
+         Process.create ~node:pnode ~slice:t.slice
+           ~name:(Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
+                    (Pnode.name pnode))
+           ~handler:(fun _ -> ())
+           ()
+       in
+       let ctrl_inject = Process.open_queue proc () in
+       let tap_inject = Process.open_queue proc () in
+       let tap_stack =
+         Ipstack.create ~engine ~local_addr:vtap
+           ~tx:(fun pkt -> ignore (tap_inject pkt))
+           ()
+       in
+       (* Tunnels: one per incident virtual link. *)
+       let tunnels =
+         List.mapi
+           (fun ifindex (nbr, link, link_idx) ->
+             let subnet = link_subnet link_idx in
+             let a_end = min vid nbr = vid in
+             let local_vaddr = Prefix.host subnet (if a_end then 1 else 2) in
+             let remote_vaddr = Prefix.host subnet (if a_end then 2 else 1) in
+             let remote_pub = Underlay.addr t.underlay (t.embedding_fn nbr) in
+             let to_wire =
+               Element.make
+                 (Printf.sprintf "totunnel-%d-%d" vid nbr)
+                 (fun inner ->
+                   let outer =
+                     Packet.udp ~src:(Pnode.addr pnode) ~dst:remote_pub
+                       ~sport:t.tunnel_port ~dport:t.tunnel_port
+                       (Packet.Tunnel inner)
+                   in
+                   Pnode.send_as pnode ~cls:t.slice.Vini_phys.Slice.name outer)
+             in
+             (* Indirection so a shaper can be spliced in at runtime. *)
+             let tail_ref = ref to_wire in
+             let tail_entry =
+               Element.make
+                 (Printf.sprintf "tail-%d-%d" vid nbr)
+                 (fun pkt -> Element.push !tail_ref pkt)
+             in
+             let faulty =
+               Faulty.create
+                 ~rng:(Vini_std.Rng.split t.rng)
+                 ~out:tail_entry
+                 (Printf.sprintf "droplink-%d-%d" vid nbr)
+             in
+             let iface =
+               Io.make ~ifindex
+                 ~ifname:(Printf.sprintf "eth%d" ifindex)
+                 ~local:local_vaddr ~remote:remote_vaddr
+                 ~cost:link.Graph.weight
+                 ~send:(fun msg ~size ->
+                   let inner =
+                     Packet.udp ~ttl:2 ~src:local_vaddr ~dst:remote_vaddr
+                       ~sport:520 ~dport:520
+                       (Packet.Control { size; msg })
+                   in
+                   ignore (ctrl_inject inner))
+             in
+             {
+               nbr;
+               local_vaddr;
+               remote_vaddr;
+               remote_pub;
+               faulty;
+               to_wire;
+               tail = tail_ref;
+               vshaper = None;
+               iface;
+             })
+           links_of_vid
+       in
+  let vrib = Rib.create ~fea () in
+  {
+    vid;
+    vnode_name = Graph.name t.vtopo vid;
+    slice_name = t.slice.Vini_phys.Slice.name;
+    node = pnode;
+    proc;
+    tap_stack;
+    vtap_addr = vtap;
+    fib;
+    vrib;
+    napt = Napt.create ~public_addr:(Pnode.addr pnode) ();
+    tunnels;
+    connected_actions;
+    vpn_clients = Hashtbl.create 8;
+    ingress_pool = None;
+    extra_locals = [];
+    next_vpn_host = 2;
+    egress = false;
+    vospf = None;
+    vrip = None;
+    control_hooks = [];
+    bound_napt_ports = Hashtbl.create 8;
+    n_forwarded = 0;
+    n_delivered = 0;
+    n_no_route = 0;
+    n_ttl = 0;
+    n_napt_out = 0;
+    n_napt_in = 0;
+    n_vpn_in = 0;
+    n_vpn_out = 0;
+  }
+
+let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
+    ?(tunnel_port = 33000)
+    ?(tunnel_rcvbuf_bytes = Vini_phys.Calibration.udp_rcvbuf_bytes) () =
+  let n = Graph.node_count vtopo in
+  (* Injectivity check: one vnode per pnode per slice (fixed UDP port). *)
+  let seen = Hashtbl.create n in
+  for v = 0 to n - 1 do
+    let p = embedding v in
+    if Hashtbl.mem seen p then
+      invalid_arg "Iias.create: embedding maps two virtual nodes to one node";
+    Hashtbl.replace seen p ()
+  done;
+  let engine = Underlay.engine underlay in
+  let rng = Vini_std.Rng.split (Engine.rng engine) in
+  (* Number links once, for /30 allocation. *)
+  let link_index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (l : Graph.link) ->
+      Hashtbl.replace link_index (min l.a l.b, max l.a l.b) i)
+    (Graph.links vtopo);
+  let t =
+    {
+      underlay;
+      engine;
+      slice;
+      vtopo;
+      routing;
+      tunnel_port;
+      tunnel_rcvbuf_bytes;
+      embedding_fn = embedding;
+      vnodes = [||];
+      rng;
+      started = false;
+    }
+  in
+  t.vnodes <-
+    Array.init n (fun vid ->
+        let pnode = Underlay.node underlay (embedding vid) in
+        let links_of_vid =
+          List.map
+            (fun (nbr, link) ->
+              let idx = Hashtbl.find link_index (min vid nbr, max vid nbr) in
+              (nbr, link, idx))
+            (Graph.neighbors vtopo vid)
+        in
+        build_vnode t ~vid ~pnode ~links_of_vid);
+  Array.iter
+    (fun vn -> Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt))
+    t.vnodes;
+  t
+
+let vnode_count t = Array.length t.vnodes
+let vnode t i = t.vnodes.(i)
+
+let vnode_by_name t n =
+  t.vnodes.(Graph.id_of_name t.vtopo n)
+
+let assert_not_started t what =
+  if t.started then invalid_arg ("Iias: " ^ what ^ " must precede start")
+
+let enable_egress t v =
+  assert_not_started t "enable_egress";
+  let vn = t.vnodes.(v) in
+  vn.egress <- true;
+  (* ICMP has no port to pre-bind, so returning echo replies reach the
+     kernel's ICMP path: try the NAPT table there, keep kernel echo
+     behaviour for everything else. *)
+  let stack = Pnode.stack vn.node in
+  Ipstack.set_icmp_handler stack (fun pkt ->
+      match pkt.Packet.proto with
+      | Packet.Icmp (Packet.Echo_request e) ->
+          Ipstack.send stack
+            (Packet.icmp ~src:(Pnode.addr vn.node) ~dst:pkt.Packet.src
+               (Packet.Echo_reply e))
+      | Packet.Icmp _ | Packet.Udp _ | Packet.Tcp _ -> napt_injector vn pkt)
+
+let advertise_prefix ?(quiet = false) t v prefix =
+  assert_not_started t "advertise_prefix";
+  let vn = t.vnodes.(v) in
+  vn.extra_locals <- vn.extra_locals @ [ (prefix, not quiet) ]
+
+let enable_ingress t v ~pool =
+  assert_not_started t "enable_ingress";
+  let vn = t.vnodes.(v) in
+  vn.ingress_pool <- Some pool;
+  ignore (Process.open_socket vn.proc ~port:vpn_port ())
+
+(* Prefixes a virtual node owns and advertises. *)
+let local_prefixes vn =
+  let advertised =
+    List.filter_map (fun (p, adv) -> if adv then Some p else None)
+      vn.extra_locals
+  in
+  let base = Prefix.make vn.vtap_addr 32 :: advertised in
+  let base =
+    match vn.ingress_pool with Some p -> p :: base | None -> base
+  in
+  if vn.egress then Prefix.default_route :: base else base
+
+let install_connected t vn =
+  ignore t;
+  let add p action =
+    Hashtbl.replace vn.connected_actions p action;
+    Rib.update vn.vrib ~proto:Rib.Connected p
+      (Some { Rib.next_hop = Addr.any; metric = 0; proto = Rib.Connected })
+  in
+  add (Prefix.make vn.vtap_addr 32) Deliver;
+  List.iter
+    (fun tun ->
+      add (Prefix.make tun.local_vaddr 30) Direct;
+      (* More specific than the /30: our own end terminates here. *)
+      add (Prefix.make tun.local_vaddr 32) Deliver)
+    vn.tunnels;
+  (match vn.ingress_pool with Some p -> add p Deliver | None -> ());
+  List.iter (fun (p, _) -> add p Deliver) vn.extra_locals;
+  if vn.egress then add Prefix.default_route Deliver
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    Array.iter
+      (fun vn ->
+        ignore
+          (Process.open_socket vn.proc ~port:t.tunnel_port
+             ~rcvbuf_bytes:t.tunnel_rcvbuf_bytes ());
+        install_connected t vn;
+        let ifaces = List.map (fun tun -> tun.iface) vn.tunnels in
+        match t.routing with
+        | Static_routes -> ()
+        | Ospf_routing { hello; dead; spf_delay } ->
+            let config =
+              {
+                (Ospf.default_config ~router_id:vn.vid
+                   ~local_prefixes:(local_prefixes vn))
+                with
+                Ospf.hello_interval = hello;
+                dead_interval = dead;
+                spf_delay;
+              }
+            in
+            let o =
+              Ospf.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
+                ~config ~ifaces ~rib:vn.vrib
+            in
+            vn.vospf <- Some o;
+            Ospf.start o
+        | Rip_routing { scale } ->
+            let config =
+              Rip.scaled_config ~scale ~local_prefixes:(local_prefixes vn)
+            in
+            let r =
+              Rip.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
+                ~config ~ifaces ~rib:vn.vrib
+            in
+            vn.vrip <- Some r;
+            Rip.start r)
+      t.vnodes
+  end
+
+(* --- accessors and control -------------------------------------------- *)
+
+let vname vn = vn.vnode_name
+let tap vn = vn.tap_stack
+let tap_addr vn = vn.vtap_addr
+let process vn = vn.proc
+let rib vn = vn.vrib
+let ospf vn = vn.vospf
+let rip vn = vn.vrip
+let pnode vn = vn.node
+
+let fib_entries vn =
+  List.map (fun (p, a) -> (p, action_name a)) (Fib.entries vn.fib)
+
+let tunnel_between t a b =
+  let vn = t.vnodes.(a) in
+  match List.find_opt (fun tun -> tun.nbr = b) vn.tunnels with
+  | Some tun -> tun
+  | None -> raise Not_found
+
+let iface_addr t v ~neighbor = (tunnel_between t v neighbor).local_vaddr
+
+let set_vlink_state t a b up =
+  let mode = if up then Faulty.Pass else Faulty.Fail in
+  Faulty.set_mode (tunnel_between t a b).faulty mode;
+  Faulty.set_mode (tunnel_between t b a).faulty mode
+
+let vlink_is_up t a b =
+  match Faulty.mode (tunnel_between t a b).faulty with
+  | Faulty.Pass -> true
+  | Faulty.Fail | Faulty.Lossy _ -> false
+
+let set_vlink_loss t a b loss =
+  if loss < 0.0 || loss > 1.0 then
+    invalid_arg "Iias.set_vlink_loss: loss outside [0,1]";
+  let mode = if loss = 0.0 then Faulty.Pass else Faulty.Lossy loss in
+  Faulty.set_mode (tunnel_between t a b).faulty mode;
+  Faulty.set_mode (tunnel_between t b a).faulty mode
+
+let set_direction_bandwidth t tun rate =
+  match (rate, tun.vshaper) with
+  | None, None -> ()
+  | None, Some _ ->
+      tun.vshaper <- None;
+      tun.tail := tun.to_wire
+  | Some bps, Some sh -> Shaper.set_rate sh bps
+  | Some bps, None ->
+      let sh =
+        Shaper.create ~engine:t.engine ~rate_bps:bps ~out:tun.to_wire
+          (Printf.sprintf "shaper-%d" tun.nbr)
+      in
+      tun.vshaper <- Some sh;
+      tun.tail := Shaper.element sh
+
+let set_vlink_bandwidth t a b rate =
+  (match rate with
+  | Some bps when bps <= 0.0 ->
+      invalid_arg "Iias.set_vlink_bandwidth: rate must be positive"
+  | Some _ | None -> ());
+  set_direction_bandwidth t (tunnel_between t a b) rate;
+  set_direction_bandwidth t (tunnel_between t b a) rate
+
+let set_vlink_cost t a b cost =
+  if cost <= 0 then invalid_arg "Iias.set_vlink_cost: cost must be positive";
+  let apply v nbr =
+    let tun = tunnel_between t v nbr in
+    tun.iface.Io.cost <- cost;
+    let vn = t.vnodes.(v) in
+    (match vn.vospf with Some o -> Ospf.reoriginate o | None -> ())
+  in
+  apply a b;
+  apply b a
+
+let vlink_cost t a b = (tunnel_between t a b).iface.Io.cost
+
+let add_static t v prefix ~via =
+  let vn = t.vnodes.(v) in
+  let tun = tunnel_between t v via in
+  Rib.update vn.vrib ~proto:Rib.Static prefix
+    (Some { Rib.next_hop = tun.remote_vaddr; metric = 1; proto = Rib.Static })
+
+let on_control vn f = vn.control_hooks <- vn.control_hooks @ [ f ]
+
+let control_iface vn ~neighbor =
+  match List.find_opt (fun tun -> tun.nbr = neighbor) vn.tunnels with
+  | Some tun -> tun.iface
+  | None -> raise Not_found
+
+let alloc_vpn_addr t v =
+  let vn = t.vnodes.(v) in
+  match vn.ingress_pool with
+  | None -> invalid_arg "Iias.alloc_vpn_addr: node is not an ingress"
+  | Some pool ->
+      let a = Prefix.host pool vn.next_vpn_host in
+      vn.next_vpn_host <- vn.next_vpn_host + 1;
+      a
+
+let stats vn =
+  {
+    forwarded = vn.n_forwarded;
+    delivered = vn.n_delivered;
+    no_route = vn.n_no_route;
+    ttl_drops = vn.n_ttl;
+    napt_out = vn.n_napt_out;
+    napt_in = vn.n_napt_in;
+    vpn_in = vn.n_vpn_in;
+    vpn_out = vn.n_vpn_out;
+    tunnel_drops =
+      List.fold_left (fun acc tun -> acc + Faulty.dropped tun.faulty) 0
+        vn.tunnels;
+  }
+
+let cpu_time vn = Process.cpu_time vn.proc
+let socket_drops vn = Process.socket_drops vn.proc

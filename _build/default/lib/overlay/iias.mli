@@ -1,0 +1,151 @@
+(** "Internet In A Slice" — the reference network architecture that runs
+    on PL-VINI (§4.2).
+
+    An IIAS instance embeds a virtual topology onto physical nodes.  Each
+    virtual node is a user-space process (Click, the data plane) in the
+    experiment's slice, plus a routing instance (standing in for XORP, the
+    control plane) talking over virtual point-to-point interfaces numbered
+    from common /30 subnets of 10.0.0.0/8 (§4.1.3).  Virtual links are UDP
+    tunnels between the physical nodes; a per-tunnel failure-injection
+    element implements §5.2's controlled link failures.  A [tap0] host
+    stack on every virtual node lets applications (ping, iperf, TCP
+    servers) send and receive over the overlay; OpenVPN ingress and NAPT
+    egress connect real end hosts and the external Internet (§4.2.3).
+
+    Restrictions mirroring the prototype: at most one virtual node of a
+    given IIAS instance per physical node (the tunnel UDP port is fixed
+    per slice), and ingress/egress roles are declared before {!start}. *)
+
+type t
+type vnode
+
+type routing_choice =
+  | Static_routes
+  | Ospf_routing of {
+      hello : Vini_sim.Time.t;
+      dead : Vini_sim.Time.t;
+      spf_delay : Vini_sim.Time.t;
+    }
+  | Rip_routing of { scale : float }
+
+val default_ospf : routing_choice
+(** Hello 5 s, dead 10 s, SPF hold-down 200 ms — §5.2's configuration. *)
+
+val create :
+  underlay:Vini_phys.Underlay.t ->
+  slice:Vini_phys.Slice.t ->
+  vtopo:Vini_topo.Graph.t ->
+  embedding:(int -> int) ->
+  ?routing:routing_choice ->
+  ?tunnel_port:int ->
+  ?tunnel_rcvbuf_bytes:int ->
+  unit ->
+  t
+(** [embedding] maps virtual node ids to physical node ids (injective).
+    Default routing: {!default_ospf}; default tunnel port 33000;
+    [tunnel_rcvbuf_bytes] sizes the Click process's tunnel-socket receive
+    buffer (default {!Vini_phys.Calibration.udp_rcvbuf_bytes}) — the
+    buffer whose overflow drives Figure 6, exposed for ablation. *)
+
+val enable_egress : t -> int -> unit
+(** Make a virtual node an egress: it advertises a default route into the
+    overlay and NAPTs overlay traffic onto the real Internet.  Call before
+    {!start}. *)
+
+val enable_ingress : t -> int -> pool:Vini_net.Prefix.t -> unit
+(** Make a virtual node an OpenVPN ingress serving client addresses from
+    [pool].  Call before {!start}. *)
+
+val advertise_prefix : ?quiet:bool -> t -> int -> Vini_net.Prefix.t -> unit
+(** Make a virtual node own (and advertise, under OSPF/RIP) an additional
+    prefix; traffic for it is delivered locally.  The hook behind
+    alternative addressing schemes (§4.2.1's "one could implement a new
+    addressing scheme in IIAS" — see [Keyspace]).  With [~quiet:true] the
+    prefix is owned but {e not} advertised into the IGP — for prefixes
+    whose reachability another protocol (BGP) is responsible for.  Call
+    before {!start}. *)
+
+val start : t -> unit
+
+val vnode_count : t -> int
+val vnode : t -> int -> vnode
+val vnode_by_name : t -> string -> vnode
+
+(** {2 Per-virtual-node access} *)
+
+val vname : vnode -> string
+val tap : vnode -> Vini_phys.Ipstack.t
+(** The host stack applications use (ICMP echo auto-answered). *)
+
+val tap_addr : vnode -> Vini_net.Addr.t
+val process : vnode -> Vini_phys.Process.t
+val rib : vnode -> Vini_routing.Rib.t
+val ospf : vnode -> Vini_routing.Ospf.t option
+val rip : vnode -> Vini_routing.Rip.t option
+val fib_entries : vnode -> (Vini_net.Prefix.t * string) list
+val pnode : vnode -> Vini_phys.Pnode.t
+
+val iface_addr : t -> int -> neighbor:int -> Vini_net.Addr.t
+(** Virtual address of node [v]'s interface towards [neighbor].
+    @raise Not_found when not adjacent. *)
+
+(** {2 Experiment control} *)
+
+val set_vlink_state : t -> int -> int -> bool -> unit
+(** Fail/restore a virtual link by dropping inside Click on both ends
+    (§5.2) — the underlay never sees it. *)
+
+val vlink_is_up : t -> int -> int -> bool
+
+val set_vlink_loss : t -> int -> int -> float -> unit
+(** Emulate a lossy virtual link: drop the given fraction inside Click on
+    both directions (0.0 restores a clean link).
+    @raise Invalid_argument outside [0,1]. *)
+
+val set_vlink_bandwidth : t -> int -> int -> float option -> unit
+(** Cap a virtual link's rate with a token-bucket shaper in Click on both
+    directions ([None] removes the cap) — the §6.2 proposal for letting
+    experimenters set link capacities. *)
+
+val set_vlink_cost : t -> int -> int -> int -> unit
+(** Reconfigure the IGP cost of a virtual link (both directions) and make
+    the routing protocols re-advertise — §7's planned-maintenance usage:
+    drain a link by raising its cost, without failing it. *)
+
+val vlink_cost : t -> int -> int -> int
+
+val add_static : t -> int -> Vini_net.Prefix.t -> via:int -> unit
+(** Static route on vnode towards a neighbouring vnode. *)
+
+val on_control :
+  vnode ->
+  (src:Vini_net.Addr.t -> ifindex:int -> Vini_net.Packet.control -> unit) ->
+  unit
+(** Additional control-message listener (e.g. BGP sessions riding the
+    overlay); [src] is the sending virtual address, so multiple sessions
+    on one node can demultiplex. *)
+
+val control_iface : vnode -> neighbor:int -> Vini_routing.Io.iface
+(** The interface record towards a neighbour, for wiring extra protocols.
+    @raise Not_found when not adjacent. *)
+
+val alloc_vpn_addr : t -> int -> Vini_net.Addr.t
+(** Next free client address from an ingress node's pool. *)
+
+(** {2 Statistics} *)
+
+type vstats = {
+  forwarded : int;        (** packets pushed into tunnels *)
+  delivered : int;        (** packets handed to the local tap *)
+  no_route : int;
+  ttl_drops : int;
+  napt_out : int;
+  napt_in : int;
+  vpn_in : int;
+  vpn_out : int;
+  tunnel_drops : int;     (** failure-injection drops *)
+}
+
+val stats : vnode -> vstats
+val cpu_time : vnode -> Vini_sim.Time.t
+val socket_drops : vnode -> int

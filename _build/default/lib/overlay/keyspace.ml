@@ -1,0 +1,238 @@
+module Packet = Vini_net.Packet
+module Addr = Vini_net.Addr
+module Prefix = Vini_net.Prefix
+module Ipstack = Vini_phys.Ipstack
+
+type kv_msg =
+  | Put of { name : string; size : int; reply_to : Addr.t }
+  | Put_ack of { name : string; stored_at : int }
+  | Get of { name : string; reply_to : Addr.t }
+  | Get_resp of { name : string; found : bool; size : int; owner : int }
+
+type Packet.control += Kv of kv_msg
+
+let kv_size = function
+  | Put { name; _ } -> 24 + String.length name
+  | Put_ack { name; _ } -> 16 + String.length name
+  | Get { name; _ } -> 16 + String.length name
+  | Get_resp { name; _ } -> 24 + String.length name
+
+type t = {
+  iias : Iias.t;
+  block : Prefix.t;
+  bits : int;
+  (* Sorted ring positions with their owning vnode. *)
+  ring : (int * int) array;     (* (position, vnode) sorted by position *)
+  node_arcs : (int * Prefix.t list) list;
+  stores : (int, (string, int) Hashtbl.t) Hashtbl.t;
+  mutable pending_acks : (string * (stored_at:int -> unit)) list;
+  mutable pending_gets :
+    (string * (found:bool -> size:int -> owner:int -> unit)) list;
+}
+
+(* Deterministic string hash into [0, 2^bits). *)
+let hash_string ~bits s =
+  (* FNV-1a over 63-bit ints, with an avalanche finaliser so that keys of
+     similar names do not cluster in the truncated window. *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  let x = !h in
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x27D4EB2F165667C5 in
+  let x = x lxor (x lsr 29) in
+  (x lsr 3) land ((1 lsl bits) - 1)
+
+(* Cover [lo, hi) by maximal aligned power-of-two blocks. *)
+let cover_range ~bits ~lo ~hi =
+  if lo < 0 || hi > 1 lsl bits || lo > hi then
+    invalid_arg "Keyspace.cover_range: bad range";
+  let rec go lo acc =
+    if lo >= hi then List.rev acc
+    else begin
+      (* Largest aligned block starting at lo that fits in [lo, hi). *)
+      let align = if lo = 0 then bits else min bits (trailing_zeros lo) in
+      let rec fit size_bits =
+        if size_bits >= 0 && lo + (1 lsl size_bits) <= hi then size_bits
+        else fit (size_bits - 1)
+      in
+      let size_bits = fit align in
+      go (lo + (1 lsl size_bits)) ((lo, bits - size_bits) :: acc)
+    end
+  and trailing_zeros n =
+    let rec count n acc = if n land 1 = 1 then acc else count (n lsr 1) (acc + 1) in
+    if n = 0 then 63 else count n 0
+  in
+  go lo []
+
+let rec create iias ?(block = Prefix.of_string "10.224.0.0/11") () =
+  let bits = 32 - Prefix.length block in
+  if bits < 16 then invalid_arg "Keyspace.create: block narrower than /16";
+  let n = Iias.vnode_count iias in
+  if n >= 1 lsl (bits - 2) then
+    invalid_arg "Keyspace.create: too many nodes for the key space";
+  (* Ring positions: several virtual points per node (classic consistent
+     hashing) so arcs are reasonably balanced; collisions probe forward. *)
+  let replicas = 8 in
+  let used = Hashtbl.create 64 in
+  let positions =
+    List.concat
+      (List.init n (fun v ->
+           List.init replicas (fun r ->
+               let seedname =
+                 Printf.sprintf "%s#%d" (Iias.vname (Iias.vnode iias v)) r
+               in
+               let rec place h =
+                 if Hashtbl.mem used h then
+                   place ((h + 1) land ((1 lsl bits) - 1))
+                 else begin
+                   Hashtbl.replace used h ();
+                   h
+                 end
+               in
+               (place (hash_string ~bits seedname), v))))
+  in
+  let ring = Array.of_list positions in
+  Array.sort compare ring;
+  (* Ring point i owns [pos_i, pos_{i+1}); the last wraps to the first. *)
+  let space = 1 lsl bits in
+  let arcs_of v =
+    let m = Array.length ring in
+    let acc = ref [] in
+    for i = 0 to m - 1 do
+      let pos, owner = ring.(i) in
+      if owner = v then begin
+        let next_pos = if i = m - 1 then space else fst ring.(i + 1) in
+        if next_pos > pos then acc := (pos, next_pos) :: !acc
+      end
+    done;
+    (* Wrap segment [last, space) belongs to the last point's owner, which
+       the loop already covers; the leading [0, first) belongs to the last
+       ring point's owner. *)
+    let last_owner = snd ring.(m - 1) in
+    let first_pos = fst ring.(0) in
+    if v = last_owner && first_pos > 0 then acc := (0, first_pos) :: !acc;
+    List.rev !acc
+  in
+  let prefix_of (start, extra_bits) =
+    Prefix.make
+      (Addr.add (Prefix.network block) start)
+      (Prefix.length block + extra_bits)
+  in
+  let node_arcs =
+    List.init n (fun v ->
+        let prefixes =
+          List.concat_map
+            (fun (lo, hi) ->
+              List.map prefix_of (cover_range ~bits ~lo ~hi))
+            (arcs_of v)
+        in
+        List.iter (fun p -> Iias.advertise_prefix iias v p) prefixes;
+        (v, prefixes))
+  in
+  let t =
+    {
+      iias;
+      block;
+      bits;
+      ring;
+      node_arcs;
+      stores = Hashtbl.create 16;
+      pending_acks = [];
+      pending_gets = [];
+    }
+  in
+  (* Each node serves the key-value protocol from its control hook. *)
+  for v = 0 to n - 1 do
+    Hashtbl.replace t.stores v (Hashtbl.create 16);
+    Iias.on_control (Iias.vnode iias v) (fun ~src:_ ~ifindex:_ msg ->
+        match msg with Kv m -> handle t v m | _ -> ())
+  done;
+  t
+
+and handle t v msg =
+  let vn = Iias.vnode t.iias v in
+  let send ~dst m =
+    Ipstack.send (Iias.tap vn)
+      (Packet.udp ~src:(Iias.tap_addr vn) ~dst ~sport:4400 ~dport:4400
+         (Packet.Control { size = kv_size m; msg = Kv m }))
+  in
+  match msg with
+  | Put { name; size; reply_to } ->
+      Hashtbl.replace (Hashtbl.find t.stores v) name size;
+      send ~dst:reply_to (Put_ack { name; stored_at = v })
+  | Get { name; reply_to } ->
+      let store = Hashtbl.find t.stores v in
+      let found, size =
+        match Hashtbl.find_opt store name with
+        | Some s -> (true, s)
+        | None -> (false, 0)
+      in
+      send ~dst:reply_to (Get_resp { name; found; size; owner = v })
+  | Put_ack { name; stored_at } ->
+      let mine, rest =
+        List.partition (fun (n, _) -> n = name) t.pending_acks
+      in
+      t.pending_acks <- rest;
+      List.iter (fun (_, k) -> k ~stored_at) mine
+  | Get_resp { name; found; size; owner } ->
+      let mine, rest =
+        List.partition (fun (n, _) -> n = name) t.pending_gets
+      in
+      t.pending_gets <- rest;
+      List.iter (fun (_, k) -> k ~found ~size ~owner) mine
+
+let key_bits t = t.bits
+let key_of_name t name = hash_string ~bits:t.bits name
+
+let addr_of_key t key =
+  if key < 0 || key >= 1 lsl t.bits then
+    invalid_arg "Keyspace.addr_of_key: key outside the space";
+  Addr.add (Prefix.network t.block) key
+
+let owner_of_key t key =
+  let n = Array.length t.ring in
+  (* Largest ring position <= key, wrapping below the smallest. *)
+  let rec search lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      let pos, owner = t.ring.(mid) in
+      if pos <= key then search (mid + 1) hi (Some owner)
+      else search lo (mid - 1) best
+  in
+  match search 0 (n - 1) None with
+  | Some owner -> owner
+  | None -> snd t.ring.(n - 1) (* below the first position: wrap *)
+
+let arcs t = t.node_arcs
+
+let send_kv t ~from msg =
+  let vn = Iias.vnode t.iias from in
+  let name =
+    match msg with
+    | Put { name; _ } | Get { name; _ } | Put_ack { name; _ }
+    | Get_resp { name; _ } ->
+        name
+  in
+  let dst = addr_of_key t (key_of_name t name) in
+  Ipstack.send (Iias.tap vn)
+    (Packet.udp ~src:(Iias.tap_addr vn) ~dst ~sport:4400 ~dport:4400
+       (Packet.Control { size = kv_size msg; msg = Kv msg }))
+
+let put t ~from ~name ~size ~on_ack =
+  t.pending_acks <- (name, on_ack) :: t.pending_acks;
+  send_kv t ~from
+    (Put { name; size; reply_to = Iias.tap_addr (Iias.vnode t.iias from) })
+
+let get t ~from ~name ~on_result =
+  t.pending_gets <- (name, on_result) :: t.pending_gets;
+  send_kv t ~from
+    (Get { name; reply_to = Iias.tap_addr (Iias.vnode t.iias from) })
+
+let stored_names t v =
+  Hashtbl.fold (fun name _ acc -> name :: acc) (Hashtbl.find t.stores v) []
+  |> List.sort compare

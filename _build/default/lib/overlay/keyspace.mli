@@ -1,0 +1,63 @@
+(** A flat, key-based addressing scheme on top of IIAS — the §4.2.1 claim
+    made concrete:
+
+    {i "Though IIAS currently performs IPv4 forwarding, it can also support
+    new forwarding paradigms beyond IP ... One could implement a new
+    addressing scheme in IIAS, for instance based on DHTs, simply by
+    writing new forwarding and encapsulation table elements."}
+
+    Keys live in a flat space carved out of a reserved address block
+    (default 10.224.0.0/11, 21 bits of key).  Consistent hashing assigns
+    each virtual node an arc of the key space; the arc is decomposed into
+    CIDR prefixes and advertised through the experiment's ordinary routing
+    protocol, so key-addressed packets are forwarded by the unmodified
+    data plane and terminate at the key's owner.
+
+    A toy distributed key-value service rides on top: [put]/[get] address
+    requests to [addr_of_key] and the owning node answers — one system
+    running in VINI providing a service for another (§2). *)
+
+type t
+
+val create : Iias.t -> ?block:Vini_net.Prefix.t -> unit -> t
+(** Carve the key space and advertise each node's arc.  Call after
+    [Iias.create] but {e before} [Iias.start].
+    @raise Invalid_argument if the block is narrower than /16 or the
+    overlay has more nodes than arcs can distinguish. *)
+
+val key_bits : t -> int
+val key_of_name : t -> string -> int
+(** Hash an application name into the key space (deterministic). *)
+
+val addr_of_key : t -> int -> Vini_net.Addr.t
+(** The IPv4 address a key maps to (inside the block).
+    @raise Invalid_argument when the key is outside the space. *)
+
+val owner_of_key : t -> int -> int
+(** Which virtual node's arc contains the key. *)
+
+val arcs : t -> (int * Vini_net.Prefix.t list) list
+(** (vnode, advertised prefixes) — the "encapsulation table" of the new
+    scheme, for inspection and tests. *)
+
+(** {2 The key-value service} *)
+
+val put :
+  t -> from:int -> name:string -> size:int -> on_ack:(stored_at:int -> unit) ->
+  unit
+(** Store [name] (a blob of [size] bytes) at its key's owner, from virtual
+    node [from]; [on_ack] fires when the owner confirms. *)
+
+val get :
+  t -> from:int -> name:string ->
+  on_result:(found:bool -> size:int -> owner:int -> unit) -> unit
+
+val stored_names : t -> int -> string list
+(** What a given node's store holds (tests). *)
+
+(** {2 Range-to-CIDR decomposition (exposed for property tests)} *)
+
+val cover_range : bits:int -> lo:int -> hi:int -> (int * int) list
+(** Cover [\[lo, hi)] within a [bits]-wide space by maximal aligned blocks,
+    returned as (start, prefix-extra-bits) pairs; blocks are disjoint and
+    their union is exactly the range. *)

@@ -1,0 +1,63 @@
+module Packet = Vini_net.Packet
+module Addr = Vini_net.Addr
+module Pnode = Vini_phys.Pnode
+module Ipstack = Vini_phys.Ipstack
+
+type t = {
+  host : Pnode.t;
+  server : Addr.t;
+  server_port : int;
+  client_port : int;
+  tun : Ipstack.t;
+  client_vaddr : Addr.t;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let connect ~host ~server ?(server_port = 1194) ~vaddr () =
+  let host_stack = Pnode.stack host in
+  let client_port = Ipstack.alloc_ephemeral host_stack in
+  let rec t =
+    lazy
+      {
+        host;
+        server;
+        server_port;
+        client_port;
+        tun =
+          Ipstack.create
+            ~engine:(Pnode.engine host)
+            ~local_addr:vaddr
+            ~tx:(fun inner ->
+              let t = Lazy.force t in
+              t.sent <- t.sent + 1;
+              let outer =
+                Packet.udp ~src:(Pnode.addr t.host) ~dst:t.server
+                  ~sport:t.client_port ~dport:t.server_port (Packet.Vpn inner)
+              in
+              Pnode.send t.host outer)
+            ();
+        client_vaddr = vaddr;
+        sent = 0;
+        received = 0;
+      }
+  in
+  let t = Lazy.force t in
+  (* Return traffic: decapsulate and hand to the tun stack. *)
+  Ipstack.bind_udp host_stack ~port:client_port (fun outer ->
+      match outer.Packet.proto with
+      | Packet.Udp { body = Packet.Vpn inner; _ } ->
+          t.received <- t.received + 1;
+          Ipstack.deliver t.tun inner
+      | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ -> ());
+  (* Greet the ingress so it learns where this client lives: a packet to
+     our own overlay address bounces off the ingress and back. *)
+  Ipstack.send t.tun
+    (Packet.udp ~src:vaddr ~dst:vaddr ~sport:client_port ~dport:server_port
+       (Packet.Probe { Packet.flow = 0; seq = 0; sent_ns = 0L; pad = 16 }));
+  t
+
+let stack t = t.tun
+let vaddr t = t.client_vaddr
+let packets_sent t = t.sent
+let packets_received t = t.received

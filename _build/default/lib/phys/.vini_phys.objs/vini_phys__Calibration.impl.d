@@ -1,0 +1,1 @@
+lib/phys/calibration.ml: Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/calibration.mli: Vini_sim Vini_std

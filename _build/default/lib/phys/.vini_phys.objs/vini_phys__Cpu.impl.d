@@ -1,0 +1,1 @@
+lib/phys/cpu.ml: Calibration Float Slice Vini_sim Vini_std

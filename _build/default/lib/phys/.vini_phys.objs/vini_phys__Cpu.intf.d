@@ -1,0 +1,1 @@
+lib/phys/cpu.mli: Slice Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/htb.ml: Float List Option Vini_net Vini_sim Vini_std

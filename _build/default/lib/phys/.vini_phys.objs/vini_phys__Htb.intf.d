@@ -1,0 +1,1 @@
+lib/phys/htb.mli: Vini_net Vini_sim

@@ -1,0 +1,1 @@
+lib/phys/ipstack.ml: Hashtbl Printf Vini_net Vini_sim

@@ -1,0 +1,1 @@
+lib/phys/ipstack.mli: Vini_net Vini_sim

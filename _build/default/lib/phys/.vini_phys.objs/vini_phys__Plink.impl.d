@@ -1,0 +1,1 @@
+lib/phys/plink.ml: Array Calibration Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/plink.mli: Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/pnode.ml: Calibration Cpu Htb Ipstack Lazy Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/pnode.mli: Cpu Ipstack Vini_net Vini_sim Vini_std

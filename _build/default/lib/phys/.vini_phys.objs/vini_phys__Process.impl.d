@@ -1,0 +1,1 @@
+lib/phys/process.ml: Array Calibration Cpu Option Pnode Slice Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+lib/phys/process.mli: Pnode Slice Vini_net Vini_sim

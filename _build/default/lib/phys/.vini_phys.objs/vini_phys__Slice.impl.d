@@ -1,0 +1,1 @@
+lib/phys/slice.ml: Calibration Format

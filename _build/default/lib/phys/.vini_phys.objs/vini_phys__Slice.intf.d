@@ -1,0 +1,1 @@
+lib/phys/slice.mli: Format

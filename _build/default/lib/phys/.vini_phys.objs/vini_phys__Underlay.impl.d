@@ -1,0 +1,1 @@
+lib/phys/underlay.ml: Array Calibration Cpu Hashtbl Ipstack List Plink Pnode Vini_net Vini_sim Vini_std Vini_topo

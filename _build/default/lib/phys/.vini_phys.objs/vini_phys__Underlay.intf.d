@@ -1,0 +1,1 @@
+lib/phys/underlay.mli: Cpu Plink Pnode Vini_net Vini_sim Vini_std Vini_topo

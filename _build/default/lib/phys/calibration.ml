@@ -1,0 +1,37 @@
+let reference_ghz = 2.8
+let syscall_us = 5.0
+
+(* poll + recvfrom + sendto + 3 gettimeofday = 6 syscalls ~ 30 us, the rest
+   is Click element work; copies scale with size. *)
+let click_base_us = 13.0
+let click_per_byte_us = 0.016
+let click_cost_us ~size = click_base_us +. (click_per_byte_us *. float_of_int size)
+
+let kernel_forward_us = 3.0
+let kernel_local_us = 3.0
+let nic_latency_us = 30.0
+let nic_jitter_us = 100.0
+let link_queue_bytes = 262_144
+let udp_rcvbuf_bytes = 65_536
+let burst_cpu_budget = Vini_sim.Time.us 500
+
+let wake_dedicated_us = (2.0, 10.0)
+let wake_realtime_us = (20.0, 120.0)
+
+let wake_shared_core = (0.05, 0.4)
+let wake_shared_mid_weight = 0.148
+let wake_shared_mid_mean_ms = 1.2
+let wake_shared_tail_weight = 0.0025
+let wake_shared_tail = (8.0, 90.0)
+
+(* Competing runnable slices: usually none or one, occasionally a burst of
+   heavy contention. *)
+let shared_active_slices () =
+ fun rng ->
+  let u = Vini_std.Rng.float rng 1.0 in
+  if u < 0.70 then 0
+  else if u < 0.90 then 1
+  else if u < 0.97 then 1 + Vini_std.Rng.int rng 3
+  else 4 + Vini_std.Rng.int rng 8
+
+let default_reservation = 0.25

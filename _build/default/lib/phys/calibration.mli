@@ -1,0 +1,79 @@
+(** Every calibrated constant in the physical-substrate model.
+
+    Each value is tied to a passage of the paper (section numbers below) or
+    derived from one of its measurements.  Centralising them makes the
+    model auditable and lets the ablation benches vary them. *)
+
+val reference_ghz : float
+(** 2.8 — the DETER pc2800 Xeons of §5.1.1; all CPU costs below are quoted
+    at this clock and scaled linearly for slower nodes. *)
+
+val syscall_us : float
+(** 5.0 — measured cost per system call reported in §5.1.1. *)
+
+val click_base_us : float
+val click_per_byte_us : float
+(** User-space (Click) per-packet CPU cost = base + per_byte * size, at the
+    reference clock.  The base covers the poll/recvfrom/sendto plus 3x
+    gettimeofday pattern strace revealed (§5.1.1); the size term covers
+    copies.  Calibrated so a 1500-byte datagram costs ~40 us, putting the
+    user-space forwarding ceiling near 200 Mb/s as Table 2 measured. *)
+
+val click_cost_us : size:int -> float
+(** [click_base_us +. click_per_byte_us * size]. *)
+
+val kernel_forward_us : float
+(** Per-packet in-kernel IP forwarding cost: Table 2's 940 Mb/s at ~48%
+    CPU gives ~6 us/packet at 2.8 GHz. *)
+
+val kernel_local_us : float
+(** Local delivery / ICMP echo handling cost. *)
+
+val nic_latency_us : float
+(** Fixed NIC + interrupt latency charged once per link traversal at each
+    receiving host; 4 traversals * ~90 us + propagation reproduces the
+    0.414 ms LAN RTT of Table 3. *)
+
+val nic_jitter_us : float
+(** Uniform jitter bound on the NIC latency (Table 3 mdev 0.089 ms). *)
+
+val link_queue_bytes : int
+(** Drop-tail transmit queue per link direction (256 KB). *)
+
+val udp_rcvbuf_bytes : int
+(** Socket receive buffer for the Click process's tunnel socket; overflow
+    while the process is descheduled is the loss mechanism of Figure 6. *)
+
+val burst_cpu_budget : Vini_sim.Time.t
+(** Maximum CPU time a process consumes per scheduling episode before the
+    scheduler re-evaluates contention. *)
+
+(** {2 PlanetLab scheduler behaviour (§4.1.2, §5.1.2)} *)
+
+val wake_dedicated_us : float * float
+(** Uniform wake-up latency bounds on a dedicated (DETER) machine. *)
+
+val wake_realtime_us : float * float
+(** Wake-up latency bounds for a process boosted to real-time priority:
+    it "immediately jumps to the head of the run-queue". *)
+
+(** Default fair-share wake-up latency is a three-part mixture, heavy
+    tailed: mostly sub-millisecond, sometimes a few milliseconds, rarely a
+    multi-tens-of-milliseconds stall (many runnable slices).  Calibrated
+    against Table 5 (avg 27.7 ms, stddev 4.8 ms, max 80.9 ms vs the
+    network's 24.5 ms floor). *)
+
+val wake_shared_core : float * float      (* uniform, ms *)
+val wake_shared_mid_weight : float
+val wake_shared_mid_mean_ms : float       (* exponential, ms *)
+val wake_shared_tail_weight : float
+val wake_shared_tail : float * float      (* uniform, ms *)
+
+val shared_active_slices : unit -> (Vini_std.Rng.t -> int)
+(** Sampler for the number of simultaneously runnable competing slices in
+    a scheduling episode; determines the fair-share CPU fraction
+    1/(1+n).  Mostly idle with occasional bursts, per §5.1.2's
+    observation that Abilene PlanetLab nodes see fluctuating demand. *)
+
+val default_reservation : float
+(** 0.25 — the 25% CPU reservation PL-VINI grants an experiment slice. *)

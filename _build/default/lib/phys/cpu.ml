@@ -1,0 +1,128 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Rng = Vini_std.Rng
+
+type contention =
+  | Dedicated
+  | Shared of { active_sampler : Rng.t -> int }
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  speed_ghz : float;
+  contention : contention;
+}
+
+type state = Idle | Waking | Busy
+
+type proc = {
+  cpu : t;
+  slice : Slice.t;
+  name : string;
+  has_work : unit -> bool;
+  next_cost : unit -> Time.t;
+  exec : unit -> unit;
+  mutable state : state;
+  mutable fraction : float;
+  mutable budget : Time.t;
+  mutable cpu_time : Time.t;
+  mutable wakeups : int;
+}
+
+let create ~engine ~rng ~speed_ghz ~contention =
+  if speed_ghz <= 0.0 then invalid_arg "Cpu.create: speed must be positive";
+  { engine; rng; speed_ghz; contention }
+
+let shared_default ~engine ~rng ~speed_ghz =
+  create ~engine ~rng ~speed_ghz
+    ~contention:(Shared { active_sampler = Calibration.shared_active_slices () })
+
+let speed_ghz t = t.speed_ghz
+
+let scale_cost t c =
+  Time.of_sec_f (Time.to_sec_f c *. Calibration.reference_ghz /. t.speed_ghz)
+
+let spawn t ~slice ~name ~has_work ~next_cost ~exec =
+  {
+    cpu = t;
+    slice;
+    name;
+    has_work;
+    next_cost;
+    exec;
+    state = Idle;
+    fraction = 1.0;
+    budget = Time.zero;
+    cpu_time = Time.zero;
+    wakeups = 0;
+  }
+
+let wake_latency p =
+  let rng = p.cpu.rng in
+  match p.cpu.contention with
+  | Dedicated ->
+      let lo, hi = Calibration.wake_dedicated_us in
+      Time.of_sec_f (Rng.uniform rng lo hi *. 1e-6)
+  | Shared _ when p.slice.Slice.realtime ->
+      let lo, hi = Calibration.wake_realtime_us in
+      Time.of_sec_f (Rng.uniform rng lo hi *. 1e-6)
+  | Shared _ ->
+      (* Three-part mixture, milliseconds; see Calibration. *)
+      let u = Rng.float rng 1.0 in
+      let tail_w = Calibration.wake_shared_tail_weight in
+      let mid_w = Calibration.wake_shared_mid_weight in
+      let ms =
+        if u < tail_w then
+          let lo, hi = Calibration.wake_shared_tail in
+          Rng.uniform rng lo hi
+        else if u < tail_w +. mid_w then
+          Rng.exponential rng Calibration.wake_shared_mid_mean_ms
+        else
+          let lo, hi = Calibration.wake_shared_core in
+          Rng.uniform rng lo hi
+      in
+      Time.of_sec_f (ms *. 1e-3)
+
+let sample_fraction p =
+  match p.cpu.contention with
+  | Dedicated -> 1.0
+  | Shared { active_sampler } ->
+      let n = active_sampler p.cpu.rng in
+      let fair = 1.0 /. float_of_int (1 + n) in
+      Float.min 1.0 (Float.max p.slice.Slice.reservation fair)
+
+let dilate cost fraction = Time.of_sec_f (Time.to_sec_f cost /. fraction)
+
+let rec episode p =
+  p.fraction <- sample_fraction p;
+  p.budget <- Calibration.burst_cpu_budget;
+  step p
+
+and step p =
+  if not (p.has_work ()) then p.state <- Idle
+  else begin
+    let cost = p.next_cost () in
+    let wall = dilate cost p.fraction in
+    ignore
+      (Engine.after p.cpu.engine wall (fun () ->
+           p.exec ();
+           p.cpu_time <- Time.add p.cpu_time cost;
+           p.budget <- Time.sub p.budget cost;
+           if Time.compare p.budget Time.zero <= 0 then episode p else step p))
+  end
+
+let kick p =
+  match p.state with
+  | Waking | Busy -> ()
+  | Idle ->
+      p.state <- Waking;
+      let latency = wake_latency p in
+      ignore
+        (Engine.after p.cpu.engine latency (fun () ->
+             p.state <- Busy;
+             p.wakeups <- p.wakeups + 1;
+             episode p))
+
+let cpu_time p = p.cpu_time
+let wakeups p = p.wakeups
+let proc_name p = p.name

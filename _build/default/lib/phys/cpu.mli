@@ -1,0 +1,66 @@
+(** The node CPU scheduler model.
+
+    This is where PlanetLab's shared-machine behaviour — the phenomenon the
+    PL-VINI extensions exist to tame — is simulated.  A process alternates
+    between [Idle], waiting to be scheduled, and executing work items.
+    Two quantities are sampled per scheduling episode from the contention
+    model:
+
+    - the {e wake-up latency} between becoming runnable and first running
+      (heavy-tailed under default fair share; tiny with real-time
+      priority, §4.1.2), and
+    - the {e CPU fraction} the process receives while it stays runnable
+      (1/(1+n) against n runnable competitors, floored by the slice's
+      reservation).
+
+    Work items (packets) are billed their CPU cost dilated by the inverse
+    fraction, so capacity, latency, and the socket-buffer overflows of
+    Figure 6 all emerge from one mechanism. *)
+
+type t
+type proc
+
+type contention =
+  | Dedicated
+  (** A lab machine running only the experiment (DETER). *)
+  | Shared of { active_sampler : Vini_std.Rng.t -> int }
+  (** A PlanetLab node with competing slices; the sampler draws the number
+      of runnable competitors for an episode. *)
+
+val create :
+  engine:Vini_sim.Engine.t ->
+  rng:Vini_std.Rng.t ->
+  speed_ghz:float ->
+  contention:contention ->
+  t
+(** One scheduler per physical node. *)
+
+val shared_default : engine:Vini_sim.Engine.t -> rng:Vini_std.Rng.t -> speed_ghz:float -> t
+(** Shared node with the calibrated PlanetLab contention model. *)
+
+val speed_ghz : t -> float
+
+val scale_cost : t -> Vini_sim.Time.t -> Vini_sim.Time.t
+(** Scale a CPU cost quoted at the reference clock to this node's clock. *)
+
+val spawn :
+  t ->
+  slice:Slice.t ->
+  name:string ->
+  has_work:(unit -> bool) ->
+  next_cost:(unit -> Vini_sim.Time.t) ->
+  exec:(unit -> unit) ->
+  proc
+(** [next_cost] quotes the CPU cost of the next pending work item (already
+    scaled to this node; use {!scale_cost}); [exec] performs and dequeues
+    it.  The scheduler calls them only when [has_work ()] is true. *)
+
+val kick : proc -> unit
+(** Tell the scheduler the process has (new) pending work.  Idempotent
+    while the process is already awake or waking. *)
+
+val cpu_time : proc -> Vini_sim.Time.t
+(** Total CPU time consumed so far (the [ps TIME] column of §5.1). *)
+
+val wakeups : proc -> int
+val proc_name : proc -> string

@@ -1,0 +1,74 @@
+module Packet = Vini_net.Packet
+
+type t = {
+  engine : Vini_sim.Engine.t;
+  local_addr : Vini_net.Addr.t;
+  mutable tx : Packet.t -> unit;
+  udp : (int, Packet.t -> unit) Hashtbl.t;
+  tcp : (int, Packet.t -> unit) Hashtbl.t;
+  mutable icmp : (Packet.t -> unit) option;
+  mutable next_ephemeral : int;
+  mutable unmatched : int;
+}
+
+let create ~engine ~local_addr ~tx () =
+  {
+    engine;
+    local_addr;
+    tx;
+    udp = Hashtbl.create 8;
+    tcp = Hashtbl.create 8;
+    icmp = None;
+    next_ephemeral = 49152;
+    unmatched = 0;
+  }
+
+let engine t = t.engine
+let local_addr t = t.local_addr
+let set_tx t tx = t.tx <- tx
+let send t pkt = t.tx pkt
+
+let bind tbl which ~port handler =
+  if Hashtbl.mem tbl port then
+    invalid_arg (Printf.sprintf "Ipstack.bind_%s: port %d in use" which port);
+  Hashtbl.replace tbl port handler
+
+let bind_udp t ~port handler = bind t.udp "udp" ~port handler
+let bind_tcp t ~port handler = bind t.tcp "tcp" ~port handler
+let unbind_udp t ~port = Hashtbl.remove t.udp port
+let unbind_tcp t ~port = Hashtbl.remove t.tcp port
+
+let alloc_ephemeral t =
+  let p = t.next_ephemeral in
+  t.next_ephemeral <- t.next_ephemeral + 1;
+  p
+
+let set_icmp_handler t h = t.icmp <- Some h
+
+let echo_reply t (pkt : Packet.t) e =
+  let reply =
+    Packet.icmp ~src:t.local_addr ~dst:pkt.Packet.src (Packet.Echo_reply e)
+  in
+  t.tx reply
+
+let deliver t (pkt : Packet.t) =
+  match pkt.Packet.proto with
+  | Packet.Udp u -> (
+      match Hashtbl.find_opt t.udp u.Packet.udport with
+      | Some h -> h pkt
+      | None -> t.unmatched <- t.unmatched + 1)
+  | Packet.Tcp seg -> (
+      match Hashtbl.find_opt t.tcp seg.Packet.dport with
+      | Some h -> h pkt
+      | None -> t.unmatched <- t.unmatched + 1)
+  | Packet.Icmp icmp -> (
+      match t.icmp with
+      | Some h -> h pkt
+      | None -> (
+          match icmp with
+          | Packet.Echo_request e -> echo_reply t pkt e
+          | Packet.Echo_reply _ | Packet.Time_exceeded _
+          | Packet.Dest_unreachable _ ->
+              t.unmatched <- t.unmatched + 1))
+
+let unmatched t = t.unmatched

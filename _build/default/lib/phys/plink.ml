@@ -1,0 +1,125 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+
+type stats = {
+  sent : int;
+  delivered : int;
+  queue_drops : int;
+  loss_drops : int;
+  down_drops : int;
+  bytes_sent : int;
+}
+
+type dir_state = {
+  mutable busy_until : Time.t;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable queue_drops : int;
+  mutable loss_drops : int;
+  mutable down_drops : int;
+  mutable bytes_sent : int;
+}
+
+type t = {
+  engine : Engine.t;
+  rng : Vini_std.Rng.t;
+  bandwidth_bps : float;
+  delay : Time.t;
+  loss : float;
+  queue_bytes : int;
+  dirs : dir_state array;
+  mutable up : bool;
+}
+
+let fresh_dir () =
+  {
+    busy_until = Time.zero;
+    sent = 0;
+    delivered = 0;
+    queue_drops = 0;
+    loss_drops = 0;
+    down_drops = 0;
+    bytes_sent = 0;
+  }
+
+let create ~engine ~rng ~bandwidth_bps ~delay ?(loss = 0.0)
+    ?(queue_bytes = Calibration.link_queue_bytes) () =
+  if bandwidth_bps <= 0.0 then invalid_arg "Plink.create: bandwidth";
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Plink.create: loss";
+  {
+    engine;
+    rng;
+    bandwidth_bps;
+    delay;
+    loss;
+    queue_bytes;
+    dirs = [| fresh_dir (); fresh_dir () |];
+    up = true;
+  }
+
+let serialization t size =
+  Time.of_sec_f (float_of_int (size * 8) /. t.bandwidth_bps)
+
+(* Backlog is tracked virtually: [busy_until - now] is serialisation time
+   already committed, which maps 1:1 onto queued bytes. *)
+let backlog_bytes t d =
+  let now = Engine.now t.engine in
+  if Time.compare d.busy_until now <= 0 then 0
+  else
+    int_of_float
+      (Time.to_sec_f (Time.sub d.busy_until now) *. t.bandwidth_bps /. 8.0)
+
+let transmit t ~dir pkt ~deliver =
+  let d = t.dirs.(dir) in
+  let size = Packet.size pkt in
+  if not t.up then d.down_drops <- d.down_drops + 1
+  else if backlog_bytes t d + size > t.queue_bytes then
+    d.queue_drops <- d.queue_drops + 1
+  else if t.loss > 0.0 && Vini_std.Rng.float t.rng 1.0 < t.loss then begin
+    (* Random loss still occupies the wire. *)
+    let now = Engine.now t.engine in
+    d.busy_until <- Time.add (Time.max d.busy_until now) (serialization t size);
+    d.loss_drops <- d.loss_drops + 1;
+    d.sent <- d.sent + 1;
+    d.bytes_sent <- d.bytes_sent + size
+  end
+  else begin
+    let now = Engine.now t.engine in
+    let tx_done = Time.add (Time.max d.busy_until now) (serialization t size) in
+    d.busy_until <- tx_done;
+    d.sent <- d.sent + 1;
+    d.bytes_sent <- d.bytes_sent + size;
+    let arrival = Time.add tx_done t.delay in
+    ignore
+      (Engine.at t.engine arrival (fun () ->
+           (* A failure during flight loses in-flight packets too. *)
+           if t.up then begin
+             d.delivered <- d.delivered + 1;
+             deliver pkt
+           end
+           else d.down_drops <- d.down_drops + 1))
+  end
+
+let set_up t up = t.up <- up
+let is_up t = t.up
+
+let utilization t ~dir =
+  let d = t.dirs.(dir) in
+  let now = Engine.now t.engine in
+  if Time.compare d.busy_until now <= 0 then 0.0
+  else Time.to_sec_f (Time.sub d.busy_until now)
+
+let stats t ~dir =
+  let d = t.dirs.(dir) in
+  {
+    sent = d.sent;
+    delivered = d.delivered;
+    queue_drops = d.queue_drops;
+    loss_drops = d.loss_drops;
+    down_drops = d.down_drops;
+    bytes_sent = d.bytes_sent;
+  }
+
+let bandwidth_bps t = t.bandwidth_bps
+let delay t = t.delay

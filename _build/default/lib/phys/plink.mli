@@ -1,0 +1,43 @@
+(** A physical point-to-point link.
+
+    Each direction is an independent transmitter with a drop-tail byte
+    queue, a serialisation rate, a propagation delay, and an optional
+    random loss rate.  Links can be administratively failed and restored
+    — physical failure, as opposed to the virtual-link failures IIAS
+    injects inside Click. *)
+
+type t
+
+type stats = {
+  sent : int;
+  delivered : int;
+  queue_drops : int;
+  loss_drops : int;
+  down_drops : int;
+  bytes_sent : int;
+}
+
+val create :
+  engine:Vini_sim.Engine.t ->
+  rng:Vini_std.Rng.t ->
+  bandwidth_bps:float ->
+  delay:Vini_sim.Time.t ->
+  ?loss:float ->
+  ?queue_bytes:int ->
+  unit ->
+  t
+
+val transmit : t -> dir:int -> Vini_net.Packet.t -> deliver:(Vini_net.Packet.t -> unit) -> unit
+(** Queue a packet on direction [dir] (0 or 1).  [deliver] fires at the
+    receiving end after serialisation + propagation, unless the packet is
+    dropped (full queue, random loss, or link down). *)
+
+val set_up : t -> bool -> unit
+val is_up : t -> bool
+
+val utilization : t -> dir:int -> float
+(** Instantaneous backlog in seconds of serialisation time. *)
+
+val stats : t -> dir:int -> stats
+val bandwidth_bps : t -> float
+val delay : t -> Vini_sim.Time.t

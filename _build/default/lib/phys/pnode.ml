@@ -1,0 +1,136 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+
+type t = {
+  engine : Engine.t;
+  rng : Vini_std.Rng.t;
+  id : int;
+  name : string;
+  addr : Vini_net.Addr.t;
+  cpu : Cpu.t;
+  stack : Ipstack.t;
+  mutable tx : Packet.t -> unit;
+  mutable kernel_busy : Time.t;
+  mutable kernel_cpu : Time.t;
+  mutable egress_htb : Htb.t option;
+}
+
+module Socket = struct
+  type s = {
+    node : t;
+    sock_port : int;
+    buf : Packet.t Vini_std.Fifo.t;
+  }
+
+  let port s = s.sock_port
+  let recv s = Vini_std.Fifo.pop s.buf
+  let peek s = Vini_std.Fifo.peek s.buf
+  let pending s = Vini_std.Fifo.length s.buf
+  let drops s = Vini_std.Fifo.drops s.buf
+  let close s = Ipstack.unbind_udp s.node.stack ~port:s.sock_port
+end
+
+let create ~engine ~rng ~id ~name ~addr ~cpu () =
+  let rec node =
+    lazy
+      {
+        engine;
+        rng;
+        id;
+        name;
+        addr;
+        cpu;
+        stack =
+          Ipstack.create ~engine ~local_addr:addr
+            ~tx:(fun pkt -> (Lazy.force node).tx pkt)
+            ();
+        tx = (fun _ -> ());
+        kernel_busy = Time.zero;
+        kernel_cpu = Time.zero;
+        egress_htb = None;
+      }
+  in
+  Lazy.force node
+
+let id t = t.id
+let name t = t.name
+let addr t = t.addr
+let cpu t = t.cpu
+let engine t = t.engine
+let stack t = t.stack
+let set_tx t tx = t.tx <- tx
+
+let send_as t ~cls pkt =
+  match t.egress_htb with
+  | None -> t.tx pkt
+  | Some htb ->
+      let c =
+        match Htb.find_class htb cls with
+        | Some c -> c
+        | None -> Htb.default_class htb
+      in
+      ignore (Htb.enqueue htb c pkt)
+
+let send t pkt =
+  match t.egress_htb with
+  | None -> t.tx pkt
+  | Some htb -> ignore (Htb.enqueue htb (Htb.default_class htb) pkt)
+
+let enable_egress_htb t ~rate_bps =
+  let htb = Htb.create ~engine:t.engine ~rate_bps ~out:(fun pkt -> t.tx pkt) () in
+  t.egress_htb <- Some htb
+
+let set_egress_class t ~name ?assured_bps ?ceil_bps () =
+  match t.egress_htb with
+  | None -> invalid_arg "Pnode.set_egress_class: no egress HTB enabled"
+  | Some htb -> ignore (Htb.add_class htb ~name ?assured_bps ?ceil_bps ())
+
+let egress_class_stats t ~name =
+  match t.egress_htb with
+  | None -> None
+  | Some htb -> (
+      match Htb.find_class htb name with
+      | Some c -> Some (Htb.class_sent_bytes c, Htb.class_drops c)
+      | None -> None)
+
+(* The kernel is a FIFO server: arrival waits for prior kernel work. *)
+let kernel_work t cost k =
+  let now = Engine.now t.engine in
+  let start = Time.max now t.kernel_busy in
+  let finish = Time.add start cost in
+  t.kernel_busy <- finish;
+  t.kernel_cpu <- Time.add t.kernel_cpu cost;
+  ignore (Engine.at t.engine finish k)
+
+let nic_latency t =
+  let base = Calibration.nic_latency_us in
+  let jitter = Vini_std.Rng.float t.rng Calibration.nic_jitter_us in
+  Time.of_sec_f ((base +. jitter) *. 1e-6)
+
+let rx_overhead t _pkt ~k =
+  let cost =
+    Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_forward_us *. 1e-6))
+  in
+  ignore
+    (Engine.after t.engine (nic_latency t) (fun () -> kernel_work t cost k))
+
+let deliver_local t pkt =
+  let cost =
+    Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_local_us *. 1e-6))
+  in
+  ignore
+    (Engine.after t.engine (nic_latency t) (fun () ->
+         kernel_work t cost (fun () -> Ipstack.deliver t.stack pkt)))
+
+let kernel_cpu_time t = t.kernel_cpu
+
+let open_udp_socket t ~port ?(rcvbuf_bytes = Calibration.udp_rcvbuf_bytes)
+    ~on_packet () =
+  let buf =
+    Vini_std.Fifo.create ~max_bytes:rcvbuf_bytes ~size_of:Packet.size ()
+  in
+  let sock = { Socket.node = t; sock_port = port; buf } in
+  Ipstack.bind_udp t.stack ~port (fun pkt ->
+      if Vini_std.Fifo.push buf pkt then on_packet ());
+  sock

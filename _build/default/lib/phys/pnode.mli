@@ -1,0 +1,81 @@
+(** A physical machine: kernel network path, host IP stack, CPU scheduler,
+    and per-process buffered UDP sockets.
+
+    The kernel path is a single FIFO server: each received or forwarded
+    packet occupies it for its (clock-scaled) processing cost, plus a NIC
+    interrupt latency per link traversal; that is the whole of the
+    "Network" baseline rows in Tables 2–5.  User-space experiments run as
+    {!Cpu.proc} processes that read packets from {!Socket} receive buffers
+    — the buffers whose overflow produces Figure 6's losses. *)
+
+type t
+
+module Socket : sig
+  type s
+
+  val port : s -> int
+  val recv : s -> Vini_net.Packet.t option
+  val peek : s -> Vini_net.Packet.t option
+  val pending : s -> int
+  val drops : s -> int
+  (** Packets rejected because the receive buffer was full. *)
+
+  val close : s -> unit
+end
+
+val create :
+  engine:Vini_sim.Engine.t ->
+  rng:Vini_std.Rng.t ->
+  id:int ->
+  name:string ->
+  addr:Vini_net.Addr.t ->
+  cpu:Cpu.t ->
+  unit ->
+  t
+
+val id : t -> int
+val name : t -> string
+val addr : t -> Vini_net.Addr.t
+val cpu : t -> Cpu.t
+val engine : t -> Vini_sim.Engine.t
+val stack : t -> Ipstack.t
+(** The kernel host stack (public address); apps bind ports here. *)
+
+val set_tx : t -> (Vini_net.Packet.t -> unit) -> unit
+(** Wire the node's transmit side to the underlay (done by {!Underlay}). *)
+
+val send : t -> Vini_net.Packet.t -> unit
+(** Transmit a packet originated on this node (host app or process). *)
+
+val send_as : t -> cls:string -> Vini_net.Packet.t -> unit
+(** Like {!send}, but classified for the egress HTB when one is enabled
+    (slices label their traffic with their name). *)
+
+val enable_egress_htb : t -> rate_bps:float -> unit
+(** Install an HTB on this node's outgoing traffic (§4.1.1): all locally
+    originated packets pass through it before entering the network. *)
+
+val set_egress_class :
+  t -> name:string -> ?assured_bps:float -> ?ceil_bps:float -> unit -> unit
+(** Declare a class (a slice) with a minimum-rate guarantee.
+    @raise Invalid_argument without {!enable_egress_htb} or on duplicates. *)
+
+val egress_class_stats : t -> name:string -> (int * int) option
+(** (bytes sent, drops) for a class, when the HTB is enabled. *)
+
+val rx_overhead : t -> Vini_net.Packet.t -> k:(unit -> unit) -> unit
+(** Charge NIC latency + kernel processing for a packet arriving on a
+    link, then continue.  Used for both local delivery and forwarding. *)
+
+val deliver_local : t -> Vini_net.Packet.t -> unit
+(** Arrival overheads, then demux into the host stack (which may hand the
+    packet to a bound socket or answer ICMP). *)
+
+val kernel_cpu_time : t -> Vini_sim.Time.t
+(** Total kernel CPU consumed (forwarding + local delivery). *)
+
+val open_udp_socket :
+  t -> port:int -> ?rcvbuf_bytes:int -> on_packet:(unit -> unit) -> unit -> Socket.s
+(** A buffered UDP socket for a user-space process; [on_packet] fires on
+    each successful enqueue (typically {!Cpu.kick}).
+    @raise Invalid_argument when the port is taken. *)

@@ -1,0 +1,126 @@
+module Time = Vini_sim.Time
+module Packet = Vini_net.Packet
+
+type source =
+  | Sock of Pnode.Socket.s
+  | Queue of Packet.t Vini_std.Fifo.t
+
+type t = {
+  pnode : Pnode.t;
+  proc_slice : Slice.t;
+  mutable sources : source array;
+  mutable handler : Packet.t -> unit;
+  cost_of : Packet.t -> Time.t;
+  mutable proc : Cpu.proc option;
+  mutable rr : int;
+  mutable processed : int;
+}
+
+let default_cost pkt =
+  Time.of_sec_f (Calibration.click_cost_us ~size:(Packet.size pkt) *. 1e-6)
+
+let source_pending = function
+  | Sock s -> Pnode.Socket.pending s
+  | Queue q -> Vini_std.Fifo.length q
+
+let source_peek = function
+  | Sock s -> Pnode.Socket.peek s
+  | Queue q -> Vini_std.Fifo.peek q
+
+let source_pop = function
+  | Sock s -> Pnode.Socket.recv s
+  | Queue q -> Vini_std.Fifo.pop q
+
+let source_drops = function
+  | Sock s -> Pnode.Socket.drops s
+  | Queue q -> Vini_std.Fifo.drops q
+
+(* Round-robin across sources, starting after the last-served one. *)
+let next_source t =
+  let n = Array.length t.sources in
+  if n = 0 then None
+  else begin
+    let rec probe i remaining =
+      if remaining = 0 then None
+      else
+        let s = t.sources.(i mod n) in
+        if source_pending s > 0 then Some (i mod n, s)
+        else probe (i + 1) (remaining - 1)
+    in
+    probe t.rr n
+  end
+
+let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
+  let t =
+    {
+      pnode = node;
+      proc_slice = slice;
+      sources = [||];
+      handler;
+      cost_of;
+      proc = None;
+      rr = 0;
+      processed = 0;
+    }
+  in
+  let has_work () = Option.is_some (next_source t) in
+  let next_cost () =
+    match next_source t with
+    | Some (_, s) -> (
+        match source_peek s with
+        | Some pkt -> Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt)
+        | None -> Time.zero)
+    | None -> Time.zero
+  in
+  let exec () =
+    match next_source t with
+    | Some (i, s) -> (
+        t.rr <- i + 1;
+        match source_pop s with
+        | Some pkt ->
+            t.processed <- t.processed + 1;
+            t.handler pkt
+        | None -> ())
+    | None -> ()
+  in
+  let proc =
+    Cpu.spawn (Pnode.cpu node) ~slice ~name ~has_work ~next_cost ~exec
+  in
+  t.proc <- Some proc;
+  t
+
+let kick t = Option.iter Cpu.kick t.proc
+
+let add_source t s = t.sources <- Array.append t.sources [| s |]
+
+let open_socket t ~port ?rcvbuf_bytes () =
+  let sock =
+    Pnode.open_udp_socket t.pnode ~port ?rcvbuf_bytes
+      ~on_packet:(fun () -> kick t)
+      ()
+  in
+  add_source t (Sock sock);
+  sock
+
+let open_queue t ?(capacity_bytes = Calibration.udp_rcvbuf_bytes) () =
+  let q =
+    Vini_std.Fifo.create ~max_bytes:capacity_bytes ~size_of:Packet.size ()
+  in
+  add_source t (Queue q);
+  fun pkt ->
+    let accepted = Vini_std.Fifo.push q pkt in
+    if accepted then kick t;
+    accepted
+
+let set_handler t h = t.handler <- h
+let node t = t.pnode
+let slice t = t.proc_slice
+
+let cpu_time t =
+  match t.proc with Some p -> Cpu.cpu_time p | None -> Time.zero
+
+let wakeups t = match t.proc with Some p -> Cpu.wakeups p | None -> 0
+let packets_processed t = t.processed
+
+let socket_drops t =
+  Array.fold_left (fun acc s -> acc + source_drops s) 0 t.sources

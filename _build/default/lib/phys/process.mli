@@ -1,0 +1,44 @@
+(** A user-space networking process in a slice (a Click or routing daemon).
+
+    Owns a set of buffered UDP sockets on its node, drains them round-robin
+    under the node's CPU scheduler, and hands each packet to a handler
+    together with a per-packet CPU cost function.  The default cost is the
+    calibrated Click user-space cost (syscalls + copies, §5.1.1), scaled to
+    the node's clock. *)
+
+type t
+
+val create :
+  node:Pnode.t ->
+  slice:Slice.t ->
+  name:string ->
+  ?cost_of:(Vini_net.Packet.t -> Vini_sim.Time.t) ->
+  handler:(Vini_net.Packet.t -> unit) ->
+  unit ->
+  t
+(** [cost_of] quotes CPU cost at the {e reference} clock; it is scaled to
+    the node automatically.  Default: {!Calibration.click_cost_us} of the
+    packet size. *)
+
+val open_socket : t -> port:int -> ?rcvbuf_bytes:int -> unit -> Pnode.Socket.s
+(** A socket whose arrivals wake this process. *)
+
+val open_queue :
+  t -> ?capacity_bytes:int -> unit -> (Vini_net.Packet.t -> bool)
+(** A local bounded input queue served by the process alongside its
+    sockets; the returned injector enqueues a packet and wakes the process
+    ([false] = queue full, packet dropped).  Models the tap device and the
+    UML switch feeding Click from the same node. *)
+
+val set_handler : t -> (Vini_net.Packet.t -> unit) -> unit
+
+val node : t -> Pnode.t
+val slice : t -> Slice.t
+val cpu_time : t -> Vini_sim.Time.t
+val wakeups : t -> int
+val packets_processed : t -> int
+val socket_drops : t -> int
+(** Total receive-buffer drops across this process's sockets. *)
+
+val kick : t -> unit
+(** Wake the process explicitly (after out-of-band work injection). *)

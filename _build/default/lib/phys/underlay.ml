@@ -1,0 +1,187 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+module Graph = Vini_topo.Graph
+module Addr = Vini_net.Addr
+
+type event =
+  | Link_down of Graph.node_id * Graph.node_id
+  | Link_up of Graph.node_id * Graph.node_id
+
+type node_profile = { speed_ghz : float; contention : Cpu.contention }
+
+let dedicated_profile ~speed_ghz = { speed_ghz; contention = Cpu.Dedicated }
+
+let planetlab_profile ~speed_ghz =
+  {
+    speed_ghz;
+    contention =
+      Cpu.Shared { active_sampler = Calibration.shared_active_slices () };
+  }
+
+type t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  pnodes : Pnode.t array;
+  by_addr : (Addr.t, Pnode.t) Hashtbl.t;
+  links : (int * int, Plink.t) Hashtbl.t;
+  link_up : (int * int, bool) Hashtbl.t;
+  mask_failures : bool;
+  (* prev.(src).(v) = predecessor of v on the shortest path from src *)
+  mutable prev : Graph.node_id option array array;
+  mutable subscribers : (event -> unit) list;
+  mutable blackholed : int;
+}
+
+let key a b = (min a b, max a b)
+
+let default_addr i =
+  if i < 246 then Addr.of_octets 198 32 154 (10 + i)
+  else Addr.add (Addr.of_octets 198 32 155 0) (i - 246)
+
+let weight_when_up t l =
+  let up = try Hashtbl.find t.link_up (key l.Graph.a l.Graph.b) with Not_found -> true in
+  if up then l.Graph.weight else 100_000_000
+
+let recompute_routes t =
+  let n = Graph.node_count t.graph in
+  t.prev <-
+    Array.init n (fun src ->
+        let _, prev = Graph.dijkstra ~weight_of:(weight_when_up t) t.graph src in
+        prev)
+
+let rec create ~engine ~rng ~graph
+    ?(profile = fun _ -> dedicated_profile ~speed_ghz:Calibration.reference_ghz)
+    ?(addr_of = default_addr) ?(mask_failures = true) () =
+  let n = Graph.node_count graph in
+  let pnodes =
+    Array.init n (fun i ->
+        let p = profile i in
+        let cpu =
+          Cpu.create ~engine ~rng:(Vini_std.Rng.split rng)
+            ~speed_ghz:p.speed_ghz ~contention:p.contention
+        in
+        Pnode.create ~engine ~rng:(Vini_std.Rng.split rng) ~id:i
+          ~name:(Graph.name graph i) ~addr:(addr_of i) ~cpu ())
+  in
+  let by_addr = Hashtbl.create n in
+  Array.iter (fun p -> Hashtbl.replace by_addr (Pnode.addr p) p) pnodes;
+  let links = Hashtbl.create 16 in
+  let link_up = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Graph.link) ->
+      let plink =
+        Plink.create ~engine ~rng:(Vini_std.Rng.split rng)
+          ~bandwidth_bps:l.bandwidth_bps ~delay:l.delay ~loss:l.loss ()
+      in
+      Hashtbl.replace links (key l.a l.b) plink;
+      Hashtbl.replace link_up (key l.a l.b) true)
+    (Graph.links graph);
+  let t =
+    {
+      engine;
+      graph;
+      pnodes;
+      by_addr;
+      links;
+      link_up;
+      mask_failures;
+      prev = [||];
+      subscribers = [];
+      blackholed = 0;
+    }
+  in
+  recompute_routes t;
+  Array.iter (fun p -> Pnode.set_tx p (fun pkt -> originate t p pkt)) pnodes;
+  t
+
+(* Routing: walk the prev-chain of the shortest-path tree rooted at the
+   destination?  No — prev is rooted at each source, so the next hop from
+   [from] towards [dst] is found by walking back from [dst]. *)
+and next_hop_id t ~from ~dst =
+  if from = dst then None
+  else
+    let prev = t.prev.(from) in
+    let rec back v = match prev.(v) with
+      | None -> None
+      | Some p when p = from -> Some v
+      | Some p -> back p
+    in
+    back dst
+
+and forward t nid pkt =
+  let node = t.pnodes.(nid) in
+  if Addr.equal pkt.Packet.dst (Pnode.addr node) then Pnode.deliver_local node pkt
+  else begin
+    match Hashtbl.find_opt t.by_addr pkt.Packet.dst with
+    | None -> t.blackholed <- t.blackholed + 1
+    | Some dst_node -> (
+        match next_hop_id t ~from:nid ~dst:(Pnode.id dst_node) with
+        | None -> t.blackholed <- t.blackholed + 1
+        | Some nh -> (
+            let k = key nid nh in
+            let up = try Hashtbl.find t.link_up k with Not_found -> false in
+            if not up then t.blackholed <- t.blackholed + 1
+            else
+              match Packet.decr_ttl pkt with
+              | None ->
+                  (* TTL expired here; notify the source. *)
+                  let notice =
+                    Packet.icmp ~src:(Pnode.addr node) ~dst:pkt.Packet.src
+                      (Packet.Time_exceeded
+                         { orig_src = pkt.Packet.src; orig_dst = pkt.Packet.dst })
+                  in
+                  originate t node notice
+              | Some pkt ->
+                  let plink = Hashtbl.find t.links k in
+                  let dir = if nid < nh then 0 else 1 in
+                  Plink.transmit plink ~dir pkt ~deliver:(fun pkt ->
+                      arrive t nh pkt)))
+  end
+
+and arrive t nid pkt =
+  let node = t.pnodes.(nid) in
+  if Addr.equal pkt.Packet.dst (Pnode.addr node) then Pnode.deliver_local node pkt
+  else Pnode.rx_overhead node pkt ~k:(fun () -> forward t nid pkt)
+
+and originate t node pkt =
+  if Addr.equal pkt.Packet.dst (Pnode.addr node) then
+    (* Loopback: deliver promptly, no NIC traversal. *)
+    ignore
+      (Engine.after (Pnode.engine node) (Time.us 5) (fun () ->
+           Ipstack.deliver (Pnode.stack node) pkt))
+  else forward t (Pnode.id node) pkt
+
+let engine t = t.engine
+let graph t = t.graph
+let node t i = t.pnodes.(i)
+let node_by_name t n = t.pnodes.(Graph.id_of_name t.graph n)
+let node_of_addr t a = Hashtbl.find_opt t.by_addr a
+let addr t i = Pnode.addr t.pnodes.(i)
+let nodes t = Array.to_list t.pnodes
+
+let plink t a b =
+  match Hashtbl.find_opt t.links (key a b) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let set_link_state t a b up =
+  let k = key a b in
+  if not (Hashtbl.mem t.links k) then raise Not_found;
+  let was = try Hashtbl.find t.link_up k with Not_found -> true in
+  if was <> up then begin
+    Hashtbl.replace t.link_up k up;
+    Plink.set_up (Hashtbl.find t.links k) up;
+    if t.mask_failures then recompute_routes t;
+    let ev = if up then Link_up (a, b) else Link_down (a, b) in
+    List.iter (fun f -> f ev) t.subscribers
+  end
+
+let link_is_up t a b =
+  match Hashtbl.find_opt t.link_up (key a b) with
+  | Some up -> up
+  | None -> false
+
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+let next_hop t ~from ~dst = next_hop_id t ~from ~dst
+let blackholed t = t.blackholed

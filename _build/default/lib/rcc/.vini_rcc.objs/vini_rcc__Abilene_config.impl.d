@@ -1,0 +1,1 @@
+lib/rcc/abilene_config.ml:

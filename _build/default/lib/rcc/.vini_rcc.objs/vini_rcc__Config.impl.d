@@ -1,0 +1,1 @@
+lib/rcc/config.ml: Format List Printf Result String

@@ -1,0 +1,1 @@
+lib/rcc/config.mli: Format

@@ -1,0 +1,1 @@
+lib/rcc/rcc.ml: Abilene_config Array Buffer Config Hashtbl Int64 List Printf String Vini_sim Vini_topo

@@ -1,0 +1,1 @@
+lib/rcc/rcc.mli: Config Vini_topo

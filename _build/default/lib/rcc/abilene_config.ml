@@ -1,0 +1,226 @@
+(* The 2006 Abilene backbone, as router configurations: the dataset the
+   rcc pipeline parses to drive the Section 5.2 mirror experiment. *)
+
+let text = {config|hostname Seattle
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Sunnyvale
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+interface ge-1/0/0
+  description to Denver
+  bandwidth 10000000
+  delay 14500
+  ip ospf cost 1450
+!
+
+hostname Sunnyvale
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Seattle
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+interface ge-1/0/0
+  description to Los-Angeles
+  bandwidth 10000000
+  delay 5000
+  ip ospf cost 500
+!
+interface ge-2/0/0
+  description to Denver
+  bandwidth 10000000
+  delay 12000
+  ip ospf cost 1200
+!
+
+hostname Los-Angeles
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Sunnyvale
+  bandwidth 10000000
+  delay 5000
+  ip ospf cost 500
+!
+interface ge-1/0/0
+  description to Houston
+  bandwidth 10000000
+  delay 15500
+  ip ospf cost 1550
+!
+
+hostname Denver
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Seattle
+  bandwidth 10000000
+  delay 14500
+  ip ospf cost 1450
+!
+interface ge-1/0/0
+  description to Sunnyvale
+  bandwidth 10000000
+  delay 12000
+  ip ospf cost 1200
+!
+interface ge-2/0/0
+  description to Kansas-City
+  bandwidth 10000000
+  delay 5500
+  ip ospf cost 550
+!
+
+hostname Kansas-City
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Denver
+  bandwidth 10000000
+  delay 5500
+  ip ospf cost 550
+!
+interface ge-1/0/0
+  description to Houston
+  bandwidth 10000000
+  delay 9000
+  ip ospf cost 900
+!
+interface ge-2/0/0
+  description to Indianapolis
+  bandwidth 10000000
+  delay 5000
+  ip ospf cost 500
+!
+
+hostname Houston
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Los-Angeles
+  bandwidth 10000000
+  delay 15500
+  ip ospf cost 1550
+!
+interface ge-1/0/0
+  description to Kansas-City
+  bandwidth 10000000
+  delay 9000
+  ip ospf cost 900
+!
+interface ge-2/0/0
+  description to Atlanta
+  bandwidth 10000000
+  delay 10000
+  ip ospf cost 1000
+!
+
+hostname Atlanta
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Houston
+  bandwidth 10000000
+  delay 10000
+  ip ospf cost 1000
+!
+interface ge-1/0/0
+  description to Indianapolis
+  bandwidth 10000000
+  delay 5500
+  ip ospf cost 550
+!
+interface ge-2/0/0
+  description to Washington-DC
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+
+hostname Indianapolis
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Kansas-City
+  bandwidth 10000000
+  delay 5000
+  ip ospf cost 500
+!
+interface ge-1/0/0
+  description to Atlanta
+  bandwidth 10000000
+  delay 5500
+  ip ospf cost 550
+!
+interface ge-2/0/0
+  description to Chicago
+  bandwidth 10000000
+  delay 2500
+  ip ospf cost 250
+!
+
+hostname Chicago
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Indianapolis
+  bandwidth 10000000
+  delay 2500
+  ip ospf cost 250
+!
+interface ge-1/0/0
+  description to New-York
+  bandwidth 10000000
+  delay 8500
+  ip ospf cost 850
+!
+
+hostname New-York
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Chicago
+  bandwidth 10000000
+  delay 8500
+  ip ospf cost 850
+!
+interface ge-1/0/0
+  description to Washington-DC
+  bandwidth 10000000
+  delay 2000
+  ip ospf cost 200
+!
+
+hostname Washington-DC
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to Atlanta
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+interface ge-1/0/0
+  description to New-York
+  bandwidth 10000000
+  delay 2000
+  ip ospf cost 200
+!
+|config}

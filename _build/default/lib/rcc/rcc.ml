@@ -1,0 +1,173 @@
+module Graph = Vini_topo.Graph
+
+let audit (cfgs : Config.router_cfg list) =
+  let faults = ref [] in
+  let fault fmt = Printf.ksprintf (fun s -> faults := s :: !faults) fmt in
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Config.router_cfg) ->
+      if Hashtbl.mem by_name c.Config.hostname then
+        fault "duplicate hostname %s" c.Config.hostname
+      else Hashtbl.replace by_name c.Config.hostname c)
+    cfgs;
+  let iface_towards (c : Config.router_cfg) peer =
+    List.find_opt (fun (i : Config.iface_cfg) -> i.Config.peer = peer) c.Config.ifaces
+  in
+  List.iter
+    (fun (c : Config.router_cfg) ->
+      if not c.Config.ospf then fault "%s does not run ospf" c.Config.hostname;
+      List.iter
+        (fun (i : Config.iface_cfg) ->
+          match Hashtbl.find_opt by_name i.Config.peer with
+          | None ->
+              fault "%s interface %s points at unknown router %s"
+                c.Config.hostname i.Config.ifname i.Config.peer
+          | Some peer_cfg -> (
+              match iface_towards peer_cfg c.Config.hostname with
+              | None ->
+                  fault "link %s->%s has no reverse interface"
+                    c.Config.hostname i.Config.peer
+              | Some back ->
+                  if back.Config.ospf_cost <> i.Config.ospf_cost then
+                    fault "asymmetric ospf cost on %s--%s (%d vs %d)"
+                      c.Config.hostname i.Config.peer i.Config.ospf_cost
+                      back.Config.ospf_cost;
+                  if back.Config.delay_us <> i.Config.delay_us then
+                    fault "asymmetric delay on %s--%s" c.Config.hostname
+                      i.Config.peer))
+        c.Config.ifaces)
+    cfgs;
+  (* Timer agreement across the OSPF domain. *)
+  (match cfgs with
+  | first :: rest ->
+      List.iter
+        (fun (c : Config.router_cfg) ->
+          if
+            c.Config.hello_interval_s <> first.Config.hello_interval_s
+            || c.Config.dead_interval_s <> first.Config.dead_interval_s
+          then
+            fault "%s disagrees with %s on ospf timers" c.Config.hostname
+              first.Config.hostname)
+        rest
+  | [] -> ());
+  List.rev !faults
+
+let build_topology (cfgs : Config.router_cfg list) =
+  let names = Array.of_list (List.map (fun c -> c.Config.hostname) cfgs) in
+  let id_of = Hashtbl.create 16 in
+  Array.iteri (fun i n -> Hashtbl.replace id_of n i) names;
+  let seen = Hashtbl.create 16 in
+  let links = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun a (c : Config.router_cfg) ->
+      List.iter
+        (fun (i : Config.iface_cfg) ->
+          match Hashtbl.find_opt id_of i.Config.peer with
+          | None ->
+              if !error = None then
+                error :=
+                  Some
+                    (Printf.sprintf "unknown peer %s in %s" i.Config.peer
+                       c.Config.hostname)
+          | Some b ->
+              let key = (min a b, max a b) in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                links :=
+                  {
+                    Graph.a = min a b;
+                    b = max a b;
+                    bandwidth_bps = float_of_int i.Config.bandwidth_kbps *. 1e3;
+                    delay =
+                      Vini_sim.Time.us i.Config.delay_us;
+                    loss = 0.0;
+                    weight = i.Config.ospf_cost;
+                  }
+                  :: !links
+              end)
+        c.Config.ifaces)
+    cfgs;
+  match !error with
+  | Some e -> Error e
+  | None -> (
+      try Ok (Graph.create ~names ~links:(List.rev !links))
+      with Invalid_argument e -> Error e)
+
+let sanitise name =
+  String.map (fun c -> if c = ' ' then '-' else c) name
+
+let emit_configs g =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun v ->
+      add "hostname %s\n" (sanitise (Graph.name g v));
+      add "router ospf 1\n  hello-interval 5\n  dead-interval 10\n";
+      List.iteri
+        (fun ifindex (nbr, (l : Graph.link)) ->
+          add "interface ge-%d/0/0\n" ifindex;
+          add "  description to %s\n" (sanitise (Graph.name g nbr));
+          add "  bandwidth %d\n" (int_of_float (l.Graph.bandwidth_bps /. 1e3));
+          add "  delay %d\n"
+            (Int64.to_int
+               (Int64.div
+                  (l.Graph.delay : Vini_sim.Time.t)
+                  1000L));
+          add "  ip ospf cost %d\n!\n" l.Graph.weight)
+        (Graph.neighbors g v);
+      add "\n")
+    (Graph.nodes g);
+  Buffer.contents buf
+
+let abilene_text () = Abilene_config.text
+
+let abilene () =
+  match Config.parse_many (abilene_text ()) with
+  | Error e -> failwith ("rcc: embedded Abilene configs failed to parse: " ^ e)
+  | Ok cfgs -> (
+      match audit cfgs with
+      | [] -> (
+          match build_topology cfgs with
+          | Ok g -> g
+          | Error e -> failwith ("rcc: embedded Abilene configs invalid: " ^ e))
+      | faults ->
+          failwith
+            ("rcc: embedded Abilene configs have faults: "
+            ^ String.concat "; " faults))
+
+let xorp_config g v =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "/* XORP configuration for %s (generated) */\n" (Graph.name g v);
+  add "protocols {\n  ospf4 {\n    router-id: %d.%d.%d.%d\n" 10 0 0 (v + 1);
+  List.iteri
+    (fun ifindex (nbr, (l : Graph.link)) ->
+      add "    interface eth%d {\n" ifindex;
+      add "      /* to %s */\n" (Graph.name g nbr);
+      add "      hello-interval: 5\n      router-dead-interval: 10\n";
+      add "      interface-cost: %d\n    }\n" l.Graph.weight)
+    (Graph.neighbors g v);
+  add "  }\n}\nfea {\n  click { enabled: true }\n}\n";
+  Buffer.contents buf
+
+let click_config g v =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "// Click configuration for %s (generated)\n" (Graph.name g v);
+  add "tap :: KernelTap(10.0.0.%d/32);\n" (v + 1);
+  add "fib :: LinearIPLookup;\n";
+  List.iteri
+    (fun ifindex (nbr, _) ->
+      add "tun%d :: Socket(UDP, %s, 33000); // to %s\n" ifindex
+        (Printf.sprintf "198.32.154.%d" (10 + nbr))
+        (Graph.name g nbr))
+    (Graph.neighbors g v);
+  add "tap -> fib;\n";
+  List.iteri
+    (fun ifindex (nbr, _) ->
+      add "fib[%d] -> drop%d :: DropLink -> tun%d; // next hop %s\n" ifindex
+        ifindex ifindex (Graph.name g nbr);
+      add "tun%d -> fib;\n" ifindex)
+    (Graph.neighbors g v);
+  Buffer.contents buf

@@ -1,0 +1,40 @@
+(** The rcc pipeline: audit router configurations, build the experiment
+    topology they describe, and generate per-node XORP/Click-style
+    configurations for the virtual network (§6.2's "machinery for
+    mirroring the Abilene topology").
+
+    The checks in {!audit} are the flavour of static analysis the rcc
+    paper performs: dangling peer references, asymmetric OSPF costs,
+    mismatched timers, and duplicate hostnames — faults that would make a
+    mirrored experiment silently diverge from the real network. *)
+
+val audit : Config.router_cfg list -> string list
+(** Human-readable fault reports; empty means clean. *)
+
+val build_topology :
+  Config.router_cfg list -> (Vini_topo.Graph.t, string) result
+(** Construct the mirrored topology.  Node ids follow the order of the
+    configs; link weight/delay/bandwidth come from the interface stanzas
+    (both ends must agree on cost). *)
+
+val abilene_text : unit -> string
+(** The embedded Abilene-2006 configuration dataset. *)
+
+val abilene : unit -> Vini_topo.Graph.t
+(** Parse + audit + build the Abilene mirror topology.
+    @raise Failure if the embedded dataset fails its own pipeline. *)
+
+val emit_configs : Vini_topo.Graph.t -> string
+(** The inverse pipeline: render any topology as a router-configuration
+    file in the dialect {!Config.parse_many} reads.  [parse → audit →
+    build_topology] over the output reconstructs the topology exactly
+    (weights, delays, bandwidths) — the property the test suite checks.
+    Node names are sanitised to single tokens (spaces become dashes). *)
+
+val xorp_config : Vini_topo.Graph.t -> int -> string
+(** The XORP-style OSPF configuration PL-VINI would generate for one
+    virtual node of the mirrored topology. *)
+
+val click_config : Vini_topo.Graph.t -> int -> string
+(** The Click-style data-plane configuration for one virtual node:
+    tunnels, encapsulation table, tap plumbing. *)

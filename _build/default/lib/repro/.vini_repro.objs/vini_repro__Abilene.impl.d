@@ -1,0 +1,1 @@
+lib/repro/abilene.ml: Array Float List Option Vini_core Vini_measure Vini_overlay Vini_phys Vini_rcc Vini_sim Vini_topo Vini_transport

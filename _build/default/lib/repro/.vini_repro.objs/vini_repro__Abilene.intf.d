@@ -1,0 +1,1 @@
+lib/repro/abilene.mli: Vini_topo

@@ -1,0 +1,1 @@
+lib/repro/ablation.mli:

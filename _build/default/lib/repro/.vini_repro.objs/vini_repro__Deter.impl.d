@@ -1,0 +1,1 @@
+lib/repro/deter.ml: Fun List Vini_measure Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+lib/repro/planetlab.ml: Float Fun List Vini_measure Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

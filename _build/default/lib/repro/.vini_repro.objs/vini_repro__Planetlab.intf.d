@@ -1,0 +1,1 @@
+lib/repro/planetlab.mli:

@@ -1,0 +1,135 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Datasets = Vini_topo.Datasets
+module Underlay = Vini_phys.Underlay
+module Pnode = Vini_phys.Pnode
+module Slice = Vini_phys.Slice
+module Iias = Vini_overlay.Iias
+module Iperf = Vini_measure.Iperf
+module Ping = Vini_measure.Ping
+
+type tcp_result = {
+  mbps_mean : float;
+  mbps_stddev : float;
+  fwdr_cpu_pct : float;
+}
+
+type ping_result = {
+  p_min : float;
+  p_avg : float;
+  p_max : float;
+  p_mdev : float;
+  p_loss_pct : float;
+}
+
+let make_underlay ~seed =
+  let engine = Engine.create ~seed () in
+  let graph = Datasets.Deter.topology () in
+  let underlay =
+    Underlay.create ~engine
+      ~rng:(Vini_std.Rng.split (Engine.rng engine))
+      ~graph ()
+  in
+  (engine, underlay)
+
+let make_overlay ~seed =
+  let engine, underlay = make_underlay ~seed in
+  let slice = Slice.pl_vini "iias" in
+  let iias =
+    Iias.create ~underlay ~slice
+      ~vtopo:(Datasets.Deter.topology ())
+      ~embedding:Fun.id ()
+  in
+  Iias.start iias;
+  (engine, underlay, iias)
+
+(* One measured TCP run; [stacks] picks the endpoints and the middle
+   node's CPU meter. *)
+let tcp_run ~duration_s ~seed ~setup =
+  let engine, client, server, fwdr_cpu = setup ~seed in
+  let start = Time.sec 25 in
+  let warmup = Time.sec 2 in
+  let duration = Time.sec duration_s in
+  let run = Iperf.tcp ~client ~server ~warmup ~start ~duration () in
+  let window_open = Time.add start warmup in
+  let cpu_before = ref Time.zero in
+  ignore (Engine.at engine window_open (fun () -> cpu_before := fwdr_cpu ()));
+  Engine.run ~until:(Time.add window_open duration) engine;
+  let cpu_used = Time.sub (fwdr_cpu ()) !cpu_before in
+  let cpu_pct = 100.0 *. Time.to_sec_f cpu_used /. Time.to_sec_f duration in
+  (Iperf.tcp_mbps run, cpu_pct)
+
+let aggregate runs =
+  let mbps = Vini_std.Stats.create () and cpu = Vini_std.Stats.create () in
+  List.iter
+    (fun (m, c) ->
+      Vini_std.Stats.add mbps m;
+      Vini_std.Stats.add cpu c)
+    runs;
+  {
+    mbps_mean = Vini_std.Stats.mean mbps;
+    mbps_stddev = Vini_std.Stats.stddev mbps;
+    fwdr_cpu_pct = Vini_std.Stats.mean cpu;
+  }
+
+let network_setup ~seed =
+  let engine, underlay = make_underlay ~seed in
+  let src = Underlay.node underlay Datasets.Deter.src in
+  let sink = Underlay.node underlay Datasets.Deter.sink in
+  let fwdr = Underlay.node underlay Datasets.Deter.fwdr in
+  ( engine,
+    Pnode.stack src,
+    Pnode.stack sink,
+    fun () -> Pnode.kernel_cpu_time fwdr )
+
+let iias_setup ~seed =
+  let engine, _underlay, iias = make_overlay ~seed in
+  let v_src = Iias.vnode iias Datasets.Deter.src in
+  let v_sink = Iias.vnode iias Datasets.Deter.sink in
+  let v_fwdr = Iias.vnode iias Datasets.Deter.fwdr in
+  ( engine,
+    Iias.tap v_src,
+    Iias.tap v_sink,
+    fun () -> Iias.cpu_time v_fwdr )
+
+let many ~runs ~seed f =
+  List.init runs (fun i -> f ~seed:(seed + (37 * i)))
+
+let network_tcp ?(runs = 5) ?(duration_s = 5) ?(seed = 1001) () =
+  aggregate
+    (many ~runs ~seed (fun ~seed -> tcp_run ~duration_s ~seed ~setup:network_setup))
+
+let iias_tcp ?(runs = 5) ?(duration_s = 5) ?(seed = 2001) () =
+  aggregate
+    (many ~runs ~seed (fun ~seed -> tcp_run ~duration_s ~seed ~setup:iias_setup))
+
+let ping_result_of p =
+  let rtts = Ping.rtt_ms p in
+  {
+    p_min = Vini_std.Stats.min rtts;
+    p_avg = Vini_std.Stats.mean rtts;
+    p_max = Vini_std.Stats.max rtts;
+    p_mdev = Vini_std.Stats.mdev rtts;
+    p_loss_pct = Ping.loss_pct p;
+  }
+
+let network_ping ?(count = 10_000) ?(seed = 3001) () =
+  let engine, underlay = make_underlay ~seed in
+  let src = Underlay.node underlay Datasets.Deter.src in
+  let sink = Underlay.node underlay Datasets.Deter.sink in
+  let p =
+    Ping.start ~stack:(Pnode.stack src) ~dst:(Pnode.addr sink) ~count ()
+  in
+  Engine.run ~until:(Time.sec 300) engine;
+  ping_result_of p
+
+let iias_ping ?(count = 10_000) ?(seed = 4001) () =
+  let engine, _underlay, iias = make_overlay ~seed in
+  let v_src = Iias.vnode iias Datasets.Deter.src in
+  let v_sink = Iias.vnode iias Datasets.Deter.sink in
+  Engine.run ~until:(Time.sec 25) engine;
+  let p =
+    Ping.start ~stack:(Iias.tap v_src) ~dst:(Iias.tap_addr v_sink) ~count ()
+  in
+  Engine.run ~until:(Time.sec 400) engine;
+  ping_result_of p

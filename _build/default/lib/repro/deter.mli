@@ -1,0 +1,26 @@
+(** §5.1.1 — microbenchmark #1, overlay efficiency on dedicated hardware.
+
+    Reproduces Table 2 (TCP throughput, network vs IIAS, with forwarder
+    CPU) and Table 3 (flood-ping latency) on the 3-machine DETER chain.
+    "Network" runs iperf/ping between the kernel stacks with in-kernel
+    forwarding at the middle node; "IIAS" runs them across the overlay's
+    tap interfaces with user-space Click forwarding. *)
+
+type tcp_result = {
+  mbps_mean : float;
+  mbps_stddev : float;
+  fwdr_cpu_pct : float;   (** middle node: kernel or Click process *)
+}
+
+type ping_result = {
+  p_min : float;
+  p_avg : float;
+  p_max : float;
+  p_mdev : float;
+  p_loss_pct : float;
+}
+
+val network_tcp : ?runs:int -> ?duration_s:int -> ?seed:int -> unit -> tcp_result
+val iias_tcp : ?runs:int -> ?duration_s:int -> ?seed:int -> unit -> tcp_result
+val network_ping : ?count:int -> ?seed:int -> unit -> ping_result
+val iias_ping : ?count:int -> ?seed:int -> unit -> ping_result

@@ -1,0 +1,1 @@
+lib/routing/bgp.ml: Lazy List Map Option Rchan Rib Vini_net Vini_sim

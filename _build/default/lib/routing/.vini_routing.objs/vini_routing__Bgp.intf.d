@@ -1,0 +1,1 @@
+lib/routing/bgp.mli: Rib Vini_net Vini_sim

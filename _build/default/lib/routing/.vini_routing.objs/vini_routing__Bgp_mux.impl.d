@@ -1,0 +1,1 @@
+lib/routing/bgp_mux.ml: Bgp Float Hashtbl List Vini_net Vini_sim

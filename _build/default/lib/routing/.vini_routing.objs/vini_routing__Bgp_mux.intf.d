@@ -1,0 +1,1 @@
+lib/routing/bgp_mux.mli: Bgp Vini_net Vini_sim

@@ -1,0 +1,1 @@
+lib/routing/io.ml: Format Vini_net

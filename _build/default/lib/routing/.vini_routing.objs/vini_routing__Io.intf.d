@@ -1,0 +1,1 @@
+lib/routing/io.mli: Format Vini_net

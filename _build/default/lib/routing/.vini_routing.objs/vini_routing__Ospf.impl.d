@@ -1,0 +1,1 @@
+lib/routing/ospf.ml: Hashtbl Io List Option Rib Vini_net Vini_sim Vini_std

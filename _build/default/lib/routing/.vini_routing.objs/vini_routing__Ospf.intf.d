@@ -1,0 +1,1 @@
+lib/routing/ospf.mli: Io Rib Vini_net Vini_sim Vini_std

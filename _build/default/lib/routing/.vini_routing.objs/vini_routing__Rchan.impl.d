@@ -1,0 +1,1 @@
+lib/routing/rchan.ml: Queue Vini_net Vini_sim

@@ -1,0 +1,1 @@
+lib/routing/rchan.mli: Vini_net Vini_sim

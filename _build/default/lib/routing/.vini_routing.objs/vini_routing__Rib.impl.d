@@ -1,0 +1,1 @@
+lib/routing/rib.ml: Format List Map Option Vini_net

@@ -1,0 +1,1 @@
+lib/routing/rip.ml: Io List Map Rib Vini_net Vini_sim Vini_std

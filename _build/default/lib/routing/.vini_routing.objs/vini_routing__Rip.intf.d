@@ -1,0 +1,1 @@
+lib/routing/rip.mli: Io Rib Vini_net Vini_sim Vini_std

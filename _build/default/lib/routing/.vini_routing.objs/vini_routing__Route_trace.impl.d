@@ -1,0 +1,1 @@
+lib/routing/route_trace.ml: List Printf Rib String Vini_net Vini_sim

@@ -1,0 +1,1 @@
+lib/routing/route_trace.mli: Rib Vini_sim

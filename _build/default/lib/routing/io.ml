@@ -1,0 +1,15 @@
+type iface = {
+  ifindex : int;
+  ifname : string;
+  local : Vini_net.Addr.t;
+  remote : Vini_net.Addr.t;
+  mutable cost : int;
+  send : Vini_net.Packet.control -> size:int -> unit;
+}
+
+let make ~ifindex ~ifname ~local ~remote ~cost ~send =
+  { ifindex; ifname; local; remote; cost; send }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(#%d) %a -> %a cost %d" t.ifname t.ifindex
+    Vini_net.Addr.pp t.local Vini_net.Addr.pp t.remote t.cost

@@ -1,0 +1,85 @@
+type handle = {
+  time : Time.t;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable clock : Time.t;
+  queue : handle Vini_std.Heap.t;
+  root_rng : Vini_std.Rng.t;
+  mutable cancelled_count : int;
+  mutable fired : int;
+}
+
+let create ?(seed = 42) () =
+  {
+    clock = Time.zero;
+    queue = Vini_std.Heap.create ~cmp:(fun a b -> Time.compare a.time b.time);
+    root_rng = Vini_std.Rng.create seed;
+    cancelled_count = 0;
+    fired = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let at t time callback =
+  let time = Time.max time t.clock in
+  let h = { time; callback; cancelled = false } in
+  Vini_std.Heap.push t.queue h;
+  h
+
+let after t delta callback = at t (Time.add t.clock (Time.max delta Time.zero)) callback
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
+let rec every t ?start ?jitter period f =
+  let base = match start with Some s -> s | None -> Time.add t.clock period in
+  let fire_at =
+    match jitter with
+    | None -> base
+    | Some j when Time.compare j Time.zero > 0 ->
+        Time.add base (Time.of_sec_f (Vini_std.Rng.float t.root_rng (Time.to_sec_f j)))
+    | Some _ -> base
+  in
+  ignore
+    (at t fire_at (fun () ->
+         if f () then
+           every t ~start:(Time.add fire_at period) ?jitter period f))
+
+let step t =
+  match Vini_std.Heap.pop t.queue with
+  | None -> false
+  | Some h ->
+      if h.cancelled then begin
+        t.cancelled_count <- t.cancelled_count + 1;
+        true
+      end
+      else begin
+        t.clock <- Time.max t.clock h.time;
+        t.fired <- t.fired + 1;
+        h.callback ();
+        true
+      end
+
+let run ?until t =
+  let continue () =
+    match (Vini_std.Heap.peek t.queue, until) with
+    | None, _ -> false
+    | Some _, None -> true
+    | Some h, Some limit -> Time.compare h.time limit <= 0
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when Time.compare limit t.clock > 0 -> t.clock <- limit
+  | Some _ | None -> ()
+
+let pending t =
+  (* Lazily-deleted events stay in the heap until popped; count live ones. *)
+  List.length (List.filter (fun h -> not h.cancelled) (Vini_std.Heap.to_list t.queue))
+
+let events_fired t = t.fired

@@ -1,0 +1,51 @@
+(** The discrete-event simulation engine.
+
+    A single-threaded event loop over a stable min-heap of timestamped
+    callbacks.  Everything in the repository — links, CPU schedulers,
+    routing timers, TCP retransmissions — is expressed as events on one
+    engine, so an entire VINI deployment (physical substrate plus every
+    slice) advances on one logical clock. *)
+
+type t
+
+type handle
+(** A scheduled event; may be cancelled before it fires. *)
+
+val create : ?seed:int -> unit -> t
+(** [seed] (default 42) initialises the root RNG from which subsystems
+    {!Vini_std.Rng.split} their own streams. *)
+
+val now : t -> Time.t
+val rng : t -> Vini_std.Rng.t
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule at an absolute time (>= now, else it fires immediately at the
+    current time). *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule at [now + delta]; negative deltas clamp to now. *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val every : t -> ?start:Time.t -> ?jitter:Time.t -> Time.t ->
+  (unit -> bool) -> unit
+(** [every t ~start ~jitter period f] runs [f] at [start] (default: one
+    period from now) and re-schedules while [f] returns [true].  Each firing
+    is offset by a uniform random amount in [\[0, jitter\]] (default none) to
+    avoid phase-locked protocol timers. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Drain events in timestamp order.  With [until], stops once the next
+    event would be later than [until] and advances the clock to [until]. *)
+
+val step : t -> bool
+(** Fire exactly one event; [false] when the queue was empty. *)
+
+val pending : t -> int
+(** Number of scheduled (uncancelled) events. *)
+
+val events_fired : t -> int
+(** Total callbacks executed so far (engine throughput metric). *)

@@ -1,0 +1,22 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let of_sec_f s = Int64.of_float (Float.round (s *. 1e9))
+let to_sec_f t = Int64.to_float t /. 1e9
+let to_ms_f t = Int64.to_float t /. 1e6
+let of_ms_f m = Int64.of_float (Float.round (m *. 1e6))
+let add = Int64.add
+let sub = Int64.sub
+let mul t n = Int64.mul t (Int64.of_int n)
+let compare = Int64.compare
+let ( <= ) a b = Int64.compare a b <= 0
+let ( < ) a b = Int64.compare a b < 0
+let ( >= ) a b = Int64.compare a b >= 0
+let ( > ) a b = Int64.compare a b > 0
+let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
+let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec_f t)

@@ -1,0 +1,34 @@
+(** Simulation time as int64 nanoseconds.
+
+    Integer time keeps event ordering exact: two events scheduled from the
+    same float expression can never be reordered by rounding, which matters
+    for reproducibility of convergence experiments. *)
+
+type t = int64
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_sec_f : float -> t
+(** Round a float duration in seconds to whole nanoseconds. *)
+
+val to_sec_f : t -> float
+val to_ms_f : t -> float
+val of_ms_f : float -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints seconds with microsecond precision, e.g. ["12.345678s"]. *)

@@ -1,0 +1,24 @@
+type t = {
+  engine : Engine.t;
+  mutable events_rev : (Time.t * string * string) list;
+}
+
+let create engine = { engine; events_rev = [] }
+
+let record t point detail =
+  t.events_rev <- (Engine.now t.engine, point, detail) :: t.events_rev
+
+let events t = List.rev t.events_rev
+
+let find t ~point =
+  List.filter_map
+    (fun (time, p, detail) -> if String.equal p point then Some (time, detail) else None)
+    (events t)
+
+let clear t = t.events_rev <- []
+
+let pp ppf t =
+  List.iter
+    (fun (time, point, detail) ->
+      Format.fprintf ppf "%a %-20s %s@." Time.pp time point detail)
+    (events t)

@@ -1,0 +1,20 @@
+(** Timestamped event log.
+
+    A light append-only record of (time, point, detail) triples used by
+    integration tests to assert event ordering and by the CLI's verbose
+    mode.  Packet-level capture lives in [Vini_measure.Tcpdump]. *)
+
+type t
+
+val create : Engine.t -> t
+val record : t -> string -> string -> unit
+(** [record t point detail] stamps the engine's current time. *)
+
+val events : t -> (Time.t * string * string) list
+(** In chronological (insertion) order. *)
+
+val find : t -> point:string -> (Time.t * string) list
+(** All events recorded at a given point. *)
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

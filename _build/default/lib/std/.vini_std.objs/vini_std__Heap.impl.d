@@ -1,0 +1,1 @@
+lib/std/heap.ml: Array

@@ -1,0 +1,1 @@
+lib/std/rng.ml: Array Float Int64

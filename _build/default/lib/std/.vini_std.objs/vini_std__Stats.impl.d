@@ -1,0 +1,1 @@
+lib/std/stats.ml: Array Float Format List Stdlib

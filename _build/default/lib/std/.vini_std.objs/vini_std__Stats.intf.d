@@ -1,0 +1,1 @@
+lib/std/stats.mli: Format

@@ -1,0 +1,53 @@
+type 'a t = {
+  q : 'a Queue.t;
+  size_of : 'a -> int;
+  max_packets : int option;
+  max_bytes : int option;
+  mutable bytes : int;
+  mutable drops : int;
+}
+
+let create ?max_packets ?max_bytes ~size_of () =
+  { q = Queue.create (); size_of; max_packets; max_bytes; bytes = 0; drops = 0 }
+
+let would_overflow t x =
+  let over_packets =
+    match t.max_packets with
+    | None -> false
+    | Some m -> Queue.length t.q >= m
+  in
+  let over_bytes =
+    match t.max_bytes with
+    | None -> false
+    | Some m -> t.bytes + t.size_of x > m
+  in
+  over_packets || over_bytes
+
+let push t x =
+  if would_overflow t x then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    t.bytes <- t.bytes + t.size_of x;
+    true
+  end
+
+let pop t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some x ->
+      t.bytes <- t.bytes - t.size_of x;
+      Some x
+
+let peek t = Queue.peek_opt t.q
+let length t = Queue.length t.q
+let bytes t = t.bytes
+let is_empty t = Queue.is_empty t.q
+
+let clear t =
+  Queue.clear t.q;
+  t.bytes <- 0
+
+let drops t = t.drops

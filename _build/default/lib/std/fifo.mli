@@ -1,0 +1,25 @@
+(** Bounded FIFO with byte accounting.
+
+    Models drop-tail queues: a NIC transmit queue, a UDP socket receive
+    buffer, a Click [Queue] element.  The bound may be expressed in packets,
+    in bytes, or both; pushes that would exceed either bound are rejected
+    (the caller counts the drop). *)
+
+type 'a t
+
+val create : ?max_packets:int -> ?max_bytes:int -> size_of:('a -> int) -> unit -> 'a t
+(** [size_of] reports an element's size in bytes.  Omitted bounds are
+    unlimited. *)
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues and returns [true], or returns [false] (drop-tail)
+    when a bound would be exceeded. *)
+
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val bytes : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+val drops : 'a t -> int
+(** Number of rejected pushes since creation. *)

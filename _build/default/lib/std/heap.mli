@@ -1,0 +1,29 @@
+(** Array-backed binary min-heap.
+
+    Used by the event queue and by Dijkstra.  Elements are ordered by a
+    comparison function supplied at creation; ties are broken by insertion
+    order so the heap is stable, which keeps simulation runs deterministic
+    when many events share a timestamp. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in arbitrary order. *)

@@ -1,0 +1,91 @@
+type t = {
+  mutable samples_rev : float list;
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  {
+    samples_rev = [];
+    count = 0;
+    sum = 0.0;
+    sum_sq = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+let add t x =
+  t.samples_rev <- x :: t.samples_rev;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  t.sum_sq <- t.sum_sq +. (x *. x);
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.count
+let is_empty t = t.count = 0
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let stddev t =
+  if t.count < 2 then 0.0
+  else
+    let n = float_of_int t.count in
+    let var = (t.sum_sq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    sqrt (Float.max 0.0 var)
+
+let min t = if t.count = 0 then 0.0 else t.min_v
+let max t = if t.count = 0 then 0.0 else t.max_v
+
+let mdev t =
+  if t.count = 0 then 0.0
+  else
+    let m = mean t in
+    let dev = List.fold_left (fun acc x -> acc +. Float.abs (x -. m)) 0.0 t.samples_rev in
+    dev /. float_of_int t.count
+
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    let a = Array.of_list t.samples_rev in
+    Array.sort compare a;
+    let rank =
+      int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) - 1
+    in
+    let rank = Stdlib.max 0 (Stdlib.min (t.count - 1) rank) in
+    a.(rank)
+  end
+
+let sum t = t.sum
+let samples t = List.rev t.samples_rev
+
+let merge a b =
+  let t = create () in
+  List.iter (add t) (samples a);
+  List.iter (add t) (samples b);
+  t
+
+let pp_summary ppf t =
+  Format.fprintf ppf "min/avg/max/mdev = %.3f/%.3f/%.3f/%.3f" (min t) (mean t)
+    (max t) (mdev t)
+
+module Jitter = struct
+  type j = { mutable prev_transit : float option; mutable jitter : float }
+
+  let create () = { prev_transit = None; jitter = 0.0 }
+
+  (* RFC 1889: J = J + (|D(i-1, i)| - J) / 16 where D is the difference in
+     packet transit times. *)
+  let observe j ~sent ~received =
+    let transit = received -. sent in
+    (match j.prev_transit with
+    | None -> ()
+    | Some prev ->
+        let d = Float.abs (transit -. prev) in
+        j.jitter <- j.jitter +. ((d -. j.jitter) /. 16.0));
+    j.prev_transit <- Some transit
+
+  let value j = j.jitter
+end

@@ -1,0 +1,1 @@
+lib/topo/datasets.ml: Array Float Graph Hashtbl List Printf Vini_sim Vini_std

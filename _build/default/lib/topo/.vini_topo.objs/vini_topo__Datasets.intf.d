@@ -1,0 +1,1 @@
+lib/topo/datasets.mli: Graph Vini_sim Vini_std

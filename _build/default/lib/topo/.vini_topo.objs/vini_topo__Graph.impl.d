@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Array Format Fun Hashtbl List Option Vini_sim Vini_std

@@ -1,0 +1,181 @@
+type node_id = int
+
+type link = {
+  a : node_id;
+  b : node_id;
+  bandwidth_bps : float;
+  delay : Vini_sim.Time.t;
+  loss : float;
+  weight : int;
+}
+
+type t = {
+  names : string array;
+  link_list : link list;
+  adj : (node_id * link) list array;
+  by_name : (string, node_id) Hashtbl.t;
+}
+
+let other_end link n =
+  if n = link.a then link.b
+  else if n = link.b then link.a
+  else invalid_arg "Graph.other_end: node not an endpoint"
+
+let create ~names ~links =
+  let n = Array.length names in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if l.a < 0 || l.a >= n || l.b < 0 || l.b >= n then
+        invalid_arg "Graph.create: endpoint out of range";
+      if l.a = l.b then invalid_arg "Graph.create: self-loop";
+      let key = (min l.a l.b, max l.a l.b) in
+      if Hashtbl.mem seen key then
+        invalid_arg "Graph.create: duplicate link";
+      Hashtbl.add seen key ())
+    links;
+  let adj = Array.make n [] in
+  List.iter
+    (fun l ->
+      adj.(l.a) <- (l.b, l) :: adj.(l.a);
+      adj.(l.b) <- (l.a, l) :: adj.(l.b))
+    links;
+  Array.iteri
+    (fun i l -> adj.(i) <- List.sort (fun (x, _) (y, _) -> compare x y) l)
+    adj;
+  let by_name = Hashtbl.create n in
+  Array.iteri (fun i name -> Hashtbl.replace by_name name i) names;
+  { names; link_list = links; adj; by_name }
+
+let node_count t = Array.length t.names
+let link_count t = List.length t.link_list
+let name t i = t.names.(i)
+
+let id_of_name t n =
+  match Hashtbl.find_opt t.by_name n with
+  | Some i -> i
+  | None -> raise Not_found
+
+let links t = t.link_list
+let nodes t = List.init (node_count t) Fun.id
+let neighbors t i = t.adj.(i)
+
+let find_link t x y =
+  List.find_map (fun (nbr, l) -> if nbr = y then Some l else None) t.adj.(x)
+
+let is_connected t =
+  let n = node_count t in
+  if n = 0 then true
+  else begin
+    let visited = Array.make n false in
+    let rec dfs i =
+      if not visited.(i) then begin
+        visited.(i) <- true;
+        List.iter (fun (j, _) -> dfs j) t.adj.(i)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id visited
+  end
+
+let dijkstra ?(weight_of = fun l -> l.weight) t src =
+  let n = node_count t in
+  let dist = Array.make n max_int in
+  let prev = Array.make n None in
+  let heap =
+    Vini_std.Heap.create ~cmp:(fun (d1, n1) (d2, n2) ->
+        let c = compare d1 d2 in
+        if c <> 0 then c else compare n1 n2)
+  in
+  dist.(src) <- 0;
+  Vini_std.Heap.push heap (0, src);
+  let rec drain () =
+    match Vini_std.Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d = dist.(u) then
+          List.iter
+            (fun (v, l) ->
+              let w = weight_of l in
+              if w < 0 then invalid_arg "Graph.dijkstra: negative weight";
+              let better = d + w < dist.(v) in
+              let tie_towards_lower_prev =
+                d + w = dist.(v)
+                && (match prev.(v) with Some p -> u < p | None -> false)
+              in
+              if better || tie_towards_lower_prev then begin
+                dist.(v) <- d + w;
+                prev.(v) <- Some u;
+                Vini_std.Heap.push heap (dist.(v), v)
+              end)
+            t.adj.(u);
+        drain ()
+  in
+  drain ();
+  (dist, prev)
+
+let shortest_path ?weight_of t src dst =
+  let _, prev = dijkstra ?weight_of t src in
+  if src = dst then Some [ src ]
+  else
+    match prev.(dst) with
+    | None -> None
+    | Some _ ->
+        let rec build acc v =
+          if v = src then v :: acc
+          else
+            match prev.(v) with
+            | Some p -> build (v :: acc) p
+            | None -> assert false
+        in
+        Some (build [ dst ] (Option.get prev.(dst)))
+
+let bellman_ford ?(weight_of = fun l -> l.weight) t src =
+  let n = node_count t in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  for _ = 1 to n - 1 do
+    List.iter
+      (fun l ->
+        let w = weight_of l in
+        let relax u v =
+          if dist.(u) < max_int && dist.(u) + w < dist.(v) then
+            dist.(v) <- dist.(u) + w
+        in
+        relax l.a l.b;
+        relax l.b l.a)
+      t.link_list
+  done;
+  dist
+
+let fold_path t path ~init ~f =
+  match path with
+  | [] | [ _ ] -> init
+  | first :: rest ->
+      let acc, _ =
+        List.fold_left
+          (fun (acc, u) v ->
+            match find_link t u v with
+            | Some l -> (f acc l, v)
+            | None -> invalid_arg "Graph: path nodes not adjacent")
+          (init, first) rest
+      in
+      acc
+
+let path_delay t path =
+  fold_path t path ~init:Vini_sim.Time.zero ~f:(fun acc l ->
+      Vini_sim.Time.add acc l.delay)
+
+let path_weight t path = fold_path t path ~init:0 ~f:(fun acc l -> acc + l.weight)
+
+let pp ppf t =
+  Format.fprintf ppf "graph with %d nodes, %d links@." (node_count t)
+    (link_count t);
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  %s -- %s  %.0f Mb/s  %.2f ms  w=%d@."
+        t.names.(l.a) t.names.(l.b)
+        (l.bandwidth_bps /. 1e6)
+        (Vini_sim.Time.to_ms_f l.delay)
+        l.weight)
+    t.link_list

@@ -1,0 +1,65 @@
+(** Undirected network topologies.
+
+    Nodes are dense integer ids with human-readable names; links are
+    point-to-point with a bandwidth, a one-way propagation delay, a random
+    loss rate, and an IGP weight.  This one structure describes both
+    physical substrates (Abilene, DETER) and the virtual topologies VINI
+    embeds on them. *)
+
+type node_id = int
+
+type link = {
+  a : node_id;
+  b : node_id;
+  bandwidth_bps : float;
+  delay : Vini_sim.Time.t;  (** one-way propagation *)
+  loss : float;             (** per-packet drop probability in [0,1] *)
+  weight : int;             (** IGP cost, symmetric *)
+}
+
+type t
+
+val create : names:string array -> links:link list -> t
+(** @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    duplicate (unordered) node pairs. *)
+
+val node_count : t -> int
+val link_count : t -> int
+val name : t -> node_id -> string
+val id_of_name : t -> string -> node_id
+(** @raise Not_found for unknown names. *)
+
+val links : t -> link list
+val nodes : t -> node_id list
+
+val neighbors : t -> node_id -> (node_id * link) list
+(** Sorted by neighbor id (deterministic iteration order). *)
+
+val find_link : t -> node_id -> node_id -> link option
+(** Either endpoint order. *)
+
+val other_end : link -> node_id -> node_id
+(** @raise Invalid_argument when the node is not an endpoint. *)
+
+val is_connected : t -> bool
+
+(** {2 Shortest paths} *)
+
+val dijkstra : ?weight_of:(link -> int) -> t -> node_id -> int array * node_id option array
+(** [dijkstra t src] returns [(dist, prev)]; unreachable nodes have
+    [dist = max_int] and [prev = None].  Ties broken towards the
+    lower-numbered previous hop, deterministically. *)
+
+val shortest_path : ?weight_of:(link -> int) -> t -> node_id -> node_id -> node_id list option
+(** Node sequence from src to dst inclusive, or [None] if unreachable. *)
+
+val bellman_ford : ?weight_of:(link -> int) -> t -> node_id -> int array
+(** Reference implementation used by property tests. *)
+
+val path_delay : t -> node_id list -> Vini_sim.Time.t
+(** Sum of one-way link delays along a node path.
+    @raise Invalid_argument if consecutive nodes are not adjacent. *)
+
+val path_weight : t -> node_id list -> int
+
+val pp : Format.formatter -> t -> unit

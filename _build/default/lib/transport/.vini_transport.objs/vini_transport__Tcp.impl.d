@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Float Hashtbl List Vini_net Vini_phys Vini_sim

@@ -1,0 +1,1 @@
+lib/transport/tcp.mli: Vini_net Vini_phys Vini_sim

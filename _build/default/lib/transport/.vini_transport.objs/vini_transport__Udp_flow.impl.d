@@ -1,0 +1,1 @@
+lib/transport/udp_flow.ml: Vini_net Vini_phys Vini_sim Vini_std

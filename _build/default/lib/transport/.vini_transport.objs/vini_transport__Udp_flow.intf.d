@@ -1,0 +1,1 @@
+lib/transport/udp_flow.mli: Vini_net Vini_phys Vini_sim

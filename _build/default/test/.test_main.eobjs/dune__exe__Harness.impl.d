@@ -1,0 +1,1 @@
+test/harness.ml: Lazy Vini_net Vini_phys Vini_routing Vini_sim Vini_std

@@ -1,0 +1,1 @@
+test/test_click.ml: Alcotest List Option Printf QCheck QCheck_alcotest Vini_click Vini_net Vini_sim Vini_std

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array List Result Vini_core Vini_measure Vini_net Vini_overlay Vini_phys Vini_sim Vini_topo

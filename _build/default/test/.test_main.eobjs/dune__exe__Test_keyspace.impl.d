@@ -1,0 +1,1 @@
+test/test_keyspace.ml: Alcotest Array Fun List Printf QCheck QCheck_alcotest Vini_net Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

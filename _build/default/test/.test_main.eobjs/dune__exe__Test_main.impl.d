@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_click Test_core Test_keyspace Test_measure Test_net Test_overlay Test_phys Test_rcc Test_repro Test_routing Test_sim Test_spec Test_std Test_topo Test_transport

@@ -1,0 +1,1 @@
+test/test_measure.ml: Alcotest Harness List Printf Vini_measure Vini_phys Vini_sim Vini_std Vini_transport

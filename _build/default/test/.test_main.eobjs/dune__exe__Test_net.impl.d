@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Char Fmt Gen List QCheck QCheck_alcotest String Vini_net

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Fun Hashtbl List Option Printf Vini_measure Vini_net Vini_overlay Vini_phys Vini_routing Vini_sim Vini_std Vini_topo Vini_transport

@@ -1,0 +1,1 @@
+test/test_phys.ml: Alcotest Float List Printf Vini_net Vini_phys Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+test/test_rcc.ml: Alcotest Int64 List QCheck QCheck_alcotest String Vini_rcc Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+test/test_repro.ml: Alcotest Float List Printf Vini_repro

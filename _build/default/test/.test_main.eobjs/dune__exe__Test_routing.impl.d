@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Harness Lazy List Option Printf QCheck QCheck_alcotest Vini_net Vini_routing Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Fun List Printf Vini_sim Vini_std

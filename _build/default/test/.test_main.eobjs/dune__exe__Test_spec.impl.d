@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Buffer Int64 List Printf QCheck QCheck_alcotest String Vini_core Vini_overlay Vini_phys Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+test/test_std.ml: Alcotest Array Float Fun Gen Int List Option Printf QCheck QCheck_alcotest Vini_std

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array List Option QCheck QCheck_alcotest Vini_sim Vini_std Vini_topo

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Harness Hashtbl Option Printf QCheck QCheck_alcotest Vini_net Vini_phys Vini_sim Vini_std Vini_transport

@@ -1,0 +1,77 @@
+(* Shared test plumbing: direct wiring of stacks and routing instances
+   without a full overlay, with configurable delay and loss. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Packet = Vini_net.Packet
+module Addr = Vini_net.Addr
+module Ipstack = Vini_phys.Ipstack
+
+(* Two host stacks joined by a symmetric delaying, optionally lossy pipe. *)
+let stack_pair ~engine ?(delay = Time.ms 5) ?(loss = 0.0) ?(seed = 99) () =
+  let rng = Vini_std.Rng.create seed in
+  let a_addr = Addr.of_string "192.0.2.1" in
+  let b_addr = Addr.of_string "192.0.2.2" in
+  let a = ref None and b = ref None in
+  let deliver_to dst pkt =
+    if loss = 0.0 || Vini_std.Rng.float rng 1.0 >= loss then
+      ignore
+        (Engine.after engine delay (fun () ->
+             match !dst with
+             | Some stack -> Ipstack.deliver stack pkt
+             | None -> ()))
+  in
+  let sa = Ipstack.create ~engine ~local_addr:a_addr ~tx:(deliver_to b) () in
+  let sb = Ipstack.create ~engine ~local_addr:b_addr ~tx:(deliver_to a) () in
+  a := Some sa;
+  b := Some sb;
+  (sa, sb)
+
+(* A pair of point-to-point routing interfaces delivering control messages
+   to receiver callbacks (set after instance creation). *)
+type proto_wire = {
+  iface_a : Vini_routing.Io.iface;
+  iface_b : Vini_routing.Io.iface;
+  mutable to_a : ifindex:int -> Packet.control -> unit;
+  mutable to_b : ifindex:int -> Packet.control -> unit;
+  mutable up : bool;
+}
+
+let proto_wire ~engine ?(delay = Time.ms 2) ?(cost = 1) ?(ifindex_a = 0)
+    ?(ifindex_b = 0) ?(loss = 0.0) ?(loss_seed = 7) ~subnet () =
+  let loss_rng = Vini_std.Rng.create loss_seed in
+  let keep () = loss = 0.0 || Vini_std.Rng.float loss_rng 1.0 >= loss in
+  let net = Vini_net.Prefix.of_string subnet in
+  let a_addr = Vini_net.Prefix.host net 1 in
+  let b_addr = Vini_net.Prefix.host net 2 in
+  let rec wire =
+    lazy
+      {
+        iface_a =
+          Vini_routing.Io.make ~ifindex:ifindex_a ~ifname:"ethA" ~local:a_addr
+            ~remote:b_addr ~cost
+            ~send:(fun msg ~size ->
+              ignore size;
+              let w = Lazy.force wire in
+              if w.up && keep () then
+                ignore
+                  (Engine.after engine delay (fun () ->
+                       if w.up then w.to_b ~ifindex:ifindex_b msg)));
+        iface_b =
+          Vini_routing.Io.make ~ifindex:ifindex_b ~ifname:"ethB" ~local:b_addr
+            ~remote:a_addr ~cost
+            ~send:(fun msg ~size ->
+              ignore size;
+              let w = Lazy.force wire in
+              if w.up && keep () then
+                ignore
+                  (Engine.after engine delay (fun () ->
+                       if w.up then w.to_a ~ifindex:ifindex_a msg)));
+        to_a = (fun ~ifindex:_ _ -> ());
+        to_b = (fun ~ifindex:_ _ -> ());
+        up = true;
+      }
+  in
+  Lazy.force wire
+
+let set_wire_state w up = w.up <- up

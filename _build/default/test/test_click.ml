@@ -1,0 +1,365 @@
+(* Tests for the Click data-plane elements: FIB trie, elements, shaper,
+   failure injection, NAPT. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Addr = Vini_net.Addr
+module Prefix = Vini_net.Prefix
+module Packet = Vini_net.Packet
+module Fib = Vini_click.Fib
+module Element = Vini_click.Element
+module Shaper = Vini_click.Shaper
+module Faulty = Vini_click.Faulty
+module Napt = Vini_click.Napt
+
+let check = Alcotest.check
+let a1 = Addr.of_string "10.0.0.1"
+let a2 = Addr.of_string "10.0.0.2"
+
+let udp ?(size = 100) ?(src = a1) ?(dst = a2) ?(sport = 1000) ?(dport = 2000) () =
+  Packet.udp ~src ~dst ~sport ~dport (Packet.Bytes_ size)
+
+(* --- FIB ---------------------------------------------------------------- *)
+
+let test_fib_longest_match () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.of_string "10.0.0.0/8") "eight";
+  Fib.add t (Prefix.of_string "10.1.0.0/16") "sixteen";
+  Fib.add t (Prefix.of_string "10.1.2.0/24") "twentyfour";
+  let look s = Fib.lookup t (Addr.of_string s) in
+  check Alcotest.(option string) "most specific" (Some "twentyfour") (look "10.1.2.9");
+  check Alcotest.(option string) "middle" (Some "sixteen") (look "10.1.9.9");
+  check Alcotest.(option string) "least" (Some "eight") (look "10.9.9.9");
+  check Alcotest.(option string) "miss" None (look "11.0.0.1")
+
+let test_fib_default_route () =
+  let t = Fib.create () in
+  Fib.add t Prefix.default_route "default";
+  check Alcotest.(option string) "matches anything" (Some "default")
+    (Fib.lookup t (Addr.of_string "203.0.113.7"))
+
+let test_fib_replace_and_remove () =
+  let t = Fib.create () in
+  let p = Prefix.of_string "10.0.0.0/8" in
+  Fib.add t p 1;
+  Fib.add t p 2;
+  check Alcotest.int "replaced, not duplicated" 1 (Fib.length t);
+  check Alcotest.(option int) "new value" (Some 2) (Fib.lookup t a1);
+  Fib.remove t p;
+  check Alcotest.(option int) "removed" None (Fib.lookup t a1);
+  Fib.remove t p;
+  check Alcotest.int "idempotent remove" 0 (Fib.length t)
+
+let test_fib_lookup_prefix_reports_match () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.of_string "10.1.0.0/16") ();
+  match Fib.lookup_prefix t (Addr.of_string "10.1.2.3") with
+  | Some (p, ()) ->
+      check Alcotest.string "matched prefix" "10.1.0.0/16" (Prefix.to_string p)
+  | None -> Alcotest.fail "expected a match"
+
+let test_fib_entries_sorted () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.of_string "192.168.0.0/16") 3;
+  Fib.add t (Prefix.of_string "10.0.0.0/8") 1;
+  Fib.add t (Prefix.of_string "10.1.0.0/16") 2;
+  check
+    Alcotest.(list (pair string int))
+    "sorted entries"
+    [ ("10.0.0.0/8", 1); ("10.1.0.0/16", 2); ("192.168.0.0/16", 3) ]
+    (List.map (fun (p, v) -> (Prefix.to_string p, v)) (Fib.entries t))
+
+let test_fib_host_routes () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.make a1 32) "host";
+  check Alcotest.(option string) "exact host" (Some "host") (Fib.lookup t a1);
+  check Alcotest.(option string) "neighbour misses" None (Fib.lookup t a2)
+
+(* Property: trie lookup equals linear longest-prefix scan. *)
+let prop_fib_vs_linear =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 1 40)
+             (pair (int_bound 0xFFFFFF) (int_range 0 32)))
+          (list_size (int_range 1 40) (int_bound 0xFFFFFF)))
+  in
+  QCheck.Test.make ~name:"fib trie = linear reference" ~count:200 gen
+    (fun (entries, probes) ->
+      let t = Fib.create () in
+      let table =
+        List.map
+          (fun (i, len) ->
+            let p = Prefix.make (Addr.of_int (i * 251)) len in
+            Fib.add t p (Prefix.to_string p);
+            p)
+          entries
+      in
+      let linear addr =
+        List.fold_left
+          (fun best p ->
+            if Prefix.contains p addr then
+              match best with
+              | Some b when Prefix.length b >= Prefix.length p -> best
+              | _ -> Some p
+            else best)
+          None table
+        |> Option.map Prefix.to_string
+      in
+      List.for_all
+        (fun i ->
+          let addr = Addr.of_int (i * 163) in
+          Fib.lookup t addr = linear addr)
+        probes)
+
+(* --- elements ------------------------------------------------------------ *)
+
+let test_element_counters () =
+  let sink = Element.discard "sink" in
+  Element.push sink (udp ~size:100 ());
+  Element.push sink (udp ~size:50 ());
+  check Alcotest.int "packets" 2 (Element.packets sink);
+  check Alcotest.int "bytes" (128 + 78) (Element.bytes sink)
+
+let test_element_tee () =
+  let s1 = Element.discard "s1" and s2 = Element.discard "s2" in
+  let t = Element.tee "t" [ s1; s2 ] in
+  Element.push t (udp ());
+  check Alcotest.int "copy 1" 1 (Element.packets s1);
+  check Alcotest.int "copy 2" 1 (Element.packets s2)
+
+let test_element_classifier () =
+  let small = Element.discard "small" and big = Element.discard "big" in
+  let c =
+    Element.classifier "c"
+      ~rules:[ ((fun p -> Packet.size p < 100), small) ]
+      ~default:big
+  in
+  Element.push c (udp ~size:10 ());
+  Element.push c (udp ~size:500 ());
+  check Alcotest.int "small rule" 1 (Element.packets small);
+  check Alcotest.int "default" 1 (Element.packets big)
+
+let test_element_queue_bound () =
+  let sink = Element.discard "sink" in
+  let q = Element.queue "q" ~capacity_bytes:50 ~out:sink () in
+  Element.push q (udp ~size:100 ());
+  check Alcotest.int "oversize dropped" 0 (Element.packets sink);
+  check Alcotest.int "drop counted" 1 (Element.queue_drops q)
+
+(* --- shaper --------------------------------------------------------------- *)
+
+let test_shaper_limits_rate () =
+  let engine = Engine.create () in
+  let sink = Element.discard "sink" in
+  (* 1 Mb/s, minimal burst: 100 packets of 1028 bytes need ~0.82 s. *)
+  let sh =
+    Shaper.create ~engine ~rate_bps:1e6 ~burst_bytes:2000 ~queue_bytes:200_000
+      ~out:sink "sh"
+  in
+  for _ = 1 to 100 do
+    Element.push (Shaper.element sh) (udp ~size:1000 ())
+  done;
+  Engine.run ~until:(Time.ms 400) engine;
+  let halfway = Element.bytes sink in
+  check Alcotest.bool
+    (Printf.sprintf "rate limited (%d bytes at 0.4s)" halfway)
+    true
+    (halfway > 30_000 && halfway < 70_000);
+  Engine.run engine;
+  check Alcotest.int "all delivered eventually" 100 (Element.packets sink)
+
+let test_shaper_drops_when_full () =
+  let engine = Engine.create () in
+  let sink = Element.discard "sink" in
+  let sh =
+    Shaper.create ~engine ~rate_bps:1e4 ~burst_bytes:1000 ~queue_bytes:3000
+      ~out:sink "sh"
+  in
+  for _ = 1 to 50 do
+    Element.push (Shaper.element sh) (udp ~size:1000 ())
+  done;
+  check Alcotest.bool "tail dropped" true (Shaper.drops sh > 0)
+
+let test_shaper_set_rate () =
+  let engine = Engine.create () in
+  let sink = Element.discard "sink" in
+  let sh =
+    Shaper.create ~engine ~rate_bps:1e3 ~burst_bytes:100 ~queue_bytes:1_000_000
+      ~out:sink "sh"
+  in
+  for _ = 1 to 20 do
+    Element.push (Shaper.element sh) (udp ~size:1000 ())
+  done;
+  Shaper.set_rate sh 1e9;
+  Engine.run ~until:(Time.sec 1) engine;
+  check Alcotest.int "fast after set_rate" 20 (Element.packets sink)
+
+(* --- failure injection ----------------------------------------------------- *)
+
+let test_faulty_modes () =
+  let rng = Vini_std.Rng.create 3 in
+  let sink = Element.discard "sink" in
+  let f = Faulty.create ~rng ~out:sink "drop" in
+  Element.push (Faulty.element f) (udp ());
+  check Alcotest.int "pass mode" 1 (Element.packets sink);
+  Faulty.set_mode f Faulty.Fail;
+  for _ = 1 to 10 do
+    Element.push (Faulty.element f) (udp ())
+  done;
+  check Alcotest.int "fail mode drops all" 1 (Element.packets sink);
+  check Alcotest.int "drops counted" 10 (Faulty.dropped f);
+  Faulty.set_mode f (Faulty.Lossy 0.5);
+  for _ = 1 to 1000 do
+    Element.push (Faulty.element f) (udp ())
+  done;
+  let passed = Element.packets sink - 1 in
+  check Alcotest.bool
+    (Printf.sprintf "lossy ~50%% (%d/1000)" passed)
+    true
+    (passed > 400 && passed < 600);
+  Alcotest.check_raises "bad loss rate"
+    (Invalid_argument "Faulty.set_mode: loss rate") (fun () ->
+      Faulty.set_mode f (Faulty.Lossy 1.5))
+
+(* --- NAPT -------------------------------------------------------------------- *)
+
+let ext = Addr.of_string "198.32.154.226"
+let web = Addr.of_string "64.236.16.20"
+
+let test_napt_udp_roundtrip () =
+  let n = Napt.create ~public_addr:ext () in
+  let out = udp ~src:a1 ~dst:web ~sport:5555 ~dport:80 () in
+  match Napt.translate_out n out with
+  | None -> Alcotest.fail "udp must translate"
+  | Some t -> (
+      check Alcotest.bool "src is public" true (Addr.equal t.Packet.src ext);
+      let nat_port =
+        match t.Packet.proto with
+        | Packet.Udp u -> u.Packet.usport
+        | _ -> Alcotest.fail "not udp"
+      in
+      check Alcotest.bool "fresh port" true (nat_port >= 61000);
+      (* Reply from the web server back to the NAT port. *)
+      let reply =
+        Packet.udp ~src:web ~dst:ext ~sport:80 ~dport:nat_port (Packet.Bytes_ 1)
+      in
+      match Napt.translate_in n reply with
+      | None -> Alcotest.fail "reply must match"
+      | Some r ->
+          check Alcotest.bool "back to inner host" true
+            (Addr.equal r.Packet.dst a1);
+          (match r.Packet.proto with
+          | Packet.Udp u -> check Alcotest.int "inner port" 5555 u.Packet.udport
+          | _ -> Alcotest.fail "not udp"))
+
+let test_napt_stable_mapping () =
+  let n = Napt.create ~public_addr:ext () in
+  let p1 = Option.get (Napt.translate_out n (udp ~src:a1 ~dst:web ~sport:1 ~dport:80 ())) in
+  let p2 = Option.get (Napt.translate_out n (udp ~src:a1 ~dst:web ~sport:1 ~dport:80 ())) in
+  let port p =
+    match p.Packet.proto with Packet.Udp u -> u.Packet.usport | _ -> -1
+  in
+  check Alcotest.int "same flow, same port" (port p1) (port p2);
+  check Alcotest.int "one mapping" 1 (Napt.mappings n);
+  let p3 = Option.get (Napt.translate_out n (udp ~src:a2 ~dst:web ~sport:1 ~dport:80 ())) in
+  check Alcotest.bool "different flow, different port" true (port p3 <> port p1)
+
+let test_napt_rejects_strangers () =
+  let n = Napt.create ~public_addr:ext () in
+  let stray = Packet.udp ~src:web ~dst:ext ~sport:80 ~dport:61007 (Packet.Bytes_ 1) in
+  check Alcotest.bool "no mapping, no entry" true (Napt.translate_in n stray = None);
+  let not_ours = udp ~src:web ~dst:a1 ~sport:80 ~dport:61000 () in
+  check Alcotest.bool "wrong destination" true (Napt.translate_in n not_ours = None)
+
+let test_napt_icmp () =
+  let n = Napt.create ~public_addr:ext () in
+  let echo =
+    Packet.icmp ~src:a1 ~dst:web
+      (Packet.Echo_request { ident = 77; icmp_seq = 1; sent_ns = 0L; data_len = 56 })
+  in
+  match Napt.translate_out n echo with
+  | None -> Alcotest.fail "icmp echo must translate"
+  | Some t -> (
+      let nat_id =
+        match t.Packet.proto with
+        | Packet.Icmp (Packet.Echo_request e) -> e.Packet.ident
+        | _ -> Alcotest.fail "not an echo"
+      in
+      let reply =
+        Packet.icmp ~src:web ~dst:ext
+          (Packet.Echo_reply { ident = nat_id; icmp_seq = 1; sent_ns = 0L; data_len = 56 })
+      in
+      match Napt.translate_in n reply with
+      | None -> Alcotest.fail "echo reply must match"
+      | Some r -> (
+          check Alcotest.bool "to inner host" true (Addr.equal r.Packet.dst a1);
+          match r.Packet.proto with
+          | Packet.Icmp (Packet.Echo_reply e) ->
+              check Alcotest.int "ident restored" 77 e.Packet.ident
+          | _ -> Alcotest.fail "not an echo reply"))
+
+let test_napt_untranslatable () =
+  let n = Napt.create ~public_addr:ext () in
+  let err =
+    Packet.icmp ~src:a1 ~dst:web
+      (Packet.Time_exceeded { orig_src = a1; orig_dst = web })
+  in
+  check Alcotest.bool "icmp errors not translated" true
+    (Napt.translate_out n err = None)
+
+(* Property: out-then-in returns the original source endpoint. *)
+let prop_napt_roundtrip =
+  QCheck.Test.make ~name:"napt out/in is identity on the flow" ~count:200
+    QCheck.(triple (int_bound 0xFFFF) (int_range 1 60_000) (int_range 1 60_000))
+    (fun (host, sport, dport) ->
+      let n = Napt.create ~public_addr:ext () in
+      let inner_src = Addr.of_int (Addr.to_int a1 + (host mod 250)) in
+      let out = udp ~src:inner_src ~dst:web ~sport ~dport () in
+      match Napt.translate_out n out with
+      | None -> false
+      | Some t -> (
+          let nat_port =
+            match t.Packet.proto with
+            | Packet.Udp u -> u.Packet.usport
+            | _ -> -1
+          in
+          let reply =
+            Packet.udp ~src:web ~dst:ext ~sport:dport ~dport:nat_port
+              (Packet.Bytes_ 1)
+          in
+          match Napt.translate_in n reply with
+          | Some r -> (
+              Addr.equal r.Packet.dst inner_src
+              &&
+              match r.Packet.proto with
+              | Packet.Udp u -> u.Packet.udport = sport
+              | _ -> false)
+          | None -> false))
+
+let suite =
+  [
+    Alcotest.test_case "fib longest match" `Quick test_fib_longest_match;
+    Alcotest.test_case "fib default route" `Quick test_fib_default_route;
+    Alcotest.test_case "fib replace/remove" `Quick test_fib_replace_and_remove;
+    Alcotest.test_case "fib reports matched prefix" `Quick
+      test_fib_lookup_prefix_reports_match;
+    Alcotest.test_case "fib entries sorted" `Quick test_fib_entries_sorted;
+    Alcotest.test_case "fib host routes" `Quick test_fib_host_routes;
+    QCheck_alcotest.to_alcotest prop_fib_vs_linear;
+    Alcotest.test_case "element counters" `Quick test_element_counters;
+    Alcotest.test_case "element tee" `Quick test_element_tee;
+    Alcotest.test_case "element classifier" `Quick test_element_classifier;
+    Alcotest.test_case "element queue bound" `Quick test_element_queue_bound;
+    Alcotest.test_case "shaper limits rate" `Quick test_shaper_limits_rate;
+    Alcotest.test_case "shaper drops when full" `Quick test_shaper_drops_when_full;
+    Alcotest.test_case "shaper set_rate" `Quick test_shaper_set_rate;
+    Alcotest.test_case "failure injection modes" `Quick test_faulty_modes;
+    Alcotest.test_case "napt udp roundtrip" `Quick test_napt_udp_roundtrip;
+    Alcotest.test_case "napt stable mapping" `Quick test_napt_stable_mapping;
+    Alcotest.test_case "napt rejects strangers" `Quick test_napt_rejects_strangers;
+    Alcotest.test_case "napt icmp echo" `Quick test_napt_icmp;
+    Alcotest.test_case "napt untranslatable" `Quick test_napt_untranslatable;
+    QCheck_alcotest.to_alcotest prop_napt_roundtrip;
+  ]

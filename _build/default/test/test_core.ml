@@ -1,0 +1,244 @@
+(* Tests for the VINI core: experiment specs, deployment, event
+   scheduling, upcalls, and simultaneous experiments. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Graph = Vini_topo.Graph
+module Slice = Vini_phys.Slice
+module Underlay = Vini_phys.Underlay
+module Iias = Vini_overlay.Iias
+module Experiment = Vini_core.Experiment
+module Vini = Vini_core.Vini
+module Ping = Vini_measure.Ping
+
+let check = Alcotest.check
+
+let link ?(w = 1) a b =
+  { Graph.a; b; bandwidth_bps = 1e9; delay = Time.ms 1; loss = 0.0; weight = w }
+
+let phys () =
+  Graph.create
+    ~names:[| "p0"; "p1"; "p2"; "p3"; "p4"; "p5" |]
+    ~links:[ link 0 1; link 1 2; link 2 3; link 3 4; link 4 5; link 5 0 ]
+
+let tri () =
+  Graph.create ~names:[| "v0"; "v1"; "v2" |] ~links:[ link 0 1; link 1 2; link 0 2 ]
+
+(* --- spec validation --------------------------------------------------- *)
+
+let test_validate_ok () =
+  let spec = Experiment.make ~name:"ok" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ()) () in
+  check Alcotest.bool "valid" true (Experiment.validate spec = Ok ())
+
+let test_validate_rejects_shared_pnode () =
+  let spec =
+    Experiment.make ~name:"bad" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~embedding:(fun _ -> 0) ()
+  in
+  check Alcotest.bool "shared pnode rejected" true
+    (Result.is_error (Experiment.validate spec))
+
+let test_validate_rejects_bad_event () =
+  let spec =
+    Experiment.make ~name:"bad" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~events:[ Experiment.at 1.0 (Experiment.Fail_vlink (0, 9)) ]
+      ()
+  in
+  check Alcotest.bool "out-of-range event" true
+    (Result.is_error (Experiment.validate spec));
+  let spec2 =
+    Experiment.make ~name:"bad2" ~slice:(Slice.pl_vini "s")
+      ~vtopo:
+        (Graph.create ~names:[| "a"; "b"; "c" |] ~links:[ link 0 1; link 1 2 ])
+      ~events:[ Experiment.at 1.0 (Experiment.Fail_vlink (0, 2)) ]
+      ()
+  in
+  check Alcotest.bool "non-adjacent event" true
+    (Result.is_error (Experiment.validate spec2))
+
+let test_validate_rejects_bad_ingress () =
+  let spec =
+    Experiment.make ~name:"bad" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~ingresses:[ (7, Vini_net.Prefix.of_string "10.8.0.0/24") ]
+      ()
+  in
+  check Alcotest.bool "bad ingress" true (Result.is_error (Experiment.validate spec))
+
+(* --- deploy and run ----------------------------------------------------- *)
+
+let fresh_vini ?(seed = 42) () =
+  let engine = Engine.create ~seed () in
+  let vini = Vini.create ~engine ~graph:(phys ()) () in
+  (engine, vini)
+
+let test_deploy_and_event_timeline () =
+  let engine, vini = fresh_vini () in
+  let spec =
+    Experiment.make ~name:"timeline" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~events:
+        [
+          Experiment.at 30.0 (Experiment.Fail_vlink (0, 1));
+          Experiment.at 40.0 (Experiment.Restore_vlink (0, 1));
+        ]
+      ()
+  in
+  let inst = Vini.deploy vini spec in
+  Vini.start inst;
+  let iias = Vini.iias inst in
+  Engine.run ~until:(Time.sec 25) engine;
+  check Alcotest.bool "link up before event" true (Iias.vlink_is_up iias 0 1);
+  Engine.run ~until:(Time.sec 35) engine;
+  check Alcotest.bool "link failed on schedule" false (Iias.vlink_is_up iias 0 1);
+  Engine.run ~until:(Time.sec 45) engine;
+  check Alcotest.bool "link restored on schedule" true (Iias.vlink_is_up iias 0 1)
+
+let test_deploy_rejects_invalid () =
+  let _, vini = fresh_vini () in
+  let spec =
+    Experiment.make ~name:"bad" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~embedding:(fun _ -> 0) ()
+  in
+  check Alcotest.bool "deploy raises" true
+    (try
+       ignore (Vini.deploy vini spec);
+       false
+     with Invalid_argument _ -> true)
+
+let test_custom_event_runs () =
+  let engine, vini = fresh_vini () in
+  let hit = ref false in
+  let spec =
+    Experiment.make ~name:"custom" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~events:[ Experiment.at 5.0 (Experiment.Custom ("mark", fun _ -> hit := true)) ]
+      ()
+  in
+  Vini.start (Vini.deploy vini spec);
+  Engine.run ~until:(Time.sec 4) engine;
+  check Alcotest.bool "not yet" false !hit;
+  Engine.run ~until:(Time.sec 6) engine;
+  check Alcotest.bool "custom action ran" true !hit
+
+let test_events_relative_to_start () =
+  let engine, vini = fresh_vini () in
+  let hit_at = ref Time.zero in
+  let spec =
+    Experiment.make ~name:"rel" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~events:
+        [ Experiment.at 5.0 (Experiment.Custom ("t", fun _ -> hit_at := Engine.now engine)) ]
+      ()
+  in
+  let inst = Vini.deploy vini spec in
+  (* Start only at t=100. *)
+  ignore (Engine.at engine (Time.sec 100) (fun () -> Vini.start inst));
+  Engine.run ~until:(Time.sec 120) engine;
+  check Alcotest.bool "event at epoch+5" true
+    (Time.compare !hit_at (Time.sec 105) = 0);
+  check Alcotest.bool "epoch recorded" true
+    (Time.compare (Vini.epoch inst) (Time.sec 100) = 0)
+
+(* --- simultaneous experiments ------------------------------------------- *)
+
+let two_experiments ?(slice2 = Slice.pl_vini "exp2") () =
+  let engine, vini = fresh_vini ~seed:77 () in
+  let pair = Graph.create ~names:[| "a"; "b" |] ~links:[ link 0 1 ] in
+  let s1 =
+    Experiment.make ~name:"exp1" ~slice:(Slice.pl_vini "exp1") ~vtopo:pair
+      ~embedding:(fun v -> [| 0; 1 |].(v)) ()
+  in
+  let s2 =
+    Experiment.make ~name:"exp2" ~slice:slice2 ~vtopo:pair
+      ~embedding:(fun v -> [| 0; 1 |].(v)) ()
+  in
+  let i1 = Vini.deploy vini s1 in
+  let i2 = Vini.deploy vini s2 in
+  Vini.start i1;
+  Vini.start i2;
+  Engine.run ~until:(Time.sec 20) engine;
+  (engine, vini, i1, i2)
+
+let test_two_experiments_coexist () =
+  let engine, vini, i1, i2 = two_experiments () in
+  check Alcotest.int "two instances" 2 (List.length (Vini.instances vini));
+  (* Both overlays carry their own traffic on the same physical nodes. *)
+  let ping_of inst =
+    let iias = Vini.iias inst in
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 1))
+      ~count:50 ()
+  in
+  let p1 = ping_of i1 and p2 = ping_of i2 in
+  Engine.run ~until:(Time.sec 30) engine;
+  check Alcotest.int "exp1 traffic flows" 50 (Ping.received p1);
+  check Alcotest.int "exp2 traffic flows" 50 (Ping.received p2)
+
+let test_experiment_isolation_of_failures () =
+  (* Failing exp1's virtual link must not disturb exp2. *)
+  let engine, _, i1, i2 = two_experiments () in
+  Iias.set_vlink_state (Vini.iias i1) 0 1 false;
+  let p1 =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode (Vini.iias i1) 0))
+      ~dst:(Iias.tap_addr (Iias.vnode (Vini.iias i1) 1))
+      ~count:10 ()
+  in
+  let p2 =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode (Vini.iias i2) 0))
+      ~dst:(Iias.tap_addr (Iias.vnode (Vini.iias i2) 1))
+      ~count:10 ()
+  in
+  Engine.run ~until:(Time.sec 40) engine;
+  check Alcotest.int "exp1 blackholed" 0 (Ping.received p1);
+  check Alcotest.int "exp2 unaffected" 10 (Ping.received p2)
+
+let test_upcalls_reach_all_experiments () =
+  let engine, vini, i1, i2 = two_experiments () in
+  let seen1 = ref [] and seen2 = ref [] in
+  Vini.on_upcall i1 (fun e -> seen1 := e :: !seen1);
+  Vini.on_upcall i2 (fun e -> seen2 := e :: !seen2);
+  Underlay.set_link_state (Vini.underlay vini) 2 3 false;
+  Engine.run ~until:(Time.sec 21) engine;
+  check Alcotest.int "exp1 upcall" 1 (List.length !seen1);
+  check Alcotest.int "exp2 upcall" 1 (List.length !seen2);
+  check Alcotest.int "counters" 1 (Vini.upcalls_delivered i1)
+
+let test_masked_physical_failure_keeps_overlay_alive () =
+  (* The 6-cycle has two disjoint paths between any pair; with masking on,
+     a physical failure reroutes under the overlay and the virtual link
+     keeps working (the §3.1 fate-sharing problem VINI points out). *)
+  let engine, vini, i1, _ = two_experiments () in
+  Underlay.set_link_state (Vini.underlay vini) 0 1 false;
+  Engine.run ~until:(Time.sec 25) engine;
+  let p =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode (Vini.iias i1) 0))
+      ~dst:(Iias.tap_addr (Iias.vnode (Vini.iias i1) 1))
+      ~count:10 ()
+  in
+  Engine.run ~until:(Time.sec 40) engine;
+  check Alcotest.int "masked: tunnel survives" 10 (Ping.received p)
+
+let test_mirror_spec () =
+  let g = phys () in
+  let spec = Experiment.mirror ~name:"m" ~slice:(Slice.pl_vini "m") ~graph:g () in
+  check Alcotest.bool "mirror valid" true (Experiment.validate spec = Ok ());
+  check Alcotest.int "same node count" (Graph.node_count g)
+    (Graph.node_count spec.Experiment.vtopo)
+
+let suite =
+  [
+    Alcotest.test_case "spec validates" `Quick test_validate_ok;
+    Alcotest.test_case "spec rejects shared pnode" `Quick test_validate_rejects_shared_pnode;
+    Alcotest.test_case "spec rejects bad events" `Quick test_validate_rejects_bad_event;
+    Alcotest.test_case "spec rejects bad ingress" `Quick test_validate_rejects_bad_ingress;
+    Alcotest.test_case "deploy + event timeline" `Quick test_deploy_and_event_timeline;
+    Alcotest.test_case "deploy rejects invalid" `Quick test_deploy_rejects_invalid;
+    Alcotest.test_case "custom events run" `Quick test_custom_event_runs;
+    Alcotest.test_case "events relative to start" `Quick test_events_relative_to_start;
+    Alcotest.test_case "two experiments coexist" `Quick test_two_experiments_coexist;
+    Alcotest.test_case "virtual failures isolated" `Quick test_experiment_isolation_of_failures;
+    Alcotest.test_case "upcalls reach experiments" `Quick test_upcalls_reach_all_experiments;
+    Alcotest.test_case "masked physical failure" `Quick test_masked_physical_failure_keeps_overlay_alive;
+    Alcotest.test_case "mirror construction" `Quick test_mirror_spec;
+  ]

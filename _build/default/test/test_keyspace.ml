@@ -1,0 +1,180 @@
+(* Tests for the flat key-based addressing scheme (§4.2.1's "new
+   forwarding paradigm" demonstration). *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Graph = Vini_topo.Graph
+module Prefix = Vini_net.Prefix
+module Underlay = Vini_phys.Underlay
+module Slice = Vini_phys.Slice
+module Iias = Vini_overlay.Iias
+module Keyspace = Vini_overlay.Keyspace
+
+let check = Alcotest.check
+
+(* --- range covering ------------------------------------------------------- *)
+
+let prop_cover_range_exact =
+  QCheck.Test.make ~name:"cover_range is a disjoint exact cover" ~count:300
+    QCheck.(pair (int_bound 1023) (int_bound 1023))
+    (fun (a, b) ->
+      let bits = 10 in
+      let lo = min a b and hi = max a b in
+      let blocks = Keyspace.cover_range ~bits ~lo ~hi in
+      (* Every block is aligned and inside the range; blocks tile [lo,hi). *)
+      let covered = Array.make 1024 0 in
+      List.iter
+        (fun (start, extra) ->
+          let size = 1 lsl (bits - extra) in
+          if start mod size <> 0 then failwith "unaligned";
+          for i = start to start + size - 1 do
+            covered.(i) <- covered.(i) + 1
+          done)
+        blocks;
+      let ok = ref true in
+      for i = 0 to 1023 do
+        let expect = if i >= lo && i < hi then 1 else 0 in
+        if covered.(i) <> expect then ok := false
+      done;
+      !ok)
+
+let test_cover_range_minimal () =
+  (* [0, 2^bits) is a single block; [1, 2) is one host. *)
+  check
+    Alcotest.(list (pair int int))
+    "whole space" [ (0, 0) ]
+    (Keyspace.cover_range ~bits:8 ~lo:0 ~hi:256);
+  check
+    Alcotest.(list (pair int int))
+    "single key" [ (1, 8) ]
+    (Keyspace.cover_range ~bits:8 ~lo:1 ~hi:2);
+  check Alcotest.(list (pair int int)) "empty" []
+    (Keyspace.cover_range ~bits:8 ~lo:5 ~hi:5)
+
+(* --- a five-node overlay with the key space ------------------------------- *)
+
+let make () =
+  let engine = Engine.create ~seed:404 () in
+  let link a b =
+    { Graph.a; b; bandwidth_bps = 1e9; delay = Time.ms 2; loss = 0.0; weight = 1 }
+  in
+  let g =
+    Graph.create
+      ~names:[| "n0"; "n1"; "n2"; "n3"; "n4" |]
+      ~links:[ link 0 1; link 1 2; link 2 3; link 3 4; link 4 0 ]
+  in
+  let underlay =
+    Underlay.create ~engine
+      ~rng:(Vini_std.Rng.split (Engine.rng engine))
+      ~graph:g ()
+  in
+  let iias =
+    Iias.create ~underlay ~slice:(Slice.pl_vini "keys") ~vtopo:g
+      ~embedding:Fun.id ()
+  in
+  let ks = Keyspace.create iias () in
+  Iias.start iias;
+  Engine.run ~until:(Time.sec 25) engine;
+  (engine, iias, ks)
+
+let test_arcs_partition_space () =
+  let _, _, ks = make () in
+  let arcs = Keyspace.arcs ks in
+  check Alcotest.int "five arcs" 5 (List.length arcs);
+  (* Sample keys across the space: each must fall in exactly one node's
+     advertised prefixes, and that node must be owner_of_key. *)
+  let rng = Vini_std.Rng.create 5 in
+  for _ = 1 to 500 do
+    let key = Vini_std.Rng.int rng (1 lsl Keyspace.key_bits ks) in
+    let addr = Keyspace.addr_of_key ks key in
+    let owners =
+      List.filter
+        (fun (_, prefixes) ->
+          List.exists (fun p -> Prefix.contains p addr) prefixes)
+        arcs
+    in
+    check Alcotest.int "exactly one owner" 1 (List.length owners);
+    check Alcotest.int "owner agrees" (Keyspace.owner_of_key ks key)
+      (fst (List.hd owners))
+  done
+
+let test_put_get_across_nodes () =
+  let engine, _, ks = make () in
+  let stored = ref (-1) in
+  Keyspace.put ks ~from:0 ~name:"alpha.bin" ~size:4096
+    ~on_ack:(fun ~stored_at -> stored := stored_at);
+  Engine.run ~until:(Time.sec 30) engine;
+  let owner = Keyspace.owner_of_key ks (Keyspace.key_of_name ks "alpha.bin") in
+  check Alcotest.int "stored at the key's owner" owner !stored;
+  check
+    Alcotest.(list string)
+    "owner's store holds it" [ "alpha.bin" ]
+    (Keyspace.stored_names ks owner);
+  (* Fetch from a different node. *)
+  let result = ref None in
+  Keyspace.get ks ~from:3 ~name:"alpha.bin"
+    ~on_result:(fun ~found ~size ~owner -> result := Some (found, size, owner));
+  Engine.run ~until:(Time.sec 35) engine;
+  (match !result with
+  | Some (true, 4096, o) -> check Alcotest.int "answered by owner" owner o
+  | Some _ -> Alcotest.fail "wrong get result"
+  | None -> Alcotest.fail "get never answered");
+  (* Unknown names come back not-found (from their own owner). *)
+  let missing = ref None in
+  Keyspace.get ks ~from:1 ~name:"missing.bin"
+    ~on_result:(fun ~found ~size:_ ~owner:_ -> missing := Some found);
+  Engine.run ~until:(Time.sec 40) engine;
+  check Alcotest.(option bool) "not found" (Some false) !missing
+
+let test_many_names_spread () =
+  let engine, _, ks = make () in
+  let acked = ref 0 in
+  for i = 0 to 39 do
+    Keyspace.put ks ~from:(i mod 5)
+      ~name:(Printf.sprintf "object-%d" i)
+      ~size:(100 + i)
+      ~on_ack:(fun ~stored_at:_ -> incr acked)
+  done;
+  Engine.run ~until:(Time.sec 40) engine;
+  check Alcotest.int "all puts acked" 40 !acked;
+  let total =
+    List.init 5 (fun v -> List.length (Keyspace.stored_names ks v))
+    |> List.fold_left ( + ) 0
+  in
+  check Alcotest.int "all objects stored exactly once" 40 total;
+  (* Consistent hashing should not dump everything on one node. *)
+  let nodes_used =
+    List.init 5 (fun v -> Keyspace.stored_names ks v <> [])
+    |> List.filter Fun.id |> List.length
+  in
+  check Alcotest.bool "spread across nodes" true (nodes_used >= 2)
+
+let test_keyspace_rejects_bad_block () =
+  let engine = Engine.create ~seed:405 () in
+  let link a b =
+    { Graph.a; b; bandwidth_bps = 1e9; delay = Time.ms 2; loss = 0.0; weight = 1 }
+  in
+  let g = Graph.create ~names:[| "a"; "b" |] ~links:[ link 0 1 ] in
+  let underlay =
+    Underlay.create ~engine
+      ~rng:(Vini_std.Rng.split (Engine.rng engine))
+      ~graph:g ()
+  in
+  let iias =
+    Iias.create ~underlay ~slice:(Slice.pl_vini "k") ~vtopo:g ~embedding:Fun.id ()
+  in
+  Alcotest.check_raises "narrow block"
+    (Invalid_argument "Keyspace.create: block narrower than /16") (fun () ->
+      ignore (Keyspace.create iias ~block:(Prefix.of_string "10.255.255.0/24") ()))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_cover_range_exact;
+    Alcotest.test_case "cover_range minimal cases" `Quick test_cover_range_minimal;
+    Alcotest.test_case "arcs partition the key space" `Quick
+      test_arcs_partition_space;
+    Alcotest.test_case "put/get across nodes" `Quick test_put_get_across_nodes;
+    Alcotest.test_case "many names spread over owners" `Quick
+      test_many_names_spread;
+    Alcotest.test_case "rejects bad block" `Quick test_keyspace_rejects_bad_block;
+  ]

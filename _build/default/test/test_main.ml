@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "vini"
+    [
+      ("std", Test_std.suite);
+      ("net", Test_net.suite);
+      ("sim", Test_sim.suite);
+      ("topo", Test_topo.suite);
+      ("click", Test_click.suite);
+      ("phys", Test_phys.suite);
+      ("routing", Test_routing.suite);
+      ("transport", Test_transport.suite);
+      ("measure", Test_measure.suite);
+      ("overlay", Test_overlay.suite);
+      ("keyspace", Test_keyspace.suite);
+      ("core", Test_core.suite);
+      ("spec", Test_spec.suite);
+      ("rcc", Test_rcc.suite);
+      ("repro", Test_repro.suite);
+    ]

@@ -1,0 +1,165 @@
+(* Tests for the measurement tools: ping, iperf, tcpdump capture. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Ipstack = Vini_phys.Ipstack
+module Ping = Vini_measure.Ping
+module Iperf = Vini_measure.Iperf
+module Tcpdump = Vini_measure.Tcpdump
+module Tcp = Vini_transport.Tcp
+
+let check = Alcotest.check
+
+let test_ping_counts_and_rtt () =
+  let engine = Engine.create ~seed:1 () in
+  let a, b = Harness.stack_pair ~engine ~delay:(Time.ms 12) () in
+  let p = Ping.start ~stack:a ~dst:(Ipstack.local_addr b) ~count:100 () in
+  Engine.run ~until:(Time.sec 30) engine;
+  check Alcotest.int "sent" 100 (Ping.sent p);
+  check Alcotest.int "received" 100 (Ping.received p);
+  check (Alcotest.float 0.5) "rtt = 24 ms" 24.0
+    (Vini_std.Stats.mean (Ping.rtt_ms p));
+  check (Alcotest.float 0.001) "no loss" 0.0 (Ping.loss_pct p);
+  check Alcotest.bool "finished" true (Ping.finished p);
+  check Alcotest.int "series complete" 100 (List.length (Ping.series p))
+
+let test_ping_loss_accounting () =
+  let engine = Engine.create ~seed:5 () in
+  let a, b = Harness.stack_pair ~engine ~delay:(Time.ms 5) ~loss:0.3 () in
+  let p = Ping.start ~stack:a ~dst:(Ipstack.local_addr b) ~count:60 () in
+  Engine.run ~until:(Time.sec 120) engine;
+  check Alcotest.int "all probes sent despite loss" 60 (Ping.sent p);
+  check Alcotest.bool
+    (Printf.sprintf "loss observed (%.0f%%)" (Ping.loss_pct p))
+    true
+    (Ping.loss_pct p > 20.0)
+
+let test_ping_flood_floor () =
+  (* On a near-zero-delay path, ping -f paces at ~10 ms: 50 pings need
+     about half a second. *)
+  let engine = Engine.create ~seed:7 () in
+  let a, b = Harness.stack_pair ~engine ~delay:(Time.us 100) () in
+  let p = Ping.start ~stack:a ~dst:(Ipstack.local_addr b) ~count:50 () in
+  let finish_time = ref Time.zero in
+  Ping.on_finish p (fun () -> finish_time := Engine.now engine);
+  Engine.run ~until:(Time.sec 10) engine;
+  let s = Time.to_sec_f !finish_time in
+  check Alcotest.bool (Printf.sprintf "flood floor respected (%.2f s)" s) true
+    (s > 0.45 && s < 0.65)
+
+let test_ping_interval_mode () =
+  let engine = Engine.create ~seed:9 () in
+  let a, b = Harness.stack_pair ~engine ~delay:(Time.ms 1) () in
+  let p =
+    Ping.start ~stack:a ~dst:(Ipstack.local_addr b) ~count:10
+      ~mode:(Ping.Interval (Time.ms 500)) ()
+  in
+  let finish_time = ref Time.zero in
+  Ping.on_finish p (fun () -> finish_time := Engine.now engine);
+  Engine.run ~until:(Time.sec 20) engine;
+  let s = Time.to_sec_f !finish_time in
+  check Alcotest.bool (Printf.sprintf "interval pacing (%.2f s)" s) true
+    (s > 4.4 && s < 5.2)
+
+let test_iperf_tcp_measures_window () =
+  let engine = Engine.create ~seed:11 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 10) () in
+  let run =
+    Iperf.tcp ~client ~server ~streams:4 ~rwnd:(32 * 1024) ~start:(Time.sec 1)
+      ~warmup:(Time.sec 1) ~duration:(Time.sec 5) ()
+  in
+  Engine.run ~until:(Time.sec 8) engine;
+  (* 4 streams x 32 KB / 20 ms RTT = 52 Mb/s theoretical ceiling. *)
+  let mbps = Iperf.tcp_mbps run in
+  check Alcotest.bool (Printf.sprintf "window-bound (%.1f Mb/s)" mbps) true
+    (mbps > 30.0 && mbps < 55.0);
+  check Alcotest.bool "bytes counted" true (Iperf.tcp_total_delivered run > 0);
+  check Alcotest.int "clean path" 0 (Iperf.tcp_retransmits run + Iperf.tcp_timeouts run)
+
+let test_iperf_udp_loss_and_jitter () =
+  let engine = Engine.create ~seed:13 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 10) ~loss:0.1 () in
+  let run =
+    Iperf.udp ~client ~server ~rate_bps:2e6 ~start:(Time.sec 1)
+      ~duration:(Time.sec 5) ()
+  in
+  Engine.run ~until:(Time.sec 8) engine;
+  check Alcotest.bool
+    (Printf.sprintf "udp loss (%.1f%%)" (Iperf.udp_loss_pct run))
+    true
+    (Iperf.udp_loss_pct run > 4.0);
+  check Alcotest.bool "received some" true (Iperf.udp_received run > 0);
+  (* Constant delay path: jitter near zero. *)
+  check Alcotest.bool "jitter small" true (Iperf.udp_jitter_ms run < 1.0)
+
+let test_tcpdump_capture () =
+  let engine = Engine.create ~seed:17 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 5) () in
+  let dump = Tcpdump.create engine in
+  Tcp.listen ~stack:server ~port:5001
+    ~on_accept:(fun conn -> Tcpdump.attach dump conn)
+    ();
+  let conn =
+    Tcp.connect ~stack:client ~dst:(Ipstack.local_addr server) ~dst_port:5001 ()
+  in
+  Tcp.send conn 50_000;
+  Tcp.close conn;
+  Engine.run ~until:(Time.sec 30) engine;
+  check Alcotest.bool "captured segments" true (Tcpdump.count dump > 10);
+  let cum = Tcpdump.cumulative_bytes dump in
+  check Alcotest.bool "cumulative grows to total" true
+    (match List.rev cum with (_, total) :: _ -> total = 50_000 | [] -> false);
+  (* Monotonic non-decreasing cumulative series. *)
+  let rec monotonic = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotonic rest
+    | _ -> true
+  in
+  check Alcotest.bool "monotonic" true (monotonic cum);
+  check Alcotest.bool "positions recorded" true
+    (List.length (Tcpdump.segment_positions dump) > 10)
+
+let test_monitor_sampling_and_rate () =
+  let engine = Engine.create () in
+  let m = Vini_measure.Monitor.create ~engine ~interval:(Time.ms 100) () in
+  let counter = ref 0.0 in
+  Vini_measure.Monitor.gauge m ~name:"counter" (fun () -> !counter);
+  (* The counter grows 10 units per second. *)
+  Engine.every engine (Time.ms 10) (fun () ->
+      counter := !counter +. 0.1;
+      Time.compare (Engine.now engine) (Time.sec 5) < 0);
+  Engine.run ~until:(Time.sec 3) engine;
+  Vini_measure.Monitor.stop m;
+  Engine.run ~until:(Time.sec 4) engine;
+  let s = Vini_measure.Monitor.series m ~name:"counter" in
+  check Alcotest.bool
+    (Printf.sprintf "~30 samples (%d)" (List.length s))
+    true
+    (List.length s >= 28 && List.length s <= 31);
+  let rates = Vini_measure.Monitor.rate m ~name:"counter" in
+  List.iter
+    (fun (_, r) ->
+      check Alcotest.bool (Printf.sprintf "rate ~10/s (%.2f)" r) true
+        (r > 8.0 && r < 12.0))
+    rates;
+  check Alcotest.(list string) "names" [ "counter" ]
+    (Vini_measure.Monitor.names m)
+
+let test_monitor_duplicate_gauge () =
+  let engine = Engine.create () in
+  let m = Vini_measure.Monitor.create ~engine () in
+  Vini_measure.Monitor.gauge m ~name:"x" (fun () -> 0.0);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Monitor.gauge: duplicate name")
+    (fun () -> Vini_measure.Monitor.gauge m ~name:"x" (fun () -> 0.0))
+
+let suite =
+  [
+    Alcotest.test_case "ping counts and rtt" `Quick test_ping_counts_and_rtt;
+    Alcotest.test_case "ping loss accounting" `Quick test_ping_loss_accounting;
+    Alcotest.test_case "ping flood floor" `Quick test_ping_flood_floor;
+    Alcotest.test_case "ping interval mode" `Quick test_ping_interval_mode;
+    Alcotest.test_case "iperf tcp window maths" `Quick test_iperf_tcp_measures_window;
+    Alcotest.test_case "iperf udp loss+jitter" `Quick test_iperf_udp_loss_and_jitter;
+    Alcotest.test_case "tcpdump capture" `Quick test_tcpdump_capture;
+    Alcotest.test_case "monitor sampling and rate" `Quick test_monitor_sampling_and_rate;
+    Alcotest.test_case "monitor duplicate gauge" `Quick test_monitor_duplicate_gauge;
+  ]

@@ -1,0 +1,214 @@
+(* Unit and property tests for Vini_net: addresses, prefixes, wire sizes,
+   checksums, and the packet model. *)
+
+module Addr = Vini_net.Addr
+module Prefix = Vini_net.Prefix
+module Wire = Vini_net.Wire
+module Packet = Vini_net.Packet
+
+let check = Alcotest.check
+
+let contains_sub haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let addr = Alcotest.testable (Fmt.of_to_string Addr.to_string) Addr.equal
+let prefix = Alcotest.testable (Fmt.of_to_string Prefix.to_string) Prefix.equal
+
+(* --- addresses ---------------------------------------------------------- *)
+
+let test_addr_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "roundtrip" s (Addr.to_string (Addr.of_string s)))
+    [ "0.0.0.0"; "10.1.2.3"; "198.32.154.250"; "255.255.255.255" ]
+
+let test_addr_bad_strings () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("rejects " ^ s) true (Addr.of_string_opt s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "-1.2.3.4"; "a.b.c.d"; "1..2.3" ]
+
+let test_addr_octets () =
+  check addr "octets" (Addr.of_string "192.168.1.42") (Addr.of_octets 192 168 1 42)
+
+let test_addr_succ_wraps () =
+  check addr "succ" (Addr.of_string "10.0.0.1") (Addr.succ (Addr.of_string "10.0.0.0"));
+  check addr "wrap" Addr.any (Addr.succ Addr.broadcast)
+
+let test_addr_of_int_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Addr.of_int: out of range")
+    (fun () -> ignore (Addr.of_int (-1)));
+  Alcotest.check_raises "too big" (Invalid_argument "Addr.of_int: out of range")
+    (fun () -> ignore (Addr.of_int 0x100000000))
+
+let prop_addr_roundtrip_int =
+  QCheck.Test.make ~name:"addr int roundtrip" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun i -> Addr.to_int (Addr.of_int i) = i)
+
+(* --- prefixes ----------------------------------------------------------- *)
+
+let test_prefix_parse () =
+  let p = Prefix.of_string "10.1.2.3/8" in
+  check addr "masked network" (Addr.of_string "10.0.0.0") (Prefix.network p);
+  check Alcotest.int "length" 8 (Prefix.length p);
+  check Alcotest.string "print" "10.0.0.0/8" (Prefix.to_string p)
+
+let test_prefix_bare_addr_is_host () =
+  let p = Prefix.of_string "1.2.3.4" in
+  check Alcotest.int "host route" 32 (Prefix.length p)
+
+let test_prefix_contains () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  check Alcotest.bool "inside" true (Prefix.contains p (Addr.of_string "10.255.1.2"));
+  check Alcotest.bool "outside" false (Prefix.contains p (Addr.of_string "11.0.0.1"));
+  check Alcotest.bool "default contains all" true
+    (Prefix.contains Prefix.default_route (Addr.of_string "8.8.8.8"))
+
+let test_prefix_subsumes () =
+  let outer = Prefix.of_string "10.0.0.0/8" in
+  let inner = Prefix.of_string "10.1.0.0/16" in
+  check Alcotest.bool "outer subsumes inner" true (Prefix.subsumes outer inner);
+  check Alcotest.bool "inner not subsumes outer" false (Prefix.subsumes inner outer);
+  check Alcotest.bool "self subsumes" true (Prefix.subsumes outer outer)
+
+let test_prefix_host_and_broadcast () =
+  let p = Prefix.of_string "10.1.0.4/30" in
+  check addr "host 1" (Addr.of_string "10.1.0.5") (Prefix.host p 1);
+  check addr "host 2" (Addr.of_string "10.1.0.6") (Prefix.host p 2);
+  check addr "broadcast" (Addr.of_string "10.1.0.7") (Prefix.broadcast_addr p);
+  check Alcotest.int "size" 4 (Prefix.size p)
+
+let test_prefix_bad () =
+  check Alcotest.bool "bad length" true (Prefix.of_string_opt "10.0.0.0/33" = None);
+  check Alcotest.bool "bad addr" true (Prefix.of_string_opt "10.0.0/8" = None)
+
+let prop_prefix_contains_own_network =
+  QCheck.Test.make ~name:"prefix contains its own network and hosts" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 32))
+    (fun (i, len) ->
+      let p = Prefix.make (Addr.of_int (i * 17)) len in
+      Prefix.contains p (Prefix.network p)
+      && Prefix.contains p (Prefix.broadcast_addr p))
+
+let prop_prefix_string_roundtrip =
+  QCheck.Test.make ~name:"prefix string roundtrip" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_bound 32))
+    (fun (i, len) ->
+      let p = Prefix.make (Addr.of_int (i * 13)) len in
+      Prefix.equal p (Prefix.of_string (Prefix.to_string p)))
+
+(* --- wire / checksum ---------------------------------------------------- *)
+
+let test_checksum_zero_buffer () =
+  check Alcotest.int "all zero" 0xFFFF (Wire.checksum (Bytes.make 8 '\000'))
+
+let test_checksum_known_vector () =
+  (* Classic RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2,
+     checksum = ~ddf2 = 220d. *)
+  let buf = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check Alcotest.int "rfc1071 example" 0x220D (Wire.checksum buf)
+
+let test_checksum_validates () =
+  let buf = Bytes.of_string "\x45\x00\x00\x1cabcdef\x00\x00" in
+  let c = Wire.checksum buf in
+  (* Fold the checksum into the last two bytes. *)
+  let n = Bytes.length buf in
+  Bytes.set buf (n - 2) (Char.chr (c lsr 8));
+  Bytes.set buf (n - 1) (Char.chr (c land 0xFF));
+  check Alcotest.bool "verifies" true (Wire.checksum_valid buf)
+
+let prop_checksum_detects_single_flip =
+  QCheck.Test.make ~name:"checksum detects any single byte flip" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 4 64)) (int_bound 1000))
+    (fun (s, k) ->
+      QCheck.assume (String.length s >= 4);
+      let buf = Bytes.of_string s in
+      let c = Wire.checksum buf in
+      let i = k mod Bytes.length buf in
+      let orig = Bytes.get buf i in
+      let flipped = Char.chr (Char.code orig lxor 0x5A) in
+      QCheck.assume (flipped <> orig);
+      Bytes.set buf i flipped;
+      Wire.checksum buf <> c)
+
+(* --- packets ------------------------------------------------------------ *)
+
+let a = Addr.of_string "10.0.0.1"
+let b = Addr.of_string "10.0.0.2"
+
+let test_packet_udp_size () =
+  let p = Packet.udp ~src:a ~dst:b ~sport:1000 ~dport:2000 (Packet.Bytes_ 100) in
+  check Alcotest.int "udp size" (20 + 8 + 100) (Packet.size p)
+
+let test_packet_tunnel_size () =
+  let inner = Packet.udp ~src:a ~dst:b ~sport:1 ~dport:2 (Packet.Bytes_ 100) in
+  let outer = Packet.udp ~src:a ~dst:b ~sport:3 ~dport:4 (Packet.Tunnel inner) in
+  check Alcotest.int "tunnel adds outer ip+udp" (20 + 8 + (20 + 8 + 100))
+    (Packet.size outer)
+
+let test_packet_vpn_overhead () =
+  let inner = Packet.udp ~src:a ~dst:b ~sport:1 ~dport:2 (Packet.Bytes_ 100) in
+  let outer = Packet.udp ~src:a ~dst:b ~sport:3 ~dport:4 (Packet.Vpn inner) in
+  check Alcotest.int "vpn total overhead matches Wire.openvpn_overhead"
+    (Packet.size inner + Wire.openvpn_overhead)
+    (Packet.size outer)
+
+let test_packet_ttl () =
+  let p = Packet.udp ~ttl:2 ~src:a ~dst:b ~sport:1 ~dport:2 (Packet.Bytes_ 1) in
+  (match Packet.decr_ttl p with
+  | Some p1 -> (
+      check Alcotest.int "ttl decremented" 1 p1.Packet.ttl;
+      match Packet.decr_ttl p1 with
+      | Some _ -> Alcotest.fail "should expire"
+      | None -> ())
+  | None -> Alcotest.fail "should not expire yet")
+
+let test_packet_nat_rewrites () =
+  let p = Packet.udp ~src:a ~dst:b ~sport:1000 ~dport:2000 (Packet.Bytes_ 10) in
+  let p = Packet.with_src p (Addr.of_string "4.4.4.4") in
+  let p = Packet.with_udp_ports p ~sport:61001 ~dport:2000 in
+  check addr "src rewritten" (Addr.of_string "4.4.4.4") p.Packet.src;
+  (match p.Packet.proto with
+  | Packet.Udp u -> check Alcotest.int "sport rewritten" 61001 u.Packet.usport
+  | _ -> Alcotest.fail "not udp");
+  Alcotest.check_raises "tcp rewrite on udp packet"
+    (Invalid_argument "Packet.with_tcp_ports: not TCP") (fun () ->
+      ignore (Packet.with_tcp_ports p ~sport:1 ~dport:2))
+
+let test_packet_describe () =
+  let p =
+    Packet.icmp ~src:a ~dst:b
+      (Packet.Echo_request { ident = 1; icmp_seq = 7; sent_ns = 0L; data_len = 56 })
+  in
+  check Alcotest.bool "mentions echo" true
+    (contains_sub (Packet.describe p) "echo request")
+
+let suite =
+  [
+    Alcotest.test_case "addr string roundtrip" `Quick test_addr_roundtrip;
+    Alcotest.test_case "addr rejects bad strings" `Quick test_addr_bad_strings;
+    Alcotest.test_case "addr octets" `Quick test_addr_octets;
+    Alcotest.test_case "addr succ wraps" `Quick test_addr_succ_wraps;
+    Alcotest.test_case "addr of_int range" `Quick test_addr_of_int_range;
+    QCheck_alcotest.to_alcotest prop_addr_roundtrip_int;
+    Alcotest.test_case "prefix parse+mask" `Quick test_prefix_parse;
+    Alcotest.test_case "bare addr is /32" `Quick test_prefix_bare_addr_is_host;
+    Alcotest.test_case "prefix contains" `Quick test_prefix_contains;
+    Alcotest.test_case "prefix subsumes" `Quick test_prefix_subsumes;
+    Alcotest.test_case "prefix host/broadcast" `Quick test_prefix_host_and_broadcast;
+    Alcotest.test_case "prefix rejects bad" `Quick test_prefix_bad;
+    QCheck_alcotest.to_alcotest prop_prefix_contains_own_network;
+    QCheck_alcotest.to_alcotest prop_prefix_string_roundtrip;
+    Alcotest.test_case "checksum zero buffer" `Quick test_checksum_zero_buffer;
+    Alcotest.test_case "checksum known vector" `Quick test_checksum_known_vector;
+    Alcotest.test_case "checksum verifies" `Quick test_checksum_validates;
+    QCheck_alcotest.to_alcotest prop_checksum_detects_single_flip;
+    Alcotest.test_case "udp packet size" `Quick test_packet_udp_size;
+    Alcotest.test_case "tunnel encap size" `Quick test_packet_tunnel_size;
+    Alcotest.test_case "vpn encap overhead" `Quick test_packet_vpn_overhead;
+    Alcotest.test_case "ttl decrement/expiry" `Quick test_packet_ttl;
+    Alcotest.test_case "nat field rewrites" `Quick test_packet_nat_rewrites;
+    Alcotest.test_case "packet describe" `Quick test_packet_describe;
+  ]

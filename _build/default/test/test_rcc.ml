@@ -1,0 +1,233 @@
+(* Tests for the rcc pipeline: config parsing, fault auditing, topology
+   construction, and the embedded Abilene dataset. *)
+
+module Config = Vini_rcc.Config
+module Rcc = Vini_rcc.Rcc
+module Graph = Vini_topo.Graph
+
+let check = Alcotest.check
+
+let sample =
+  {|
+hostname R1
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to R2
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+|}
+
+let counterpart =
+  {|
+hostname R2
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to R1
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 800
+!
+|}
+
+let parse_ok text =
+  match Config.parse text with
+  | Ok cfg -> cfg
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_basic () =
+  let cfg = parse_ok sample in
+  check Alcotest.string "hostname" "R1" cfg.Config.hostname;
+  check Alcotest.bool "ospf on" true cfg.Config.ospf;
+  check Alcotest.(option int) "hello" (Some 5) cfg.Config.hello_interval_s;
+  check Alcotest.(option int) "dead" (Some 10) cfg.Config.dead_interval_s;
+  match cfg.Config.ifaces with
+  | [ i ] ->
+      check Alcotest.string "peer" "R2" i.Config.peer;
+      check Alcotest.int "cost" 800 i.Config.ospf_cost;
+      check Alcotest.int "delay" 8000 i.Config.delay_us;
+      check Alcotest.int "bandwidth" 10_000_000 i.Config.bandwidth_kbps
+  | _ -> Alcotest.fail "expected one interface"
+
+let test_parse_default_cost_from_bandwidth () =
+  let text =
+    "hostname R\ninterface ge-0\n  description to S\n  bandwidth 100000\n!"
+  in
+  let cfg = parse_ok text in
+  match cfg.Config.ifaces with
+  | [ i ] ->
+      (* 100 Mb/s reference / 100 Mb/s -> cost 1 *)
+      check Alcotest.int "cisco default" 1 i.Config.ospf_cost
+  | _ -> Alcotest.fail "expected one interface"
+
+let test_parse_errors () =
+  let expect_err text =
+    match Config.parse text with
+    | Ok _ -> Alcotest.failf "should not parse: %s" text
+    | Error _ -> ()
+  in
+  expect_err "interface e0\n  description to X\n!";
+  (* no hostname *)
+  expect_err "hostname A\nhostname B";
+  (* duplicate *)
+  expect_err "hostname A\ninterface e0\n!";
+  (* iface without peer *)
+  expect_err "hostname A\nfrobnicate 7";
+  (* unknown directive *)
+  expect_err "hostname A\ninterface e0\n  description to B\n  delay x\n!"
+
+let test_parse_many_splits () =
+  match Config.parse_many (sample ^ "\n" ^ counterpart) with
+  | Ok [ r1; r2 ] ->
+      check Alcotest.string "first" "R1" r1.Config.hostname;
+      check Alcotest.string "second" "R2" r2.Config.hostname
+  | Ok _ -> Alcotest.fail "expected two routers"
+  | Error e -> Alcotest.failf "parse_many failed: %s" e
+
+let test_audit_clean_pair () =
+  match Config.parse_many (sample ^ counterpart) with
+  | Ok cfgs -> check Alcotest.(list string) "no faults" [] (Rcc.audit cfgs)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_audit_detects_faults () =
+  let broken_reverse =
+    sample
+    ^ {|
+hostname R2
+router ospf 1
+  hello-interval 5
+  dead-interval 10
+interface ge-0/0/0
+  description to R1
+  bandwidth 10000000
+  delay 8000
+  ip ospf cost 999
+!
+|}
+  in
+  (match Config.parse_many broken_reverse with
+  | Ok cfgs ->
+      let faults = Rcc.audit cfgs in
+      check Alcotest.bool "asymmetric cost flagged" true
+        (List.exists
+           (fun f ->
+             let has sub =
+               let n = String.length sub in
+               let rec go i =
+                 i + n <= String.length f && (String.sub f i n = sub || go (i + 1))
+               in
+               go 0
+             in
+             has "asymmetric ospf cost")
+           faults)
+  | Error e -> Alcotest.failf "parse: %s" e);
+  (* Dangling peer. *)
+  match Config.parse_many sample with
+  | Ok cfgs ->
+      check Alcotest.bool "unknown router flagged" true (Rcc.audit cfgs <> [])
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_build_topology () =
+  match Config.parse_many (sample ^ counterpart) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok cfgs -> (
+      match Rcc.build_topology cfgs with
+      | Error e -> Alcotest.failf "build: %s" e
+      | Ok g ->
+          check Alcotest.int "two nodes" 2 (Graph.node_count g);
+          check Alcotest.int "one link" 1 (Graph.link_count g);
+          let l = List.hd (Graph.links g) in
+          check Alcotest.int "weight from cost" 800 l.Graph.weight;
+          check (Alcotest.float 0.001) "delay from config" 8.0
+            (Vini_sim.Time.to_ms_f l.Graph.delay))
+
+let test_abilene_pipeline () =
+  let g = Rcc.abilene () in
+  check Alcotest.int "11 routers" 11 (Graph.node_count g);
+  check Alcotest.int "14 links" 14 (Graph.link_count g);
+  (* The rcc-derived topology must agree with the hand-built dataset up to
+     naming: same degree sequence and same total weight. *)
+  let hand = Vini_topo.Datasets.Abilene.topology () in
+  let weight_sum g =
+    List.fold_left (fun acc (l : Graph.link) -> acc + l.Graph.weight) 0 (Graph.links g)
+  in
+  check Alcotest.int "same total weight" (weight_sum hand) (weight_sum g);
+  let degrees g =
+    List.sort compare
+      (List.map (fun v -> List.length (Graph.neighbors g v)) (Graph.nodes g))
+  in
+  check Alcotest.(list int) "same degree sequence" (degrees hand) (degrees g)
+
+(* Property: emit_configs o build_topology is the identity (up to node
+   naming sanitisation) on random Waxman graphs. *)
+let prop_emit_parse_roundtrip =
+  QCheck.Test.make ~name:"emit_configs round-trips through the parser"
+    ~count:60
+    QCheck.(pair (int_range 2 15) (int_bound 10_000))
+    (fun (n, seed) ->
+      let g = Vini_topo.Datasets.waxman ~rng:(Vini_std.Rng.create seed) ~n () in
+      let text = Rcc.emit_configs g in
+      match Config.parse_many text with
+      | Error _ -> false
+      | Ok cfgs -> (
+          Rcc.audit cfgs = []
+          &&
+          match Rcc.build_topology cfgs with
+          | Error _ -> false
+          | Ok g2 ->
+              Graph.node_count g = Graph.node_count g2
+              && Graph.link_count g = Graph.link_count g2
+              && List.for_all2
+                   (fun (l1 : Graph.link) (l2 : Graph.link) ->
+                     (* The dialect carries microseconds; compare at that
+                        granularity. *)
+                     let us t = Int64.div (t : Vini_sim.Time.t) 1000L in
+                     l1.Graph.a = l2.Graph.a && l1.Graph.b = l2.Graph.b
+                     && l1.Graph.weight = l2.Graph.weight
+                     && us l1.Graph.delay = us l2.Graph.delay)
+                   (List.sort compare (Graph.links g))
+                   (List.sort compare (Graph.links g2))))
+
+let test_emit_abilene_is_clean () =
+  (* Emitting the Abilene mirror back out reproduces an auditable file. *)
+  let g = Rcc.abilene () in
+  let text = Rcc.emit_configs g in
+  match Config.parse_many text with
+  | Error e -> Alcotest.failf "emit failed to parse: %s" e
+  | Ok cfgs ->
+      check Alcotest.(list string) "clean audit" [] (Rcc.audit cfgs);
+      check Alcotest.int "11 routers" 11 (List.length cfgs)
+
+let test_config_generators () =
+  let g = Rcc.abilene () in
+  let xorp = Rcc.xorp_config g 0 in
+  let click = Rcc.click_config g 0 in
+  let has hay sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "xorp mentions ospf4" true (has xorp "ospf4");
+  check Alcotest.bool "xorp sets dead interval" true (has xorp "router-dead-interval: 10");
+  check Alcotest.bool "click has tunnels" true (has click "Socket(UDP");
+  check Alcotest.bool "click has droplink" true (has click "DropLink")
+
+let suite =
+  [
+    Alcotest.test_case "parse basic config" `Quick test_parse_basic;
+    Alcotest.test_case "parse default cost" `Quick test_parse_default_cost_from_bandwidth;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse_many splits" `Quick test_parse_many_splits;
+    Alcotest.test_case "audit clean pair" `Quick test_audit_clean_pair;
+    Alcotest.test_case "audit detects faults" `Quick test_audit_detects_faults;
+    Alcotest.test_case "build topology" `Quick test_build_topology;
+    Alcotest.test_case "abilene dataset pipeline" `Quick test_abilene_pipeline;
+    Alcotest.test_case "xorp/click generators" `Quick test_config_generators;
+    QCheck_alcotest.to_alcotest prop_emit_parse_roundtrip;
+    Alcotest.test_case "emit abilene is clean" `Quick test_emit_abilene_is_clean;
+  ]

@@ -1,0 +1,166 @@
+(* Tests for the discrete-event engine and time arithmetic. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Trace = Vini_sim.Trace
+
+let check = Alcotest.check
+let time = Alcotest.testable Time.pp (fun a b -> Time.compare a b = 0)
+
+let test_time_units () =
+  check time "1 s = 1000 ms" (Time.sec 1) (Time.ms 1000);
+  check time "1 ms = 1000 us" (Time.ms 1) (Time.us 1000);
+  check time "1 us = 1000 ns" (Time.us 1) (Time.ns 1000);
+  check time "float roundtrip" (Time.ms 1500) (Time.of_sec_f 1.5);
+  check (Alcotest.float 1e-12) "to_sec" 0.25 (Time.to_sec_f (Time.ms 250))
+
+let test_time_arith () =
+  check time "add" (Time.sec 3) (Time.add (Time.sec 1) (Time.sec 2));
+  check time "sub" (Time.sec 1) (Time.sub (Time.sec 3) (Time.sec 2));
+  check time "mul" (Time.sec 6) (Time.mul (Time.sec 2) 3);
+  check time "min" (Time.sec 1) (Time.min (Time.sec 1) (Time.sec 2));
+  check time "max" (Time.sec 2) (Time.max (Time.sec 1) (Time.sec 2))
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.at e (Time.ms 30) (note "c"));
+  ignore (Engine.at e (Time.ms 10) (note "a"));
+  ignore (Engine.at e (Time.ms 20) (note "b"));
+  Engine.run e;
+  check Alcotest.(list string) "timestamp order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  (* Events at the same instant fire in scheduling order. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.at e (Time.ms 5) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  check Alcotest.(list int) "fifo at equal time" (List.init 10 Fun.id)
+    (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.at e (Time.ms 42) (fun () -> seen := Engine.now e));
+  Engine.run e;
+  check time "clock at callback" (Time.ms 42) !seen;
+  check time "clock after run" (Time.ms 42) (Engine.now e)
+
+let test_engine_until_advances_clock () =
+  let e = Engine.create () in
+  ignore (Engine.at e (Time.sec 100) (fun () -> ()));
+  Engine.run ~until:(Time.sec 10) e;
+  check time "stopped at until" (Time.sec 10) (Engine.now e);
+  check Alcotest.int "event still pending" 1 (Engine.pending e)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.at e (Time.ms 5) (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  check Alcotest.bool "cancelled did not fire" false !fired;
+  check Alcotest.bool "is_cancelled" true (Engine.is_cancelled h)
+
+let test_engine_after_relative () =
+  let e = Engine.create () in
+  let at = ref Time.zero in
+  ignore
+    (Engine.at e (Time.ms 10) (fun () ->
+         ignore (Engine.after e (Time.ms 7) (fun () -> at := Engine.now e))));
+  Engine.run e;
+  check time "after is relative" (Time.ms 17) !at
+
+let test_engine_past_schedules_now () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore
+    (Engine.at e (Time.ms 10) (fun () ->
+         (* Scheduling into the past clamps to now. *)
+         ignore (Engine.at e (Time.ms 1) (fun () -> order := "late" :: !order));
+         order := "first" :: !order));
+  Engine.run e;
+  check Alcotest.(list string) "clamped" [ "first"; "late" ] (List.rev !order);
+  check time "clock never went back" (Time.ms 10) (Engine.now e)
+
+let test_engine_every_stops () =
+  let e = Engine.create () in
+  let n = ref 0 in
+  Engine.every e (Time.ms 10) (fun () ->
+      incr n;
+      !n < 5);
+  Engine.run e;
+  check Alcotest.int "ran 5 times then stopped" 5 !n
+
+let test_engine_every_jitter_bounded () =
+  let e = Engine.create () in
+  let stamps = ref [] in
+  Engine.every e ~jitter:(Time.ms 5) (Time.ms 100) (fun () ->
+      stamps := Engine.now e :: !stamps;
+      List.length !stamps < 20);
+  Engine.run e;
+  let stamps = List.rev !stamps in
+  List.iteri
+    (fun i t ->
+      let base = Time.ms (100 * (i + 1)) in
+      let delta = Time.to_ms_f (Time.sub t base) in
+      check Alcotest.bool
+        (Printf.sprintf "firing %d within jitter (%.2f)" i delta)
+        true
+        (delta >= -0.001 && delta <= 5.001 *. float_of_int (i + 1)))
+    stamps
+
+let test_engine_step () =
+  let e = Engine.create () in
+  ignore (Engine.at e (Time.ms 1) (fun () -> ()));
+  check Alcotest.bool "one step" true (Engine.step e);
+  check Alcotest.bool "exhausted" false (Engine.step e)
+
+let test_engine_deterministic_replay () =
+  let run () =
+    let e = Engine.create ~seed:5 () in
+    let acc = ref [] in
+    let rng = Engine.rng e in
+    for _ = 1 to 50 do
+      let d = Vini_std.Rng.int rng 1000 in
+      ignore (Engine.after e (Time.us d) (fun () -> acc := d :: !acc))
+    done;
+    Engine.run e;
+    !acc
+  in
+  check Alcotest.(list int) "identical runs" (run ()) (run ())
+
+let test_trace_order_and_find () =
+  let e = Engine.create () in
+  let tr = Trace.create e in
+  ignore (Engine.at e (Time.ms 1) (fun () -> Trace.record tr "a" "x"));
+  ignore (Engine.at e (Time.ms 2) (fun () -> Trace.record tr "b" "y"));
+  ignore (Engine.at e (Time.ms 3) (fun () -> Trace.record tr "a" "z"));
+  Engine.run e;
+  check Alcotest.int "three events" 3 (List.length (Trace.events tr));
+  check Alcotest.int "two at point a" 2 (List.length (Trace.find tr ~point:"a"));
+  Trace.clear tr;
+  check Alcotest.int "cleared" 0 (List.length (Trace.events tr))
+
+let suite =
+  [
+    Alcotest.test_case "time units" `Quick test_time_units;
+    Alcotest.test_case "time arithmetic" `Quick test_time_arith;
+    Alcotest.test_case "events fire in order" `Quick test_engine_ordering;
+    Alcotest.test_case "equal times are fifo" `Quick test_engine_same_time_fifo;
+    Alcotest.test_case "clock advances" `Quick test_engine_clock_advances;
+    Alcotest.test_case "run ~until" `Quick test_engine_until_advances_clock;
+    Alcotest.test_case "cancellation" `Quick test_engine_cancel;
+    Alcotest.test_case "after is relative" `Quick test_engine_after_relative;
+    Alcotest.test_case "past schedule clamps" `Quick test_engine_past_schedules_now;
+    Alcotest.test_case "every stops on false" `Quick test_engine_every_stops;
+    Alcotest.test_case "every jitter bounded" `Quick test_engine_every_jitter_bounded;
+    Alcotest.test_case "single step" `Quick test_engine_step;
+    Alcotest.test_case "deterministic replay" `Quick test_engine_deterministic_replay;
+    Alcotest.test_case "trace records and finds" `Quick test_trace_order_and_find;
+  ]

@@ -1,0 +1,255 @@
+(* Unit and property tests for Vini_std: rng, heap, stats, fifo. *)
+
+module Rng = Vini_std.Rng
+module Heap = Vini_std.Heap
+module Stats = Vini_std.Stats
+module Fifo = Vini_std.Fifo
+
+let check = Alcotest.check
+
+(* --- rng --------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check Alcotest.bool "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    check Alcotest.bool "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 50 (fun _ -> Rng.bits64 b) in
+  check Alcotest.bool "streams differ" true (xs <> ys)
+
+let test_rng_copy_same_future () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copies agree" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng 2.0 9.0 in
+    check Alcotest.bool "in [2,9)" true (v >= 2.0 && v < 9.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 4.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "exp mean ~4 (got %.3f)" mean)
+    true
+    (Float.abs (mean -. 4.0) < 0.15)
+
+let test_rng_normal_moments () =
+  let rng = Rng.create 17 in
+  let n = 50_000 in
+  let s = Stats.create () in
+  for _ = 1 to n do
+    Stats.add s (Rng.normal rng ~mean:10.0 ~stddev:2.0)
+  done;
+  check Alcotest.bool "normal mean" true (Float.abs (Stats.mean s -. 10.0) < 0.1);
+  check Alcotest.bool "normal std" true (Float.abs (Stats.stddev s -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 19 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "same elements" (Array.init 50 Fun.id) sorted
+
+(* --- heap -------------------------------------------------------------- *)
+
+let test_heap_sorted_drain () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check Alcotest.(list int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_stability () =
+  (* Equal keys must drain in insertion order. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Heap.push h) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let order =
+    List.filter_map
+      (fun _ -> Option.map snd (Heap.pop h))
+      [ (); (); (); () ]
+  in
+  check Alcotest.(list string) "stable" [ "z"; "a"; "b"; "c" ] order
+
+let test_heap_peek_length () =
+  let h = Heap.create ~cmp:Int.compare in
+  check Alcotest.(option int) "empty peek" None (Heap.peek h);
+  Heap.push h 4;
+  Heap.push h 2;
+  check Alcotest.(option int) "peek min" (Some 2) (Heap.peek h);
+  check Alcotest.int "length" 2 (Heap.length h);
+  Heap.clear h;
+  check Alcotest.bool "cleared" true (Heap.is_empty h)
+
+let test_heap_pop_exn () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "empty pop_exn"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let feq msg a b = check (Alcotest.float 1e-9) msg a b
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  feq "mean" 2.5 (Stats.mean s);
+  feq "min" 1.0 (Stats.min s);
+  feq "max" 4.0 (Stats.max s);
+  feq "sum" 10.0 (Stats.sum s);
+  check Alcotest.int "count" 4 (Stats.count s);
+  feq "mdev" 1.0 (Stats.mdev s);
+  check (Alcotest.float 1e-6) "stddev" 1.2909944487 (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  feq "empty mean" 0.0 (Stats.mean s);
+  feq "empty stddev" 0.0 (Stats.stddev s);
+  check Alcotest.bool "is_empty" true (Stats.is_empty s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  feq "p50" 50.0 (Stats.percentile s 50.0);
+  feq "p99" 99.0 (Stats.percentile s 99.0);
+  feq "p100" 100.0 (Stats.percentile s 100.0)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  let m = Stats.merge a b in
+  feq "merged mean" 2.5 (Stats.mean m);
+  check Alcotest.int "merged count" 4 (Stats.count m)
+
+let test_jitter_constant_stream () =
+  (* Perfectly periodic packets -> zero jitter. *)
+  let j = Stats.Jitter.create () in
+  for i = 0 to 50 do
+    let t = float_of_int i *. 0.01 in
+    Stats.Jitter.observe j ~sent:t ~received:(t +. 0.005)
+  done;
+  feq "no jitter" 0.0 (Stats.Jitter.value j)
+
+let test_jitter_variable_stream () =
+  let j = Stats.Jitter.create () in
+  let rng = Rng.create 3 in
+  for i = 0 to 500 do
+    let t = float_of_int i *. 0.01 in
+    Stats.Jitter.observe j ~sent:t ~received:(t +. 0.005 +. Rng.float rng 0.002)
+  done;
+  check Alcotest.bool "positive jitter" true (Stats.Jitter.value j > 1e-5)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      Stats.mean s >= Stats.min s -. 1e-9 && Stats.mean s <= Stats.max s +. 1e-9)
+
+(* --- fifo -------------------------------------------------------------- *)
+
+let test_fifo_order () =
+  let f = Fifo.create ~size_of:(fun _ -> 1) () in
+  List.iter (fun x -> ignore (Fifo.push f x)) [ 1; 2; 3 ];
+  check Alcotest.(option int) "fifo order" (Some 1) (Fifo.pop f);
+  check Alcotest.(option int) "fifo order" (Some 2) (Fifo.pop f);
+  check Alcotest.(option int) "fifo order" (Some 3) (Fifo.pop f);
+  check Alcotest.(option int) "empty" None (Fifo.pop f)
+
+let test_fifo_packet_bound () =
+  let f = Fifo.create ~max_packets:2 ~size_of:(fun _ -> 1) () in
+  check Alcotest.bool "1st" true (Fifo.push f 1);
+  check Alcotest.bool "2nd" true (Fifo.push f 2);
+  check Alcotest.bool "3rd rejected" false (Fifo.push f 3);
+  check Alcotest.int "drop counted" 1 (Fifo.drops f)
+
+let test_fifo_byte_bound () =
+  let f = Fifo.create ~max_bytes:100 ~size_of:Fun.id () in
+  check Alcotest.bool "60 fits" true (Fifo.push f 60);
+  check Alcotest.bool "50 rejected" false (Fifo.push f 50);
+  check Alcotest.bool "40 fits" true (Fifo.push f 40);
+  check Alcotest.int "bytes" 100 (Fifo.bytes f);
+  ignore (Fifo.pop f);
+  check Alcotest.int "bytes drain" 40 (Fifo.bytes f)
+
+let test_fifo_clear () =
+  let f = Fifo.create ~size_of:(fun _ -> 7) () in
+  ignore (Fifo.push f 1);
+  Fifo.clear f;
+  check Alcotest.bool "empty after clear" true (Fifo.is_empty f);
+  check Alcotest.int "bytes zero" 0 (Fifo.bytes f)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy future" `Quick test_rng_copy_same_future;
+    Alcotest.test_case "rng uniform range" `Quick test_rng_uniform_range;
+    Alcotest.test_case "rng exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng normal moments" `Quick test_rng_normal_moments;
+    Alcotest.test_case "rng shuffle permutes" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "heap sorted drain" `Quick test_heap_sorted_drain;
+    Alcotest.test_case "heap stability" `Quick test_heap_stability;
+    Alcotest.test_case "heap peek/length/clear" `Quick test_heap_peek_length;
+    Alcotest.test_case "heap pop_exn raises" `Quick test_heap_pop_exn;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "stats basic moments" `Quick test_stats_basic;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "jitter constant stream" `Quick test_jitter_constant_stream;
+    Alcotest.test_case "jitter variable stream" `Quick test_jitter_variable_stream;
+    QCheck_alcotest.to_alcotest prop_stats_mean_bounds;
+    Alcotest.test_case "fifo order" `Quick test_fifo_order;
+    Alcotest.test_case "fifo packet bound" `Quick test_fifo_packet_bound;
+    Alcotest.test_case "fifo byte bound" `Quick test_fifo_byte_bound;
+    Alcotest.test_case "fifo clear" `Quick test_fifo_clear;
+  ]

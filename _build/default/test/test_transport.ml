@@ -1,0 +1,333 @@
+(* Tests for TCP Reno and UDP CBR flows over a direct stack pair with
+   controllable delay and loss. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Tcp = Vini_transport.Tcp
+module Udp_flow = Vini_transport.Udp_flow
+module Ipstack = Vini_phys.Ipstack
+
+let check = Alcotest.check
+
+let transfer ?(loss = 0.0) ?(delay = Time.ms 5) ?(seed = 1) ?(rwnd = 64 * 1024)
+    ~bytes ~run_for () =
+  let engine = Engine.create ~seed () in
+  let client, server = Harness.stack_pair ~engine ~delay ~loss ~seed () in
+  let delivered = ref 0 and chunks = ref 0 and closed = ref false in
+  Tcp.listen ~stack:server ~port:5001 ~rwnd
+    ~on_accept:(fun conn ->
+      Tcp.on_deliver conn (fun n ->
+          delivered := !delivered + n;
+          incr chunks);
+      Tcp.on_closed conn (fun () -> closed := true))
+    ();
+  let conn =
+    Tcp.connect ~stack:client ~dst:(Ipstack.local_addr server) ~dst_port:5001
+      ~rwnd ()
+  in
+  Tcp.send conn bytes;
+  Tcp.close conn;
+  Engine.run ~until:run_for engine;
+  (conn, !delivered, !closed, engine)
+
+let test_tcp_basic_transfer () =
+  let conn, delivered, closed, _ =
+    transfer ~bytes:100_000 ~run_for:(Time.sec 30) ()
+  in
+  check Alcotest.int "all bytes delivered" 100_000 delivered;
+  check Alcotest.bool "receiver saw fin" true closed;
+  let st = Tcp.stats conn in
+  check Alcotest.string "sender closed" "closed" st.Tcp.state;
+  check Alcotest.int "no retransmits on clean path" 0 st.Tcp.retransmits
+
+let test_tcp_empty_transfer () =
+  let _, delivered, closed, _ = transfer ~bytes:0 ~run_for:(Time.sec 10) () in
+  check Alcotest.int "nothing delivered" 0 delivered;
+  check Alcotest.bool "still closes" true closed
+
+let test_tcp_delivery_under_loss () =
+  (* 10% loss each way: retransmission must recover everything, in order. *)
+  let conn, delivered, closed, _ =
+    transfer ~loss:0.1 ~seed:7 ~bytes:200_000 ~run_for:(Time.sec 300) ()
+  in
+  check Alcotest.int "all bytes despite loss" 200_000 delivered;
+  check Alcotest.bool "closed" true closed;
+  check Alcotest.bool "recovered via retransmits" true
+    ((Tcp.stats conn).Tcp.retransmits > 0)
+
+let test_tcp_rwnd_limits_throughput () =
+  (* window/RTT: 16 KB over 100 ms RTT ~ 1.3 Mb/s; a 2 s transfer moves
+     ~325 KB.  Generous bounds, but far below an unlimited run. *)
+  let engine = Engine.create ~seed:3 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 50) () in
+  let delivered = ref 0 in
+  Tcp.listen ~stack:server ~port:5001 ~rwnd:(16 * 1024)
+    ~on_accept:(fun conn -> Tcp.on_deliver conn (fun n -> delivered := !delivered + n))
+    ();
+  let conn =
+    Tcp.connect ~stack:client ~dst:(Ipstack.local_addr server) ~dst_port:5001
+      ~rwnd:(16 * 1024) ()
+  in
+  Tcp.send_forever conn;
+  Engine.run ~until:(Time.sec 10) engine;
+  let mbps = float_of_int (!delivered * 8) /. 10.0 /. 1e6 in
+  check Alcotest.bool
+    (Printf.sprintf "window-limited (%.2f Mb/s)" mbps)
+    true
+    (mbps > 0.8 && mbps < 1.8)
+
+let test_tcp_srtt_tracks_path () =
+  let conn, _, _, _ =
+    transfer ~delay:(Time.ms 40) ~bytes:200_000 ~run_for:(Time.sec 60) ()
+  in
+  let srtt = (Tcp.stats conn).Tcp.srtt in
+  check Alcotest.bool
+    (Printf.sprintf "srtt ~80 ms (%.1f ms)" (srtt *. 1e3))
+    true
+    (srtt > 0.075 && srtt < 0.13)
+
+let test_tcp_outage_timeouts_and_recovery () =
+  let engine = Engine.create ~seed:11 () in
+  let drop = ref false in
+  let rng = Vini_std.Rng.create 4 in
+  ignore rng;
+  (* A pipe with a controllable blackout. *)
+  let a = ref None and b = ref None in
+  let mk dst =
+    fun pkt ->
+      if not !drop then
+        ignore
+          (Engine.after engine (Time.ms 10) (fun () ->
+               Option.iter (fun s -> Ipstack.deliver s pkt) !dst))
+  in
+  let sa =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.1")
+      ~tx:(mk b) ()
+  in
+  let sb =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.2")
+      ~tx:(mk a) ()
+  in
+  a := Some sa;
+  b := Some sb;
+  let delivered = ref 0 in
+  Tcp.listen ~stack:sb ~port:5001
+    ~on_accept:(fun conn -> Tcp.on_deliver conn (fun n -> delivered := !delivered + n))
+    ();
+  let conn =
+    Tcp.connect ~stack:sa ~dst:(Ipstack.local_addr sb) ~dst_port:5001 ()
+  in
+  Tcp.send_forever conn;
+  ignore (Engine.at engine (Time.sec 5) (fun () -> drop := true));
+  ignore (Engine.at engine (Time.sec 15) (fun () -> drop := false));
+  Engine.run ~until:(Time.sec 8) engine;
+  let at_8s = !delivered in
+  Engine.run ~until:(Time.sec 15) engine;
+  check Alcotest.int "stalled during outage" at_8s !delivered;
+  let st = Tcp.stats conn in
+  check Alcotest.bool "rto fired" true (st.Tcp.timeouts > 0);
+  check Alcotest.bool "cwnd collapsed" true (st.Tcp.cwnd <= 2 * Tcp.default_mss);
+  Engine.run ~until:(Time.sec 60) engine;
+  check Alcotest.bool "resumed after outage" true (!delivered > at_8s + 100_000)
+
+let test_tcp_parallel_streams_share () =
+  let engine = Engine.create ~seed:13 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 10) () in
+  let per_conn = Hashtbl.create 8 in
+  Tcp.listen ~stack:server ~port:5001
+    ~on_accept:(fun conn ->
+      let id = Hashtbl.length per_conn in
+      Hashtbl.replace per_conn id 0;
+      Tcp.on_deliver conn (fun n ->
+          Hashtbl.replace per_conn id (Hashtbl.find per_conn id + n)))
+    ();
+  for _ = 1 to 5 do
+    let conn =
+      Tcp.connect ~stack:client ~dst:(Ipstack.local_addr server) ~dst_port:5001 ()
+    in
+    Tcp.send_forever conn
+  done;
+  Engine.run ~until:(Time.sec 10) engine;
+  check Alcotest.int "five connections accepted" 5 (Hashtbl.length per_conn);
+  Hashtbl.iter
+    (fun id bytes ->
+      check Alcotest.bool (Printf.sprintf "conn %d progressed" id) true
+        (bytes > 100_000))
+    per_conn
+
+let test_tcp_connect_retries_lost_syn () =
+  let engine = Engine.create ~seed:17 () in
+  (* Drop the first two packets outright, then behave. *)
+  let count = ref 0 in
+  let a = ref None and b = ref None in
+  let mk dst pkt =
+    incr count;
+    if !count > 2 then
+      ignore
+        (Engine.after engine (Time.ms 5) (fun () ->
+             Option.iter (fun s -> Ipstack.deliver s pkt) !dst))
+  in
+  let sa =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.1")
+      ~tx:(mk b) ()
+  in
+  let sb =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.2")
+      ~tx:(mk a) ()
+  in
+  a := Some sa;
+  b := Some sb;
+  let established = ref false in
+  Tcp.listen ~stack:sb ~port:5001 ~on_accept:(fun _ -> ()) ();
+  let conn =
+    Tcp.connect ~stack:sa ~dst:(Ipstack.local_addr sb) ~dst_port:5001 ()
+  in
+  Tcp.on_established conn (fun () -> established := true);
+  Engine.run ~until:(Time.sec 30) engine;
+  check Alcotest.bool "established after syn loss" true !established
+
+(* Property: any transfer size is delivered exactly, under loss. *)
+let prop_tcp_exact_delivery =
+  QCheck.Test.make ~name:"tcp delivers exact byte counts under loss" ~count:15
+    QCheck.(pair (int_range 1 120_000) (int_bound 1000))
+    (fun (bytes, seed) ->
+      let _, delivered, closed, _ =
+        transfer ~loss:0.05 ~seed ~bytes ~run_for:(Time.sec 600) ()
+      in
+      delivered = bytes && closed)
+
+let test_tcp_survives_reordering () =
+  (* A pipe that delays a random subset of packets by an extra 30 ms:
+     heavy reordering, zero loss.  Delivery must stay exact and in order. *)
+  let engine = Engine.create ~seed:31 () in
+  let rng = Vini_std.Rng.create 8 in
+  let a = ref None and b = ref None in
+  let mk dst pkt =
+    let extra = if Vini_std.Rng.float rng 1.0 < 0.3 then Time.ms 30 else Time.zero in
+    ignore
+      (Engine.after engine (Time.add (Time.ms 5) extra) (fun () ->
+           Option.iter (fun s -> Ipstack.deliver s pkt) !dst))
+  in
+  let sa =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.1")
+      ~tx:(mk b) ()
+  in
+  let sb =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.2")
+      ~tx:(mk a) ()
+  in
+  a := Some sa;
+  b := Some sb;
+  let delivered = ref 0 and closed = ref false in
+  Tcp.listen ~stack:sb ~port:5001
+    ~on_accept:(fun conn ->
+      Tcp.on_deliver conn (fun n -> delivered := !delivered + n);
+      Tcp.on_closed conn (fun () -> closed := true))
+    ();
+  let conn =
+    Tcp.connect ~stack:sa ~dst:(Ipstack.local_addr sb) ~dst_port:5001 ()
+  in
+  Tcp.send conn 150_000;
+  Tcp.close conn;
+  Engine.run ~until:(Time.sec 120) engine;
+  check Alcotest.int "exact delivery despite reordering" 150_000 !delivered;
+  check Alcotest.bool "closed" true !closed
+
+let test_tcp_survives_duplication () =
+  (* A pipe that duplicates 20% of packets.  The receiver must not
+     double-deliver bytes. *)
+  let engine = Engine.create ~seed:37 () in
+  let rng = Vini_std.Rng.create 9 in
+  let a = ref None and b = ref None in
+  let mk dst pkt =
+    let deliver () =
+      ignore
+        (Engine.after engine (Time.ms 5) (fun () ->
+             Option.iter (fun s -> Ipstack.deliver s pkt) !dst))
+    in
+    deliver ();
+    if Vini_std.Rng.float rng 1.0 < 0.2 then deliver ()
+  in
+  let sa =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.1")
+      ~tx:(mk b) ()
+  in
+  let sb =
+    Ipstack.create ~engine ~local_addr:(Vini_net.Addr.of_string "192.0.2.2")
+      ~tx:(mk a) ()
+  in
+  a := Some sa;
+  b := Some sb;
+  let delivered = ref 0 in
+  Tcp.listen ~stack:sb ~port:5001
+    ~on_accept:(fun conn -> Tcp.on_deliver conn (fun n -> delivered := !delivered + n))
+    ();
+  let conn =
+    Tcp.connect ~stack:sa ~dst:(Ipstack.local_addr sb) ~dst_port:5001 ()
+  in
+  Tcp.send conn 150_000;
+  Tcp.close conn;
+  Engine.run ~until:(Time.sec 60) engine;
+  check Alcotest.int "no double delivery" 150_000 !delivered
+
+(* --- UDP flows ------------------------------------------------------------- *)
+
+let test_udp_cbr_rate_and_accounting () =
+  let engine = Engine.create ~seed:23 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 5) () in
+  let recv = Udp_flow.receiver ~stack:server ~port:6001 () in
+  let snd =
+    Udp_flow.sender ~stack:client ~dst:(Ipstack.local_addr server)
+      ~dst_port:6001 ~rate_bps:1e6 ~duration:(Time.sec 5) ()
+  in
+  Engine.run ~until:(Time.sec 7) engine;
+  let st = Udp_flow.receiver_stats recv in
+  check Alcotest.bool "sender stopped" false (Udp_flow.sender_running snd);
+  check Alcotest.int "no loss on clean path" 0 st.Udp_flow.lost;
+  check Alcotest.int "received all sent" (Udp_flow.sent snd) st.Udp_flow.received;
+  (* 1 Mb/s of 1458-byte datagrams for 5 s ~ 428 packets. *)
+  check Alcotest.bool
+    (Printf.sprintf "rate respected (%d pkts)" st.Udp_flow.received)
+    true
+    (st.Udp_flow.received > 380 && st.Udp_flow.received < 480)
+
+let test_udp_loss_counting () =
+  let engine = Engine.create ~seed:29 () in
+  let client, server = Harness.stack_pair ~engine ~delay:(Time.ms 5) ~loss:0.2 () in
+  let recv = Udp_flow.receiver ~stack:server ~port:6001 () in
+  ignore
+    (Udp_flow.sender ~stack:client ~dst:(Ipstack.local_addr server)
+       ~dst_port:6001 ~rate_bps:2e6 ~duration:(Time.sec 5) ());
+  Engine.run ~until:(Time.sec 7) engine;
+  let st = Udp_flow.receiver_stats recv in
+  check Alcotest.bool
+    (Printf.sprintf "~20%% loss seen (%.1f%%)" st.Udp_flow.loss_pct)
+    true
+    (st.Udp_flow.loss_pct > 12.0 && st.Udp_flow.loss_pct < 28.0)
+
+let test_udp_sender_validation () =
+  let engine = Engine.create () in
+  let client, server = Harness.stack_pair ~engine () in
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Udp_flow.sender: rate must be positive") (fun () ->
+      ignore
+        (Udp_flow.sender ~stack:client ~dst:(Ipstack.local_addr server)
+           ~dst_port:6001 ~rate_bps:0.0 ~duration:(Time.sec 1) ()))
+
+let suite =
+  [
+    Alcotest.test_case "tcp basic transfer" `Quick test_tcp_basic_transfer;
+    Alcotest.test_case "tcp empty transfer" `Quick test_tcp_empty_transfer;
+    Alcotest.test_case "tcp delivery under loss" `Quick test_tcp_delivery_under_loss;
+    Alcotest.test_case "tcp rwnd limits throughput" `Quick test_tcp_rwnd_limits_throughput;
+    Alcotest.test_case "tcp srtt tracks path" `Quick test_tcp_srtt_tracks_path;
+    Alcotest.test_case "tcp outage + slow-start restart" `Quick test_tcp_outage_timeouts_and_recovery;
+    Alcotest.test_case "tcp parallel streams" `Quick test_tcp_parallel_streams_share;
+    Alcotest.test_case "tcp retries lost syn" `Quick test_tcp_connect_retries_lost_syn;
+    Alcotest.test_case "tcp survives reordering" `Quick test_tcp_survives_reordering;
+    Alcotest.test_case "tcp survives duplication" `Quick test_tcp_survives_duplication;
+    QCheck_alcotest.to_alcotest prop_tcp_exact_delivery;
+    Alcotest.test_case "udp cbr rate+accounting" `Quick test_udp_cbr_rate_and_accounting;
+    Alcotest.test_case "udp loss counting" `Quick test_udp_loss_counting;
+    Alcotest.test_case "udp sender validation" `Quick test_udp_sender_validation;
+  ]

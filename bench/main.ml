@@ -240,6 +240,36 @@ let ablations () =
          (fun (h, d, det) -> [ string_of_int h; string_of_int d; f det ])
          (Ablation.timer_sweep ()))
 
+(* ---- Observability: machine-readable metrics for the CI artifact ------ *)
+
+let observability () =
+  let module Export = Vini_measure.Export in
+  let duration_s = max 1 (min duration_s 5) in
+  let doc, mbps = Deter.observability_run ~duration_s () in
+  let path = "BENCH_METRICS.json" in
+  Export.write ~path doc;
+  let count_of name =
+    let ( >>= ) o f = Option.bind o f in
+    Export.member "histograms" doc >>= Export.to_list
+    >>= List.find_opt (fun h ->
+            Export.member "name" h >>= Export.to_str |> fun n -> n = Some name)
+    >>= Export.member "count" >>= Export.to_float
+    |> Option.value ~default:0.0
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Observability: instrumented DETER IIAS TCP run (%.1f Mb/s) -> %s"
+         mbps path)
+    ~header:[ "histogram"; "samples" ]
+    ~rows:
+      (List.map
+         (fun n -> [ n; Printf.sprintf "%.0f" (count_of n) ])
+         [
+           "engine.horizon_s"; "engine.callback_s"; "phys.fwdr.wake_s";
+           "tcp.src.cwnd_bytes";
+         ])
+
 (* ---- Bechamel microbenchmarks ----------------------------------------- *)
 
 let microbenchmarks () =
@@ -322,6 +352,7 @@ let () =
   fig8 ();
   fig9 ();
   upcalls ();
+  observability ();
   if Sys.getenv_opt "VINI_SKIP_ABLATIONS" = None then ablations ();
   if Sys.getenv_opt "VINI_SKIP_MICRO" = None then microbenchmarks ();
   Printf.printf "\ndone.\n"

@@ -22,10 +22,95 @@ let seed_arg =
   let doc = "Base random seed (runs are deterministic given a seed)." in
   Arg.(value & opt int 1001 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let trace_cats_conv =
+  let parser s =
+    if s = "all" then Ok Vini_sim.Trace.Category.all
+    else
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | name :: rest -> (
+            let name = String.trim name in
+            match Vini_sim.Trace.Category.of_name name with
+            | Some c -> go (c :: acc) rest
+            | None ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "unknown trace category %S (expected 'all' or a \
+                        comma-separated subset of: %s)"
+                       name
+                       (String.concat ", "
+                          (List.map Vini_sim.Trace.Category.name
+                             Vini_sim.Trace.Category.all)))))
+      in
+      go [] (String.split_on_char ',' s)
+  in
+  let printer ppf cats =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Vini_sim.Trace.Category.name cats))
+  in
+  Arg.conv (parser, printer)
+
+let trace_arg =
+  let doc =
+    "Record a typed event trace.  $(docv) is 'all' or a comma-separated \
+     subset of: packet_tx, packet_rx, packet_drop, route_update, \
+     sched_latency, fault_injected, custom."
+  in
+  Arg.(value & opt (some trace_cats_conv) None
+       & info [ "trace" ] ~docv:"CATS" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write metrics (time series, latency histograms, and the trace when \
+     $(b,--trace) is given) as a vini.metrics/1 JSON document to $(docv)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Dump the "trace" part of an export document as one line per event. *)
+let print_trace_events doc =
+  let module E = Vini_measure.Export in
+  let events =
+    match Option.bind (E.member "trace" doc) (E.member "events") with
+    | Some ev -> Option.value ~default:[] (E.to_list ev)
+    | None -> []
+  in
+  let str name ev =
+    Option.value ~default:"" (Option.bind (E.member name ev) E.to_str)
+  in
+  List.iter
+    (fun ev ->
+      let t =
+        Option.value ~default:0.0
+          (Option.bind (E.member "t" ev) E.to_float)
+      in
+      Printf.printf "%12.6f %-14s %-5s %-20s" t (str "category" ev)
+        (str "severity" ev) (str "component" ev);
+      (match ev with
+      | E.Obj fields ->
+          List.iter
+            (fun (k, v) ->
+              match k with
+              | "t" | "category" | "severity" | "component" -> ()
+              | _ ->
+                  let rendered =
+                    match v with
+                    | E.Str s -> s
+                    | E.Num x -> Printf.sprintf "%g" x
+                    | other -> E.to_string other
+                  in
+                  Printf.printf " %s=%s" k rendered)
+            fields
+      | _ -> ());
+      print_newline ())
+    events;
+  Printf.printf "(%d events shown)\n" (List.length events)
+
 (* --- deter ---------------------------------------------------------------- *)
 
 let deter_cmd =
-  let run runs seconds seed =
+  let run runs seconds seed trace metrics_out =
     let net = Deter.network_tcp ~runs ~duration_s:seconds ~seed () in
     let iias = Deter.iias_tcp ~runs ~duration_s:seconds ~seed:(seed + 1000) () in
     Report.table ~title:"Table 2: TCP throughput on DETER"
@@ -43,11 +128,29 @@ let deter_cmd =
         [
           [ "Network"; f pn.Deter.p_min; f pn.p_avg; f pn.p_max; f pn.p_mdev; f pn.p_loss_pct ];
           [ "IIAS"; f pi.Deter.p_min; f pi.p_avg; f pi.p_max; f pi.p_mdev; f pi.p_loss_pct ];
-        ]
+        ];
+    match (trace, metrics_out) with
+    | None, None -> ()
+    | cats, out ->
+        (* One extra, fully-instrumented IIAS run feeding the observability
+           layer: engine/CPU/TCP histograms, Click counters, and (with
+           [--trace]) the typed event ring. *)
+        let trace_categories = Option.value cats ~default:[] in
+        let doc, mbps =
+          Deter.observability_run ~duration_s:seconds ~seed:(seed + 4000)
+            ~trace_categories ()
+        in
+        Printf.printf "\ninstrumented IIAS TCP run: %.1f Mb/s\n" mbps;
+        (match out with
+        | Some path ->
+            Vini_measure.Export.write ~path doc;
+            Printf.printf "metrics written to %s\n" path
+        | None -> print_trace_events doc)
   in
   let doc = "Microbenchmark #1: overlay efficiency on dedicated hardware (§5.1.1)." in
   Cmd.v (Cmd.info "deter" ~doc)
-    Term.(const run $ runs_arg $ seconds_arg $ seed_arg)
+    Term.(const run $ runs_arg $ seconds_arg $ seed_arg $ trace_arg
+          $ metrics_out_arg)
 
 (* --- planetlab -------------------------------------------------------------- *)
 
@@ -313,7 +416,7 @@ let ablate_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec_file phys_name watch seed duration =
+  let run spec_file phys_name watch seed duration trace metrics_out =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -348,6 +451,23 @@ let run_cmd =
       (Graph.node_count spec.Vini_core.Experiment.vtopo)
       phys_name;
     let engine = Engine.create ~seed () in
+    let tracer =
+      Option.map
+        (fun categories ->
+          let t = Vini_sim.Trace.create ~categories () in
+          Vini_sim.Trace.install t;
+          t)
+        trace
+    in
+    let monitor =
+      Option.map
+        (fun _ ->
+          Engine.set_profiling engine true;
+          let m = Vini_measure.Monitor.create ~engine () in
+          Vini_measure.Monitor.watch_engine m engine;
+          m)
+        metrics_out
+    in
     let vini = Vini_core.Vini.create ~engine ~graph:phys () in
     let inst = Vini_core.Vini.deploy vini spec in
     (* Converge before the measurement clock starts. *)
@@ -372,6 +492,13 @@ let run_cmd =
         ~mode:(Vini_measure.Ping.Interval (Time.ms 250))
         ()
     in
+    Option.iter
+      (fun m ->
+        Vini_measure.Monitor.counter m ~name:"ping.sent" (fun () ->
+            float_of_int (Vini_measure.Ping.sent ping));
+        Vini_measure.Monitor.counter m ~name:"ping.received" (fun () ->
+            float_of_int (Vini_measure.Ping.received ping)))
+      monitor;
     Engine.run ~until:(Time.sec (duration + 10)) engine;
     Report.series
       ~title:
@@ -383,7 +510,21 @@ let run_cmd =
     Printf.printf "replies %d/%d (%.1f%% lost)\n"
       (Vini_measure.Ping.received ping)
       (Vini_measure.Ping.sent ping)
-      (Vini_measure.Ping.loss_pct ping)
+      (Vini_measure.Ping.loss_pct ping);
+    Option.iter
+      (fun t ->
+        Vini_sim.Trace.uninstall ();
+        Printf.printf "trace: %d events recorded, %d overwritten\n"
+          (Vini_sim.Trace.length t) (Vini_sim.Trace.overwritten t))
+      tracer;
+    Option.iter
+      (fun path ->
+        let m = Option.get monitor in
+        Vini_measure.Monitor.stop m;
+        Vini_measure.Export.write ~path
+          (Vini_measure.Export.document ?trace:tracer [ m ]);
+        Printf.printf "metrics written to %s\n" path)
+      metrics_out
   in
   let spec_arg =
     Arg.(value & opt (some file) None
@@ -409,7 +550,8 @@ let run_cmd =
     "Deploy a textual experiment specification (§6.2) and watch it run."
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg)
+    Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
+          $ trace_arg $ metrics_out_arg)
 
 (* --- upcalls --------------------------------------------------------------------- *)
 

@@ -4,7 +4,6 @@
 
      dune exec examples/abilene_failover.exe *)
 
-module Time = Vini_sim.Time
 
 let () =
   (* The rcc pipeline: parse the embedded Abilene router configs, audit

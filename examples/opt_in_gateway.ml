@@ -10,7 +10,6 @@ module Engine = Vini_sim.Engine
 module Graph = Vini_topo.Graph
 module Underlay = Vini_phys.Underlay
 module Pnode = Vini_phys.Pnode
-module Ipstack = Vini_phys.Ipstack
 module Slice = Vini_phys.Slice
 module Iias = Vini_overlay.Iias
 module Openvpn = Vini_overlay.Openvpn

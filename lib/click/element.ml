@@ -1,4 +1,5 @@
 module Packet = Vini_net.Packet
+module Trace = Vini_sim.Trace
 
 type t = {
   name : string;
@@ -6,18 +7,36 @@ type t = {
   mutable packets : int;
   mutable bytes : int;
   mutable drops : int;
+  mutable drop_reasons : (string * int ref) list;
 }
 
-let make name f = { name; f; packets = 0; bytes = 0; drops = 0 }
+let make name f =
+  { name; f; packets = 0; bytes = 0; drops = 0; drop_reasons = [] }
 
 let push t pkt =
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + Packet.size pkt;
+  if Trace.on Trace.Category.Packet_tx then
+    Trace.emit ~component:t.name (Trace.Packet_tx { bytes = Packet.size pkt });
   t.f pkt
+
+let drop t ~reason pkt =
+  t.drops <- t.drops + 1;
+  (match List.assoc_opt reason t.drop_reasons with
+  | Some r -> incr r
+  | None -> t.drop_reasons <- (reason, ref 1) :: t.drop_reasons);
+  if Trace.on Trace.Category.Packet_drop then
+    Trace.emit ~severity:Trace.Warn ~component:t.name
+      (Trace.Packet_drop { reason; bytes = Packet.size pkt })
 
 let name t = t.name
 let packets t = t.packets
 let bytes t = t.bytes
+let drops t = t.drops
+
+let drop_reasons t =
+  List.sort compare (List.map (fun (r, n) -> (r, !n)) t.drop_reasons)
+
 let discard name = make name (fun _ -> ())
 
 let tee name outs =
@@ -41,7 +60,7 @@ let queue name ?(capacity_packets = max_int) ?(capacity_bytes = max_int) ~out
            if
              !occupancy_packets >= capacity_packets
              || !occupancy_bytes + size > capacity_bytes
-           then (Lazy.force t).drops <- (Lazy.force t).drops + 1
+           then drop (Lazy.force t) ~reason:"queue-overflow" pkt
            else begin
              (* Synchronous drain: occupancy spikes and falls within the
                 same processing step. *)

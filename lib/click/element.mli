@@ -9,10 +9,24 @@
 type t
 
 val make : string -> (Vini_net.Packet.t -> unit) -> t
+
 val push : t -> Vini_net.Packet.t -> unit
+(** Counts the packet and, when the [Packet_tx] trace category is live,
+    emits a trace event under this element's name. *)
+
+val drop : t -> reason:string -> Vini_net.Packet.t -> unit
+(** Count a drop under [reason] (and emit a [Packet_drop] trace event when
+    that category is live).  The packet is {e not} forwarded. *)
+
 val name : t -> string
 val packets : t -> int
 val bytes : t -> int
+
+val drops : t -> int
+(** Total drops recorded via {!drop}, any reason. *)
+
+val drop_reasons : t -> (string * int) list
+(** Per-reason drop counts, sorted by reason. *)
 
 val discard : string -> t
 (** Count-and-drop sink. *)

@@ -1,3 +1,5 @@
+module Trace = Vini_sim.Trace
+
 type mode = Pass | Fail | Lossy of float
 
 type t = {
@@ -8,18 +10,29 @@ type t = {
   mutable element : Element.t option;
 }
 
+let mode_name = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Lossy p -> Printf.sprintf "lossy %.3f" p
+
 let create ~rng ~out name =
   let t = { rng; out; mode = Pass; dropped = 0; element = None } in
-  let el =
-    Element.make name (fun pkt ->
-        match t.mode with
-        | Pass -> Element.push t.out pkt
-        | Fail -> t.dropped <- t.dropped + 1
-        | Lossy p ->
-            if Vini_std.Rng.float t.rng 1.0 < p then t.dropped <- t.dropped + 1
-            else Element.push t.out pkt)
+  let fault_drop el pkt ~reason =
+    t.dropped <- t.dropped + 1;
+    Element.drop el pkt ~reason
   in
-  t.element <- Some el;
+  let rec el =
+    lazy
+      (Element.make name (fun pkt ->
+           match t.mode with
+           | Pass -> Element.push t.out pkt
+           | Fail -> fault_drop (Lazy.force el) pkt ~reason:"fault-fail"
+           | Lossy p ->
+               if Vini_std.Rng.float t.rng 1.0 < p then
+                 fault_drop (Lazy.force el) pkt ~reason:"fault-lossy"
+               else Element.push t.out pkt))
+  in
+  t.element <- Some (Lazy.force el);
   t
 
 let element t = Option.get t.element
@@ -28,6 +41,9 @@ let set_mode t mode =
   (match mode with
   | Lossy p when p < 0.0 || p > 1.0 -> invalid_arg "Faulty.set_mode: loss rate"
   | Lossy _ | Pass | Fail -> ());
+  if Trace.on Trace.Category.Fault_injected && mode <> t.mode then
+    Trace.emit ~component:(Element.name (element t))
+      (Trace.Fault_injected { action = "mode " ^ mode_name mode });
   t.mode <- mode
 
 let mode t = t.mode

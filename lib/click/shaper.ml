@@ -68,11 +68,15 @@ let create ~engine ~rate_bps ?(burst_bytes = 16_000) ?(queue_bytes = 131_072)
       element = None;
     }
   in
-  let el =
-    Element.make name (fun pkt ->
-        if Vini_std.Fifo.push t.queue pkt && t.release = None then drain t)
+  let rec el =
+    lazy
+      (Element.make name (fun pkt ->
+           if Vini_std.Fifo.push t.queue pkt then begin
+             if t.release = None then drain t
+           end
+           else Element.drop (Lazy.force el) ~reason:"shaper-overflow" pkt))
   in
-  t.element <- Some el;
+  t.element <- Some (Lazy.force el);
   t
 
 let element t = Option.get t.element

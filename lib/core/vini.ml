@@ -1,6 +1,5 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
-module Graph = Vini_topo.Graph
 module Underlay = Vini_phys.Underlay
 module Iias = Vini_overlay.Iias
 

@@ -1,0 +1,61 @@
+(** Machine-readable export of traces, series and histograms.
+
+    Produces the stable [vini.metrics/1] JSON schema consumed by CI (the
+    per-PR [BENCH_METRICS.json] artifact) and by anything downstream that
+    wants artifact-grade measurements:
+
+    {v
+    { "schema": "vini.metrics/1",
+      "series":     [ {"name", "kind": "gauge"|"counter",
+                       "points": [[t_s, value], ...]} ],
+      "histograms": [ {"name", "count", "sum", "mean", "min", "max",
+                       "p50", "p95", "p99",
+                       "buckets": [[lower, upper, count], ...]} ],
+      "trace":      { "capacity", "overwritten",
+                      "events": [ {"t", "category", "severity",
+                                   "component", ...payload}, ... ] } }
+    v}
+
+    The module carries its own small JSON tree, printer and parser (the
+    repository has no JSON dependency), so exports round-trip in-process
+    for tests. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact JSON.  Non-finite floats degrade: NaN to [null], infinities to
+    [±1e999] (which parse back as infinities). *)
+
+val of_string : string -> (json, string) result
+
+val member : string -> json -> json option
+val to_list : json -> json list option
+val to_float : json -> float option
+val to_str : json -> string option
+
+val schema_version : string
+
+val series_json : Monitor.t -> json
+val histogram_json : name:string -> Vini_std.Histogram.t -> json
+val histograms_json : Monitor.t -> json
+val trace_json : Vini_sim.Trace.t -> json
+
+val document :
+  ?trace:Vini_sim.Trace.t -> ?extra:(string * json) list -> Monitor.t list -> json
+(** The full schema above: every monitor's series and histograms
+    concatenated, plus the trace when given and any [extra] top-level
+    fields. *)
+
+val write : path:string -> json -> unit
+
+val series_csv : Monitor.t -> string
+(** "name,kind,time_s,value" rows. *)
+
+val trace_csv : Vini_sim.Trace.t -> string
+(** "time_s,category,severity,component,detail" rows. *)

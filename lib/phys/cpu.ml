@@ -11,6 +11,7 @@ type t = {
   rng : Rng.t;
   speed_ghz : float;
   contention : contention;
+  wake_hist : Vini_std.Histogram.t;
 }
 
 type state = Idle | Waking | Busy
@@ -31,7 +32,8 @@ type proc = {
 
 let create ~engine ~rng ~speed_ghz ~contention =
   if speed_ghz <= 0.0 then invalid_arg "Cpu.create: speed must be positive";
-  { engine; rng; speed_ghz; contention }
+  { engine; rng; speed_ghz; contention;
+    wake_hist = Vini_std.Histogram.create () }
 
 let shared_default ~engine ~rng ~speed_ghz =
   create ~engine ~rng ~speed_ghz
@@ -111,18 +113,26 @@ and step p =
            if Time.compare p.budget Time.zero <= 0 then episode p else step p))
   end
 
+module Trace = Vini_sim.Trace
+
 let kick p =
   match p.state with
   | Waking | Busy -> ()
   | Idle ->
       p.state <- Waking;
       let latency = wake_latency p in
+      let latency_s = Time.to_sec_f latency in
+      Vini_std.Histogram.add p.cpu.wake_hist latency_s;
+      if Trace.on Trace.Category.Sched_latency then
+        Trace.emit ~component:("cpu." ^ p.name)
+          (Trace.Sched_latency { seconds = latency_s });
       ignore
         (Engine.after p.cpu.engine latency (fun () ->
              p.state <- Busy;
              p.wakeups <- p.wakeups + 1;
              episode p))
 
+let wake_latency_hist t = t.wake_hist
 let cpu_time p = p.cpu_time
 let wakeups p = p.wakeups
 let proc_name p = p.name

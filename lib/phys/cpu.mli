@@ -59,6 +59,12 @@ val kick : proc -> unit
 (** Tell the scheduler the process has (new) pending work.  Idempotent
     while the process is already awake or waking. *)
 
+val wake_latency_hist : t -> Vini_std.Histogram.t
+(** Distribution of sampled wake-up latencies (simulated seconds) across
+    every process on this scheduler — the §4.1.2 scheduling-latency story
+    as a p50/p95/p99.  Each {!kick} from idle also emits a [Sched_latency]
+    trace event when that category is live. *)
+
 val cpu_time : proc -> Vini_sim.Time.t
 (** Total CPU time consumed so far (the [ps TIME] column of §5.1). *)
 

@@ -131,6 +131,12 @@ let open_udp_socket t ~port ?(rcvbuf_bytes = Calibration.udp_rcvbuf_bytes)
     Vini_std.Fifo.create ~max_bytes:rcvbuf_bytes ~size_of:Packet.size ()
   in
   let sock = { Socket.node = t; sock_port = port; buf } in
+  let module Trace = Vini_sim.Trace in
   Ipstack.bind_udp t.stack ~port (fun pkt ->
-      if Vini_std.Fifo.push buf pkt then on_packet ());
+      if Vini_std.Fifo.push buf pkt then on_packet ()
+      else if Trace.on Trace.Category.Packet_drop then
+        Trace.emit ~severity:Trace.Warn
+          ~component:(Printf.sprintf "%s.sock:%d" t.name port)
+          (Trace.Packet_drop
+             { reason = "sock-overflow"; bytes = Packet.size pkt }));
   sock

@@ -8,6 +8,7 @@ type source =
 type t = {
   pnode : Pnode.t;
   proc_slice : Slice.t;
+  proc_name : string;
   mutable sources : source array;
   mutable handler : Packet.t -> unit;
   cost_of : Packet.t -> Time.t;
@@ -55,6 +56,7 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
     {
       pnode = node;
       proc_slice = slice;
+      proc_name = name;
       sources = [||];
       handler;
       cost_of;
@@ -107,9 +109,15 @@ let open_queue t ?(capacity_bytes = Calibration.udp_rcvbuf_bytes) () =
     Vini_std.Fifo.create ~max_bytes:capacity_bytes ~size_of:Packet.size ()
   in
   add_source t (Queue q);
+  let module Trace = Vini_sim.Trace in
   fun pkt ->
     let accepted = Vini_std.Fifo.push q pkt in
-    if accepted then kick t;
+    if accepted then kick t
+    else if Trace.on Trace.Category.Packet_drop then
+      Trace.emit ~severity:Trace.Warn
+        ~component:(t.proc_name ^ ".inq")
+        (Trace.Packet_drop
+           { reason = "queue-overflow"; bytes = Packet.size pkt });
     accepted
 
 let set_handler t h = t.handler <- h

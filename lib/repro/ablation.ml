@@ -122,7 +122,6 @@ let timer_sweep ?(timers = [ (1, 4); (2, 6); (5, 10); (10, 25) ])
 (* --- isolation matrix ---------------------------------------------------- *)
 
 let isolation_matrix ?(duration_s = 8) ?(seed = 14001) () =
-  let module Graph = Vini_topo.Graph in
   let module Pnode = Vini_phys.Pnode in
   let run ~idx ~cpu_isolated ~htb =
     let engine = Engine.create ~seed:(seed + (11 * idx)) () in

@@ -133,3 +133,58 @@ let iias_ping ?(count = 10_000) ?(seed = 4001) () =
   in
   Engine.run ~until:(Time.sec 400) engine;
   ping_result_of p
+
+(* ---- The instrumented observability run (CI's BENCH_METRICS.json) ----- *)
+
+module Trace = Vini_sim.Trace
+module Monitor = Vini_measure.Monitor
+module Export = Vini_measure.Export
+module Tcp = Vini_transport.Tcp
+
+let observability_run ?(duration_s = 2) ?(seed = 7001)
+    ?(trace_capacity = 8192) ?(trace_categories = Trace.Category.all) () =
+  let engine, underlay, iias = make_overlay ~seed in
+  Engine.set_profiling engine true;
+  let trace = Trace.create ~capacity:trace_capacity ~categories:trace_categories () in
+  Trace.install trace;
+  let monitor = Vini_measure.Monitor.create ~engine ~interval:(Time.ms 200) () in
+  Monitor.watch_engine monitor engine;
+  let v_src = Iias.vnode iias Datasets.Deter.src in
+  let v_sink = Iias.vnode iias Datasets.Deter.sink in
+  let v_fwdr = Iias.vnode iias Datasets.Deter.fwdr in
+  Monitor.watch_vnode monitor v_fwdr ~prefix:"click.fwdr";
+  Monitor.watch_vnode monitor v_sink ~prefix:"click.sink";
+  let fwdr_node = Underlay.node underlay Datasets.Deter.fwdr in
+  Monitor.watch_cpu monitor ~prefix:"phys.fwdr" (Pnode.cpu fwdr_node);
+  Monitor.counter monitor ~name:"phys.fwdr.kernel_cpu_s" (fun () ->
+      Time.to_sec_f (Pnode.kernel_cpu_time fwdr_node));
+  (* Converge, then drive one bulk TCP transfer across the overlay so the
+     engine, Click elements, CPU schedulers and TCP all see load. *)
+  Engine.run ~until:(Time.sec 25) engine;
+  Tcp.listen ~stack:(Iias.tap v_sink) ~port:5001 ~on_accept:(fun _ -> ()) ();
+  let conn =
+    Tcp.connect ~stack:(Iias.tap v_src) ~dst:(Iias.tap_addr v_sink)
+      ~dst_port:5001 ()
+  in
+  Monitor.watch_tcp monitor ~prefix:"tcp.src" conn;
+  Tcp.send_forever conn;
+  Engine.run ~until:(Time.sec (25 + duration_s)) engine;
+  Monitor.stop monitor;
+  Trace.uninstall ();
+  let stats = Tcp.stats conn in
+  let mbps =
+    float_of_int stats.Tcp.bytes_acked *. 8.0
+    /. (float_of_int duration_s *. 1e6)
+  in
+  let doc =
+    Export.document ~trace
+      ~extra:
+        [
+          ("scenario", Export.Str "deter-iias-tcp");
+          ("duration_s", Export.Num (float_of_int duration_s));
+          ("seed", Export.Num (float_of_int seed));
+          ("tcp_mbps", Export.Num mbps);
+        ]
+      [ monitor ]
+  in
+  (doc, mbps)

@@ -24,3 +24,17 @@ val network_tcp : ?runs:int -> ?duration_s:int -> ?seed:int -> unit -> tcp_resul
 val iias_tcp : ?runs:int -> ?duration_s:int -> ?seed:int -> unit -> tcp_result
 val network_ping : ?count:int -> ?seed:int -> unit -> ping_result
 val iias_ping : ?count:int -> ?seed:int -> unit -> ping_result
+
+val observability_run :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?trace_capacity:int ->
+  ?trace_categories:Vini_sim.Trace.Category.t list ->
+  unit ->
+  Vini_measure.Export.json * float
+(** One fully-instrumented IIAS TCP run on the DETER chain: engine
+    profiling on, a trace sink installed (default: all categories), and a
+    metrics registry watching the engine, the forwarder's Click counters,
+    the physical CPU scheduler and the TCP sender.  Returns the
+    [vini.metrics/1] export document (this is what the bench writes to
+    [BENCH_METRICS.json]) and the measured throughput in Mb/s. *)

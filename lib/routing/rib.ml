@@ -50,14 +50,23 @@ let refresh t prefix =
   let cands = Option.value ~default:[] (Pmap.find_opt prefix t.candidates) in
   let old_best = Pmap.find_opt prefix t.best in
   let new_best = pick cands in
+  let module Trace = Vini_sim.Trace in
+  let trace action =
+    if Trace.on Trace.Category.Route_update then
+      Trace.emit ~component:"rib"
+        (Trace.Route_update
+           { prefix = Vini_net.Prefix.to_string prefix; action })
+  in
   match (old_best, new_best) with
   | None, None -> ()
   | Some o, Some n when o = n -> ()
   | _, Some n ->
       t.best <- Pmap.add prefix n t.best;
+      trace ("install via " ^ proto_name n.proto);
       t.fea (Install (prefix, n))
   | Some _, None ->
       t.best <- Pmap.remove prefix t.best;
+      trace "withdraw";
       t.fea (Withdraw prefix)
 
 let update t ~proto prefix route =

@@ -10,16 +10,32 @@ type t = {
   root_rng : Vini_std.Rng.t;
   mutable cancelled_count : int;
   mutable fired : int;
+  mutable max_pending : int;
+  (* Profiling (off by default, so the hot path pays one bool test):
+     [horizon_hist] sees how far ahead of the clock each event is scheduled
+     (simulated seconds, deterministic); [callback_hist] sees host CPU time
+     per callback via [Sys.time] (resolution-limited, export-only). *)
+  mutable profiling : bool;
+  horizon_hist : Vini_std.Histogram.t;
+  callback_hist : Vini_std.Histogram.t;
 }
 
 let create ?(seed = 42) () =
-  {
-    clock = Time.zero;
-    queue = Vini_std.Heap.create ~cmp:(fun a b -> Time.compare a.time b.time);
-    root_rng = Vini_std.Rng.create seed;
-    cancelled_count = 0;
-    fired = 0;
-  }
+  let t =
+    {
+      clock = Time.zero;
+      queue = Vini_std.Heap.create ~cmp:(fun a b -> Time.compare a.time b.time);
+      root_rng = Vini_std.Rng.create seed;
+      cancelled_count = 0;
+      fired = 0;
+      max_pending = 0;
+      profiling = false;
+      horizon_hist = Vini_std.Histogram.create ();
+      callback_hist = Vini_std.Histogram.create ();
+    }
+  in
+  Trace.set_clock (fun () -> t.clock);
+  t
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -28,6 +44,11 @@ let at t time callback =
   let time = Time.max time t.clock in
   let h = { time; callback; cancelled = false } in
   Vini_std.Heap.push t.queue h;
+  let depth = Vini_std.Heap.length t.queue in
+  if depth > t.max_pending then t.max_pending <- depth;
+  if t.profiling then
+    Vini_std.Histogram.add t.horizon_hist
+      (Time.to_sec_f (Time.sub time t.clock));
   h
 
 let after t delta callback = at t (Time.add t.clock (Time.max delta Time.zero)) callback
@@ -60,7 +81,12 @@ let step t =
       else begin
         t.clock <- Time.max t.clock h.time;
         t.fired <- t.fired + 1;
-        h.callback ();
+        if t.profiling then begin
+          let t0 = Sys.time () in
+          h.callback ();
+          Vini_std.Histogram.add t.callback_hist (Sys.time () -. t0)
+        end
+        else h.callback ();
         true
       end
 
@@ -83,3 +109,10 @@ let pending t =
   List.length (List.filter (fun h -> not h.cancelled) (Vini_std.Heap.to_list t.queue))
 
 let events_fired t = t.fired
+let events_cancelled t = t.cancelled_count
+let max_pending t = t.max_pending
+
+let set_profiling t on = t.profiling <- on
+let profiling t = t.profiling
+let horizon_hist t = t.horizon_hist
+let callback_hist t = t.callback_hist

@@ -49,3 +49,26 @@ val pending : t -> int
 
 val events_fired : t -> int
 (** Total callbacks executed so far (engine throughput metric). *)
+
+val events_cancelled : t -> int
+(** Cancelled events popped (lazily deleted) so far. *)
+
+val max_pending : t -> int
+(** High-water mark of the event heap, cancelled entries included. *)
+
+(** {2 Profiling}
+
+    Off by default; when on, every [at] records the scheduling horizon and
+    every callback its host CPU cost.  The only cost when off is one
+    boolean test per event. *)
+
+val set_profiling : t -> bool -> unit
+val profiling : t -> bool
+
+val horizon_hist : t -> Vini_std.Histogram.t
+(** How far ahead of the clock events are scheduled (simulated seconds) —
+    a deterministic picture of timer granularity across the deployment. *)
+
+val callback_hist : t -> Vini_std.Histogram.t
+(** Host CPU seconds per callback ([Sys.time] resolution; export-only,
+    not deterministic across hosts). *)

@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Trace = Vini_sim.Trace
 module Packet = Vini_net.Packet
 module Ipstack = Vini_phys.Ipstack
 
@@ -76,6 +77,7 @@ type t = {
   mutable bytes_delivered : int;
   mutable retransmits : int;
   mutable timeouts : int;
+  cwnd_hist : Vini_std.Histogram.t; (* cwnd in bytes, sampled per good ack *)
   mutable deliver_hook : int -> unit;
   mutable segment_hook : Packet.t -> unit;
   mutable established_hook : unit -> unit;
@@ -122,6 +124,7 @@ let make ~stack ~local_port ~remote ~remote_port ~rwnd ~mss ~initial_rto state =
     bytes_delivered = 0;
     retransmits = 0;
     timeouts = 0;
+    cwnd_hist = Vini_std.Histogram.create ();
     deliver_hook = (fun _ -> ());
     segment_hook = (fun _ -> ());
     established_hook = (fun () -> ());
@@ -154,6 +157,13 @@ let emit t ?(syn = false) ?(ack = true) ?(fin = false) ~seq ~payload_len () =
   end;
   Ipstack.send t.stack
     (Packet.tcp ~src:(Ipstack.local_addr t.stack) ~dst:t.remote seg)
+
+let component t = Printf.sprintf "tcp:%d" t.local_port
+
+let trace_retransmit t what =
+  if Trace.on Trace.Category.Custom then
+    Trace.emit ~severity:Trace.Warn ~component:(component t)
+      (Trace.Custom what)
 
 let cancel_rto t =
   (match t.rto_timer with Some h -> Engine.cancel h | None -> ());
@@ -190,6 +200,7 @@ and on_rto t =
         t.rtt_seq <- None;
         t.snd_nxt <- t.snd_una;
         t.retransmits <- t.retransmits + 1;
+        trace_retransmit t "rto-retransmit";
         retransmit_one t;
         arm_rto t
       end
@@ -279,7 +290,8 @@ let sample_rtt t ack =
 
 let grow_cwnd t acked =
   if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd + min acked t.mss
-  else t.cwnd <- t.cwnd + max 1 (t.mss * t.mss / t.cwnd)
+  else t.cwnd <- t.cwnd + max 1 (t.mss * t.mss / t.cwnd);
+  Vini_std.Histogram.add t.cwnd_hist (float_of_int t.cwnd)
 
 let send_ack_now t = emit t ~seq:t.snd_nxt ~payload_len:0 ()
 
@@ -393,6 +405,7 @@ let process_ack t (seg : Packet.tcp) =
       t.cwnd <- t.ssthresh + (3 * t.mss);
       t.retransmits <- t.retransmits + 1;
       t.retransmitted_since_sample <- true;
+      trace_retransmit t "fast-retransmit";
       retransmit_one t
     end
     else if t.dup_acks > 3 then begin
@@ -540,3 +553,4 @@ let stats t =
 
 let is_established t = t.state = Established
 let local_port t = t.local_port
+let cwnd_hist t = t.cwnd_hist

@@ -70,3 +70,9 @@ val on_closed : t -> (unit -> unit) -> unit
 val stats : t -> stats
 val is_established : t -> bool
 val local_port : t -> int
+
+val cwnd_hist : t -> Vini_std.Histogram.t
+(** Congestion-window samples (bytes), one per ack that advanced
+    [snd_una] — the cwnd-over-time story as a distribution.  Retransmits
+    additionally emit [Custom] trace events ("rto-retransmit" /
+    "fast-retransmit") when tracing is live. *)

@@ -151,6 +151,111 @@ let test_monitor_duplicate_gauge () =
   Alcotest.check_raises "duplicate" (Invalid_argument "Monitor.gauge: duplicate name")
     (fun () -> Vini_measure.Monitor.gauge m ~name:"x" (fun () -> 0.0))
 
+let test_monitor_counter_reset () =
+  (* A counter that restarts mid-run (a process died and came back) must
+     not produce negative rates: the post-reset increase is the new value. *)
+  let engine = Engine.create () in
+  let m = Vini_measure.Monitor.create ~engine ~interval:(Time.sec 1) () in
+  let v = ref 0.0 in
+  Vini_measure.Monitor.counter m ~name:"c" (fun () -> !v);
+  Engine.every engine (Time.sec 1) (fun () ->
+      (* 10, 20, 30, 5, 15, 25: a reset to 5 between t=3 and t=4. *)
+      v := (if !v >= 30.0 then 5.0 else !v +. 10.0);
+      Time.compare (Engine.now engine) (Time.sec 8) < 0);
+  Engine.run ~until:(Time.sec 7) engine;
+  Vini_measure.Monitor.stop m;
+  check Alcotest.bool "declared counter" true
+    (Vini_measure.Monitor.kind m ~name:"c" = Vini_measure.Monitor.Counter);
+  let rates = Vini_measure.Monitor.rate m ~name:"c" in
+  check Alcotest.bool "some rates" true (List.length rates >= 4);
+  List.iter
+    (fun (t, r) ->
+      check Alcotest.bool (Printf.sprintf "rate at %.1f non-negative (%g)" t r)
+        true (r >= 0.0))
+    rates
+
+(* --- export ------------------------------------------------------------- *)
+
+module Export = Vini_measure.Export
+module STrace = Vini_sim.Trace
+
+let test_export_json_roundtrip () =
+  (* A document with every node type, awkward strings and non-finite
+     numbers must survive to_string |> of_string. *)
+  let doc =
+    Export.Obj
+      [
+        ("s", Export.Str "quotes \" backslash \\ newline \n tab \t");
+        ("n", Export.Num 1.5e-9);
+        ("i", Export.Num 42.0);
+        ("inf", Export.Num infinity);
+        ("arr", Export.Arr [ Export.Null; Export.Bool true; Export.Num 0.0 ]);
+        ("nested", Export.Obj [ ("empty_a", Export.Arr []);
+                                ("empty_o", Export.Obj []) ]);
+      ]
+  in
+  match Export.of_string (Export.to_string doc) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+      check Alcotest.bool "round-trips" true (parsed = doc);
+      (match Export.of_string "{\"a\": [1,2]} trailing" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "trailing garbage accepted")
+
+let test_export_document_roundtrip () =
+  let engine = Engine.create () in
+  let m = Vini_measure.Monitor.create ~engine ~interval:(Time.ms 500) () in
+  let v = ref 0.0 in
+  Vini_measure.Monitor.counter m ~name:"bytes" (fun () -> !v);
+  Vini_measure.Monitor.gauge m ~name:"depth" (fun () -> 3.0);
+  let h = Vini_std.Histogram.create () in
+  List.iter (Vini_std.Histogram.add h) [ 0.001; 0.002; 0.004; 0.008 ];
+  Vini_measure.Monitor.histogram m ~name:"lat_s" h;
+  let tr = STrace.create ~capacity:16 () in
+  STrace.install tr;
+  Engine.every engine (Time.ms 250) (fun () ->
+      v := !v +. 100.0;
+      STrace.emit ~component:"t.q" (STrace.Packet_drop { reason = "x,y\"z"; bytes = 40 });
+      Time.compare (Engine.now engine) (Time.sec 3) < 0);
+  Engine.run ~until:(Time.sec 2) engine;
+  Vini_measure.Monitor.stop m;
+  STrace.uninstall ();
+  let doc = Export.document ~trace:tr [ m ] in
+  let text = Export.to_string doc in
+  match Export.of_string text with
+  | Error e -> Alcotest.failf "document does not parse: %s" e
+  | Ok parsed ->
+      let get k j = Option.get (Export.member k j) in
+      check Alcotest.string "schema" Export.schema_version
+        (Option.get (Export.to_str (get "schema" parsed)));
+      let series = Option.get (Export.to_list (get "series" parsed)) in
+      let names =
+        List.map (fun s -> Option.get (Export.to_str (get "name" s))) series
+      in
+      check Alcotest.(list string) "series names" [ "bytes"; "depth" ] names;
+      let kinds =
+        List.map (fun s -> Option.get (Export.to_str (get "kind" s))) series
+      in
+      check Alcotest.(list string) "kinds" [ "counter"; "gauge" ] kinds;
+      let points s = Option.get (Export.to_list (get "points" s)) in
+      check Alcotest.bool "sampled" true (List.length (points (List.hd series)) >= 3);
+      let hists = Option.get (Export.to_list (get "histograms" parsed)) in
+      (match hists with
+      | [ hj ] ->
+          check Alcotest.string "hist name" "lat_s"
+            (Option.get (Export.to_str (get "name" hj)));
+          check (Alcotest.float 1e-9) "hist count" 4.0
+            (Option.get (Export.to_float (get "count" hj)));
+          check Alcotest.bool "p50 sane" true
+            (Option.get (Export.to_float (get "p50" hj)) > 0.0)
+      | _ -> Alcotest.fail "expected one histogram");
+      let trace = get "trace" parsed in
+      let events = Option.get (Export.to_list (get "events" trace)) in
+      check Alcotest.int "trace events" (STrace.length tr) (List.length events);
+      let ev = List.hd events in
+      check Alcotest.string "reason survives escaping" "x,y\"z"
+        (Option.get (Export.to_str (get "reason" ev)))
+
 let suite =
   [
     Alcotest.test_case "ping counts and rtt" `Quick test_ping_counts_and_rtt;
@@ -162,4 +267,8 @@ let suite =
     Alcotest.test_case "tcpdump capture" `Quick test_tcpdump_capture;
     Alcotest.test_case "monitor sampling and rate" `Quick test_monitor_sampling_and_rate;
     Alcotest.test_case "monitor duplicate gauge" `Quick test_monitor_duplicate_gauge;
+    Alcotest.test_case "monitor counter reset" `Quick test_monitor_counter_reset;
+    Alcotest.test_case "export json roundtrip" `Quick test_export_json_roundtrip;
+    Alcotest.test_case "export document roundtrip" `Quick
+      test_export_document_roundtrip;
   ]

@@ -138,6 +138,37 @@ let test_expected_paths () =
   check Alcotest.bool "backup avoids Denver" true
     (not (List.mem "Denver" backup))
 
+let test_trace_overhead () =
+  (* The ISSUE acceptance bar: running Table 2's IIAS experiment with every
+     trace category enabled must change throughput by < 10%.  Tracing draws
+     no randomness and schedules no events, so the simulated result should
+     in fact be bit-identical. *)
+  let module Trace = Vini_sim.Trace in
+  let baseline = Deter.iias_tcp ~runs:1 ~duration_s:1 () in
+  let tr = Trace.create ~capacity:4096 ~categories:Trace.Category.all () in
+  Trace.install tr;
+  let traced =
+    Fun.protect ~finally:Trace.uninstall (fun () ->
+        Deter.iias_tcp ~runs:1 ~duration_s:1 ())
+  in
+  check Alcotest.bool "trace recorded events" true (Trace.length tr > 0);
+  let rel =
+    Float.abs (traced.Deter.mbps_mean -. baseline.Deter.mbps_mean)
+    /. baseline.Deter.mbps_mean
+  in
+  check Alcotest.bool
+    (Printf.sprintf "throughput within 10%% (%.0f vs %.0f, rel %.4f)"
+       traced.Deter.mbps_mean baseline.Deter.mbps_mean rel)
+    true (rel < 0.10);
+  (* And a disabled-category sink records nothing. *)
+  let quiet = Trace.create ~categories:[] () in
+  Trace.install quiet;
+  let _ =
+    Fun.protect ~finally:Trace.uninstall (fun () ->
+        Deter.iias_tcp ~runs:1 ~duration_s:1 ())
+  in
+  check Alcotest.int "disabled categories record nothing" 0 (Trace.length quiet)
+
 let suite =
   [
     Alcotest.test_case "deter ping shape (Table 3)" `Slow test_deter_ping_shape;
@@ -149,4 +180,5 @@ let suite =
     Alcotest.test_case "figure 9 shape" `Slow test_fig9_shape;
     Alcotest.test_case "upcalls (§6.1)" `Quick test_upcalls;
     Alcotest.test_case "figure 7 paths" `Quick test_expected_paths;
+    Alcotest.test_case "trace overhead < 10% (§ISSUE)" `Slow test_trace_overhead;
   ]

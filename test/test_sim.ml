@@ -137,15 +137,101 @@ let test_engine_deterministic_replay () =
 
 let test_trace_order_and_find () =
   let e = Engine.create () in
-  let tr = Trace.create e in
-  ignore (Engine.at e (Time.ms 1) (fun () -> Trace.record tr "a" "x"));
-  ignore (Engine.at e (Time.ms 2) (fun () -> Trace.record tr "b" "y"));
-  ignore (Engine.at e (Time.ms 3) (fun () -> Trace.record tr "a" "z"));
+  let tr = Trace.create () in
+  ignore (Engine.at e (Time.ms 1) (fun () ->
+      Trace.record tr ~component:"a" (Trace.Custom "x")));
+  ignore (Engine.at e (Time.ms 2) (fun () ->
+      Trace.record tr ~component:"b" (Trace.Packet_tx { bytes = 100 })));
+  ignore (Engine.at e (Time.ms 3) (fun () ->
+      Trace.record tr ~component:"a" (Trace.Custom "z")));
   Engine.run e;
   check Alcotest.int "three events" 3 (List.length (Trace.events tr));
-  check Alcotest.int "two at point a" 2 (List.length (Trace.find tr ~point:"a"));
+  check Alcotest.int "two at component a" 2
+    (List.length (Trace.find tr ~component:"a"));
+  (* Events are stamped with the engine clock (set_clock wired by create). *)
+  (match Trace.events tr with
+  | first :: _ -> check time "stamped at 1ms" (Time.ms 1) first.Trace.time
+  | [] -> Alcotest.fail "no events");
+  check Alcotest.int "one packet_tx" 1
+    (List.length (Trace.find_cat tr Trace.Category.Packet_tx));
   Trace.clear tr;
   check Alcotest.int "cleared" 0 (List.length (Trace.events tr))
+
+let test_trace_ring_wraparound () =
+  let tr = Trace.create ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.record tr ~component:"c" (Trace.Custom (string_of_int i))
+  done;
+  check Alcotest.int "len capped at capacity" 4 (Trace.length tr);
+  check Alcotest.int "capacity" 4 (Trace.capacity tr);
+  check Alcotest.int "overwritten counts the loss" 6 (Trace.overwritten tr);
+  let details =
+    List.map
+      (fun (ev : Trace.event) ->
+        match ev.Trace.kind with Trace.Custom d -> d | _ -> "?")
+      (Trace.events tr)
+  in
+  check Alcotest.(list string) "oldest evicted, order kept"
+    [ "7"; "8"; "9"; "10" ] details;
+  Trace.clear tr;
+  check Alcotest.int "clear resets overwritten" 0 (Trace.overwritten tr)
+
+let test_trace_category_filtering () =
+  let tr = Trace.create ~categories:[ Trace.Category.Packet_drop ] () in
+  Trace.record tr ~component:"el" (Trace.Packet_tx { bytes = 10 });
+  Trace.record tr ~component:"el"
+    (Trace.Packet_drop { reason = "queue-overflow"; bytes = 10 });
+  check Alcotest.int "disabled category records nothing" 1 (Trace.length tr);
+  check Alcotest.bool "drop enabled" true
+    (Trace.enabled tr Trace.Category.Packet_drop);
+  check Alcotest.bool "tx disabled" false
+    (Trace.enabled tr Trace.Category.Packet_tx);
+  Trace.enable tr Trace.Category.Packet_tx;
+  Trace.record tr ~component:"el" (Trace.Packet_tx { bytes = 10 });
+  check Alcotest.int "enabled after enable" 2 (Trace.length tr);
+  Trace.disable tr Trace.Category.Packet_drop;
+  Trace.record tr ~component:"el"
+    (Trace.Packet_drop { reason = "x"; bytes = 1 });
+  check Alcotest.int "disabled after disable" 2 (Trace.length tr)
+
+let test_trace_global_sink () =
+  check Alcotest.bool "no sink: off" false (Trace.on Trace.Category.Packet_tx);
+  Trace.emit ~component:"nowhere" (Trace.Custom "dropped on the floor");
+  let tr = Trace.create ~categories:[ Trace.Category.Custom ] () in
+  Trace.install tr;
+  check Alcotest.bool "installed: custom on" true
+    (Trace.on Trace.Category.Custom);
+  check Alcotest.bool "installed: tx still off" false
+    (Trace.on Trace.Category.Packet_tx);
+  Trace.emit ~component:"somewhere" (Trace.Custom "landed");
+  Trace.emit ~component:"somewhere" (Trace.Packet_tx { bytes = 1 });
+  check Alcotest.int "only enabled category recorded" 1 (Trace.length tr);
+  Trace.enable tr Trace.Category.Packet_tx;
+  check Alcotest.bool "enable refreshes global mask" true
+    (Trace.on Trace.Category.Packet_tx);
+  Trace.emit ~component:"somewhere" (Trace.Packet_tx { bytes = 1 });
+  Trace.uninstall ();
+  check Alcotest.bool "uninstalled: off again" false
+    (Trace.on Trace.Category.Custom);
+  Trace.emit ~component:"somewhere" (Trace.Custom "after uninstall");
+  check Alcotest.int "sink untouched after uninstall" 2 (Trace.length tr)
+
+let test_engine_instrumentation () =
+  let e = Engine.create () in
+  Engine.set_profiling e true;
+  for i = 1 to 100 do
+    ignore (Engine.at e (Time.us i) (fun () -> ()))
+  done;
+  check Alcotest.int "max_pending high-water" 100 (Engine.max_pending e);
+  let h = Engine.at e (Time.ms 5) (fun () -> ()) in
+  Engine.cancel h;
+  Engine.run e;
+  check Alcotest.int "fired" 100 (Engine.events_fired e);
+  check Alcotest.int "cancelled popped" 1 (Engine.events_cancelled e);
+  check Alcotest.int "horizon histogram populated" 101
+    (Vini_std.Histogram.count (Engine.horizon_hist e));
+  check Alcotest.int "callback histogram populated" 100
+    (Vini_std.Histogram.count (Engine.callback_hist e))
 
 let suite =
   [
@@ -163,4 +249,10 @@ let suite =
     Alcotest.test_case "single step" `Quick test_engine_step;
     Alcotest.test_case "deterministic replay" `Quick test_engine_deterministic_replay;
     Alcotest.test_case "trace records and finds" `Quick test_trace_order_and_find;
+    Alcotest.test_case "trace ring wraparound" `Quick test_trace_ring_wraparound;
+    Alcotest.test_case "trace category filtering" `Quick
+      test_trace_category_filtering;
+    Alcotest.test_case "trace global sink" `Quick test_trace_global_sink;
+    Alcotest.test_case "engine instrumentation" `Quick
+      test_engine_instrumentation;
   ]

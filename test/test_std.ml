@@ -4,6 +4,7 @@ module Rng = Vini_std.Rng
 module Heap = Vini_std.Heap
 module Stats = Vini_std.Stats
 module Fifo = Vini_std.Fifo
+module Histogram = Vini_std.Histogram
 
 let check = Alcotest.check
 
@@ -225,6 +226,66 @@ let test_fifo_clear () =
   check Alcotest.bool "empty after clear" true (Fifo.is_empty f);
   check Alcotest.int "bytes zero" 0 (Fifo.bytes f)
 
+(* --- histogram ---------------------------------------------------------- *)
+
+(* The log-bucketed histogram must agree with the exact (sample-keeping)
+   Stats accumulator to within its documented quantile error.  Buckets are
+   20 per decade (width ratio 10^(1/20) ~ 1.122), so the geometric-midpoint
+   estimate is within ~6% of the true value, plus nearest-rank wobble. *)
+let test_histogram_vs_stats () =
+  let rng = Rng.create 90210 in
+  let h = Histogram.create () and s = Stats.create () in
+  for _ = 1 to 20_000 do
+    (* Latency-shaped: exponential with a 1 ms mean. *)
+    let v = Rng.exponential rng 0.001 in
+    Histogram.add h v;
+    Stats.add s v
+  done;
+  check Alcotest.int "count" (Stats.count s) (Histogram.count h);
+  let feq what a b =
+    let rel = Float.abs (a -. b) /. Float.abs b in
+    if rel > 0.08 then
+      Alcotest.failf "%s: histogram %g vs exact %g (rel err %.3f)" what a b rel
+  in
+  feq "mean" (Histogram.mean h) (Stats.mean s);
+  feq "sum" (Histogram.sum h) (Stats.sum s);
+  check (Alcotest.float 1e-12) "min exact" (Stats.min s) (Histogram.min h);
+  check (Alcotest.float 1e-12) "max exact" (Stats.max s) (Histogram.max h);
+  List.iter
+    (fun p ->
+      feq
+        (Printf.sprintf "p%g" p)
+        (Histogram.percentile h p) (Stats.percentile s p))
+    [ 10.0; 50.0; 90.0; 95.0; 99.0 ]
+
+let test_histogram_nonpositive () =
+  let h = Histogram.create () in
+  Histogram.add h 0.0;
+  Histogram.add h (-3.5);
+  Histogram.add h 1.0;
+  check Alcotest.int "count" 3 (Histogram.count h);
+  match Histogram.buckets h with
+  | (lo, hi, n) :: _ ->
+      check Alcotest.bool "leading bucket is the non-positive one"
+        true (lo = neg_infinity && hi = 0.0);
+      check Alcotest.int "two non-positive samples" 2 n
+  | [] -> Alcotest.fail "no buckets"
+
+let test_histogram_merge_clear () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 100 do Histogram.add a (float_of_int i) done;
+  for i = 101 to 200 do Histogram.add b (float_of_int i) done;
+  let m = Histogram.merge a b in
+  check Alcotest.int "merged count" 200 (Histogram.count m);
+  check (Alcotest.float 1e-9) "merged min" 1.0 (Histogram.min m);
+  check (Alcotest.float 1e-9) "merged max" 200.0 (Histogram.max m);
+  let p50 = Histogram.percentile m 50.0 in
+  if p50 < 85.0 || p50 > 115.0 then
+    Alcotest.failf "merged p50 %g out of range" p50;
+  Histogram.clear a;
+  check Alcotest.int "cleared" 0 (Histogram.count a);
+  check Alcotest.bool "empty" true (Histogram.is_empty a)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -252,4 +313,8 @@ let suite =
     Alcotest.test_case "fifo packet bound" `Quick test_fifo_packet_bound;
     Alcotest.test_case "fifo byte bound" `Quick test_fifo_byte_bound;
     Alcotest.test_case "fifo clear" `Quick test_fifo_clear;
+    Alcotest.test_case "histogram vs exact stats" `Quick test_histogram_vs_stats;
+    Alcotest.test_case "histogram non-positive bucket" `Quick
+      test_histogram_nonpositive;
+    Alcotest.test_case "histogram merge/clear" `Quick test_histogram_merge_clear;
   ]

@@ -55,7 +55,7 @@ let trace_arg =
   let doc =
     "Record a typed event trace.  $(docv) is 'all' or a comma-separated \
      subset of: packet_tx, packet_rx, packet_drop, route_update, \
-     sched_latency, fault_injected, custom."
+     sched_latency, fault_injected, process_lifecycle, watchdog, custom."
   in
   Arg.(value & opt (some trace_cats_conv) None
        & info [ "trace" ] ~docv:"CATS" ~doc)
@@ -416,7 +416,7 @@ let ablate_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec_file phys_name watch seed duration trace metrics_out =
+  let run spec_file phys_name watch seed duration trace metrics_out report_out =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -473,6 +473,17 @@ let run_cmd =
     (* Converge before the measurement clock starts. *)
     Vini_core.Vini.start inst;
     let iias = Vini_core.Vini.iias inst in
+    let watchdog =
+      Option.map
+        (fun _ ->
+          let wd =
+            Vini_measure.Watchdog.create ~engine ~overlay:iias
+              ~vtopo:spec.Vini_core.Experiment.vtopo ()
+          in
+          Vini_measure.Watchdog.start wd;
+          wd)
+        report_out
+    in
     Engine.run ~until:(Time.sec 0) engine;
     let src, dst =
       match watch with
@@ -524,7 +535,77 @@ let run_cmd =
         Vini_measure.Export.write ~path
           (Vini_measure.Export.document ?trace:tracer [ m ]);
         Printf.printf "metrics written to %s\n" path)
-      metrics_out
+      metrics_out;
+    Option.iter
+      (fun path ->
+        let module E = Vini_measure.Export in
+        let wd = Option.get watchdog in
+        Vini_measure.Watchdog.stop wd;
+        let stats =
+          List.init
+            (Vini_overlay.Iias.vnode_count iias)
+            (fun v ->
+              let vn = Vini_overlay.Iias.vnode iias v in
+              let s = Vini_overlay.Iias.stats vn in
+              E.Obj
+                [
+                  ("name", E.Str (Vini_overlay.Iias.vname vn));
+                  ( "alive",
+                    E.Bool (Vini_overlay.Iias.vnode_alive vn) );
+                  ("forwarded", E.Num (float_of_int s.Vini_overlay.Iias.forwarded));
+                  ("delivered", E.Num (float_of_int s.Vini_overlay.Iias.delivered));
+                  ("no_route", E.Num (float_of_int s.Vini_overlay.Iias.no_route));
+                  ( "tunnel_drops",
+                    E.Num (float_of_int s.Vini_overlay.Iias.tunnel_drops) );
+                  ( "corrupt_drops",
+                    E.Num (float_of_int s.Vini_overlay.Iias.corrupt_drops) );
+                ])
+        in
+        let restarts =
+          match Vini_overlay.Iias.supervisor iias with
+          | None -> []
+          | Some sup ->
+              [
+                ( "restarts",
+                  E.Obj
+                    (List.map
+                       (fun name ->
+                         ( name,
+                           E.Num
+                             (float_of_int
+                                (Vini_phys.Supervisor.restarts sup ~name)) ))
+                       (Vini_phys.Supervisor.children sup)) );
+                ( "given_up",
+                  E.Arr
+                    (List.map
+                       (fun n -> E.Str n)
+                       (Vini_phys.Supervisor.given_up sup)) );
+              ]
+        in
+        let doc =
+          E.Obj
+            ([
+               ("format", E.Str "vini.report/1");
+               ("experiment", E.Str spec.Vini_core.Experiment.exp_name);
+               ("substrate", E.Str phys_name);
+               ("seed", E.Num (float_of_int seed));
+               ("duration_s", E.Num (float_of_int duration));
+               ( "ping",
+                 E.Obj
+                   [
+                     ("sent", E.Num (float_of_int (Vini_measure.Ping.sent ping)));
+                     ( "received",
+                       E.Num (float_of_int (Vini_measure.Ping.received ping)) );
+                     ("loss_pct", E.Num (Vini_measure.Ping.loss_pct ping));
+                   ] );
+               ("watchdog", Vini_measure.Watchdog.json wd);
+               ("vnodes", E.Arr stats);
+             ]
+            @ restarts)
+        in
+        E.write ~path doc;
+        Printf.printf "report written to %s\n" path)
+      report_out
   in
   let spec_arg =
     Arg.(value & opt (some file) None
@@ -546,12 +627,42 @@ let run_cmd =
     Arg.(value & opt int 60 & info [ "duration" ] ~docv:"SEC"
            ~doc:"Observation window after convergence.")
   in
+  let report_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report-out" ] ~docv:"FILE"
+             ~doc:"Run an invariant watchdog during the experiment and write \
+                   a vini.report/1 JSON document (ping stats, watchdog \
+                   violations, per-vnode counters, supervised restarts) to \
+                   $(docv).")
+  in
   let doc =
     "Deploy a textual experiment specification (§6.2) and watch it run."
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
-          $ trace_arg $ metrics_out_arg)
+          $ trace_arg $ metrics_out_arg $ report_out_arg)
+
+(* --- mttr ------------------------------------------------------------------------ *)
+
+let mttr_cmd =
+  let run seed backoffs =
+    let rows = Mttr.sweep ~seed ~backoffs () in
+    Printf.printf
+      "MTTR on the Abilene mirror: crash the Denver machine at t=10s, \
+       reboot at t=25s\n(control row: cut the Denver--Kansas-City virtual \
+       link instead)\n\n";
+    List.iter print_endline (Mttr.row_strings rows)
+  in
+  let backoffs_arg =
+    Arg.(value & opt (list float) [ 0.5; 2.0; 8.0 ]
+         & info [ "backoffs" ] ~docv:"S,S,..."
+             ~doc:"Supervisor base-backoff values to sweep (seconds).")
+  in
+  let doc =
+    "MTTR and packet loss during OSPF reconvergence under node vs link \
+     failure, swept over supervisor backoff settings."
+  in
+  Cmd.v (Cmd.info "mttr" ~doc) Term.(const run $ seed_arg $ backoffs_arg)
 
 (* --- upcalls --------------------------------------------------------------------- *)
 
@@ -571,6 +682,6 @@ let main =
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; upcalls_cmd ]
+      ablate_cmd; mttr_cmd; upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,12 +1,13 @@
 module Trace = Vini_sim.Trace
 
-type mode = Pass | Fail | Lossy of float
+type mode = Pass | Fail | Lossy of float | Corrupting of float
 
 type t = {
   rng : Vini_std.Rng.t;
   out : Element.t;
   mutable mode : mode;
   mutable dropped : int;
+  mutable corrupted : int;
   mutable element : Element.t option;
 }
 
@@ -14,9 +15,10 @@ let mode_name = function
   | Pass -> "pass"
   | Fail -> "fail"
   | Lossy p -> Printf.sprintf "lossy %.3f" p
+  | Corrupting p -> Printf.sprintf "corrupting %.3f" p
 
 let create ~rng ~out name =
-  let t = { rng; out; mode = Pass; dropped = 0; element = None } in
+  let t = { rng; out; mode = Pass; dropped = 0; corrupted = 0; element = None } in
   let fault_drop el pkt ~reason =
     t.dropped <- t.dropped + 1;
     Element.drop el pkt ~reason
@@ -30,6 +32,14 @@ let create ~rng ~out name =
            | Lossy p ->
                if Vini_std.Rng.float t.rng 1.0 < p then
                  fault_drop (Lazy.force el) pkt ~reason:"fault-lossy"
+               else Element.push t.out pkt
+           | Corrupting p ->
+               (* Damaged frames still travel: the receiver's checksum
+                  verification is what discards them. *)
+               if Vini_std.Rng.float t.rng 1.0 < p then begin
+                 t.corrupted <- t.corrupted + 1;
+                 Element.push t.out (Vini_net.Packet.corrupted pkt)
+               end
                else Element.push t.out pkt))
   in
   t.element <- Some (Lazy.force el);
@@ -40,7 +50,9 @@ let element t = Option.get t.element
 let set_mode t mode =
   (match mode with
   | Lossy p when p < 0.0 || p > 1.0 -> invalid_arg "Faulty.set_mode: loss rate"
-  | Lossy _ | Pass | Fail -> ());
+  | Corrupting p when p < 0.0 || p > 1.0 ->
+      invalid_arg "Faulty.set_mode: corruption rate"
+  | Lossy _ | Corrupting _ | Pass | Fail -> ());
   if Trace.on Trace.Category.Fault_injected && mode <> t.mode then
     Trace.emit ~component:(Element.name (element t))
       (Trace.Fault_injected { action = "mode " ^ mode_name mode });
@@ -48,3 +60,4 @@ let set_mode t mode =
 
 let mode t = t.mode
 let dropped t = t.dropped
+let corrupted t = t.corrupted

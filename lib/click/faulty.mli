@@ -6,7 +6,13 @@
     between passing, dropping everything (failed), and dropping a random
     fraction (lossy link emulation). *)
 
-type mode = Pass | Fail | Lossy of float
+type mode =
+  | Pass
+  | Fail
+  | Lossy of float
+  | Corrupting of float
+      (** Flip bits in this fraction of packets ({!Vini_net.Packet.corrupted})
+          and pass them on; the receiver's checksum check drops them. *)
 
 type t
 
@@ -17,3 +23,5 @@ val element : t -> Element.t
 val set_mode : t -> mode -> unit
 val mode : t -> mode
 val dropped : t -> int
+val corrupted : t -> int
+(** Packets damaged in [Corrupting] mode (they are not dropped here). *)

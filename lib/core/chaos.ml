@@ -1,0 +1,141 @@
+module Rng = Vini_std.Rng
+module Graph = Vini_topo.Graph
+
+type profile = {
+  duration : float;
+  mean_interfault : float;
+  node_crash_weight : float;
+  process_kill_weight : float;
+  link_flap_weight : float;
+  corrupt_weight : float;
+  mean_downtime : float;
+  min_downtime : float;
+  flap_down : float;
+  corrupt_rate : float;
+  corrupt_span : float;
+}
+
+let default_profile =
+  {
+    duration = 120.0;
+    mean_interfault = 15.0;
+    node_crash_weight = 1.0;
+    process_kill_weight = 1.0;
+    link_flap_weight = 1.0;
+    corrupt_weight = 0.5;
+    mean_downtime = 10.0;
+    min_downtime = 2.0;
+    flap_down = 5.0;
+    corrupt_rate = 0.02;
+    corrupt_span = 10.0;
+  }
+
+let validate_profile p =
+  let err = ref [] in
+  let bad fmt = Printf.ksprintf (fun s -> err := s :: !err) fmt in
+  if p.duration <= 0.0 then bad "duration must be positive";
+  if p.mean_interfault <= 0.0 then bad "mean_interfault must be positive";
+  let w =
+    p.node_crash_weight +. p.process_kill_weight +. p.link_flap_weight
+    +. p.corrupt_weight
+  in
+  if
+    p.node_crash_weight < 0.0 || p.process_kill_weight < 0.0
+    || p.link_flap_weight < 0.0 || p.corrupt_weight < 0.0
+  then bad "fault weights must be non-negative";
+  if w <= 0.0 then bad "at least one fault weight must be positive";
+  if p.mean_downtime <= 0.0 then bad "mean_downtime must be positive";
+  if p.min_downtime < 0.0 then bad "min_downtime must be non-negative";
+  if p.flap_down <= 0.0 then bad "flap_down must be positive";
+  if p.corrupt_rate < 0.0 || p.corrupt_rate > 1.0 then
+    bad "corrupt_rate outside [0,1]";
+  if p.corrupt_span <= 0.0 then bad "corrupt_span must be positive";
+  match !err with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+type fault = Node_crash | Process_kill | Link_flap | Corrupt
+
+let pick_fault rng p =
+  let w =
+    [
+      (Node_crash, p.node_crash_weight);
+      (Process_kill, p.process_kill_weight);
+      (Link_flap, p.link_flap_weight);
+      (Corrupt, p.corrupt_weight);
+    ]
+  in
+  let total = List.fold_left (fun acc (_, x) -> acc +. x) 0.0 w in
+  let u = Rng.float rng total in
+  let rec go acc = function
+    | [ (f, _) ] -> f
+    | (f, x) :: rest -> if u < acc +. x then f else go (acc +. x) rest
+    | [] -> assert false
+  in
+  go 0.0 w
+
+let plan ~seed ~vtopo profile =
+  (match validate_profile profile with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Chaos.plan: " ^ msg));
+  let rng = Rng.create seed in
+  let n = Graph.node_count vtopo in
+  let links = Array.of_list (Graph.links vtopo) in
+  (* until when each node stays crashed (0.0 = up); a node already down is
+     never re-crashed, and its restore is already scheduled. *)
+  let down_until = Array.make n 0.0 in
+  let events = ref [] in
+  let emit at action = events := { Experiment.at = Vini_sim.Time.of_sec_f at; action } :: !events in
+  let up_nodes now =
+    List.filter (fun v -> down_until.(v) <= now) (Graph.nodes vtopo)
+  in
+  let t = ref (Rng.exponential rng profile.mean_interfault) in
+  while !t < profile.duration do
+    let now = !t in
+    (match pick_fault rng profile with
+    | Node_crash -> (
+        match up_nodes now with
+        | [] -> ()
+        | up ->
+            let v = List.nth up (Rng.int rng (List.length up)) in
+            let down =
+              profile.min_downtime
+              +. Rng.exponential rng
+                   (Float.max 0.001 (profile.mean_downtime -. profile.min_downtime))
+            in
+            down_until.(v) <- now +. down;
+            emit now (Experiment.Crash_pnode v);
+            emit (now +. down) (Experiment.Restore_pnode v))
+    | Process_kill -> (
+        match up_nodes now with
+        | [] -> ()
+        | up ->
+            let v = List.nth up (Rng.int rng (List.length up)) in
+            emit now (Experiment.Kill_process v))
+    | Link_flap ->
+        if Array.length links > 0 then begin
+          let l = links.(Rng.int rng (Array.length links)) in
+          emit now (Experiment.Flap_vlink (l.Graph.a, l.Graph.b, profile.flap_down))
+        end
+    | Corrupt ->
+        if Array.length links > 0 then begin
+          let l = links.(Rng.int rng (Array.length links)) in
+          emit now
+            (Experiment.Corrupt_vlink (l.Graph.a, l.Graph.b, profile.corrupt_rate));
+          emit
+            (now +. profile.corrupt_span)
+            (Experiment.Corrupt_vlink (l.Graph.a, l.Graph.b, 0.0))
+        end);
+    t := now +. Rng.exponential rng profile.mean_interfault
+  done;
+  List.stable_sort
+    (fun (a : Experiment.event) b -> Vini_sim.Time.compare a.at b.at)
+    (List.rev !events)
+
+let describe events =
+  List.map
+    (fun (ev : Experiment.event) ->
+      Printf.sprintf "at %.3f %s"
+        (Vini_sim.Time.to_sec_f ev.at)
+        (Experiment.action_to_string ev.action))
+    events

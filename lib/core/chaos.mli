@@ -1,0 +1,42 @@
+(** Seeded fault campaigns.
+
+    A chaos campaign turns a seed and a fault-mix profile into a concrete
+    timeline of {!Experiment} events: whole-machine crashes paired with
+    later reboots, process kills (recovered by the supervisor), link flaps,
+    and transient packet-corruption episodes.  Planning is a pure function
+    of [(seed, vtopo, profile)] — the same inputs always yield the same
+    timeline, so a chaotic run is reproducible bit-for-bit, and two runs
+    differing only in seed explore independent fault sequences. *)
+
+type profile = {
+  duration : float;           (** campaign span in seconds *)
+  mean_interfault : float;    (** mean of the exponential inter-fault gap *)
+  node_crash_weight : float;
+  process_kill_weight : float;
+  link_flap_weight : float;
+  corrupt_weight : float;     (** relative fault-mix weights (>= 0) *)
+  mean_downtime : float;      (** mean machine downtime after a crash *)
+  min_downtime : float;       (** floor on machine downtime *)
+  flap_down : float;          (** seconds a flapped link stays down *)
+  corrupt_rate : float;       (** corruption probability while an episode lasts *)
+  corrupt_span : float;       (** seconds a corruption episode lasts *)
+}
+
+val default_profile : profile
+(** 120 s campaign, one fault every ~15 s, even mix (corruption at half
+    weight), crashes down 2 s + Exp(8 s), 5 s flaps, 2% corruption for
+    10 s episodes. *)
+
+val validate_profile : profile -> (unit, string) result
+
+val plan :
+  seed:int -> vtopo:Vini_topo.Graph.t -> profile -> Experiment.event list
+(** Draw a campaign.  Events come back sorted by time; every
+    [Crash_pnode] has a matching later [Restore_pnode] and every
+    corruption onset a matching clearing event ([Corrupt_vlink _ 0.0]).
+    Nodes already down are never picked as crash victims again until
+    their scheduled reboot.
+    @raise Invalid_argument when the profile fails {!validate_profile}. *)
+
+val describe : Experiment.event list -> string list
+(** One ["at T verb args"] line per event — for logs and golden tests. *)

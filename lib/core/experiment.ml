@@ -10,7 +10,38 @@ type action =
   | Set_vlink_loss of int * int * float
   | Set_vlink_bandwidth of int * int * float option
   | Set_vlink_cost of int * int * int
+  | Crash_pnode of int
+  | Restore_pnode of int
+  | Kill_process of int
+  | Flap_vlink of int * int * float
+  | Corrupt_vlink of int * int * float
   | Custom of string * (Iias.t -> unit)
+
+let is_chaos_action = function
+  | Crash_pnode _ | Restore_pnode _ | Kill_process _ | Flap_vlink _
+  | Corrupt_vlink _ ->
+      true
+  | Fail_vlink _ | Restore_vlink _ | Fail_plink _ | Restore_plink _
+  | Set_vlink_loss _ | Set_vlink_bandwidth _ | Set_vlink_cost _ | Custom _ ->
+      false
+
+let action_to_string = function
+  | Fail_vlink (a, b) -> Printf.sprintf "fail-link %d %d" a b
+  | Restore_vlink (a, b) -> Printf.sprintf "restore-link %d %d" a b
+  | Fail_plink (a, b) -> Printf.sprintf "fail-plink %d %d" a b
+  | Restore_plink (a, b) -> Printf.sprintf "restore-plink %d %d" a b
+  | Set_vlink_loss (a, b, l) -> Printf.sprintf "set-loss %d %d %g" a b l
+  | Set_vlink_bandwidth (a, b, Some r) ->
+      Printf.sprintf "set-bandwidth %d %d %g" a b r
+  | Set_vlink_bandwidth (a, b, None) ->
+      Printf.sprintf "unset-bandwidth %d %d" a b
+  | Set_vlink_cost (a, b, c) -> Printf.sprintf "set-cost %d %d %d" a b c
+  | Crash_pnode v -> Printf.sprintf "crash-node %d" v
+  | Restore_pnode v -> Printf.sprintf "restore-node %d" v
+  | Kill_process v -> Printf.sprintf "kill-process %d" v
+  | Flap_vlink (a, b, d) -> Printf.sprintf "flap-link %d %d %g" a b d
+  | Corrupt_vlink (a, b, p) -> Printf.sprintf "corrupt-link %d %d %g" a b p
+  | Custom (name, _) -> Printf.sprintf "custom %s" name
 
 type event = { at : Time.t; action : action }
 
@@ -62,6 +93,9 @@ let validate spec =
     else if Graph.find_link spec.vtopo a b = None then
       err "%s references non-adjacent nodes (%d, %d)" what a b
   in
+  let check_vnode what v =
+    if v < 0 || v >= n then err "%s references node out of range (%d)" what v
+  in
   List.iter
     (fun ev ->
       if Time.compare ev.at Time.zero < 0 then err "event before t=0";
@@ -79,6 +113,15 @@ let validate spec =
       | Set_vlink_cost (a, b, cost) ->
           check_vlink "Set_vlink_cost" a b;
           if cost <= 0 then err "cost must be positive"
+      | Crash_pnode v -> check_vnode "Crash_pnode" v
+      | Restore_pnode v -> check_vnode "Restore_pnode" v
+      | Kill_process v -> check_vnode "Kill_process" v
+      | Flap_vlink (a, b, down_s) ->
+          check_vlink "Flap_vlink" a b;
+          if down_s <= 0.0 then err "flap downtime must be positive"
+      | Corrupt_vlink (a, b, p) ->
+          check_vlink "Corrupt_vlink" a b;
+          if p < 0.0 || p > 1.0 then err "corruption probability outside [0,1]"
       | Fail_plink _ | Restore_plink _ | Custom _ -> ())
     spec.events;
   List.iter

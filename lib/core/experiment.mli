@@ -19,8 +19,29 @@ type action =
       (** cap (or uncap) a virtual link's rate via a Click shaper (§6.2) *)
   | Set_vlink_cost of int * int * int
       (** reconfigure an IGP cost and re-advertise (§7 maintenance) *)
+  | Crash_pnode of int
+      (** crash the physical machine hosting this virtual node: every
+          process on it dies, all its links go dark *)
+  | Restore_pnode of int
+      (** reboot that machine; supervised processes then restart *)
+  | Kill_process of int
+      (** crash just the virtual node's Click process *)
+  | Flap_vlink of int * int * float
+      (** fail a virtual link, restore it after the given seconds *)
+  | Corrupt_vlink of int * int * float
+      (** corrupt the given fraction of the link's packets; receivers
+          drop them on checksum verification *)
   | Custom of string * (Vini_overlay.Iias.t -> unit)
       (** named scripted action (start traffic, change rates, ...) *)
+
+val is_chaos_action : action -> bool
+(** True for the fault-injection actions ([Crash_pnode], [Restore_pnode],
+    [Kill_process], [Flap_vlink], [Corrupt_vlink]).  [Vini.start] enables
+    supervised recovery automatically when a spec contains any. *)
+
+val action_to_string : action -> string
+(** Stable textual form (the spec-language verb plus operands) — used in
+    traces, reports and plan-equality tests. *)
 
 type event = { at : Vini_sim.Time.t; action : action }
 

@@ -130,7 +130,9 @@ let parse_link_opts b a bnode rest =
 let event_verbs =
   [ ("fail-link", 2); ("restore-link", 2); ("set-loss", 3);
     ("set-bandwidth", 3); ("clear-bandwidth", 2); ("set-cost", 3);
-    ("fail-physical", 2); ("restore-physical", 2) ]
+    ("fail-physical", 2); ("restore-physical", 2);
+    ("crash-node", 1); ("restore-node", 1); ("kill-process", 1);
+    ("flap-link", 3); ("corrupt-link", 3) ]
 
 let feed b line =
   match tokens line with
@@ -325,6 +327,12 @@ let elaborate_event p ev =
         Ok (k a b)
     | _ -> Error "bad arity"
   in
+  let one k = function
+    | [ a ] ->
+        let* a = node a in
+        Ok (k a)
+    | _ -> Error "bad arity"
+  in
   let* action =
     match (ev.verb, ev.args) with
     | "fail-link", args -> two (fun a b -> Experiment.Fail_vlink (a, b)) args
@@ -352,6 +360,19 @@ let elaborate_event p ev =
         | Some cost when cost > 0 ->
             two (fun a b -> Experiment.Set_vlink_cost (a, b, cost)) [ a; b ]
         | Some _ | None -> Error (Printf.sprintf "bad cost %S" v))
+    | "crash-node", args -> one (fun v -> Experiment.Crash_pnode v) args
+    | "restore-node", args -> one (fun v -> Experiment.Restore_pnode v) args
+    | "kill-process", args -> one (fun v -> Experiment.Kill_process v) args
+    | "flap-link", [ a; b; v ] -> (
+        match float_of_string_opt v with
+        | Some down when down > 0.0 ->
+            two (fun a b -> Experiment.Flap_vlink (a, b, down)) [ a; b ]
+        | Some _ | None -> Error (Printf.sprintf "bad flap downtime %S" v))
+    | "corrupt-link", [ a; b; v ] -> (
+        match float_of_string_opt v with
+        | Some p when p >= 0.0 && p <= 1.0 ->
+            two (fun a b -> Experiment.Corrupt_vlink (a, b, p)) [ a; b ]
+        | Some _ | None -> Error (Printf.sprintf "bad corruption probability %S" v))
     | verb, _ -> Error (Printf.sprintf "unknown event %S" verb)
   in
   Ok { Experiment.at = Time.of_sec_f ev.ev_at; action }

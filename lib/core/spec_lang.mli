@@ -28,6 +28,9 @@
     at 20 clear-bandwidth Denver Washington
     at 25 set-cost Seattle Denver 5000
     at 34 restore-link Seattle Denver
+    at 40 crash-node Denver          # chaos verbs: crash-node, restore-node,
+    at 55 restore-node Denver        #   kill-process, flap-link A B SECS,
+    at 60 corrupt-link Denver Washington 0.01    #   corrupt-link A B PROB
     v}
 
     Bandwidths accept [k]/[m]/[g] suffixes (bits per second); delays accept

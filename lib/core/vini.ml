@@ -81,6 +81,22 @@ let run_action inst = function
       Iias.set_vlink_bandwidth inst.overlay a b rate
   | Experiment.Set_vlink_cost (a, b, cost) ->
       Iias.set_vlink_cost inst.overlay a b cost
+  | Experiment.Crash_pnode v ->
+      Underlay.set_node_state inst.owner.under
+        (inst.ispec.Experiment.embedding v)
+        false
+  | Experiment.Restore_pnode v ->
+      Underlay.set_node_state inst.owner.under
+        (inst.ispec.Experiment.embedding v)
+        true
+  | Experiment.Kill_process v -> Iias.kill_vnode inst.overlay v
+  | Experiment.Flap_vlink (a, b, down_s) ->
+      Iias.set_vlink_state inst.overlay a b false;
+      ignore
+        (Engine.after inst.owner.engine (Time.of_sec_f down_s) (fun () ->
+             Iias.set_vlink_state inst.overlay a b true))
+  | Experiment.Corrupt_vlink (a, b, p) ->
+      Iias.set_vlink_corrupt inst.overlay a b p
   | Experiment.Custom (_, f) -> f inst.overlay
 
 let start inst =
@@ -88,6 +104,15 @@ let start inst =
     inst.started <- true;
     inst.instance_epoch <- Engine.now inst.owner.engine;
     Iias.start inst.overlay;
+    (* Chaos specs imply supervised recovery; a custom policy can be set
+       by calling [Iias.enable_supervision ~policy] before start
+       (enabling is idempotent and draws no randomness until a crash). *)
+    if
+      List.exists
+        (fun (ev : Experiment.event) ->
+          Experiment.is_chaos_action ev.Experiment.action)
+        inst.ispec.Experiment.events
+    then Iias.enable_supervision inst.overlay;
     List.iter
       (fun (ev : Experiment.event) ->
         ignore

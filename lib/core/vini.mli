@@ -28,7 +28,11 @@ val deploy : t -> Experiment.spec -> instance
 
 val start : instance -> unit
 (** Start the overlay's routing and schedule the spec's events relative
-    to this instant. *)
+    to this instant.  When the spec contains chaos actions
+    ({!Experiment.is_chaos_action}), supervised crash recovery is enabled
+    automatically with the default policy; call
+    [Iias.enable_supervision ~policy] on {!iias} before [start] to choose
+    a different one (enabling twice is a no-op). *)
 
 val iias : instance -> Vini_overlay.Iias.t
 val spec : instance -> Experiment.spec

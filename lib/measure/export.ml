@@ -274,6 +274,10 @@ let event_json (ev : Trace.event) =
         [ ("prefix", Str prefix); ("action", Str action) ]
     | Trace.Sched_latency { seconds } -> [ ("seconds", Num seconds) ]
     | Trace.Fault_injected { action } -> [ ("action", Str action) ]
+    | Trace.Process_lifecycle { phase; detail } ->
+        [ ("phase", Str phase); ("detail", Str detail) ]
+    | Trace.Watchdog_check { check; detail } ->
+        [ ("check", Str check); ("detail", Str detail) ]
     | Trace.Custom detail -> [ ("detail", Str detail) ]
   in
   Obj

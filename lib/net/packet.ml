@@ -31,7 +31,15 @@ type body =
 
 and udp = { usport : int; udport : int; body : body }
 and proto = Udp of udp | Tcp of tcp | Icmp of icmp
-and t = { id : int; src : Addr.t; dst : Addr.t; ttl : int; proto : proto }
+
+and t = {
+  id : int;
+  src : Addr.t;
+  dst : Addr.t;
+  ttl : int;
+  proto : proto;
+  corrupt : bool;
+}
 
 let default_ttl = 64
 let next_id = ref 0
@@ -63,14 +71,42 @@ and icmp_size = function
       Wire.ipv4_header + 8
 
 let udp ?(ttl = default_ttl) ~src ~dst ~sport ~dport body =
-  { id = fresh_id (); src; dst; ttl;
+  { id = fresh_id (); src; dst; ttl; corrupt = false;
     proto = Udp { usport = sport; udport = dport; body } }
 
 let tcp ?(ttl = default_ttl) ~src ~dst seg =
-  { id = fresh_id (); src; dst; ttl; proto = Tcp seg }
+  { id = fresh_id (); src; dst; ttl; corrupt = false; proto = Tcp seg }
 
 let icmp ?(ttl = default_ttl) ~src ~dst msg =
-  { id = fresh_id (); src; dst; ttl; proto = Icmp msg }
+  { id = fresh_id (); src; dst; ttl; corrupt = false; proto = Icmp msg }
+
+let corrupted t = { t with corrupt = true }
+
+(* The on-the-wire IPv4 header image, with the header checksum folded into
+   its slot (bytes 10-11).  A corrupted packet gets one byte damaged *after*
+   checksumming, so [Wire.checksum_valid] fails on it at the receiver — the
+   same way real corruption is caught. *)
+let header_image t =
+  let b = Bytes.make Wire.ipv4_header '\000' in
+  let set16 off v =
+    Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set b (off + 1) (Char.chr (v land 0xFF))
+  in
+  Bytes.set b 0 '\x45' (* version 4, IHL 5 *);
+  set16 2 (size t land 0xFFFF);
+  set16 4 (t.id land 0xFFFF);
+  Bytes.set b 8 (Char.chr (t.ttl land 0xFF));
+  let a = Addr.to_int t.src in
+  set16 12 ((a lsr 16) land 0xFFFF);
+  set16 14 (a land 0xFFFF);
+  let a = Addr.to_int t.dst in
+  set16 16 ((a lsr 16) land 0xFFFF);
+  set16 18 (a land 0xFFFF);
+  set16 10 (Wire.checksum b);
+  if t.corrupt then Bytes.set b 8 (Char.chr ((t.ttl lxor 0x40) land 0xFF));
+  b
+
+let intact t = Wire.checksum_valid (header_image t)
 
 let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
 let with_src t src = { t with src }

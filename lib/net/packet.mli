@@ -56,6 +56,7 @@ and t = private {
   dst : Addr.t;
   ttl : int;
   proto : proto;
+  corrupt : bool;       (** a fault element damaged the frame in flight *)
 }
 
 val default_ttl : int
@@ -71,6 +72,14 @@ val body_size : body -> int
 
 val decr_ttl : t -> t option
 (** [None] when the TTL would reach zero (caller sends Time_exceeded). *)
+
+val corrupted : t -> t
+(** The same packet with a bit flipped in flight.  Receivers detect it via
+    {!intact} and discard it, charging the loss to the corruption fault. *)
+
+val intact : t -> bool
+(** Re-derive the IPv4 header image and verify its Internet checksum
+    ({!Wire.checksum_valid}).  [false] exactly for {!corrupted} packets. *)
 
 val with_src : t -> Addr.t -> t
 val with_dst : t -> Addr.t -> t

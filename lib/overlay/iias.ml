@@ -8,6 +8,7 @@ module Pnode = Vini_phys.Pnode
 module Process = Vini_phys.Process
 module Ipstack = Vini_phys.Ipstack
 module Underlay = Vini_phys.Underlay
+module Supervisor = Vini_phys.Supervisor
 module Fib = Vini_click.Fib
 module Element = Vini_click.Element
 module Faulty = Vini_click.Faulty
@@ -62,6 +63,7 @@ type vstats = {
   vpn_in : int;
   vpn_out : int;
   tunnel_drops : int;
+  corrupt_drops : int;
 }
 
 type vnode = {
@@ -95,6 +97,7 @@ type vnode = {
   mutable n_napt_in : int;
   mutable n_vpn_in : int;
   mutable n_vpn_out : int;
+  mutable n_corrupt : int;
 }
 
 type t = {
@@ -109,6 +112,7 @@ type t = {
   mutable vnodes : vnode array;
   rng : Vini_std.Rng.t;
   mutable started : bool;
+  mutable supervisor : Supervisor.t option;
 }
 
 (* --- address plan ----------------------------------------------------- *)
@@ -265,7 +269,19 @@ let click_handler t vn (pkt : Packet.t) =
     match pkt.Packet.proto with
     | Packet.Udp { udport; body = Packet.Tunnel inner; _ }
       when udport = t.tunnel_port ->
-        route vn inner
+        (* Decapsulation verifies the inner frame's checksum; frames a
+           Corrupting fault damaged in flight die here, at the receiver. *)
+        if Packet.intact inner then route vn inner
+        else begin
+          vn.n_corrupt <- vn.n_corrupt + 1;
+          let module Trace = Vini_sim.Trace in
+          if Trace.on Trace.Category.Packet_drop then
+            Trace.emit ~severity:Trace.Warn
+              ~component:(Printf.sprintf "%s/click@%s" vn.slice_name
+                            (Pnode.name vn.node))
+              (Trace.Packet_drop
+                 { reason = "corrupt"; bytes = Packet.size inner })
+        end
     | Packet.Udp { udport; usport; body = Packet.Vpn inner; _ }
       when udport = vpn_port ->
         vn.n_vpn_in <- vn.n_vpn_in + 1;
@@ -399,6 +415,7 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
     n_napt_in = 0;
     n_vpn_in = 0;
     n_vpn_out = 0;
+    n_corrupt = 0;
   }
 
 let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
@@ -434,6 +451,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
       vnodes = [||];
       rng;
       started = false;
+      supervisor = None;
     }
   in
   t.vnodes <-
@@ -448,7 +466,17 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
         in
         build_vnode t ~vid ~pnode ~links_of_vid);
   Array.iter
-    (fun vn -> Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt))
+    (fun vn ->
+      Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt);
+      (* A crashing click process takes its whole router down: the routing
+         instances go silent for good (neighbours detect the death by
+         missed hellos) and the FIB — data-plane state — is lost. *)
+      Process.on_crash vn.proc (fun () ->
+          (match vn.vospf with Some o -> Ospf.stop o | None -> ());
+          (match vn.vrip with Some r -> Rip.stop r | None -> ());
+          vn.vospf <- None;
+          vn.vrip <- None;
+          Fib.clear vn.fib))
     t.vnodes;
   t
 
@@ -518,6 +546,40 @@ let install_connected t vn =
   List.iter (fun (p, _) -> add p Deliver) vn.extra_locals;
   if vn.egress then add Prefix.default_route Deliver
 
+(* Create and start a fresh routing instance for a vnode.  Used both at
+   experiment start and when a supervised restart rebuilds the router. *)
+let start_routing t vn =
+  let ifaces = List.map (fun tun -> tun.iface) vn.tunnels in
+  match t.routing with
+  | Static_routes -> ()
+  | Ospf_routing { hello; dead; spf_delay } ->
+      let config =
+        {
+          (Ospf.default_config ~router_id:vn.vid
+             ~local_prefixes:(local_prefixes vn))
+          with
+          Ospf.hello_interval = hello;
+          dead_interval = dead;
+          spf_delay;
+        }
+      in
+      let o =
+        Ospf.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
+          ~config ~ifaces ~rib:vn.vrib
+      in
+      vn.vospf <- Some o;
+      Ospf.start o
+  | Rip_routing { scale } ->
+      let config =
+        Rip.scaled_config ~scale ~local_prefixes:(local_prefixes vn)
+      in
+      let r =
+        Rip.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
+          ~config ~ifaces ~rib:vn.vrib
+      in
+      vn.vrip <- Some r;
+      Rip.start r
+
 let start t =
   if not t.started then begin
     t.started <- true;
@@ -527,38 +589,40 @@ let start t =
           (Process.open_socket vn.proc ~port:t.tunnel_port
              ~rcvbuf_bytes:t.tunnel_rcvbuf_bytes ());
         install_connected t vn;
-        let ifaces = List.map (fun tun -> tun.iface) vn.tunnels in
-        match t.routing with
-        | Static_routes -> ()
-        | Ospf_routing { hello; dead; spf_delay } ->
-            let config =
-              {
-                (Ospf.default_config ~router_id:vn.vid
-                   ~local_prefixes:(local_prefixes vn))
-                with
-                Ospf.hello_interval = hello;
-                dead_interval = dead;
-                spf_delay;
-              }
-            in
-            let o =
-              Ospf.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
-                ~config ~ifaces ~rib:vn.vrib
-            in
-            vn.vospf <- Some o;
-            Ospf.start o
-        | Rip_routing { scale } ->
-            let config =
-              Rip.scaled_config ~scale ~local_prefixes:(local_prefixes vn)
-            in
-            let r =
-              Rip.create ~engine:t.engine ~rng:(Vini_std.Rng.split t.rng)
-                ~config ~ifaces ~rib:vn.vrib
-            in
-            vn.vrip <- Some r;
-            Rip.start r)
+        start_routing t vn)
       t.vnodes
   end
+
+(* --- crash recovery ----------------------------------------------------- *)
+
+(* The on-restart hook: the process is back with a fresh, empty data plane.
+   Replaying the RIB repopulates the Click FIB immediately — routes survive
+   the data-plane restart — and a new routing instance then re-forms
+   adjacencies and resyncs the LSDB to correct anything stale. *)
+let revive_vnode t vn =
+  Rib.reinstall vn.vrib;
+  start_routing t vn
+
+let enable_supervision ?policy t =
+  match t.supervisor with
+  | Some _ -> ()
+  | None ->
+      let sup =
+        Supervisor.create ~engine:t.engine
+          ~rng:(lazy (Vini_std.Rng.split t.rng))
+          ?policy ()
+      in
+      t.supervisor <- Some sup;
+      Array.iter
+        (fun vn ->
+          Supervisor.supervise sup ~name:(Process.name vn.proc)
+            ~on_restart:(fun () -> revive_vnode t vn)
+            vn.proc)
+        t.vnodes
+
+let supervisor t = t.supervisor
+let kill_vnode t v = Process.crash t.vnodes.(v).proc
+let vnode_alive vn = Process.alive vn.proc
 
 (* --- accessors and control -------------------------------------------- *)
 
@@ -589,8 +653,15 @@ let set_vlink_state t a b up =
 
 let vlink_is_up t a b =
   match Faulty.mode (tunnel_between t a b).faulty with
-  | Faulty.Pass -> true
+  | Faulty.Pass | Faulty.Corrupting _ -> true
   | Faulty.Fail | Faulty.Lossy _ -> false
+
+let set_vlink_corrupt t a b prob =
+  if prob < 0.0 || prob > 1.0 then
+    invalid_arg "Iias.set_vlink_corrupt: probability outside [0,1]";
+  let mode = if prob = 0.0 then Faulty.Pass else Faulty.Corrupting prob in
+  Faulty.set_mode (tunnel_between t a b).faulty mode;
+  Faulty.set_mode (tunnel_between t b a).faulty mode
 
 let set_vlink_loss t a b loss =
   if loss < 0.0 || loss > 1.0 then
@@ -670,7 +741,32 @@ let stats vn =
     tunnel_drops =
       List.fold_left (fun acc tun -> acc + Faulty.dropped tun.faulty) 0
         vn.tunnels;
+    corrupt_drops = vn.n_corrupt;
   }
+
+(* One data-plane forwarding decision, as the watchdog's TTL-probe sees it:
+   where does [v]'s FIB send a packet for [dst]?  Next hops are resolved
+   recursively onto a tunnel, exactly like {!emit}. *)
+let fib_next t v dst =
+  let vn = t.vnodes.(v) in
+  let rec resolve nh depth =
+    match tunnel_towards vn nh with
+    | Some tun -> Some tun.nbr
+    | None ->
+        if depth = 0 then None
+        else (
+          match Fib.lookup vn.fib nh with
+          | Some (Via nh2) when not (Addr.equal nh2 nh) ->
+              resolve nh2 (depth - 1)
+          | Some _ | None -> None)
+  in
+  match Fib.lookup vn.fib dst with
+  | None -> `No_route
+  | Some Deliver -> `Local
+  | Some Direct -> (
+      match resolve dst 0 with Some n -> `Hop n | None -> `No_route)
+  | Some (Via nh) -> (
+      match resolve nh 4 with Some n -> `Hop n | None -> `No_route)
 
 let cpu_time vn = Process.cpu_time vn.proc
 let socket_drops vn = Process.socket_drops vn.proc

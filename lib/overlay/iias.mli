@@ -67,6 +67,29 @@ val advertise_prefix : ?quiet:bool -> t -> int -> Vini_net.Prefix.t -> unit
 
 val start : t -> unit
 
+(** {2 Crash recovery}
+
+    Virtual routers can die: a chaos fault (or {!kill_vnode}) crashes a
+    vnode's Click process, and a whole-machine crash
+    ({!Vini_phys.Underlay.set_node_state}) kills every process on the
+    node.  A crash stops the vnode's routing instance for good and clears
+    its FIB; neighbours notice via missed hellos and reroute.  With
+    supervision enabled, the process is restarted under the policy's
+    backoff, the RIB is replayed into the fresh FIB (routes survive the
+    data-plane restart) and a new routing instance re-forms adjacencies
+    and resyncs the LSDB. *)
+
+val enable_supervision : ?policy:Vini_phys.Supervisor.policy -> t -> unit
+(** Put every vnode process under a {!Vini_phys.Supervisor}.  Idempotent.
+    Draws nothing from the RNG until a first crash actually happens, so
+    enabling supervision on a fault-free run changes no result. *)
+
+val supervisor : t -> Vini_phys.Supervisor.t option
+val kill_vnode : t -> int -> unit
+(** Crash one vnode's Click process ([Kill_process] fault). *)
+
+val vnode_alive : vnode -> bool
+
 val vnode_count : t -> int
 val vnode : t -> int -> vnode
 val vnode_by_name : t -> string -> vnode
@@ -100,6 +123,13 @@ val vlink_is_up : t -> int -> int -> bool
 val set_vlink_loss : t -> int -> int -> float -> unit
 (** Emulate a lossy virtual link: drop the given fraction inside Click on
     both directions (0.0 restores a clean link).
+    @raise Invalid_argument outside [0,1]. *)
+
+val set_vlink_corrupt : t -> int -> int -> float -> unit
+(** Corrupt the given fraction of packets crossing the virtual link (both
+    directions; 0.0 restores a clean link).  Corrupted frames still travel
+    and are discarded by the receiver's checksum verification, counted in
+    {!vstats.corrupt_drops}.
     @raise Invalid_argument outside [0,1]. *)
 
 val set_vlink_bandwidth : t -> int -> int -> float option -> unit
@@ -144,8 +174,15 @@ type vstats = {
   vpn_in : int;
   vpn_out : int;
   tunnel_drops : int;     (** failure-injection drops *)
+  corrupt_drops : int;    (** frames discarded by receiver checksum *)
 }
 
 val stats : vnode -> vstats
 val cpu_time : vnode -> Vini_sim.Time.t
 val socket_drops : vnode -> int
+
+val fib_next :
+  t -> int -> Vini_net.Addr.t -> [ `Local | `Hop of int | `No_route ]
+(** Where vnode [v]'s FIB currently sends a packet for an address: deliver
+    locally, hand to a neighbouring vnode, or drop.  The primitive under
+    the watchdog's loop/blackhole probes. *)

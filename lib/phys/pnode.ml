@@ -14,6 +14,9 @@ type t = {
   mutable kernel_busy : Time.t;
   mutable kernel_cpu : Time.t;
   mutable egress_htb : Htb.t option;
+  mutable up : bool;
+  mutable kills : (unit -> unit) list;
+  mutable down_drops : int;
 }
 
 module Socket = struct
@@ -21,6 +24,7 @@ module Socket = struct
     node : t;
     sock_port : int;
     buf : Packet.t Vini_std.Fifo.t;
+    handler : Packet.t -> unit;
   }
 
   let port s = s.sock_port
@@ -29,6 +33,10 @@ module Socket = struct
   let pending s = Vini_std.Fifo.length s.buf
   let drops s = Vini_std.Fifo.drops s.buf
   let close s = Ipstack.unbind_udp s.node.stack ~port:s.sock_port
+  let clear s = Vini_std.Fifo.clear s.buf
+
+  let reopen s =
+    Ipstack.bind_udp s.node.stack ~port:s.sock_port s.handler
 end
 
 let create ~engine ~rng ~id ~name ~addr ~cpu () =
@@ -49,6 +57,9 @@ let create ~engine ~rng ~id ~name ~addr ~cpu () =
         kernel_busy = Time.zero;
         kernel_cpu = Time.zero;
         egress_htb = None;
+        up = true;
+        kills = [];
+        down_drops = 0;
       }
   in
   Lazy.force node
@@ -60,8 +71,43 @@ let cpu t = t.cpu
 let engine t = t.engine
 let stack t = t.stack
 let set_tx t tx = t.tx <- tx
+let is_up t = t.up
+let down_drops t = t.down_drops
+
+let attach_process t ~kill = t.kills <- kill :: t.kills
+
+let lifecycle_event t phase =
+  let module Trace = Vini_sim.Trace in
+  if Trace.on Trace.Category.Process_lifecycle then
+    Trace.emit ~severity:Trace.Warn ~component:t.name
+      (Trace.Process_lifecycle { phase; detail = "pnode" })
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    (* Whatever the kernel had queued dies with the machine. *)
+    t.kernel_busy <- Engine.now t.engine;
+    lifecycle_event t "crash";
+    List.iter (fun kill -> kill ()) t.kills
+  end
+
+let reboot t =
+  if not t.up then begin
+    t.up <- true;
+    t.kernel_busy <- Engine.now t.engine;
+    lifecycle_event t "reboot"
+  end
+
+let drop_down t pkt =
+  t.down_drops <- t.down_drops + 1;
+  let module Trace = Vini_sim.Trace in
+  if Trace.on Trace.Category.Packet_drop then
+    Trace.emit ~severity:Trace.Debug ~component:t.name
+      (Trace.Packet_drop { reason = "node-down"; bytes = Packet.size pkt })
 
 let send_as t ~cls pkt =
+  if not t.up then drop_down t pkt
+  else
   match t.egress_htb with
   | None -> t.tx pkt
   | Some htb ->
@@ -73,9 +119,11 @@ let send_as t ~cls pkt =
       ignore (Htb.enqueue htb c pkt)
 
 let send t pkt =
-  match t.egress_htb with
-  | None -> t.tx pkt
-  | Some htb -> ignore (Htb.enqueue htb (Htb.default_class htb) pkt)
+  if not t.up then drop_down t pkt
+  else
+    match t.egress_htb with
+    | None -> t.tx pkt
+    | Some htb -> ignore (Htb.enqueue htb (Htb.default_class htb) pkt)
 
 let enable_egress_htb t ~rate_bps =
   let htb = Htb.create ~engine:t.engine ~rate_bps ~out:(fun pkt -> t.tx pkt) () in
@@ -108,20 +156,28 @@ let nic_latency t =
   let jitter = Vini_std.Rng.float t.rng Calibration.nic_jitter_us in
   Time.of_sec_f ((base +. jitter) *. 1e-6)
 
-let rx_overhead t _pkt ~k =
-  let cost =
-    Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_forward_us *. 1e-6))
-  in
-  ignore
-    (Engine.after t.engine (nic_latency t) (fun () -> kernel_work t cost k))
+let rx_overhead t pkt ~k =
+  if not t.up then drop_down t pkt
+  else
+    let cost =
+      Cpu.scale_cost t.cpu
+        (Time.of_sec_f (Calibration.kernel_forward_us *. 1e-6))
+    in
+    ignore
+      (Engine.after t.engine (nic_latency t) (fun () ->
+           if t.up then kernel_work t cost k else drop_down t pkt))
 
 let deliver_local t pkt =
-  let cost =
-    Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_local_us *. 1e-6))
-  in
-  ignore
-    (Engine.after t.engine (nic_latency t) (fun () ->
-         kernel_work t cost (fun () -> Ipstack.deliver t.stack pkt)))
+  if not t.up then drop_down t pkt
+  else
+    let cost =
+      Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_local_us *. 1e-6))
+    in
+    ignore
+      (Engine.after t.engine (nic_latency t) (fun () ->
+           if t.up then
+             kernel_work t cost (fun () -> Ipstack.deliver t.stack pkt)
+           else drop_down t pkt))
 
 let kernel_cpu_time t = t.kernel_cpu
 
@@ -130,13 +186,15 @@ let open_udp_socket t ~port ?(rcvbuf_bytes = Calibration.udp_rcvbuf_bytes)
   let buf =
     Vini_std.Fifo.create ~max_bytes:rcvbuf_bytes ~size_of:Packet.size ()
   in
-  let sock = { Socket.node = t; sock_port = port; buf } in
   let module Trace = Vini_sim.Trace in
-  Ipstack.bind_udp t.stack ~port (fun pkt ->
-      if Vini_std.Fifo.push buf pkt then on_packet ()
-      else if Trace.on Trace.Category.Packet_drop then
-        Trace.emit ~severity:Trace.Warn
-          ~component:(Printf.sprintf "%s.sock:%d" t.name port)
-          (Trace.Packet_drop
-             { reason = "sock-overflow"; bytes = Packet.size pkt }));
+  let handler pkt =
+    if Vini_std.Fifo.push buf pkt then on_packet ()
+    else if Trace.on Trace.Category.Packet_drop then
+      Trace.emit ~severity:Trace.Warn
+        ~component:(Printf.sprintf "%s.sock:%d" t.name port)
+        (Trace.Packet_drop
+           { reason = "sock-overflow"; bytes = Packet.size pkt })
+  in
+  let sock = { Socket.node = t; sock_port = port; buf; handler } in
+  Ipstack.bind_udp t.stack ~port handler;
   sock

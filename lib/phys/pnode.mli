@@ -21,6 +21,12 @@ module Socket : sig
   (** Packets rejected because the receive buffer was full. *)
 
   val close : s -> unit
+  val clear : s -> unit
+  (** Discard every buffered packet (a crashing process loses its queue). *)
+
+  val reopen : s -> unit
+  (** Re-bind the socket's port with its original handler after {!close}.
+      @raise Invalid_argument when the port is taken. *)
 end
 
 val create :
@@ -43,6 +49,28 @@ val stack : t -> Ipstack.t
 
 val set_tx : t -> (Vini_net.Packet.t -> unit) -> unit
 (** Wire the node's transmit side to the underlay (done by {!Underlay}). *)
+
+(** {2 Whole-node crash and reboot}
+
+    A crashed machine drops every packet on every path — transmit, receive,
+    forwarding, local delivery — and kills each attached process.  Reboot
+    brings the kernel path back; supervised processes are restarted
+    separately (by {!Supervisor}). *)
+
+val is_up : t -> bool
+
+val crash : t -> unit
+(** Power off: discard queued kernel work, run every registered process
+    kill hook, go dark.  Idempotent while down. *)
+
+val reboot : t -> unit
+(** Power on again (processes stay dead until restarted). *)
+
+val attach_process : t -> kill:(unit -> unit) -> unit
+(** Register a process kill hook to run when this node crashes. *)
+
+val down_drops : t -> int
+(** Packets dropped because the node was down. *)
 
 val send : t -> Vini_net.Packet.t -> unit
 (** Transmit a packet originated on this node (host app or process). *)

@@ -15,6 +15,10 @@ type t = {
   mutable proc : Cpu.proc option;
   mutable rr : int;
   mutable processed : int;
+  mutable proc_alive : bool;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable crash_hooks : (unit -> unit) list;
 }
 
 let default_cost pkt =
@@ -39,7 +43,7 @@ let source_drops = function
 (* Round-robin across sources, starting after the last-served one. *)
 let next_source t =
   let n = Array.length t.sources in
-  if n = 0 then None
+  if (not t.proc_alive) || n = 0 then None
   else begin
     let rec probe i remaining =
       if remaining = 0 then None
@@ -50,6 +54,52 @@ let next_source t =
     in
     probe t.rr n
   end
+
+let component t = Printf.sprintf "%s@%s" t.proc_name (Pnode.name t.pnode)
+
+let lifecycle_event t phase detail =
+  let module Trace = Vini_sim.Trace in
+  if Trace.on Trace.Category.Process_lifecycle then
+    Trace.emit ~severity:Trace.Warn ~component:(component t)
+      (Trace.Process_lifecycle { phase; detail })
+
+let alive t = t.proc_alive
+let crashes t = t.crashes
+let restarts t = t.restarts
+let on_crash t hook = t.crash_hooks <- t.crash_hooks @ [ hook ]
+
+(* A crashing process loses everything it had in flight: its sockets are
+   closed (the ports unbind, so the kernel drops arrivals as unmatched),
+   its input queues are emptied, and the CPU scheduler finds it idle. *)
+let crash t =
+  if t.proc_alive then begin
+    t.proc_alive <- false;
+    t.crashes <- t.crashes + 1;
+    Array.iter
+      (function
+        | Sock s ->
+            Pnode.Socket.close s;
+            Pnode.Socket.clear s
+        | Queue q -> Vini_std.Fifo.clear q)
+      t.sources;
+    lifecycle_event t "crash" "";
+    List.iter (fun hook -> hook ()) t.crash_hooks
+  end
+
+let restart t =
+  if t.proc_alive then invalid_arg "Process.restart: already running";
+  if not (Pnode.is_up t.pnode) then
+    invalid_arg "Process.restart: node is down";
+  t.proc_alive <- true;
+  t.restarts <- t.restarts + 1;
+  Array.iter
+    (function
+      | Sock s ->
+          Pnode.Socket.clear s;
+          Pnode.Socket.reopen s
+      | Queue q -> Vini_std.Fifo.clear q)
+    t.sources;
+  lifecycle_event t "restart" ""
 
 let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
   let t =
@@ -63,8 +113,13 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
       proc = None;
       rr = 0;
       processed = 0;
+      proc_alive = true;
+      crashes = 0;
+      restarts = 0;
+      crash_hooks = [];
     }
   in
+  Pnode.attach_process node ~kill:(fun () -> crash t);
   let has_work () = Option.is_some (next_source t) in
   let next_cost () =
     match next_source t with
@@ -91,7 +146,7 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
   t.proc <- Some proc;
   t
 
-let kick t = Option.iter Cpu.kick t.proc
+let kick t = if t.proc_alive then Option.iter Cpu.kick t.proc
 
 let add_source t s = t.sources <- Array.append t.sources [| s |]
 
@@ -111,18 +166,29 @@ let open_queue t ?(capacity_bytes = Calibration.udp_rcvbuf_bytes) () =
   add_source t (Queue q);
   let module Trace = Vini_sim.Trace in
   fun pkt ->
-    let accepted = Vini_std.Fifo.push q pkt in
-    if accepted then kick t
-    else if Trace.on Trace.Category.Packet_drop then
-      Trace.emit ~severity:Trace.Warn
-        ~component:(t.proc_name ^ ".inq")
-        (Trace.Packet_drop
-           { reason = "queue-overflow"; bytes = Packet.size pkt });
-    accepted
+    if not t.proc_alive then begin
+      if Trace.on Trace.Category.Packet_drop then
+        Trace.emit ~severity:Trace.Debug
+          ~component:(t.proc_name ^ ".inq")
+          (Trace.Packet_drop
+             { reason = "process-dead"; bytes = Packet.size pkt });
+      false
+    end
+    else begin
+      let accepted = Vini_std.Fifo.push q pkt in
+      if accepted then kick t
+      else if Trace.on Trace.Category.Packet_drop then
+        Trace.emit ~severity:Trace.Warn
+          ~component:(t.proc_name ^ ".inq")
+          (Trace.Packet_drop
+             { reason = "queue-overflow"; bytes = Packet.size pkt });
+      accepted
+    end
 
 let set_handler t h = t.handler <- h
 let node t = t.pnode
 let slice t = t.proc_slice
+let name t = t.proc_name
 
 let cpu_time t =
   match t.proc with Some p -> Cpu.cpu_time p | None -> Time.zero

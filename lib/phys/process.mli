@@ -32,8 +32,34 @@ val open_queue :
 
 val set_handler : t -> (Vini_net.Packet.t -> unit) -> unit
 
+(** {2 Lifecycle}
+
+    A process can crash — explicitly, via a chaos fault, or because its
+    node crashed — and be restarted later.  While dead it is invisible to
+    the CPU scheduler, its sockets are unbound and its queues reject
+    injections; nothing buffered survives the crash. *)
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** Close and drain every source, go dark, and run the {!on_crash} hooks.
+    Idempotent while dead.  Emits a [Process_lifecycle] trace event. *)
+
+val restart : t -> unit
+(** Come back up with empty buffers and freshly bound sockets.
+    @raise Invalid_argument if already running or the node is down. *)
+
+val on_crash : t -> (unit -> unit) -> unit
+(** Register a hook to run (in registration order) on each crash — how the
+    overlay tears down routing state and the supervisor schedules a
+    restart. *)
+
+val crashes : t -> int
+val restarts : t -> int
+
 val node : t -> Pnode.t
 val slice : t -> Slice.t
+val name : t -> string
 val cpu_time : t -> Vini_sim.Time.t
 val wakeups : t -> int
 val packets_processed : t -> int

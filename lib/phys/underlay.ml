@@ -7,6 +7,8 @@ module Addr = Vini_net.Addr
 type event =
   | Link_down of Graph.node_id * Graph.node_id
   | Link_up of Graph.node_id * Graph.node_id
+  | Node_down of Graph.node_id
+  | Node_up of Graph.node_id
 
 type node_profile = { speed_ghz : float; contention : Cpu.contention }
 
@@ -41,7 +43,9 @@ let default_addr i =
 
 let weight_when_up t l =
   let up = try Hashtbl.find t.link_up (key l.Graph.a l.Graph.b) with Not_found -> true in
-  if up then l.Graph.weight else 100_000_000
+  (* A link into a crashed machine is as unusable as a cut fiber. *)
+  let ends_up = Pnode.is_up t.pnodes.(l.Graph.a) && Pnode.is_up t.pnodes.(l.Graph.b) in
+  if up && ends_up then l.Graph.weight else 100_000_000
 
 let recompute_routes t =
   let n = Graph.node_count t.graph in
@@ -181,6 +185,19 @@ let link_is_up t a b =
   match Hashtbl.find_opt t.link_up (key a b) with
   | Some up -> up
   | None -> false
+
+let set_node_state t i up =
+  let node = t.pnodes.(i) in
+  if Pnode.is_up node <> up then begin
+    if up then Pnode.reboot node else Pnode.crash node;
+    (* Incident links become unusable/usable, so the underlay reroutes
+       around (or back through) the machine when masking failures. *)
+    if t.mask_failures then recompute_routes t;
+    let ev = if up then Node_up i else Node_down i in
+    List.iter (fun f -> f ev) t.subscribers
+  end
+
+let node_is_up t i = Pnode.is_up t.pnodes.(i)
 
 let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 let next_hop t ~from ~dst = next_hop_id t ~from ~dst

@@ -18,6 +18,8 @@ type t
 type event =
   | Link_down of Vini_topo.Graph.node_id * Vini_topo.Graph.node_id
   | Link_up of Vini_topo.Graph.node_id * Vini_topo.Graph.node_id
+  | Node_down of Vini_topo.Graph.node_id
+  | Node_up of Vini_topo.Graph.node_id
 
 type node_profile = { speed_ghz : float; contention : Cpu.contention }
 
@@ -55,6 +57,14 @@ val set_link_state :
     upcalls. *)
 
 val link_is_up : t -> Vini_topo.Graph.node_id -> Vini_topo.Graph.node_id -> bool
+
+val set_node_state : t -> Vini_topo.Graph.node_id -> bool -> unit
+(** Crash ([false]) or reboot ([true]) a physical machine: {!Pnode.crash} /
+    {!Pnode.reboot}, rerouting around it (when masking) and an upcall.
+    Crashing kills every process attached to the node; rebooting does not
+    restart them — that is the {!Supervisor}'s job. *)
+
+val node_is_up : t -> Vini_topo.Graph.node_id -> bool
 
 val subscribe : t -> (event -> unit) -> unit
 (** Register for topology-change upcalls. *)

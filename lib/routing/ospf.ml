@@ -66,6 +66,7 @@ type t = {
   mutable messages_sent : int;
   mutable routes_installed : int;
   mutable spf_hooks : (unit -> unit) list;
+  mutable stopped : bool;
 }
 
 let create ~engine ~rng ~config ~ifaces ~rib =
@@ -87,13 +88,16 @@ let create ~engine ~rng ~config ~ifaces ~rib =
     messages_sent = 0;
     routes_installed = 0;
     spf_hooks = [];
+    stopped = false;
   }
 
 let router_id t = t.config.router_id
 
 let send t (iface : Io.iface) msg =
-  t.messages_sent <- t.messages_sent + 1;
-  iface.Io.send (Msg msg) ~size:(msg_size msg)
+  if not t.stopped then begin
+    t.messages_sent <- t.messages_sent + 1;
+    iface.Io.send (Msg msg) ~size:(msg_size msg)
+  end
 
 (* --- SPF ------------------------------------------------------------- *)
 
@@ -103,7 +107,7 @@ let rec schedule_spf t =
     ignore
       (Engine.after t.engine t.config.spf_delay (fun () ->
            t.spf_pending <- false;
-           run_spf t))
+           if not t.stopped then run_spf t))
   end
 
 and run_spf t =
@@ -283,7 +287,16 @@ let handle_hello t ~ifindex h =
   | Some n ->
       let two_way = List.mem t.config.router_id h.h_seen in
       reset_dead_timer t n;
-      if n.rid <> Some h.h_rid then begin
+      (* A hello that no longer lists us, from a neighbour we were fully
+         adjacent with, means the neighbour restarted and lost its state:
+         fall back from Full (RFC 2328 §10.5's 1-Way transition) so the
+         database exchange re-runs when two-way comes back, and answer
+         promptly to speed that up. *)
+      if (not two_way) && n.full then begin
+        n.full <- false;
+        send t n.iface (hello_for t n)
+      end
+      else if n.rid <> Some h.h_rid then begin
         (* New or changed neighbour: answer promptly so the two-way check
            completes within one hello interval. *)
         n.rid <- Some h.h_rid;
@@ -304,12 +317,18 @@ let handle_flood t ~ifindex lsas =
       (fun lsa ->
         match Hashtbl.find_opt t.lsdb lsa.origin with
         | Some have when not (newer lsa have) ->
-            (* Stale copy: refute it by flooding our newer one back. *)
+            (* A fully adjacent neighbour flooding a strictly older copy
+               has an out-of-date database — it restarted and lost state
+               faster than the dead interval could notice.  Refuting one
+               LSA is not enough: resync it with a full push.  (Equal-seq
+               duplicates take the [false] branch without a push.) *)
             if newer have lsa then begin
               match
                 List.find_opt (fun n -> n.iface.Io.ifindex = ifindex) t.nbrs
               with
-              | Some n when n.full -> send_lsas t n [ have ]
+              | Some n when n.full ->
+                  let all = Hashtbl.fold (fun _ l acc -> l :: acc) t.lsdb [] in
+                  send_lsas t n all
               | Some _ | None -> ()
             end;
             false
@@ -346,11 +365,12 @@ let handle_ack t ~ifindex acks =
         acks
 
 let receive t ~ifindex msg =
-  match msg with
-  | Msg (Hello h) -> handle_hello t ~ifindex h
-  | Msg (Flood lsas) -> handle_flood t ~ifindex lsas
-  | Msg (Ack acks) -> handle_ack t ~ifindex acks
-  | _ -> ()
+  if not t.stopped then
+    match msg with
+    | Msg (Hello h) -> handle_hello t ~ifindex h
+    | Msg (Flood lsas) -> handle_flood t ~ifindex lsas
+    | Msg (Ack acks) -> handle_ack t ~ifindex acks
+    | _ -> ()
 
 let start t =
   (* De-phase interfaces so hellos are not synchronised across the net. *)
@@ -363,16 +383,18 @@ let start t =
       in
       ignore
         (Engine.after t.engine jitter (fun () ->
-             send t n.iface (hello_for t n);
-             Engine.every t.engine ~jitter:(Time.ms 100)
-               t.config.hello_interval (fun () ->
-                 send t n.iface (hello_for t n);
-                 true))))
+             if not t.stopped then begin
+               send t n.iface (hello_for t n);
+               Engine.every t.engine ~jitter:(Time.ms 100)
+                 t.config.hello_interval (fun () ->
+                   send t n.iface (hello_for t n);
+                   not t.stopped)
+             end)))
     t.nbrs;
   (* Periodic LSA refresh. *)
   Engine.every t.engine t.config.lsa_refresh (fun () ->
-      originate_lsa t;
-      true);
+      if not t.stopped then originate_lsa t;
+      not t.stopped);
   (* Reliable flooding: retransmit unacknowledged LSAs. *)
   Engine.every t.engine ~jitter:(Time.ms 200) t.config.rxmt_interval
     (fun () ->
@@ -382,9 +404,25 @@ let start t =
             send t n.iface
               (Flood (Hashtbl.fold (fun _ l acc -> l :: acc) n.retx [])))
         t.nbrs;
-      true);
+      not t.stopped);
   (* Advertise our stub prefixes even before any adjacency forms. *)
   originate_lsa t
+
+(* A stopped instance goes permanently silent: timers unwind, messages are
+   neither sent nor accepted, and the RIB is no longer touched.  Used when
+   the hosting process crashes; recovery builds a fresh instance. *)
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    List.iter
+      (fun n ->
+        (match n.dead_timer with Some h -> Engine.cancel h | None -> ());
+        n.dead_timer <- None;
+        Hashtbl.reset n.retx)
+      t.nbrs
+  end
+
+let stopped t = t.stopped
 
 let reoriginate t = originate_lsa t
 

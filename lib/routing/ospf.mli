@@ -56,6 +56,14 @@ val create :
 val start : t -> unit
 (** Begin sending hellos (each interface de-phased by random jitter). *)
 
+val stop : t -> unit
+(** Permanently silence the instance: timers unwind, arrivals are ignored,
+    the RIB is no longer written.  Called when the hosting process
+    crashes; a supervised restart creates a fresh instance which re-forms
+    adjacencies and resyncs the LSDB. *)
+
+val stopped : t -> bool
+
 val receive : t -> ifindex:int -> Vini_net.Packet.control -> unit
 (** Feed an OSPF control message that arrived on an interface; non-OSPF
     messages are ignored. *)

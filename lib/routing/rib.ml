@@ -101,6 +101,11 @@ let replace_all t ~proto routes =
 let best t prefix = Pmap.find_opt prefix t.best
 let routes t = Pmap.bindings t.best
 
+(* Re-announce every current best route through the FEA: after a data-plane
+   crash the fresh (empty) FIB is repopulated from here, so routes survive
+   the restart even before the protocols reconverge. *)
+let reinstall t = Pmap.iter (fun p r -> t.fea (Install (p, r))) t.best
+
 let pp ppf t =
   List.iter
     (fun (p, r) ->

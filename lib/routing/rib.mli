@@ -43,4 +43,8 @@ val best : t -> Vini_net.Prefix.t -> route option
 val routes : t -> (Vini_net.Prefix.t * route) list
 (** Current best routes, sorted. *)
 
+val reinstall : t -> unit
+(** Re-emit [Install] for every current best route — repopulates a freshly
+    cleared FIB after a data-plane restart, before protocols reconverge. *)
+
 val pp : Format.formatter -> t -> unit

@@ -58,6 +58,7 @@ type t = {
   mutable routes : route Pmap.t;
   mutable triggered_pending : bool;
   mutable messages_sent : int;
+  mutable stopped : bool;
 }
 
 let create ~engine ~rng ~config ~ifaces ~rib =
@@ -71,6 +72,7 @@ let create ~engine ~rng ~config ~ifaces ~rib =
       routes = Pmap.empty;
       triggered_pending = false;
       messages_sent = 0;
+      stopped = false;
     }
   in
   List.iter
@@ -110,7 +112,7 @@ let send_update t (iface : Io.iface) =
         { prefix; metric } :: acc)
       t.routes []
   in
-  if entries <> [] then begin
+  if entries <> [] && not t.stopped then begin
     t.messages_sent <- t.messages_sent + 1;
     let m = Response (List.rev entries) in
     iface.Io.send (Msg m) ~size:(msg_size m)
@@ -124,7 +126,7 @@ let rec schedule_triggered t =
     ignore
       (Engine.after t.engine t.config.triggered_holddown (fun () ->
            t.triggered_pending <- false;
-           send_all t))
+           if not t.stopped then send_all t))
   end
 
 and expire t prefix =
@@ -200,6 +202,8 @@ let accept t ~(iface : Io.iface) (e : entry) =
       end
 
 let receive t ~ifindex msg =
+  if t.stopped then ()
+  else
   match msg with
   | Msg (Response entries) -> (
       match List.find_opt (fun i -> i.Io.ifindex = ifindex) t.ifaces with
@@ -218,10 +222,23 @@ let start t =
           (Vini_std.Rng.float t.rng
              (Time.to_sec_f t.config.update_interval /. 10.0)))
        (fun () ->
-         send_all t;
-         Engine.every t.engine ~jitter t.config.update_interval (fun () ->
-             send_all t;
-             true)))
+         if not t.stopped then begin
+           send_all t;
+           Engine.every t.engine ~jitter t.config.update_interval (fun () ->
+               send_all t;
+               not t.stopped)
+         end))
+
+(* Permanently silence this instance: cancel route timers, stop updates,
+   ignore arrivals, leave the RIB alone.  A restarted router gets a fresh
+   instance. *)
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Pmap.iter (fun _ r -> cancel_timers r) t.routes
+  end
+
+let stopped t = t.stopped
 
 let table t =
   Pmap.fold

@@ -43,6 +43,12 @@ val create :
 val start : t -> unit
 val receive : t -> ifindex:int -> Vini_net.Packet.control -> unit
 
+val stop : t -> unit
+(** Permanently silence the instance (process crash); restart uses a fresh
+    instance. *)
+
+val stopped : t -> bool
+
 val table : t -> (Vini_net.Prefix.t * int) list
 (** (prefix, metric), reachable routes only. *)
 

@@ -14,11 +14,13 @@ module Category = struct
     | Route_update
     | Sched_latency
     | Fault_injected
+    | Process_lifecycle
+    | Watchdog
     | Custom
 
   let all =
     [ Packet_tx; Packet_rx; Packet_drop; Route_update; Sched_latency;
-      Fault_injected; Custom ]
+      Fault_injected; Process_lifecycle; Watchdog; Custom ]
 
   let bit = function
     | Packet_tx -> 1
@@ -28,6 +30,8 @@ module Category = struct
     | Sched_latency -> 16
     | Fault_injected -> 32
     | Custom -> 64
+    | Process_lifecycle -> 128
+    | Watchdog -> 256
 
   let name = function
     | Packet_tx -> "packet_tx"
@@ -36,6 +40,8 @@ module Category = struct
     | Route_update -> "route_update"
     | Sched_latency -> "sched_latency"
     | Fault_injected -> "fault_injected"
+    | Process_lifecycle -> "process_lifecycle"
+    | Watchdog -> "watchdog"
     | Custom -> "custom"
 
   let of_name = function
@@ -45,6 +51,8 @@ module Category = struct
     | "route_update" -> Some Route_update
     | "sched_latency" -> Some Sched_latency
     | "fault_injected" -> Some Fault_injected
+    | "process_lifecycle" -> Some Process_lifecycle
+    | "watchdog" -> Some Watchdog
     | "custom" -> Some Custom
     | _ -> None
 
@@ -58,6 +66,8 @@ type kind =
   | Route_update of { prefix : string; action : string }
   | Sched_latency of { seconds : float }
   | Fault_injected of { action : string }
+  | Process_lifecycle of { phase : string; detail : string }
+  | Watchdog_check of { check : string; detail : string }
   | Custom of string
 
 let category_of_kind : kind -> Category.t = function
@@ -67,6 +77,8 @@ let category_of_kind : kind -> Category.t = function
   | Route_update _ -> Category.Route_update
   | Sched_latency _ -> Category.Sched_latency
   | Fault_injected _ -> Category.Fault_injected
+  | Process_lifecycle _ -> Category.Process_lifecycle
+  | Watchdog_check _ -> Category.Watchdog
   | Custom _ -> Category.Custom
 
 type event = {
@@ -199,6 +211,9 @@ let kind_detail = function
   | Route_update { prefix; action } -> Printf.sprintf "%s %s" action prefix
   | Sched_latency { seconds } -> Printf.sprintf "sched %.6fs" seconds
   | Fault_injected { action } -> action
+  | Process_lifecycle { phase; detail } ->
+      if detail = "" then phase else Printf.sprintf "%s (%s)" phase detail
+  | Watchdog_check { check; detail } -> Printf.sprintf "%s: %s" check detail
   | Custom detail -> detail
 
 let pp_event ppf ev =

@@ -25,6 +25,8 @@ module Category : sig
     | Route_update
     | Sched_latency
     | Fault_injected
+    | Process_lifecycle
+    | Watchdog
     | Custom
 
   val all : t list
@@ -40,6 +42,10 @@ type kind =
   | Route_update of { prefix : string; action : string }
   | Sched_latency of { seconds : float }
   | Fault_injected of { action : string }
+  | Process_lifecycle of { phase : string; detail : string }
+      (** [phase] is one of "crash", "restart", "give-up", "reboot";
+          the component path names the process or node. *)
+  | Watchdog_check of { check : string; detail : string }
   | Custom of string
 
 val category_of_kind : kind -> Category.t

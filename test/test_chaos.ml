@@ -1,0 +1,595 @@
+(* The chaos layer end to end: crash/restart lifecycle, supervision,
+   seeded campaigns, invariant watchdogs, and the guard that a fault-free
+   run is bit-identical with the whole layer armed. *)
+
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Trace = Vini_sim.Trace
+module Graph = Vini_topo.Graph
+module Datasets = Vini_topo.Datasets
+module Underlay = Vini_phys.Underlay
+module Slice = Vini_phys.Slice
+module Process = Vini_phys.Process
+module Pnode = Vini_phys.Pnode
+module Supervisor = Vini_phys.Supervisor
+module Iias = Vini_overlay.Iias
+module Rib = Vini_routing.Rib
+module Ospf = Vini_routing.Ospf
+module Experiment = Vini_core.Experiment
+module Chaos = Vini_core.Chaos
+module Vini = Vini_core.Vini
+module Ping = Vini_measure.Ping
+module Watchdog = Vini_measure.Watchdog
+module Prefix = Vini_net.Prefix
+
+let check = Alcotest.check
+
+(* A 3-node dedicated-hardware chain (0 -- 1 -- 2) with IIAS on top,
+   handing back the underlay for machine-level faults. *)
+let make_chain ?(seed = 7) ?(routing = Iias.default_ospf) () =
+  let engine = Engine.create ~seed () in
+  let graph = Datasets.Deter.topology () in
+  let underlay =
+    Underlay.create ~engine
+      ~rng:(Vini_std.Rng.split (Engine.rng engine))
+      ~graph ()
+  in
+  let slice = Slice.pl_vini "chaos-test" in
+  let iias =
+    Iias.create ~underlay ~slice ~vtopo:graph ~embedding:Fun.id ~routing ()
+  in
+  Iias.start iias;
+  (engine, underlay, iias)
+
+let converge engine = Engine.run ~until:(Time.sec 20) engine
+
+let run_more engine s =
+  Engine.run ~until:(Time.add (Engine.now engine) (Time.of_sec_f s)) engine
+
+(* --- process and node lifecycle ----------------------------------------- *)
+
+let test_process_crash () =
+  let engine, _under, iias = make_chain () in
+  converge engine;
+  let v1 = Iias.vnode iias 1 in
+  let p = Iias.process v1 in
+  check Alcotest.bool "alive after start" true (Process.alive p);
+  Process.crash p;
+  check Alcotest.bool "dead after crash" false (Process.alive p);
+  check Alcotest.bool "vnode reports dead" false (Iias.vnode_alive v1);
+  (* The crash hook stopped routing and cleared the FIB. *)
+  check Alcotest.int "fib cleared" 0 (List.length (Iias.fib_entries v1));
+  (match Iias.ospf v1 with
+  | Some _ -> Alcotest.fail "ospf instance should be dropped on crash"
+  | None -> ());
+  (* Crashing twice is a no-op, not an error. *)
+  Process.crash p;
+  check Alcotest.int "one crash counted" 1 (Process.crashes p);
+  (* The middle hop is gone: ends lose connectivity until repair. *)
+  run_more engine 30.0;
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 2))
+      ~count:5 ~mode:(Ping.Interval (Time.ms 200)) ()
+  in
+  run_more engine 5.0;
+  check Alcotest.int "no replies through dead forwarder" 0 (Ping.received ping)
+
+let test_pnode_crash_kills_processes () =
+  let engine, under, iias = make_chain () in
+  converge engine;
+  let v1 = Iias.vnode iias 1 in
+  Underlay.set_node_state under 1 false;
+  check Alcotest.bool "node down" false (Underlay.node_is_up under 1);
+  check Alcotest.bool "process killed with the machine" false
+    (Iias.vnode_alive v1);
+  (* Rebooting the machine does not resurrect processes by itself. *)
+  Underlay.set_node_state under 1 true;
+  run_more engine 5.0;
+  check Alcotest.bool "node back up" true (Underlay.node_is_up under 1);
+  check Alcotest.bool "process stays dead without supervision" false
+    (Iias.vnode_alive v1)
+
+let test_lifecycle_trace_ring () =
+  (* With the category enabled, crash and restart phases land in the
+     ring; with it masked, the same actions record nothing. *)
+  let tr = Trace.create ~categories:[ Trace.Category.Process_lifecycle ] () in
+  Trace.install tr;
+  let engine, _under, iias = make_chain () in
+  converge engine;
+  Iias.enable_supervision iias;
+  Process.crash (Iias.process (Iias.vnode iias 1));
+  run_more engine 5.0;
+  Trace.uninstall ();
+  let phases =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.kind with
+        | Trace.Process_lifecycle { phase; _ } -> Some phase
+        | _ -> None)
+      (Trace.events tr)
+  in
+  check Alcotest.bool "crash traced" true (List.mem "crash" phases);
+  check Alcotest.bool "restart traced" true (List.mem "restart" phases);
+  let masked = Trace.create ~categories:[ Trace.Category.Packet_drop ] () in
+  Trace.install masked;
+  let engine2, _under2, iias2 = make_chain () in
+  converge engine2;
+  Process.crash (Iias.process (Iias.vnode iias2 1));
+  run_more engine2 2.0;
+  Trace.uninstall ();
+  check Alcotest.int "masked category records nothing" 0
+    (List.length (Trace.find_cat masked Trace.Category.Process_lifecycle))
+
+(* --- supervision --------------------------------------------------------- *)
+
+let test_supervised_restart_rebuilds_router () =
+  let engine, _under, iias = make_chain () in
+  converge engine;
+  Iias.enable_supervision iias;
+  Iias.enable_supervision iias (* idempotent *);
+  let v1 = Iias.vnode iias 1 in
+  let routes_before =
+    List.sort compare
+      (List.map (fun (p, _) -> Prefix.to_string p) (Iias.fib_entries v1))
+  in
+  Process.crash (Iias.process v1);
+  run_more engine 30.0;
+  check Alcotest.bool "restarted" true (Iias.vnode_alive v1);
+  check Alcotest.int "one restart" 1 (Process.restarts (Iias.process v1));
+  (match Iias.ospf v1 with
+  | None -> Alcotest.fail "fresh ospf instance expected after restart"
+  | Some o ->
+      check Alcotest.int "adjacencies re-formed" 2
+        (List.length (Ospf.full_neighbors o)));
+  let routes_after =
+    List.sort compare
+      (List.map (fun (p, _) -> Prefix.to_string p) (Iias.fib_entries v1))
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "routes survive the data-plane restart" routes_before routes_after;
+  (* Traffic flows through the restarted forwarder again. *)
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 2))
+      ~count:10 ~mode:(Ping.Interval (Time.ms 200)) ()
+  in
+  run_more engine 5.0;
+  check Alcotest.int "pings pass through restarted node" 10
+    (Ping.received ping)
+
+let test_supervisor_gives_up () =
+  let engine, _under, iias = make_chain () in
+  converge engine;
+  let p = Iias.process (Iias.vnode iias 1) in
+  let sup =
+    Supervisor.create ~engine
+      ~rng:(lazy (Vini_std.Rng.create 42))
+      ~policy:
+        {
+          Supervisor.base_backoff = 0.1;
+          max_backoff = 1.0;
+          jitter_frac = 0.0;
+          max_restarts = 2;
+          intensity_window = 60.0;
+        }
+      ()
+  in
+  (* A crash-looping child: dies again the moment it is restarted. *)
+  Supervisor.supervise sup ~name:"looper"
+    ~on_restart:(fun () -> Process.crash p)
+    p;
+  Process.crash p;
+  run_more engine 10.0;
+  check
+    (Alcotest.option
+       (Alcotest.testable
+          (fun ppf s ->
+            Format.pp_print_string ppf
+              (match s with
+              | `Running -> "running"
+              | `Waiting -> "waiting"
+              | `Given_up -> "given-up"))
+          ( = )))
+    "given up after exceeding restart intensity" (Some `Given_up)
+    (Supervisor.state sup ~name:"looper");
+  check
+    (Alcotest.list Alcotest.string)
+    "given_up lists the child" [ "looper" ] (Supervisor.given_up sup);
+  check Alcotest.bool "child left dead" false (Process.alive p)
+
+let test_supervisor_waits_for_reboot () =
+  let engine, under, iias = make_chain () in
+  converge engine;
+  Iias.enable_supervision iias;
+  let v1 = Iias.vnode iias 1 in
+  let name = Process.name (Iias.process v1) in
+  let sup = Option.get (Iias.supervisor iias) in
+  Underlay.set_node_state under 1 false;
+  (* Long outage: many backoff periods elapse with the machine down. *)
+  run_more engine 20.0;
+  check Alcotest.bool "still dead while node down" false (Iias.vnode_alive v1);
+  check Alcotest.bool "waiting, not given up" true
+    (Supervisor.state sup ~name = Some `Waiting);
+  Underlay.set_node_state under 1 true;
+  run_more engine 5.0;
+  check Alcotest.bool "restarted after reboot" true (Iias.vnode_alive v1);
+  check Alcotest.int "re-polling burnt no restart budget" 1
+    (Supervisor.restarts sup ~name)
+
+(* --- corruption ---------------------------------------------------------- *)
+
+let test_corruption_dropped_at_receiver () =
+  let engine, _under, iias = make_chain () in
+  converge engine;
+  Iias.set_vlink_corrupt iias 0 1 1.0;
+  let ping1 =
+    (* Pings are lock-step (next probe on reply or timeout), so a short
+       reply timeout keeps all ten probes inside the corruption window. *)
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 1))
+      ~count:10 ~mode:(Ping.Interval (Time.ms 100))
+      ~reply_timeout:(Time.ms 200) ()
+  in
+  run_more engine 5.0;
+  check Alcotest.int "every frame corrupted, none delivered" 0
+    (Ping.received ping1);
+  let s1 = Iias.stats (Iias.vnode iias 1) in
+  check Alcotest.bool "receiver counted checksum drops" true
+    (s1.Iias.corrupt_drops >= 10);
+  (* 0.0 restores a clean link. *)
+  Iias.set_vlink_corrupt iias 0 1 0.0;
+  let ping2 =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 1))
+      ~count:10 ~mode:(Ping.Interval (Time.ms 100)) ()
+  in
+  run_more engine 5.0;
+  check Alcotest.int "clean again" 10 (Ping.received ping2);
+  Alcotest.check_raises "probability must be in [0,1]"
+    (Invalid_argument "Iias.set_vlink_corrupt: probability outside [0,1]")
+    (fun () -> Iias.set_vlink_corrupt iias 0 1 1.5)
+
+(* --- experiment validation ----------------------------------------------- *)
+
+let test_validate_chaos_actions () =
+  let graph = Datasets.Deter.topology () in
+  let mk events =
+    Experiment.make ~name:"v" ~slice:(Slice.pl_vini "v") ~vtopo:graph ~events
+      ()
+  in
+  let ok events = Result.is_ok (Experiment.validate (mk events)) in
+  check Alcotest.bool "well-formed chaos timeline" true
+    (ok
+       [
+         Experiment.at 1.0 (Experiment.Crash_pnode 1);
+         Experiment.at 5.0 (Experiment.Restore_pnode 1);
+         Experiment.at 6.0 (Experiment.Kill_process 0);
+         Experiment.at 7.0 (Experiment.Flap_vlink (0, 1, 2.0));
+         Experiment.at 8.0 (Experiment.Corrupt_vlink (1, 2, 0.05));
+       ]);
+  check Alcotest.bool "negative timestamp rejected" false
+    (ok [ Experiment.at (-1.0) (Experiment.Kill_process 0) ]);
+  check Alcotest.bool "crash node out of range" false
+    (ok [ Experiment.at 1.0 (Experiment.Crash_pnode 9) ]);
+  check Alcotest.bool "restore node out of range" false
+    (ok [ Experiment.at 1.0 (Experiment.Restore_pnode (-1)) ]);
+  check Alcotest.bool "kill out of range" false
+    (ok [ Experiment.at 1.0 (Experiment.Kill_process 3) ]);
+  check Alcotest.bool "flap needs positive downtime" false
+    (ok [ Experiment.at 1.0 (Experiment.Flap_vlink (0, 1, 0.0)) ]);
+  check Alcotest.bool "flap needs adjacency" false
+    (ok [ Experiment.at 1.0 (Experiment.Flap_vlink (0, 2, 1.0)) ]);
+  check Alcotest.bool "corruption probability over 1 rejected" false
+    (ok [ Experiment.at 1.0 (Experiment.Corrupt_vlink (0, 1, 1.5)) ]);
+  check Alcotest.bool "loss outside [0,1] rejected up front" false
+    (ok [ Experiment.at 1.0 (Experiment.Set_vlink_loss (0, 1, 1.5)) ]);
+  check Alcotest.bool "is_chaos_action splits fault verbs" true
+    (Experiment.is_chaos_action (Experiment.Crash_pnode 0)
+    && Experiment.is_chaos_action (Experiment.Flap_vlink (0, 1, 1.0))
+    && (not (Experiment.is_chaos_action (Experiment.Fail_vlink (0, 1))))
+    && not
+         (Experiment.is_chaos_action
+            (Experiment.Set_vlink_loss (0, 1, 0.5))))
+
+(* --- seeded campaigns ----------------------------------------------------- *)
+
+let ring4 () =
+  let link a b =
+    {
+      Graph.a;
+      b;
+      bandwidth_bps = 1e9;
+      delay = Time.ms 5;
+      loss = 0.0;
+      weight = 10;
+    }
+  in
+  Graph.create
+    ~names:[| "a"; "b"; "c"; "d" |]
+    ~links:[ link 0 1; link 1 2; link 2 3; link 3 0 ]
+
+let test_chaos_plan_deterministic () =
+  let vtopo = ring4 () in
+  let profile = { Chaos.default_profile with Chaos.duration = 60.0 } in
+  let p1 = Chaos.plan ~seed:11 ~vtopo profile in
+  let p2 = Chaos.plan ~seed:11 ~vtopo profile in
+  check
+    (Alcotest.list Alcotest.string)
+    "same seed, same campaign" (Chaos.describe p1) (Chaos.describe p2);
+  let p3 = Chaos.plan ~seed:12 ~vtopo profile in
+  check Alcotest.bool "different seed, different campaign" true
+    (Chaos.describe p1 <> Chaos.describe p3);
+  check Alcotest.bool "campaign non-empty" true (p1 <> []);
+  (* Every crash has a matching restore, in order. *)
+  let depth = ref 0 in
+  List.iter
+    (fun (ev : Experiment.event) ->
+      match ev.Experiment.action with
+      | Experiment.Crash_pnode _ -> incr depth
+      | Experiment.Restore_pnode _ ->
+          check Alcotest.bool "restore follows a crash" true (!depth > 0);
+          decr depth
+      | _ -> ())
+    p1;
+  (* Events are sorted. *)
+  let rec sorted = function
+    | (a : Experiment.event) :: (b :: _ as rest) ->
+        Time.compare a.Experiment.at b.Experiment.at <= 0 && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "timeline sorted" true (sorted p1);
+  check Alcotest.bool "profile validation" true
+    (Result.is_error
+       (Chaos.validate_profile
+          { profile with Chaos.mean_interfault = 0.0 }))
+
+(* One full chaotic run on the ring: deploy through Vini (supervision
+   auto-enabled by the chaos events), ping throughout, return everything
+   observable. *)
+let campaign_run ~seed () =
+  let vtopo = ring4 () in
+  let events =
+    Chaos.plan ~seed:4242 ~vtopo
+      {
+        Chaos.default_profile with
+        Chaos.duration = 30.0;
+        mean_interfault = 6.0;
+      }
+  in
+  (* Shift the campaign past warmup. *)
+  let events =
+    List.map
+      (fun (ev : Experiment.event) ->
+        { ev with Experiment.at = Time.add ev.Experiment.at (Time.sec 20) })
+      events
+  in
+  let engine = Engine.create ~seed () in
+  let vini = Vini.create ~engine ~graph:vtopo () in
+  let spec =
+    Experiment.make ~name:"campaign" ~slice:(Slice.pl_vini "campaign")
+      ~vtopo ~events ()
+  in
+  let inst = Vini.deploy vini spec in
+  Vini.start inst;
+  let iias = Vini.iias inst in
+  Engine.run ~until:(Time.sec 20) engine;
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 2))
+      ~count:160 ~mode:(Ping.Interval (Time.ms 250)) ()
+  in
+  Engine.run ~until:(Time.sec 70) engine;
+  (iias, Ping.series ping, Ping.sent ping, Ping.received ping)
+
+let test_campaign_reproducible () =
+  let iias1, series1, sent1, recv1 = campaign_run ~seed:31 () in
+  let _iias2, series2, sent2, recv2 = campaign_run ~seed:31 () in
+  check Alcotest.bool "supervision auto-enabled for chaos spec" true
+    (Iias.supervisor iias1 <> None);
+  check Alcotest.int "same sent" sent1 sent2;
+  check Alcotest.int "same received" recv1 recv2;
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0)))
+    "bit-for-bit identical ping series" series1 series2
+
+(* --- the chaos-disabled guard -------------------------------------------- *)
+
+(* A fault-free run must be unaffected by arming the whole chaos layer:
+   supervision draws nothing until a crash, the watchdog never jitters. *)
+let plain_run ~armed () =
+  let engine, _under, iias = make_chain ~seed:23 () in
+  let wd =
+    if armed then begin
+      Iias.enable_supervision iias;
+      let wd =
+        Watchdog.create ~engine ~overlay:iias
+          ~vtopo:(Datasets.Deter.topology ()) ()
+      in
+      Watchdog.start wd;
+      Some wd
+    end
+    else None
+  in
+  converge engine;
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias 0))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 2))
+      ~count:100 ~mode:(Ping.Interval (Time.ms 100)) ()
+  in
+  run_more engine 15.0;
+  (Ping.series ping, wd)
+
+let test_armed_run_identical () =
+  let base, _ = plain_run ~armed:false () in
+  let armed, wd = plain_run ~armed:true () in
+  check
+    (Alcotest.list (Alcotest.pair (Alcotest.float 0.0) (Alcotest.float 0.0)))
+    "supervision + watchdog change nothing on a fault-free run" base armed;
+  let wd = Option.get wd in
+  check Alcotest.bool "watchdog swept" true (Watchdog.sweeps wd > 0);
+  check Alcotest.int "no violations on a healthy network" 0
+    (Watchdog.violation_count wd)
+
+(* --- watchdog invariants -------------------------------------------------- *)
+
+let test_watchdog_loop_detection () =
+  let engine, _under, iias = make_chain ~routing:Iias.Static_routes () in
+  converge engine;
+  (* Nodes 0 and 1 point at each other for node 2's address. *)
+  let p2 = Prefix.make (Iias.tap_addr (Iias.vnode iias 2)) 32 in
+  Iias.add_static iias 0 p2 ~via:1;
+  Iias.add_static iias 1 p2 ~via:0;
+  let wd =
+    Watchdog.create ~engine ~overlay:iias ~vtopo:(Datasets.Deter.topology ())
+      ()
+  in
+  Watchdog.sweep wd;
+  let loops =
+    List.filter (fun v -> v.Watchdog.v_check = "loop") (Watchdog.violations wd)
+  in
+  check Alcotest.bool "forwarding loop detected" true (loops <> [])
+
+let test_watchdog_blackhole_detection () =
+  let engine, _under, iias = make_chain ~routing:Iias.Static_routes () in
+  converge engine;
+  (* No routes at all: every pair is a blackhole, but only after the
+     grace period — transient unreachability is not a violation. *)
+  let wd =
+    Watchdog.create ~engine ~overlay:iias ~vtopo:(Datasets.Deter.topology ())
+      ~grace:(Time.sec 3) ()
+  in
+  Watchdog.sweep wd;
+  check Alcotest.int "within grace: no violation" 0 (Watchdog.violation_count wd);
+  run_more engine 5.0;
+  Watchdog.sweep wd;
+  let counts = Watchdog.counts_by_check wd in
+  check Alcotest.bool "blackholes reported past grace" true
+    (List.mem_assoc "blackhole" counts);
+  (* Dead destinations are expected to be unreachable: no reports. *)
+  let dead_name = Iias.vname (Iias.vnode iias 2) in
+  Process.crash (Iias.process (Iias.vnode iias 2));
+  let before = Watchdog.violation_count wd in
+  run_more engine 5.0;
+  Watchdog.sweep wd;
+  let fresh = List.filteri (fun i _ -> i >= before) (Watchdog.violations wd) in
+  let mentions s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "no reports for pairs involving a dead node" true
+    (List.for_all (fun v -> not (mentions v.Watchdog.v_detail dead_name)) fresh)
+
+(* --- OSPF resync after reboot -------------------------------------------- *)
+
+let all_routes iias n =
+  List.init n (fun v ->
+      List.sort compare (Iias.fib_entries (Iias.vnode iias v)))
+
+let test_reboot_resync_matches_fresh_run () =
+  (* Run A: crash node 1's machine mid-run, reboot, supervised recovery.
+     Run B: never faulted.  Their final converged route tables match. *)
+  let engine_a, under_a, iias_a = make_chain ~seed:51 () in
+  converge engine_a;
+  Iias.enable_supervision iias_a;
+  Underlay.set_node_state under_a 1 false;
+  run_more engine_a 15.0;
+  Underlay.set_node_state under_a 1 true;
+  run_more engine_a 40.0;
+  let engine_b, _under_b, iias_b = make_chain ~seed:51 () in
+  converge engine_b;
+  run_more engine_b 55.0;
+  check Alcotest.bool "node recovered" true
+    (Iias.vnode_alive (Iias.vnode iias_a 1));
+  let ra = all_routes iias_a 3 and rb = all_routes iias_b 3 in
+  List.iteri
+    (fun v (a, b) ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        (Printf.sprintf "node %d routes equal fresh run" v)
+        (List.map (fun (p, nh) -> (Prefix.to_string p, nh)) b)
+        (List.map (fun (p, nh) -> (Prefix.to_string p, nh)) a))
+    (List.combine ra rb)
+
+(* --- the acceptance scenario --------------------------------------------- *)
+
+let test_abilene_node_crash_acceptance () =
+  let row, wd, iias =
+    Vini_repro.Mttr.run_one
+      ~fault:(Vini_repro.Mttr.Node_crash Supervisor.default_policy) ()
+  in
+  (* Detected within the OSPF dead interval (10 s; first ping on the
+     backup path can lag one probe interval behind detection). *)
+  check Alcotest.bool
+    (Printf.sprintf "detected within dead interval (%.2fs)" row.Vini_repro.Mttr.detect_s)
+    true
+    (row.Vini_repro.Mttr.detect_s > 0.0 && row.Vini_repro.Mttr.detect_s <= 11.0);
+  (* Traffic rerouted: pings flow during the outage, so losses stay well
+     below the outage duration's worth of probes. *)
+  check Alcotest.bool "traffic rerouted during outage" true
+    (row.Vini_repro.Mttr.lost_pings < 60);
+  (* The machine rejoined: supervised restart happened, adjacencies are
+     back, and the FIB was repopulated from the RIB. *)
+  check Alcotest.bool "supervised restart happened" true
+    (row.Vini_repro.Mttr.restarts >= 1);
+  let g = Vini_repro.Mttr.topology () in
+  let denver = Graph.id_of_name g "Denver" in
+  let vden = Iias.vnode iias denver in
+  check Alcotest.bool "Denver back up" true (Iias.vnode_alive vden);
+  (match Iias.ospf vden with
+  | None -> Alcotest.fail "no ospf instance after recovery"
+  | Some o ->
+      check Alcotest.int "all adjacencies re-formed"
+        (List.length (Graph.neighbors g denver))
+        (List.length (Ospf.full_neighbors o)));
+  check Alcotest.bool "FIB repopulated from RIB" true
+    (List.length (Iias.fib_entries vden)
+    >= List.length (Rib.routes (Iias.rib vden)));
+  check Alcotest.bool "traffic returned to primary path" true
+    (Float.is_finite row.Vini_repro.Mttr.recover_s);
+  (* Zero loop/blackhole violations once the dust settles. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "watchdog clean" []
+    (Watchdog.counts_by_check wd)
+
+let suite =
+  [
+    Alcotest.test_case "process crash goes dark" `Quick test_process_crash;
+    Alcotest.test_case "machine crash kills processes" `Quick
+      test_pnode_crash_kills_processes;
+    Alcotest.test_case "lifecycle events ring-buffered and masked" `Quick
+      test_lifecycle_trace_ring;
+    Alcotest.test_case "supervised restart rebuilds the router" `Quick
+      test_supervised_restart_rebuilds_router;
+    Alcotest.test_case "supervisor gives up on crash loops" `Quick
+      test_supervisor_gives_up;
+    Alcotest.test_case "supervisor waits for machine reboot" `Quick
+      test_supervisor_waits_for_reboot;
+    Alcotest.test_case "corruption dropped by receiver checksum" `Quick
+      test_corruption_dropped_at_receiver;
+    Alcotest.test_case "validate rejects malformed chaos events" `Quick
+      test_validate_chaos_actions;
+    Alcotest.test_case "campaign planning is seeded and paired" `Quick
+      test_chaos_plan_deterministic;
+    Alcotest.test_case "chaotic run reproducible bit-for-bit" `Quick
+      test_campaign_reproducible;
+    Alcotest.test_case "armed-but-idle chaos layer changes nothing" `Quick
+      test_armed_run_identical;
+    Alcotest.test_case "watchdog flags forwarding loops" `Quick
+      test_watchdog_loop_detection;
+    Alcotest.test_case "watchdog flags blackholes past grace" `Quick
+      test_watchdog_blackhole_detection;
+    Alcotest.test_case "reboot resyncs LSDB to the fresh-run routes" `Quick
+      test_reboot_resync_matches_fresh_run;
+    Alcotest.test_case "abilene node crash: detect, reroute, rejoin" `Slow
+      test_abilene_node_crash_acceptance;
+  ]

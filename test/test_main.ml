@@ -13,6 +13,7 @@ let () =
       ("overlay", Test_overlay.suite);
       ("keyspace", Test_keyspace.suite);
       ("core", Test_core.suite);
+      ("chaos", Test_chaos.suite);
       ("spec", Test_spec.suite);
       ("rcc", Test_rcc.suite);
       ("repro", Test_repro.suite);

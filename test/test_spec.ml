@@ -162,6 +162,76 @@ let test_spec_runs_end_to_end () =
   Engine.run ~until:(Time.sec 36) engine;
   check Alcotest.bool "restored at 34" true (Iias.vlink_is_up iias 0 1)
 
+(* The five chaos verbs: parse -> elaborate round-trip onto the typed
+   actions, plus the bad-value rejections. *)
+let test_chaos_verbs_roundtrip () =
+  let text =
+    {|experiment chaos-verbs
+node a
+node b
+node c
+link a b
+link b c
+at 5 crash-node b
+at 12 restore-node b
+at 20 kill-process c
+at 25 flap-link a b 3.5
+at 30 corrupt-link b c 0.02
+at 40 corrupt-link b c 0
+|}
+  in
+  match Spec_lang.to_spec (parse_ok text) ~phys:(phys ()) with
+  | Error e -> Alcotest.failf "to_spec: %s" e
+  | Ok spec ->
+      check Alcotest.bool "chaos timeline validates" true
+        (Experiment.validate spec = Ok ());
+      let rendered =
+        List.map
+          (fun ev ->
+            Printf.sprintf "%g %s"
+              (Time.to_sec_f ev.Experiment.at)
+              (Experiment.action_to_string ev.Experiment.action))
+          spec.Experiment.events
+      in
+      check
+        (Alcotest.list Alcotest.string)
+        "elaborated actions"
+        [
+          "5 crash-node 1";
+          "12 restore-node 1";
+          "20 kill-process 2";
+          "25 flap-link 0 1 3.5";
+          "30 corrupt-link 1 2 0.02";
+          "40 corrupt-link 1 2 0";
+        ]
+        rendered
+
+let test_chaos_verb_errors () =
+  let expect_elab_error text frag =
+    let full = "experiment bad\nnode a\nnode b\nlink a b\n" ^ text ^ "\n" in
+    match Spec_lang.to_spec (parse_ok full) ~phys:(phys ()) with
+    | Ok _ -> Alcotest.failf "expected elaboration failure (%s)" frag
+    | Error e ->
+        let has =
+          let n = String.length frag in
+          let rec go i =
+            i + n <= String.length e && (String.sub e i n = frag || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool
+          (Printf.sprintf "error mentions %S (got %S)" frag e)
+          true has
+  in
+  expect_elab_error "at 5 flap-link a b 0" "bad flap downtime";
+  expect_elab_error "at 5 flap-link a b -2" "bad flap downtime";
+  expect_elab_error "at 5 corrupt-link a b 1.5" "bad corruption probability";
+  expect_elab_error "at 5 corrupt-link a b x" "bad corruption probability";
+  expect_elab_error "at 5 crash-node z" "unknown node";
+  (* Arity is already a parse error, like any other verb. *)
+  expect_parse_error "experiment x\nnode a\nnode b\nat 5 flap-link a b\n"
+    "expects 3"
+
 (* Property: rendering a random topology as spec text and parsing it back
    reproduces the graph (nodes, links, weights, delays). *)
 let prop_spec_topology_roundtrip =
@@ -208,5 +278,8 @@ let suite =
     Alcotest.test_case "embedding resolution" `Quick test_embedding_resolution;
     Alcotest.test_case "embedding errors" `Quick test_embedding_errors;
     Alcotest.test_case "spec runs end to end" `Quick test_spec_runs_end_to_end;
+    Alcotest.test_case "chaos verbs round-trip" `Quick
+      test_chaos_verbs_roundtrip;
+    Alcotest.test_case "chaos verb errors" `Quick test_chaos_verb_errors;
     QCheck_alcotest.to_alcotest prop_spec_topology_roundtrip;
   ]

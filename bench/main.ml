@@ -7,7 +7,9 @@
                       the paper used 10)
      VINI_SECONDS     measurement window per run (default 5)
      VINI_SKIP_ABLATIONS  set to skip the ablation studies
-     VINI_SKIP_MICRO      set to skip the Bechamel section. *)
+     VINI_SKIP_MICRO      set to skip the Bechamel section
+     VINI_SKIP_PERF       set to skip the hot-path perf suite
+                          (see perf_suite.ml for its own knobs). *)
 
 open Vini_repro
 module Report = Vini_measure.Report
@@ -355,4 +357,5 @@ let () =
   observability ();
   if Sys.getenv_opt "VINI_SKIP_ABLATIONS" = None then ablations ();
   if Sys.getenv_opt "VINI_SKIP_MICRO" = None then microbenchmarks ();
+  if Sys.getenv_opt "VINI_SKIP_PERF" = None then Perf_suite.run ();
   Printf.printf "\ndone.\n"

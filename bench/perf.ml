@@ -1,0 +1,5 @@
+(* Standalone entry point for the hot-path performance suite — what the
+   CI bench-regression job runs (the full harness in main.ml also invokes
+   the suite at the end of its run). *)
+
+let () = Perf_suite.run ()

@@ -1,0 +1,254 @@
+(* The hot-path performance suite: microbenchmarks of the two structures
+   the scheduler/FIB overhaul replaced (event-queue churn, LPM lookup)
+   plus a macro end-to-end forwarding replay of the §5.1 DETER
+   experiment, written to BENCH_PERF.json in the stable vini.perf/1
+   schema.
+
+   CI gates on the same-run speedup ratios (new implementation vs the
+   retained old one, measured back-to-back in this process), not on
+   absolute ns/op: a ratio cancels out host speed, so the committed
+   baseline transfers across runner generations.  Absolute numbers are
+   still recorded for the trajectory.  Methodology and schema are
+   documented in PERFORMANCE.md.
+
+   Environment knobs:
+     VINI_PERF_OUT   output path (default BENCH_PERF.json)
+     VINI_PERF_FAST  set to shrink op counts ~8x (smoke runs) *)
+
+module Export = Vini_measure.Export
+module Calendar = Vini_std.Calendar
+module Heap = Vini_std.Heap
+module Rng = Vini_std.Rng
+module Fib = Vini_click.Fib
+module Fib_reference = Vini_click.Fib_reference
+module Addr = Vini_net.Addr
+module Prefix = Vini_net.Prefix
+
+let fast = Sys.getenv_opt "VINI_PERF_FAST" <> None
+let scale n = if fast then max 1 (n / 8) else n
+
+type bench = { name : string; ops : int; ns_per_op : float }
+
+(* Best-of-trials CPU time: the minimum is the least-disturbed run, the
+   standard estimator for throughput microbenchmarks. *)
+let bench ~name ~ops ?(trials = 3) f =
+  let best = ref infinity in
+  for _ = 1 to trials do
+    let t0 = Sys.time () in
+    f ();
+    let dt = Sys.time () -. t0 in
+    if dt < !best then best := dt
+  done;
+  { name; ops; ns_per_op = !best *. 1e9 /. float_of_int ops }
+
+(* ---- Scheduler churn (hold model) ------------------------------------- *)
+
+(* Steady state of [sched_pending] events; every op pops the earliest and
+   schedules a replacement a random increment later — the classic "hold"
+   workload a DES event queue lives under.  Increments are uniform in
+   [0, 2 ms): tens of thousands of pending timers spread over
+   milliseconds, the regime the engine actually runs in (timeouts, link
+   serialisation, sampling ticks).  Both sides consume the same seeded
+   increment stream and both are stable on ties, so they do identical
+   work in identical order. *)
+
+let sched_pending = 20_000
+let sched_ops = scale 1_000_000
+let sched_inc = 2_000_000
+
+let churn_heap () =
+  let rng = Rng.create 42 in
+  let cmp (k1, s1) (k2, s2) =
+    match Int64.compare k1 k2 with 0 -> Int.compare s1 s2 | c -> c
+  in
+  let h = Heap.create ~cmp in
+  let seq = ref 0 in
+  let push key =
+    incr seq;
+    Heap.push h (key, !seq)
+  in
+  for _ = 1 to sched_pending do
+    push (Int64.of_int (Rng.int rng sched_inc))
+  done;
+  for _ = 1 to sched_ops do
+    match Heap.pop h with
+    | None -> assert false
+    | Some (k, _) ->
+        push (Int64.add k (Int64.of_int (Rng.int rng sched_inc)))
+  done
+
+let churn_calendar () =
+  let rng = Rng.create 42 in
+  let c = Calendar.create () in
+  for _ = 1 to sched_pending do
+    let k = Int64.of_int (Rng.int rng sched_inc) in
+    Calendar.push c ~key:k k
+  done;
+  for _ = 1 to sched_ops do
+    match Calendar.pop c with
+    | None -> assert false
+    | Some k ->
+        let k' = Int64.add k (Int64.of_int (Rng.int rng sched_inc)) in
+        Calendar.push c ~key:k' k'
+  done
+
+(* ---- LPM lookup ------------------------------------------------------- *)
+
+(* An Abilene-scale-and-then-some table (2k prefixes, /8../28) probed two
+   ways.  The flow trace is §5.1's forwarding workload: destinations come
+   from a small set of concurrent flows, so the 256-slot flow cache holds
+   the working set.  The uniform trace is the adversarial counterpoint —
+   every probe a fresh address, the cache nearly useless — isolating the
+   path-compressed trie against the one-bit-per-node original. *)
+
+let lpm_entries = 2_048
+let lpm_probes = 65_536
+let lpm_passes = scale 64
+
+let rand_addr rng =
+  let hi = Rng.int rng 0x10000 in
+  let lo = Rng.int rng 0x10000 in
+  Addr.of_int ((hi lsl 16) lor lo)
+
+let lpm_table rng =
+  Array.init lpm_entries (fun _ ->
+      let a = rand_addr rng in
+      let len = 8 + Rng.int rng 21 in
+      (Prefix.make a len, a))
+
+let flow_probes rng =
+  let flows = Array.init 64 (fun _ -> rand_addr rng) in
+  Array.init lpm_probes (fun _ -> flows.(Rng.int rng (Array.length flows)))
+
+let uniform_probes rng = Array.init lpm_probes (fun _ -> rand_addr rng)
+
+let lookup_loop lookup fib probes () =
+  let n = Array.length probes in
+  for _ = 1 to lpm_passes do
+    for i = 0 to n - 1 do
+      ignore (lookup fib (Array.unsafe_get probes i))
+    done
+  done
+
+(* ---- Macro: §5.1 forwarding replay ------------------------------------ *)
+
+(* The Table 2 IIAS row end to end — iperf TCP across the 3-node DETER
+   chain with user-space Click forwarding — timed as CPU seconds per
+   simulated second.  No old/new pair exists at this level (the whole
+   point of the overhaul is that both hot paths changed underneath it),
+   so this bench is recorded, not gated. *)
+
+let macro () =
+  let duration_s = if fast then 1 else 2 in
+  let t0 = Sys.time () in
+  let r = Vini_repro.Deter.iias_tcp ~runs:1 ~duration_s () in
+  let cpu = Sys.time () -. t0 in
+  ( {
+      name = "e2e.iias_tcp_replay";
+      ops = duration_s;
+      ns_per_op = cpu *. 1e9 /. float_of_int duration_s;
+    },
+    r.Vini_repro.Deter.mbps_mean )
+
+(* ---- Assembly --------------------------------------------------------- *)
+
+let bench_json b =
+  Export.Obj
+    [
+      ("name", Export.Str b.name);
+      ("ops", Export.Num (float_of_int b.ops));
+      ("ns_per_op", Export.Num b.ns_per_op);
+    ]
+
+let speedup_json name ~old_b ~new_b =
+  Export.Obj
+    [
+      ("name", Export.Str name);
+      ("old", Export.Str old_b.name);
+      ("new", Export.Str new_b.name);
+      ("ratio", Export.Num (old_b.ns_per_op /. new_b.ns_per_op));
+    ]
+
+let run () =
+  Printf.printf "\n== Hot-path performance suite (vini.perf/1%s) ==\n%!"
+    (if fast then ", fast mode" else "");
+  let heap_b = bench ~name:"sched.heap_churn" ~ops:sched_ops churn_heap in
+  let cal_b =
+    bench ~name:"sched.calendar_churn" ~ops:sched_ops churn_calendar
+  in
+  let table = lpm_table (Rng.create 7) in
+  let refer = Fib_reference.create () in
+  let fib = Fib.create () in
+  Array.iter
+    (fun (p, v) ->
+      Fib_reference.add refer p v;
+      Fib.add fib p v)
+    table;
+  let flows = flow_probes (Rng.create 11) in
+  let uniform = uniform_probes (Rng.create 13) in
+  let lpm_ops = lpm_passes * lpm_probes in
+  let ref_flow =
+    bench ~name:"lpm.reference_flow" ~ops:lpm_ops
+      (lookup_loop Fib_reference.lookup refer flows)
+  in
+  let fib_flow =
+    bench ~name:"lpm.compressed_flow" ~ops:lpm_ops
+      (lookup_loop Fib.lookup fib flows)
+  in
+  let hits = Fib.cache_hits fib and misses = Fib.cache_misses fib in
+  let ref_uni =
+    bench ~name:"lpm.reference_uniform" ~ops:lpm_ops
+      (lookup_loop Fib_reference.lookup refer uniform)
+  in
+  let fib_uni =
+    bench ~name:"lpm.compressed_uniform" ~ops:lpm_ops
+      (lookup_loop Fib.lookup fib uniform)
+  in
+  let macro_b, mbps = macro () in
+  let benches =
+    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; macro_b ]
+  in
+  let speedups =
+    [
+      ("scheduler_churn", heap_b, cal_b);
+      ("lpm_lookup_flow", ref_flow, fib_flow);
+      ("lpm_lookup_uniform", ref_uni, fib_uni);
+    ]
+  in
+  List.iter
+    (fun b -> Printf.printf "  %-24s %12.1f ns/op  (%d ops)\n" b.name b.ns_per_op b.ops)
+    benches;
+  List.iter
+    (fun (n, o, w) ->
+      Printf.printf "  speedup %-18s %6.2fx  (%s / %s)\n" n
+        (o.ns_per_op /. w.ns_per_op)
+        o.name w.name)
+    speedups;
+  Printf.printf
+    "  flow-cache hit rate %.1f%% on the flow trace  (%d hits / %d misses)\n"
+    (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
+    hits misses;
+  Printf.printf "  e2e replay %.1f Mb/s\n" mbps;
+  let doc =
+    Export.Obj
+      [
+        ("schema", Export.Str "vini.perf/1");
+        ( "runner",
+          Export.Obj
+            [
+              ("ocaml", Export.Str Sys.ocaml_version);
+              ("word_size", Export.Num (float_of_int Sys.word_size));
+            ] );
+        ("benches", Export.Arr (List.map bench_json benches));
+        ( "speedups",
+          Export.Arr
+            (List.map
+               (fun (n, o, w) -> speedup_json n ~old_b:o ~new_b:w)
+               speedups) );
+      ]
+  in
+  let path =
+    Option.value (Sys.getenv_opt "VINI_PERF_OUT") ~default:"BENCH_PERF.json"
+  in
+  Export.write ~path doc;
+  Printf.printf "  wrote %s\n%!" path

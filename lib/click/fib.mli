@@ -1,26 +1,45 @@
-(** Longest-prefix-match forwarding table (a binary trie).
+(** Longest-prefix-match forwarding table: a path-compressed binary trie
+    fronted by a direct-mapped flow cache.
 
     The FIB each Click instance holds (Figure 1): XORP populates it with
     prefix → next-hop entries; the data plane looks packets up per
     destination address.  Values are arbitrary, so the same structure
     serves the IIAS overlay FIB (next hop = neighbour virtual address),
-    the encapsulation table, and test fixtures. *)
+    the encapsulation table, and test fixtures.
+
+    {b Data structure.}  Nodes exist only at branching points and at
+    inserted prefixes (path compression), so {!lookup} walks
+    O(log entries) nodes on random tables — bounded by 32 — instead of
+    one node per bit, and allocates nothing on the hot path.  In front of
+    the trie sits a 256-slot direct-mapped per-destination cache: a hit
+    answers in O(1); any {!add}/{!remove}/{!clear} invalidates the whole
+    cache in O(1) by bumping a generation counter, so a stale entry can
+    never be served after a route change.  {!cache_hits}/{!cache_misses}
+    expose the cache's effectiveness (exported via
+    [Vini_measure.Monitor.watch_fib]).
+
+    {b Determinism.}  Lookup answers are a pure function of the table
+    contents (the cache is a transparent memo), and match the reference
+    one-bit-per-node trie {!Fib_reference} bit for bit — property-tested
+    on randomized tables. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val add : 'a t -> Vini_net.Prefix.t -> 'a -> unit
-(** Insert or replace the entry for a prefix. *)
+(** Insert or replace the entry for a prefix.  O(32) worst case;
+    invalidates the flow cache. *)
 
 val remove : 'a t -> Vini_net.Prefix.t -> unit
-(** No-op when absent. *)
+(** No-op when absent (and then does not invalidate the cache). *)
 
 val lookup : 'a t -> Vini_net.Addr.t -> 'a option
-(** Longest matching prefix's value. *)
+(** Longest matching prefix's value.  O(1) on a cache hit, O(branching
+    nodes) ≤ O(32) on a miss; allocation-free. *)
 
 val lookup_prefix : 'a t -> Vini_net.Addr.t -> (Vini_net.Prefix.t * 'a) option
-(** Also reports which prefix matched. *)
+(** Also reports which prefix matched.  Always walks the trie (no cache). *)
 
 val find_exact : 'a t -> Vini_net.Prefix.t -> 'a option
 val entries : 'a t -> (Vini_net.Prefix.t * 'a) list
@@ -28,4 +47,12 @@ val entries : 'a t -> (Vini_net.Prefix.t * 'a) list
 
 val length : 'a t -> int
 val clear : 'a t -> unit
+
+val cache_hits : 'a t -> int
+(** Lookups answered by the flow cache since creation. *)
+
+val cache_misses : 'a t -> int
+(** Lookups that had to walk the trie (including every first lookup after
+    a table update, since updates invalidate the cache). *)
+
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,113 @@
+module Prefix = Vini_net.Prefix
+module Addr = Vini_net.Addr
+
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { mutable root : 'a node; mutable count : int }
+
+let fresh_node () = { value = None; zero = None; one = None }
+let create () = { root = fresh_node (); count = 0 }
+
+let bit_of addr i = (Addr.to_int addr lsr (31 - i)) land 1
+
+let add t prefix v =
+  let len = Prefix.length prefix in
+  let net = Prefix.network prefix in
+  let rec descend node depth =
+    if depth = len then begin
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+    end
+    else begin
+      let child =
+        if bit_of net depth = 0 then (
+          (match node.zero with
+          | None -> node.zero <- Some (fresh_node ())
+          | Some _ -> ());
+          Option.get node.zero)
+        else (
+          (match node.one with
+          | None -> node.one <- Some (fresh_node ())
+          | Some _ -> ());
+          Option.get node.one)
+      in
+      descend child (depth + 1)
+    end
+  in
+  descend t.root 0
+
+let remove t prefix =
+  let len = Prefix.length prefix in
+  let net = Prefix.network prefix in
+  let rec descend node depth =
+    if depth = len then begin
+      if node.value <> None then t.count <- t.count - 1;
+      node.value <- None
+    end
+    else
+      let child = if bit_of net depth = 0 then node.zero else node.one in
+      match child with None -> () | Some c -> descend c (depth + 1)
+  in
+  descend t.root 0
+
+let lookup_prefix t addr =
+  let rec descend node depth best =
+    let best =
+      match node.value with
+      | Some v -> Some (Prefix.make addr depth, v)
+      | None -> best
+    in
+    if depth = 32 then best
+    else
+      let child = if bit_of addr depth = 0 then node.zero else node.one in
+      match child with
+      | None -> best
+      | Some c -> descend c (depth + 1) best
+  in
+  descend t.root 0 None
+
+let lookup t addr = Option.map snd (lookup_prefix t addr)
+
+let find_exact t prefix =
+  let len = Prefix.length prefix in
+  let net = Prefix.network prefix in
+  let rec descend node depth =
+    if depth = len then node.value
+    else
+      let child = if bit_of net depth = 0 then node.zero else node.one in
+      match child with None -> None | Some c -> descend c (depth + 1)
+  in
+  descend t.root 0
+
+let entries t =
+  let acc = ref [] in
+  let rec walk node bits depth =
+    (match node.value with
+    | Some v ->
+        let net = Addr.of_int (bits lsl (32 - depth)) in
+        acc := (Prefix.make net depth, v) :: !acc
+    | None -> ());
+    (match node.zero with
+    | Some c -> walk c (bits lsl 1) (depth + 1)
+    | None -> ());
+    match node.one with
+    | Some c -> walk c ((bits lsl 1) lor 1) (depth + 1)
+    | None -> ()
+  in
+  walk t.root 0 0;
+  List.sort (fun (p1, _) (p2, _) -> Prefix.compare p1 p2) !acc
+
+let length t = t.count
+
+let clear t =
+  t.root <- fresh_node ();
+  t.count <- 0
+
+let pp pp_v ppf t =
+  List.iter
+    (fun (p, v) -> Format.fprintf ppf "%a -> %a@." Prefix.pp p pp_v v)
+    (entries t)

@@ -1,0 +1,31 @@
+(** The original one-bit-per-node LPM trie, kept as a correctness oracle.
+
+    {!Fib} (the production path-compressed trie + flow cache) must answer
+    every lookup exactly as this structure does; property tests diff the
+    two on randomized tables, and the perf suite reports the speedup of
+    the replacement over this baseline.  O(prefix length) per operation,
+    one heap node per bit of every inserted prefix. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> Vini_net.Prefix.t -> 'a -> unit
+(** Insert or replace the entry for a prefix. *)
+
+val remove : 'a t -> Vini_net.Prefix.t -> unit
+(** No-op when absent. *)
+
+val lookup : 'a t -> Vini_net.Addr.t -> 'a option
+(** Longest matching prefix's value. *)
+
+val lookup_prefix : 'a t -> Vini_net.Addr.t -> (Vini_net.Prefix.t * 'a) option
+(** Also reports which prefix matched. *)
+
+val find_exact : 'a t -> Vini_net.Prefix.t -> 'a option
+val entries : 'a t -> (Vini_net.Prefix.t * 'a) list
+(** Sorted by (network, length). *)
+
+val length : 'a t -> int
+val clear : 'a t -> unit
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -82,7 +82,11 @@ let watch_vnode t vn ~prefix =
   counter t ~name:(prefix ^ ".delivered") (fun () ->
       float_of_int (Iias.stats vn).Iias.delivered);
   counter t ~name:(prefix ^ ".sock_drops") (fun () ->
-      float_of_int (Iias.socket_drops vn))
+      float_of_int (Iias.socket_drops vn));
+  counter t ~name:(prefix ^ ".fib_cache_hits") (fun () ->
+      float_of_int (fst (Iias.fib_cache_stats vn)));
+  counter t ~name:(prefix ^ ".fib_cache_misses") (fun () ->
+      float_of_int (snd (Iias.fib_cache_stats vn)))
 
 let watch_engine t ?(prefix = "engine") engine =
   counter t ~name:(prefix ^ ".fired") (fun () ->
@@ -95,6 +99,12 @@ let watch_engine t ?(prefix = "engine") engine =
       float_of_int (Engine.max_pending engine));
   histogram t ~name:(prefix ^ ".horizon_s") (Engine.horizon_hist engine);
   histogram t ~name:(prefix ^ ".callback_s") (Engine.callback_hist engine)
+
+let watch_fib t ~prefix fib =
+  counter t ~name:(prefix ^ ".lpm_cache_hits") (fun () ->
+      float_of_int (Vini_click.Fib.cache_hits fib));
+  counter t ~name:(prefix ^ ".lpm_cache_misses") (fun () ->
+      float_of_int (Vini_click.Fib.cache_misses fib))
 
 let watch_cpu t ~prefix cpu =
   histogram t ~name:(prefix ^ ".wake_s") (Vini_phys.Cpu.wake_latency_hist cpu)

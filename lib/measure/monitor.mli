@@ -48,8 +48,13 @@ val stop : t -> unit
 (** {2 Prewired instrumentation} *)
 
 val watch_vnode : t -> Vini_overlay.Iias.vnode -> prefix:string -> unit
-(** Registers [<prefix>.cpu_s], [<prefix>.forwarded], [<prefix>.delivered]
-    and [<prefix>.sock_drops] for an IIAS virtual node (all counters). *)
+(** Registers [<prefix>.cpu_s], [<prefix>.forwarded], [<prefix>.delivered],
+    [<prefix>.sock_drops], [<prefix>.fib_cache_hits] and
+    [<prefix>.fib_cache_misses] for an IIAS virtual node (all counters). *)
+
+val watch_fib : t -> prefix:string -> 'a Vini_click.Fib.t -> unit
+(** [<prefix>.lpm_cache_hits] / [.lpm_cache_misses] counters of a FIB's
+    per-destination flow cache. *)
 
 val watch_engine : t -> ?prefix:string -> Vini_sim.Engine.t -> unit
 (** [<prefix>.fired], [.cancelled], [.pending], [.max_pending] series and

@@ -86,8 +86,8 @@ let corrupted t = { t with corrupt = true }
    its slot (bytes 10-11).  A corrupted packet gets one byte damaged *after*
    checksumming, so [Wire.checksum_valid] fails on it at the receiver — the
    same way real corruption is caught. *)
-let header_image t =
-  let b = Bytes.make Wire.ipv4_header '\000' in
+let write_header b t =
+  Bytes.fill b 0 Wire.ipv4_header '\000';
   let set16 off v =
     Bytes.set b off (Char.chr ((v lsr 8) land 0xFF));
     Bytes.set b (off + 1) (Char.chr (v land 0xFF))
@@ -103,10 +103,16 @@ let header_image t =
   set16 16 ((a lsr 16) land 0xFFFF);
   set16 18 (a land 0xFFFF);
   set16 10 (Wire.checksum b);
-  if t.corrupt then Bytes.set b 8 (Char.chr ((t.ttl lxor 0x40) land 0xFF));
-  b
+  if t.corrupt then Bytes.set b 8 (Char.chr ((t.ttl lxor 0x40) land 0xFF))
 
-let intact t = Wire.checksum_valid (header_image t)
+(* Decapsulation verifies every tunnelled frame, so [intact] runs once per
+   forwarded packet; reusing one scratch header keeps the hot path free of
+   per-packet allocation (the simulation is single-threaded). *)
+let intact_scratch = Bytes.make Wire.ipv4_header '\000'
+
+let intact t =
+  write_header intact_scratch t;
+  Wire.checksum_valid intact_scratch
 
 let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
 let with_src t src = { t with src }

@@ -9,7 +9,14 @@
     extensible {!type-control} type: each protocol registers its own
     constructor, so control traffic crosses the same tunnels, queues, and
     failure-injection elements as data traffic — the property the paper's
-    Figure 8 experiment depends on. *)
+    Figure 8 experiment depends on.
+
+    Packets are immutable records: forwarding transforms ({!decr_ttl},
+    {!with_dst}, NAPT rewrites) allocate one small record and share the
+    body, so a packet held in a queue can never be mutated behind the
+    queue's back — a determinism guarantee the chaos layer relies on.
+    The only per-hop costs are that record copy and the checksum pass in
+    {!intact}, which reuses a scratch buffer instead of allocating. *)
 
 type control = ..
 (** Extended by [vini_routing] (OSPF/RIP/BGP messages). *)
@@ -66,7 +73,8 @@ val tcp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> tcp -> t
 val icmp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> icmp -> t
 
 val size : t -> int
-(** Total IP datagram size in bytes (header + nested contents). *)
+(** Total IP datagram size in bytes (header + nested contents).
+    O(encapsulation depth); allocation-free. *)
 
 val body_size : body -> int
 
@@ -79,7 +87,10 @@ val corrupted : t -> t
 
 val intact : t -> bool
 (** Re-derive the IPv4 header image and verify its Internet checksum
-    ({!Wire.checksum_valid}).  [false] exactly for {!corrupted} packets. *)
+    ({!Wire.checksum_valid}).  [false] exactly for {!corrupted} packets.
+    Runs once per decapsulated frame on the forwarding hot path: the
+    header is built in a single reused scratch buffer (the simulation is
+    single-threaded), so the check allocates nothing per packet. *)
 
 val with_src : t -> Addr.t -> t
 val with_dst : t -> Addr.t -> t

@@ -770,3 +770,4 @@ let fib_next t v dst =
 
 let cpu_time vn = Process.cpu_time vn.proc
 let socket_drops vn = Process.socket_drops vn.proc
+let fib_cache_stats vn = (Fib.cache_hits vn.fib, Fib.cache_misses vn.fib)

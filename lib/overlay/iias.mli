@@ -181,6 +181,11 @@ val stats : vnode -> vstats
 val cpu_time : vnode -> Vini_sim.Time.t
 val socket_drops : vnode -> int
 
+val fib_cache_stats : vnode -> int * int
+(** (hits, misses) of the vnode FIB's per-destination flow cache
+    ({!Vini_click.Fib.cache_hits}); exported by
+    [Vini_measure.Monitor.watch_vnode]. *)
+
 val fib_next :
   t -> int -> Vini_net.Addr.t -> [ `Local | `Hop of int | `No_route ]
 (** Where vnode [v]'s FIB currently sends a packet for an address: deliver

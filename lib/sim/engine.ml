@@ -1,12 +1,16 @@
+type state = Pending | Fired | Cancelled
+
 type handle = {
   time : Time.t;
   callback : unit -> unit;
-  mutable cancelled : bool;
+  mutable state : state;
+  live : int ref; (* the owning engine's live-event counter *)
 }
 
 type t = {
   mutable clock : Time.t;
-  queue : handle Vini_std.Heap.t;
+  queue : handle Vini_std.Calendar.t;
+  live : int ref; (* scheduled, not yet fired or cancelled *)
   root_rng : Vini_std.Rng.t;
   mutable cancelled_count : int;
   mutable fired : int;
@@ -24,7 +28,8 @@ let create ?(seed = 42) () =
   let t =
     {
       clock = Time.zero;
-      queue = Vini_std.Heap.create ~cmp:(fun a b -> Time.compare a.time b.time);
+      queue = Vini_std.Calendar.create ();
+      live = ref 0;
       root_rng = Vini_std.Rng.create seed;
       cancelled_count = 0;
       fired = 0;
@@ -40,21 +45,41 @@ let create ?(seed = 42) () =
 let now t = t.clock
 let rng t = t.root_rng
 
+(* Cancelled handles stay queued (lazy delete) until popped; when they
+   outnumber the live events, sweep them out so a cancel-heavy workload
+   (retransmission timers, failure detectors) cannot bloat the queue. *)
+let compact_threshold = 64
+
+let maybe_compact t =
+  let len = Vini_std.Calendar.length t.queue in
+  if len > compact_threshold && len - !(t.live) > !(t.live) then
+    t.cancelled_count <-
+      t.cancelled_count
+      + Vini_std.Calendar.compact t.queue ~dead:(fun h -> h.state = Cancelled)
+
 let at t time callback =
   let time = Time.max time t.clock in
-  let h = { time; callback; cancelled = false } in
-  Vini_std.Heap.push t.queue h;
-  let depth = Vini_std.Heap.length t.queue in
+  let h = { time; callback; state = Pending; live = t.live } in
+  Vini_std.Calendar.push t.queue ~key:time h;
+  incr t.live;
+  let depth = Vini_std.Calendar.length t.queue in
   if depth > t.max_pending then t.max_pending <- depth;
   if t.profiling then
     Vini_std.Histogram.add t.horizon_hist
       (Time.to_sec_f (Time.sub time t.clock));
+  maybe_compact t;
   h
 
 let after t delta callback = at t (Time.add t.clock (Time.max delta Time.zero)) callback
 
-let cancel h = h.cancelled <- true
-let is_cancelled h = h.cancelled
+let cancel h =
+  match h.state with
+  | Pending ->
+      h.state <- Cancelled;
+      decr h.live
+  | Fired | Cancelled -> ()
+
+let is_cancelled h = h.state = Cancelled
 
 let rec every t ?start ?jitter period f =
   let base = match start with Some s -> s | None -> Time.add t.clock period in
@@ -71,28 +96,30 @@ let rec every t ?start ?jitter period f =
            every t ~start:(Time.add fire_at period) ?jitter period f))
 
 let step t =
-  match Vini_std.Heap.pop t.queue with
+  match Vini_std.Calendar.pop t.queue with
   | None -> false
-  | Some h ->
-      if h.cancelled then begin
-        t.cancelled_count <- t.cancelled_count + 1;
-        true
-      end
-      else begin
-        t.clock <- Time.max t.clock h.time;
-        t.fired <- t.fired + 1;
-        if t.profiling then begin
-          let t0 = Sys.time () in
-          h.callback ();
-          Vini_std.Histogram.add t.callback_hist (Sys.time () -. t0)
-        end
-        else h.callback ();
-        true
-      end
+  | Some h -> (
+      match h.state with
+      | Cancelled ->
+          t.cancelled_count <- t.cancelled_count + 1;
+          true
+      | Fired -> assert false
+      | Pending ->
+          h.state <- Fired;
+          decr t.live;
+          t.clock <- Time.max t.clock h.time;
+          t.fired <- t.fired + 1;
+          if t.profiling then begin
+            let t0 = Sys.time () in
+            h.callback ();
+            Vini_std.Histogram.add t.callback_hist (Sys.time () -. t0)
+          end
+          else h.callback ();
+          true)
 
 let run ?until t =
   let continue () =
-    match (Vini_std.Heap.peek t.queue, until) with
+    match (Vini_std.Calendar.peek t.queue, until) with
     | None, _ -> false
     | Some _, None -> true
     | Some h, Some limit -> Time.compare h.time limit <= 0
@@ -104,10 +131,7 @@ let run ?until t =
   | Some limit when Time.compare limit t.clock > 0 -> t.clock <- limit
   | Some _ | None -> ()
 
-let pending t =
-  (* Lazily-deleted events stay in the heap until popped; count live ones. *)
-  List.length (List.filter (fun h -> not h.cancelled) (Vini_std.Heap.to_list t.queue))
-
+let pending t = !(t.live)
 let events_fired t = t.fired
 let events_cancelled t = t.cancelled_count
 let max_pending t = t.max_pending

@@ -1,10 +1,22 @@
 (** The discrete-event simulation engine.
 
-    A single-threaded event loop over a stable min-heap of timestamped
-    callbacks.  Everything in the repository — links, CPU schedulers,
-    routing timers, TCP retransmissions — is expressed as events on one
-    engine, so an entire VINI deployment (physical substrate plus every
-    slice) advances on one logical clock. *)
+    A single-threaded event loop over a calendar queue
+    ({!Vini_std.Calendar}) of timestamped callbacks.  Everything in the
+    repository — links, CPU schedulers, routing timers, TCP
+    retransmissions — is expressed as events on one engine, so an entire
+    VINI deployment (physical substrate plus every slice) advances on one
+    logical clock.
+
+    {b Complexity.}  {!at}/{!after} and {!step} are O(1) amortized
+    (worst case O(n) across a calendar resize); {!pending} is O(1) via a
+    live-event counter maintained on schedule/cancel/fire.  Cancelled
+    events are deleted lazily and swept out in bulk once they outnumber
+    live ones, so cancel-heavy workloads stay O(1) per operation too.
+
+    {b Determinism.}  Events fire in (timestamp, scheduling order):
+    same-timestamp events drain strictly FIFO, exactly as with the earlier
+    binary-heap queue, so seeded runs are bit-identical across the two
+    scheduler implementations and across hosts. *)
 
 type t
 
@@ -20,13 +32,15 @@ val rng : t -> Vini_std.Rng.t
 
 val at : t -> Time.t -> (unit -> unit) -> handle
 (** Schedule at an absolute time (>= now, else it fires immediately at the
-    current time). *)
+    current time).  O(1) amortized. *)
 
 val after : t -> Time.t -> (unit -> unit) -> handle
 (** Schedule at [now + delta]; negative deltas clamp to now. *)
 
 val cancel : handle -> unit
-(** Idempotent; cancelling a fired event is a no-op. *)
+(** Idempotent; cancelling a fired event is a no-op.  O(1): the event is
+    lazily deleted — it stays queued (and counted by {!max_pending}) until
+    popped or swept by the periodic compaction. *)
 
 val is_cancelled : handle -> bool
 
@@ -45,16 +59,18 @@ val step : t -> bool
 (** Fire exactly one event; [false] when the queue was empty. *)
 
 val pending : t -> int
-(** Number of scheduled (uncancelled) events. *)
+(** Number of scheduled (uncancelled, unfired) events.  O(1): maintained
+    as a counter, not recomputed from the queue. *)
 
 val events_fired : t -> int
 (** Total callbacks executed so far (engine throughput metric). *)
 
 val events_cancelled : t -> int
-(** Cancelled events popped (lazily deleted) so far. *)
+(** Cancelled events removed from the queue so far, whether popped
+    individually or swept in bulk by the lazy-delete compaction. *)
 
 val max_pending : t -> int
-(** High-water mark of the event heap, cancelled entries included. *)
+(** High-water mark of the event queue, cancelled entries included. *)
 
 (** {2 Profiling}
 

@@ -1,0 +1,200 @@
+(* A calendar queue (Brown 1988): an array of buckets, each covering a
+   [width]-nanosecond window of the key space, revisited once per "year"
+   (nbuckets * width).  Each bucket holds its entries sorted by (key, seq),
+   so the head of the cursor's bucket is the next event whenever it falls
+   inside the cursor's current window.  Under the steady-state churn a
+   discrete-event simulation produces (pop the earliest event, push a few
+   more a bounded horizon ahead) both push and pop touch O(1) entries
+   amortized; resizes keep the bucket count proportional to occupancy.
+
+   Keys are stored as native ints: the public interface is int64 (to match
+   Time.t) but a 63-bit int holds 146 years of nanoseconds, and native
+   arithmetic keeps the per-operation bucket math unboxed and
+   allocation-free.  Out-of-range keys clamp to the representable maximum;
+   the (key, seq) order is unchanged by the conversion, so pop order is
+   identical to an int64 implementation. *)
+
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable buckets : 'a entry list array; (* each sorted ascending (key, seq) *)
+  mutable width : int;                   (* bucket window, ns; >= 1 *)
+  mutable size : int;
+  mutable cur_start : int;               (* start of the cursor's window;
+                                            no entry has key < cur_start *)
+  mutable next_seq : int;
+  min_buckets : int;
+  max_buckets : int;
+}
+
+let default_min_buckets = 16
+let default_max_buckets = 1 lsl 16
+
+(* Leave headroom above every representable key so [start + width] in the
+   scan below cannot overflow. *)
+let max_key = max_int / 2
+
+let clamp_key key =
+  if Int64.compare key 0L < 0 then 0
+  else if Int64.compare key (Int64.of_int max_key) > 0 then max_key
+  else Int64.to_int key
+
+let create ?(nbuckets = default_min_buckets) ?(width = 1_000_000L) () =
+  if nbuckets < 1 then invalid_arg "Calendar.create: nbuckets < 1";
+  if Int64.compare width 1L < 0 then invalid_arg "Calendar.create: width < 1";
+  {
+    buckets = Array.make nbuckets [];
+    width = (if Int64.compare width (Int64.of_int max_key) > 0 then max_key
+             else Int64.to_int width);
+    size = 0;
+    cur_start = 0;
+    next_seq = 0;
+    min_buckets = nbuckets;
+    max_buckets = max nbuckets default_max_buckets;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* key >= 0 always (clamped in push). *)
+let bucket_of t key = key / t.width mod Array.length t.buckets
+let align t key = key / t.width * t.width
+
+(* Sorted insert by (key, seq).  The seq tie-break matters on resize, where
+   entries are reinserted in arbitrary order and must land back in FIFO
+   position.  Not tail-recursive; bucket occupancy is O(1) amortized by
+   the resize policy. *)
+let rec insert_sorted e l =
+  match l with
+  | x :: rest when x.key < e.key || (x.key = e.key && x.seq < e.seq) ->
+      x :: insert_sorted e rest
+  | _ -> e :: l
+
+let reinsert t e =
+  let b = bucket_of t e.key in
+  t.buckets.(b) <- insert_sorted e t.buckets.(b)
+
+(* Rebuild with a bucket count tracking occupancy and a width equal to the
+   mean inter-event gap (span / size), so one bucket-year pass visits ~one
+   event per bucket.  Deterministic: parameters depend only on contents. *)
+let resize t nbuckets' =
+  let entries = ref [] in
+  Array.iteri
+    (fun i l ->
+      entries := List.rev_append l !entries;
+      t.buckets.(i) <- [])
+    t.buckets;
+  let lo = ref max_int and hi = ref min_int in
+  List.iter
+    (fun e ->
+      if e.key < !lo then lo := e.key;
+      if e.key > !hi then hi := e.key)
+    !entries;
+  let nbuckets' = min t.max_buckets (max t.min_buckets nbuckets') in
+  if Array.length t.buckets <> nbuckets' then
+    t.buckets <- Array.make nbuckets' [];
+  (if t.size > 0 then begin
+     t.width <- max 1 ((!hi - !lo) / t.size);
+     t.cur_start <- align t !lo
+   end);
+  List.iter (reinsert t) !entries
+
+let maybe_grow t =
+  if t.size > 2 * Array.length t.buckets && Array.length t.buckets < t.max_buckets
+  then resize t (2 * Array.length t.buckets)
+
+let maybe_shrink t =
+  if
+    4 * t.size < Array.length t.buckets
+    && Array.length t.buckets > t.min_buckets
+  then resize t (Array.length t.buckets / 2)
+
+let push t ~key value =
+  let key = clamp_key key in
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  (* A key below the cursor (possible after ~until fast-forwards, or on a
+     freshly-resized queue) rewinds the cursor so the scan can't miss it. *)
+  if key < t.cur_start then t.cur_start <- align t key;
+  reinsert t e;
+  t.size <- t.size + 1;
+  maybe_grow t
+
+(* Sparse fallback: direct search for the min (key, seq) over bucket heads.
+   Heads suffice: buckets are sorted. *)
+let find_min_direct t =
+  let best = ref None in
+  Array.iteri
+    (fun b l ->
+      match (l, !best) with
+      | [], _ -> ()
+      | e :: _, None -> best := Some (b, e)
+      | e :: _, Some (_, be) ->
+          if e.key < be.key || (e.key = be.key && e.seq < be.seq) then
+            best := Some (b, e))
+    t.buckets;
+  (match !best with
+  | Some (_, e) -> t.cur_start <- align t e.key
+  | None -> ());
+  !best
+
+(* Locate the earliest entry and commit the cursor to its window.  One
+   bucket-year of windows is scanned from the cursor (consecutive windows
+   map to consecutive buckets, so the walk is one add and one wrap test
+   per window); on a miss (all remaining events lie a year or more ahead —
+   a sparse queue) fall back to the direct min scan. *)
+let find_min t =
+  if t.size = 0 then None
+  else begin
+    let nb = Array.length t.buckets in
+    let w = t.width in
+    let rec scan i start b =
+      if i >= nb then find_min_direct t
+      else
+        match t.buckets.(b) with
+        | e :: _ when e.key < start + w ->
+            t.cur_start <- start;
+            Some (b, e)
+        | _ ->
+            let b = b + 1 in
+            scan (i + 1) (start + w) (if b = nb then 0 else b)
+    in
+    scan 0 t.cur_start (bucket_of t t.cur_start)
+  end
+
+let peek t =
+  match find_min t with Some (_, e) -> Some e.value | None -> None
+
+let pop t =
+  match find_min t with
+  | None -> None
+  | Some (b, e) ->
+      (match t.buckets.(b) with
+      | _ :: rest -> t.buckets.(b) <- rest
+      | [] -> assert false);
+      t.size <- t.size - 1;
+      maybe_shrink t;
+      Some e.value
+
+let compact t ~dead =
+  let removed = ref 0 in
+  Array.iteri
+    (fun i l ->
+      let l' = List.filter (fun e -> not (dead e.value)) l in
+      removed := !removed + (List.length l - List.length l');
+      t.buckets.(i) <- l')
+    t.buckets;
+  t.size <- t.size - !removed;
+  maybe_shrink t;
+  !removed
+
+let clear t =
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.size <- 0;
+  t.cur_start <- 0
+
+let nbuckets t = Array.length t.buckets
+let width t = Int64.of_int t.width
+
+let iter t f =
+  Array.iter (fun l -> List.iter (fun e -> f e.value) l) t.buckets

@@ -1,0 +1,57 @@
+(** Calendar queue: a priority queue over non-negative [int64] keys
+    (nanosecond timestamps) with O(1) amortized push and pop under
+    discrete-event-simulation workloads (Brown 1988).
+
+    The key space is cut into fixed-width windows mapped round-robin onto
+    an array of buckets, each bucket a list sorted by [(key, seq)] where
+    [seq] is the global insertion counter — so equal keys drain strictly in
+    insertion order, the same stable tie-break as {!Heap}, and replacing
+    one with the other cannot reorder a seeded simulation.  A pop inspects
+    the cursor's bucket head (O(1) when the next event is near the cursor,
+    the common case), walks at most one bucket-year of windows, and only
+    then falls back to a direct O(buckets) min scan for sparse queues.
+
+    Resizes (doubling above 2 entries/bucket, halving below 1/4) rebuild
+    with the bucket width set to the mean inter-event gap; parameters are a
+    pure function of queue contents, so runs stay deterministic.
+
+    Complexity: push/pop O(1) amortized, worst case O(n) on a resize or a
+    degenerate key distribution; {!peek} shares the pop search (and commits
+    the cursor advance it discovers); {!compact} and {!clear} are O(n). *)
+
+type 'a t
+
+val create : ?nbuckets:int -> ?width:int64 -> unit -> 'a t
+(** [nbuckets] (default 16) is the initial and minimum bucket count;
+    [width] (default 1ms in ns) the initial window — both adapt on resize.
+    @raise Invalid_argument when [nbuckets < 1] or [width < 1]. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int64 -> 'a -> unit
+(** Insert with the given key; negative keys clamp to 0 and keys above
+    [max_int/2] (146 years of nanoseconds — the internal representation is
+    a native int, kept unboxed for speed) clamp to that maximum.  Keys
+    below every previous pop are legal (the cursor rewinds). *)
+
+val peek : 'a t -> 'a option
+(** Earliest (key, then insertion order) element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the earliest element. *)
+
+val compact : 'a t -> dead:('a -> bool) -> int
+(** Drop every element [dead] says is garbage (lazily-deleted events),
+    returning how many were removed.  O(n). *)
+
+val clear : 'a t -> unit
+
+val nbuckets : 'a t -> int
+(** Current bucket count (introspection for tests and benchmarks). *)
+
+val width : 'a t -> int64
+(** Current bucket window in key units (ns). *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Visit every element in unspecified order. *)

@@ -1,9 +1,15 @@
 (** Array-backed binary min-heap.
 
-    Used by the event queue and by Dijkstra.  Elements are ordered by a
-    comparison function supplied at creation; ties are broken by insertion
-    order so the heap is stable, which keeps simulation runs deterministic
-    when many events share a timestamp. *)
+    Used by Dijkstra ({!Vini_topo.Graph}) and OSPF's SPF runs; the event
+    queue moved to {!Calendar}, which matches this heap's pop order
+    exactly.  Elements are ordered by a comparison function supplied at
+    creation; ties are broken by insertion order so the heap is stable,
+    which keeps simulation runs deterministic when many elements compare
+    equal.
+
+    Complexity: {!push} and {!pop} are O(log n); {!peek}, {!length} and
+    {!is_empty} are O(1).  The backing array doubles on demand and is
+    never shrunk. *)
 
 type 'a t
 
@@ -13,12 +19,14 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> 'a -> unit
+(** O(log n) amortized (worst case O(n) when the backing array grows). *)
 
 val peek : 'a t -> 'a option
-(** Smallest element without removing it. *)
+(** Smallest element without removing it, O(1). *)
 
 val pop : 'a t -> 'a option
-(** Remove and return the smallest element. *)
+(** Remove and return the smallest element, O(log n).  Among elements
+    that compare equal, the one pushed first pops first (stability). *)
 
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)

@@ -7,6 +7,7 @@ module Addr = Vini_net.Addr
 module Prefix = Vini_net.Prefix
 module Packet = Vini_net.Packet
 module Fib = Vini_click.Fib
+module Fib_reference = Vini_click.Fib_reference
 module Element = Vini_click.Element
 module Shaper = Vini_click.Shaper
 module Faulty = Vini_click.Faulty
@@ -112,6 +113,84 @@ let prop_fib_vs_linear =
           let addr = Addr.of_int (i * 163) in
           Fib.lookup t addr = linear addr)
         probes)
+
+(* Property: the path-compressed trie answers exactly like the retained
+   one-bit-per-node reference trie, through randomized add/remove
+   interleavings (removals exercise the path-compression split/merge
+   cases the linear model above can't reach). *)
+let prop_fib_vs_reference =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair
+          (list_size (int_range 1 60)
+             (triple (int_bound 0xFFFFFF) (int_range 0 32) bool))
+          (list_size (int_range 1 60) (int_bound 0xFFFFFF)))
+  in
+  QCheck.Test.make ~name:"fib compressed trie = reference trie" ~count:200 gen
+    (fun (ops, probes) ->
+      let t = Fib.create () and r = Fib_reference.create () in
+      List.iter
+        (fun (i, len, rm) ->
+          let p = Prefix.make (Addr.of_int (i * 251)) len in
+          if rm then begin
+            Fib.remove t p;
+            Fib_reference.remove r p
+          end
+          else begin
+            let v = Prefix.to_string p in
+            Fib.add t p v;
+            Fib_reference.add r p v
+          end)
+        ops;
+      Fib.length t = Fib_reference.length r
+      && Fib.entries t = Fib_reference.entries r
+      && List.for_all
+           (fun i ->
+             let addr = Addr.of_int (i * 163) in
+             Fib.lookup t addr = Fib_reference.lookup r addr
+             && Fib.lookup_prefix t addr = Fib_reference.lookup_prefix r addr)
+           probes)
+
+let test_fib_cache_counts_hits () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.of_string "10.0.0.0/8") "A";
+  let addr = Addr.of_string "10.1.2.3" in
+  let h0 = Fib.cache_hits t and m0 = Fib.cache_misses t in
+  check Alcotest.(option string) "first lookup" (Some "A") (Fib.lookup t addr);
+  check Alcotest.int "first is a miss" (m0 + 1) (Fib.cache_misses t);
+  check Alcotest.(option string) "second lookup" (Some "A") (Fib.lookup t addr);
+  check Alcotest.int "second is a hit" (h0 + 1) (Fib.cache_hits t);
+  check Alcotest.int "no extra miss" (m0 + 1) (Fib.cache_misses t)
+
+let test_fib_cache_invalidated_on_update () =
+  let t = Fib.create () in
+  Fib.add t (Prefix.of_string "10.0.0.0/8") "A";
+  let addr = Addr.of_string "10.1.2.3" in
+  check Alcotest.(option string) "warm" (Some "A") (Fib.lookup t addr);
+  check Alcotest.(option string) "cached" (Some "A") (Fib.lookup t addr);
+  (* A more specific route must take effect immediately: add invalidates
+     the whole cache, so the stale "A" can never be served. *)
+  Fib.add t (Prefix.of_string "10.1.0.0/16") "B";
+  check Alcotest.(option string) "no stale entry after add" (Some "B")
+    (Fib.lookup t addr);
+  Fib.remove t (Prefix.of_string "10.1.0.0/16");
+  check Alcotest.(option string) "no stale entry after remove" (Some "A")
+    (Fib.lookup t addr);
+  Fib.clear t;
+  check Alcotest.(option string) "no stale entry after clear" None
+    (Fib.lookup t addr)
+
+let test_fib_cache_negative_results () =
+  let t = Fib.create () in
+  let addr = Addr.of_string "192.0.2.1" in
+  check Alcotest.(option string) "no route" None (Fib.lookup t addr);
+  let h0 = Fib.cache_hits t in
+  check Alcotest.(option string) "still none" None (Fib.lookup t addr);
+  check Alcotest.int "negative result cached" (h0 + 1) (Fib.cache_hits t);
+  Fib.add t (Prefix.of_string "192.0.2.0/24") "R";
+  check Alcotest.(option string) "route appears despite cached miss"
+    (Some "R") (Fib.lookup t addr)
 
 (* --- elements ------------------------------------------------------------ *)
 
@@ -348,6 +427,12 @@ let suite =
     Alcotest.test_case "fib entries sorted" `Quick test_fib_entries_sorted;
     Alcotest.test_case "fib host routes" `Quick test_fib_host_routes;
     QCheck_alcotest.to_alcotest prop_fib_vs_linear;
+    QCheck_alcotest.to_alcotest prop_fib_vs_reference;
+    Alcotest.test_case "fib cache counts hits" `Quick test_fib_cache_counts_hits;
+    Alcotest.test_case "fib cache invalidated on update" `Quick
+      test_fib_cache_invalidated_on_update;
+    Alcotest.test_case "fib cache negative results" `Quick
+      test_fib_cache_negative_results;
     Alcotest.test_case "element counters" `Quick test_element_counters;
     Alcotest.test_case "element tee" `Quick test_element_tee;
     Alcotest.test_case "element classifier" `Quick test_element_classifier;

@@ -216,6 +216,31 @@ let test_trace_global_sink () =
   Trace.emit ~component:"somewhere" (Trace.Custom "after uninstall");
   check Alcotest.int "sink untouched after uninstall" 2 (Trace.length tr)
 
+let test_engine_pending_counts_live () =
+  (* pending is the live-event count (O(1)): cancellation is reflected
+     immediately, and the lazy-delete sweep must not disturb it. *)
+  let e = Engine.create () in
+  let handles =
+    List.init 200 (fun i -> Engine.at e (Time.us (i + 1)) (fun () -> ()))
+  in
+  check Alcotest.int "all live" 200 (Engine.pending e);
+  List.iteri (fun i h -> if i mod 2 = 0 then Engine.cancel h) handles;
+  check Alcotest.int "cancelled excluded" 100 (Engine.pending e);
+  (match handles with
+  | h :: _ ->
+      Engine.cancel h;
+      check Alcotest.int "double cancel counted once" 100 (Engine.pending e)
+  | [] -> ());
+  (* More scheduling triggers the dead-entry sweep; the count must hold. *)
+  let fired = ref 0 in
+  for i = 1 to 500 do
+    ignore (Engine.at e (Time.ms i) (fun () -> incr fired))
+  done;
+  check Alcotest.int "after sweep and growth" 600 (Engine.pending e);
+  Engine.run e;
+  check Alcotest.int "exactly the live ones fired" 600 (100 + !fired);
+  check Alcotest.int "drained" 0 (Engine.pending e)
+
 let test_engine_instrumentation () =
   let e = Engine.create () in
   Engine.set_profiling e true;
@@ -253,6 +278,8 @@ let suite =
     Alcotest.test_case "trace category filtering" `Quick
       test_trace_category_filtering;
     Alcotest.test_case "trace global sink" `Quick test_trace_global_sink;
+    Alcotest.test_case "pending counts live events" `Quick
+      test_engine_pending_counts_live;
     Alcotest.test_case "engine instrumentation" `Quick
       test_engine_instrumentation;
   ]

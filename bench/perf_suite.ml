@@ -150,6 +150,57 @@ let macro () =
     },
     r.Vini_repro.Deter.mbps_mean )
 
+(* ---- Spans overhead: the flight recorder on the e2e replay ------------ *)
+
+(* Three more replays of the same workload: two with the recorder absent
+   (their ratio, [spans_disabled_path], isolates run-to-run noise on the
+   disabled path — every packet-path site pays exactly one load+test — and
+   is gated near 1.0 in CI), one with the recorder installed and the span
+   category enabled ([spans_enabled_cost], recorded but not gated: full
+   recording is a debugging mode, not the default). *)
+
+let spans_replay ~spans ~duration_s =
+  let once () =
+    (* Start every replay from a compacted heap: the pairwise ratios must
+       not see the previous replay's allocator state. *)
+    Gc.compact ();
+    if spans then begin
+      let trace =
+        Vini_sim.Trace.create ~capacity:64
+          ~categories:[ Vini_sim.Trace.Category.Span ] ()
+      in
+      Vini_sim.Trace.install trace;
+      Vini_sim.Span.install (Vini_sim.Span.create ~capacity:65_536 ())
+    end;
+    let t0 = Sys.time () in
+    ignore (Vini_repro.Deter.iias_tcp ~runs:1 ~duration_s ());
+    let cpu = Sys.time () -. t0 in
+    if spans then begin
+      Vini_sim.Span.uninstall ();
+      Vini_sim.Trace.uninstall ()
+    end;
+    cpu
+  in
+  (* Best of two (one in fast mode): the disabled-path gate is tight
+     (2%), so damp scheduler noise the same way [bench] does. *)
+  if fast then once () else Float.min (once ()) (once ())
+
+let spans_benches () =
+  let duration_s = if fast then 1 else 2 in
+  let mk name cpu =
+    {
+      name;
+      ops = duration_s;
+      ns_per_op = cpu *. 1e9 /. float_of_int duration_s;
+    }
+  in
+  (* The disabled pair runs back to back so nothing (notably the enabled
+     run's heap churn) sits between the two sides of the gated ratio. *)
+  let off_a = mk "e2e.spans_off_a" (spans_replay ~spans:false ~duration_s) in
+  let off_b = mk "e2e.spans_off_b" (spans_replay ~spans:false ~duration_s) in
+  let on_b = mk "e2e.spans_on" (spans_replay ~spans:true ~duration_s) in
+  (off_a, on_b, off_b)
+
 (* ---- Assembly --------------------------------------------------------- *)
 
 let bench_json b =
@@ -205,14 +256,22 @@ let run () =
       (lookup_loop Fib.lookup fib uniform)
   in
   let macro_b, mbps = macro () in
+  let spans_off_a, spans_on, spans_off_b = spans_benches () in
   let benches =
-    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; macro_b ]
+    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; macro_b;
+      spans_off_a; spans_on; spans_off_b ]
   in
   let speedups =
     [
       ("scheduler_churn", heap_b, cal_b);
       ("lpm_lookup_flow", ref_flow, fib_flow);
       ("lpm_lookup_uniform", ref_uni, fib_uni);
+      (* The disabled-path gate: two recorder-absent replays should cost
+         the same (ratio ~1.0; CI fails below 0.98, i.e. >2% drift). *)
+      ("spans_disabled_path", spans_off_a, spans_off_b);
+      (* Full-recording cost, old=enabled / new=disabled: >1 means the
+         recorder costs that factor when switched on.  Not gated. *)
+      ("spans_enabled_cost", spans_on, spans_off_b);
     ]
   in
   List.iter

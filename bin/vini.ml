@@ -55,10 +55,21 @@ let trace_arg =
   let doc =
     "Record a typed event trace.  $(docv) is 'all' or a comma-separated \
      subset of: packet_tx, packet_rx, packet_drop, route_update, \
-     sched_latency, fault_injected, process_lifecycle, watchdog, custom."
+     sched_latency, fault_injected, process_lifecycle, watchdog, custom, \
+     span.  An unknown name is rejected with the valid list."
   in
   Arg.(value & opt (some trace_cats_conv) None
-       & info [ "trace" ] ~docv:"CATS" ~doc)
+       & info [ "trace"; "trace-categories" ] ~docv:"CATS" ~doc)
+
+let spans_out_arg =
+  let doc =
+    "Install the per-packet flight recorder and write its vini.spans/1 \
+     JSON document (causal trees as Chrome traceEvents, latency \
+     attribution, drop forensics) to $(docv).  Inspect with $(b,vini \
+     spans)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "spans-out" ] ~docv:"FILE" ~doc)
 
 let metrics_out_arg =
   let doc =
@@ -110,7 +121,7 @@ let print_trace_events doc =
 (* --- deter ---------------------------------------------------------------- *)
 
 let deter_cmd =
-  let run runs seconds seed trace metrics_out =
+  let run runs seconds seed trace metrics_out spans_out =
     let net = Deter.network_tcp ~runs ~duration_s:seconds ~seed () in
     let iias = Deter.iias_tcp ~runs ~duration_s:seconds ~seed:(seed + 1000) () in
     Report.table ~title:"Table 2: TCP throughput on DETER"
@@ -129,7 +140,7 @@ let deter_cmd =
           [ "Network"; f pn.Deter.p_min; f pn.p_avg; f pn.p_max; f pn.p_mdev; f pn.p_loss_pct ];
           [ "IIAS"; f pi.Deter.p_min; f pi.p_avg; f pi.p_max; f pi.p_mdev; f pi.p_loss_pct ];
         ];
-    match (trace, metrics_out) with
+    (match (trace, metrics_out) with
     | None, None -> ()
     | cats, out ->
         (* One extra, fully-instrumented IIAS run feeding the observability
@@ -145,12 +156,23 @@ let deter_cmd =
         | Some path ->
             Vini_measure.Export.write ~path doc;
             Printf.printf "metrics written to %s\n" path
-        | None -> print_trace_events doc)
+        | None -> print_trace_events doc));
+    Option.iter
+      (fun path ->
+        (* A flight-recorded IIAS run: every packet's causal tree, with
+           TTL-doomed probes so the artifact always has drop forensics. *)
+        let doc, mbps =
+          Deter.spans_run ~duration_s:seconds ~seed:(seed + 5000) ()
+        in
+        Printf.printf "\nflight-recorded IIAS TCP run: %.1f Mb/s\n" mbps;
+        Vini_measure.Export.write ~path doc;
+        Printf.printf "spans written to %s\n" path)
+      spans_out
   in
   let doc = "Microbenchmark #1: overlay efficiency on dedicated hardware (§5.1.1)." in
   Cmd.v (Cmd.info "deter" ~doc)
     Term.(const run $ runs_arg $ seconds_arg $ seed_arg $ trace_arg
-          $ metrics_out_arg)
+          $ metrics_out_arg $ spans_out_arg)
 
 (* --- planetlab -------------------------------------------------------------- *)
 
@@ -416,7 +438,8 @@ let ablate_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run spec_file phys_name watch seed duration trace metrics_out report_out =
+  let run spec_file phys_name watch seed duration trace metrics_out report_out
+      spans_out =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -451,6 +474,17 @@ let run_cmd =
       (Graph.node_count spec.Vini_core.Experiment.vtopo)
       phys_name;
     let engine = Engine.create ~seed () in
+    (* The span gate needs a sink enabling the span category *and* an
+       installed recorder; [--spans-out] supplies both, folding the span
+       category into [--trace]'s set (or a minimal sink) as needed. *)
+    let trace =
+      match (trace, spans_out) with
+      | Some cats, Some _ when not (List.mem Vini_sim.Trace.Category.Span cats)
+        ->
+          Some (Vini_sim.Trace.Category.Span :: cats)
+      | None, Some _ -> Some [ Vini_sim.Trace.Category.Span ]
+      | t, _ -> t
+    in
     let tracer =
       Option.map
         (fun categories ->
@@ -458,6 +492,14 @@ let run_cmd =
           Vini_sim.Trace.install t;
           t)
         trace
+    in
+    let recorder =
+      Option.map
+        (fun _ ->
+          let r = Vini_sim.Span.create () in
+          Vini_sim.Span.install r;
+          r)
+        spans_out
     in
     let monitor =
       Option.map
@@ -522,6 +564,15 @@ let run_cmd =
       (Vini_measure.Ping.received ping)
       (Vini_measure.Ping.sent ping)
       (Vini_measure.Ping.loss_pct ping);
+    Option.iter
+      (fun path ->
+        let r = Option.get recorder in
+        Vini_sim.Span.uninstall ();
+        Vini_measure.Export.write ~path
+          (Vini_measure.Export.spans_document r);
+        Printf.printf "spans written to %s (%d records, %d overwritten)\n"
+          path (Vini_sim.Span.length r) (Vini_sim.Span.overwritten r))
+      spans_out;
     Option.iter
       (fun t ->
         Vini_sim.Trace.uninstall ();
@@ -640,7 +691,141 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
-          $ trace_arg $ metrics_out_arg $ report_out_arg)
+          $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg)
+
+(* --- spans ----------------------------------------------------------------------- *)
+
+let spans_cmd =
+  let module E = Vini_measure.Export in
+  let str k j = Option.bind (E.member k j) E.to_str in
+  let num k j = Option.bind (E.member k j) E.to_float in
+  let arr k j = Option.value ~default:[] (Option.bind (E.member k j) E.to_list) in
+  let s_of k j = Option.value ~default:"?" (str k j) in
+  let n_of k j = Option.value ~default:0.0 (num k j) in
+  let run file check =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    let doc =
+      match E.of_string text with
+      | Ok doc -> doc
+      | Error e ->
+          Printf.eprintf "%s: JSON parse error: %s\n" file e;
+          exit 1
+    in
+    Report.table
+      ~title:"Latency attribution (all flows)"
+      ~header:[ "category"; "hops"; "total s"; "mean s"; "p95 s" ]
+      ~rows:
+        (List.map
+           (fun row ->
+             [
+               s_of "attribution" row;
+               Printf.sprintf "%.0f" (n_of "hops" row);
+               Printf.sprintf "%.6f" (n_of "total_s" row);
+               Printf.sprintf "%.6f" (n_of "mean_s" row);
+               Printf.sprintf "%.6f" (n_of "p95_s" row);
+             ])
+           (arr "breakdown" doc));
+    let drops = arr "drops" doc in
+    if drops <> [] then begin
+      (* Drop forensics, grouped by site and reason. *)
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun d ->
+          let k = (s_of "site" d, s_of "reason" d) in
+          Hashtbl.replace groups k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt groups k)))
+        drops;
+      Report.table ~title:"Drop forensics"
+        ~header:[ "site"; "reason"; "count" ]
+        ~rows:
+          (Hashtbl.fold
+             (fun (site, reason) c acc ->
+               [ site; reason; string_of_int c ] :: acc)
+             groups []
+          |> List.sort compare);
+      match drops with
+      | d :: _ ->
+          Printf.printf "\nexemplar drop: pkt %.0f died at %s (%s); path:\n"
+            (n_of "pkt" d) (s_of "site" d) (s_of "reason" d);
+          List.iter
+            (fun step ->
+              match s_of "kind" step with
+              | "origin" ->
+                  Printf.printf "  %12.6f  origin  %s\n" (n_of "t_s" step)
+                    (s_of "component" step)
+              | _ ->
+                  Printf.printf "  %12.6f  %-18s %s\n" (n_of "t0_s" step)
+                    (s_of "attribution" step) (s_of "component" step))
+            (arr "path" d)
+      | [] -> ()
+    end;
+    Printf.printf "\nworst paths by attributed latency:\n";
+    List.iter
+      (fun tr ->
+        Printf.printf "  tree %.0f from %s: %.6f s%s\n" (n_of "orig" tr)
+          (s_of "origin" tr) (n_of "total_s" tr)
+          (match E.member "dropped" tr with
+          | Some (E.Bool true) -> "  [dropped]"
+          | _ -> "");
+        List.iter
+          (fun h ->
+            Printf.printf "    %12.6f  %-18s %-30s %.6f s\n" (n_of "t0_s" h)
+              (s_of "attribution" h) (s_of "component" h)
+              (n_of "duration_s" h))
+          (arr "hops" tr))
+      (arr "worst_paths" doc);
+    if check then begin
+      let failures = ref [] in
+      let fail fmt =
+        Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+      in
+      (match str "schema" doc with
+      | Some s when s = E.spans_schema_version -> ()
+      | Some s -> fail "schema: expected %s, got %s" E.spans_schema_version s
+      | None -> fail "schema: missing");
+      let events = arr "traceEvents" doc in
+      if events = [] then fail "traceEvents: empty";
+      List.iteri
+        (fun i ev ->
+          if str "name" ev = None || str "ph" ev = None || num "ts" ev = None
+          then fail "traceEvents[%d]: missing name/ph/ts" i)
+        events;
+      if arr "breakdown" doc = [] then fail "breakdown: empty";
+      List.iteri
+        (fun i d ->
+          if arr "path" d = [] then
+            fail "drops[%d]: empty path (reason %s at %s)" i (s_of "reason" d)
+              (s_of "site" d))
+        drops;
+      match List.rev !failures with
+      | [] ->
+          Printf.printf
+            "\ncheck: OK (%d trace events, %d drops, all with paths)\n"
+            (List.length events) (List.length drops)
+      | fs ->
+          List.iter (fun s -> Printf.eprintf "check: FAIL: %s\n" s) fs;
+          exit 1
+    end
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"A vini.spans/1 document.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate the document: schema tag, well-formed \
+                   traceEvents, and a non-empty path on every drop.  \
+                   Non-zero exit on failure.")
+  in
+  let doc =
+    "Inspect a vini.spans/1 flight-recorder export: latency-attribution \
+     breakdown, drop forensics, worst-path exemplars."
+  in
+  Cmd.v (Cmd.info "spans" ~doc) Term.(const run $ file_arg $ check_arg)
 
 (* --- mttr ------------------------------------------------------------------------ *)
 
@@ -682,6 +867,6 @@ let main =
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; mttr_cmd; upcalls_cmd ]
+      ablate_cmd; spans_cmd; mttr_cmd; upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,6 @@
 module Packet = Vini_net.Packet
 module Trace = Vini_sim.Trace
+module Span = Vini_sim.Span
 
 type t = {
   name : string;
@@ -18,6 +19,9 @@ let push t pkt =
   t.bytes <- t.bytes + Packet.size pkt;
   if Trace.on Trace.Category.Packet_tx then
     Trace.emit ~component:t.name (Trace.Packet_tx { bytes = Packet.size pkt });
+  if Span.on () then
+    Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+      Span.Proto_processing;
   t.f pkt
 
 let drop t ~reason pkt =
@@ -27,7 +31,10 @@ let drop t ~reason pkt =
   | None -> t.drop_reasons <- (reason, ref 1) :: t.drop_reasons);
   if Trace.on Trace.Category.Packet_drop then
     Trace.emit ~severity:Trace.Warn ~component:t.name
-      (Trace.Packet_drop { reason; bytes = Packet.size pkt })
+      (Trace.Packet_drop { reason; bytes = Packet.size pkt });
+  if Span.on () then
+    Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+      ~reason ~bytes:(Packet.size pkt) ()
 
 let name t = t.name
 let packets t = t.packets

@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 
 type t = {
@@ -29,6 +30,9 @@ let refill t =
   t.tokens <- Float.min (capacity t) (t.tokens +. (dt *. t.rate_bps /. 8.0));
   t.last_fill <- now
 
+let shaper_component t =
+  match t.element with Some e -> Element.name e | None -> "shaper"
+
 let rec drain t =
   t.release <- None;
   refill t;
@@ -42,6 +46,9 @@ let rec drain t =
       if t.tokens >= size -. 1e-6 then begin
         ignore (Vini_std.Fifo.pop t.queue);
         t.tokens <- t.tokens -. size;
+        if Span.on () then
+          Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+            ~component:(shaper_component t) ();
         Element.push t.out pkt;
         drain t
       end
@@ -72,6 +79,7 @@ let create ~engine ~rate_bps ?(burst_bytes = 16_000) ?(queue_bytes = 131_072)
     lazy
       (Element.make name (fun pkt ->
            if Vini_std.Fifo.push t.queue pkt then begin
+             if Span.on () then Span.note_enqueue ~pkt:pkt.Packet.id;
              if t.release = None then drain t
            end
            else Element.drop (Lazy.force el) ~reason:"shaper-overflow" pkt))

@@ -312,6 +312,195 @@ let document ?trace ?(extra = []) monitors =
     @ (match trace with None -> [] | Some tr -> [ ("trace", trace_json tr) ])
     @ extra)
 
+(* ---- the vini.spans/1 flight-recorder schema ----------------------------
+
+   One document that is simultaneously:
+   - the stable [vini.spans/1] schema (breakdown, drops-with-paths,
+     worst-path exemplars), and
+   - a Chrome trace-event JSON object (the [traceEvents] key), loadable
+     directly in Perfetto / chrome://tracing: hops are "X" complete
+     events on track [tid = provenance id], origins and drops are "i"
+     instants.  Extra top-level keys are ignored by the viewers. *)
+
+let spans_schema_version = "vini.spans/1"
+
+let us t = Vini_sim.Time.to_sec_f t *. 1e6
+
+let span_trace_events trees =
+  List.concat_map
+    (fun (tr : Span.tree) ->
+      let tid = Num (float_of_int tr.Span.tree_orig) in
+      let origins =
+        List.map
+          (fun (o : Span.origin) ->
+            Obj
+              [
+                ("name", Str o.Span.o_component);
+                ("cat", Str "origin");
+                ("ph", Str "i");
+                ("s", Str "t");
+                ("ts", Num (us o.Span.o_t));
+                ("pid", Num 1.0);
+                ("tid", tid);
+                ( "args",
+                  Obj
+                    [
+                      ("pkt", Num (float_of_int o.Span.o_pkt));
+                      ("bytes", Num (float_of_int o.Span.o_bytes));
+                    ] );
+              ])
+          tr.Span.origins
+      in
+      let hops =
+        List.map
+          (fun (h : Span.hop) ->
+            Obj
+              [
+                ("name", Str h.Span.h_component);
+                ( "cat",
+                  Str (Vini_sim.Span.attribution_name h.Span.h_attribution) );
+                ("ph", Str "X");
+                ("ts", Num (us h.Span.h_t0));
+                ("dur", Num (us h.Span.h_t1 -. us h.Span.h_t0));
+                ("pid", Num 1.0);
+                ("tid", tid);
+                ("args", Obj [ ("pkt", Num (float_of_int h.Span.h_pkt)) ]);
+              ])
+          tr.Span.hops
+      in
+      let drops =
+        List.map
+          (fun (d : Span.drop) ->
+            Obj
+              [
+                ("name", Str (d.Span.d_component ^ "!" ^ d.Span.d_reason));
+                ("cat", Str "drop");
+                ("ph", Str "i");
+                ("s", Str "t");
+                ("ts", Num (us d.Span.d_t));
+                ("pid", Num 1.0);
+                ("tid", tid);
+                ( "args",
+                  Obj
+                    [
+                      ("pkt", Num (float_of_int d.Span.d_pkt));
+                      ("reason", Str d.Span.d_reason);
+                      ("bytes", Num (float_of_int d.Span.d_bytes));
+                    ] );
+              ])
+          tr.Span.drops
+      in
+      origins @ hops @ drops)
+    trees
+
+let span_row_json (r : Span.row) =
+  let pct p =
+    if Histogram.count r.Span.hist = 0 then 0.0
+    else Histogram.percentile r.Span.hist p
+  in
+  Obj
+    [
+      ( "attribution",
+        Str (Vini_sim.Span.attribution_name r.Span.attribution) );
+      ("hops", Num (float_of_int r.Span.hop_count));
+      ("total_s", Num r.Span.total_s);
+      ( "mean_s",
+        Num
+          (if r.Span.hop_count = 0 then 0.0
+           else r.Span.total_s /. float_of_int r.Span.hop_count) );
+      ("p95_s", Num (pct 95.0));
+    ]
+
+let span_path_step_json = function
+  | Span.At_origin (o : Span.origin) ->
+      Obj
+        [
+          ("kind", Str "origin");
+          ("component", Str o.Span.o_component);
+          ("pkt", Num (float_of_int o.Span.o_pkt));
+          ("t_s", Num (Vini_sim.Time.to_sec_f o.Span.o_t));
+        ]
+  | Span.Through (h : Span.hop) ->
+      Obj
+        [
+          ("kind", Str "hop");
+          ("component", Str h.Span.h_component);
+          ( "attribution",
+            Str (Vini_sim.Span.attribution_name h.Span.h_attribution) );
+          ("pkt", Num (float_of_int h.Span.h_pkt));
+          ("t0_s", Num (Vini_sim.Time.to_sec_f h.Span.h_t0));
+          ("t1_s", Num (Vini_sim.Time.to_sec_f h.Span.h_t1));
+        ]
+
+let span_forensic_json (f : Span.forensic) =
+  Obj
+    [
+      ("orig", Num (float_of_int f.Span.f_orig));
+      ("pkt", Num (float_of_int f.Span.f_pkt));
+      ("site", Str f.Span.f_site);
+      ("reason", Str f.Span.f_reason);
+      ("bytes", Num (float_of_int f.Span.f_bytes));
+      ("t_s", Num (Vini_sim.Time.to_sec_f f.Span.f_t));
+      ("path", Arr (List.map span_path_step_json f.Span.f_path));
+    ]
+
+let span_tree_json (tr : Span.tree) =
+  Obj
+    [
+      ("orig", Num (float_of_int tr.Span.tree_orig));
+      ("origin", Str (Span.root_component tr));
+      ("total_s", Num (Span.total_latency tr));
+      ("dropped", Bool (tr.Span.drops <> []));
+      ( "hops",
+        Arr
+          (List.map
+             (fun (h : Span.hop) ->
+               Obj
+                 [
+                   ("component", Str h.Span.h_component);
+                   ( "attribution",
+                     Str
+                       (Vini_sim.Span.attribution_name h.Span.h_attribution)
+                   );
+                   ("t0_s", Num (Vini_sim.Time.to_sec_f h.Span.h_t0));
+                   ("duration_s", Num (Span.hop_duration_s h));
+                 ])
+             tr.Span.hops) );
+    ]
+
+let spans_document ?(worst = 5) ?(extra = []) recorder =
+  let trees = Span.trees recorder in
+  Obj
+    ([
+       ("schema", Str spans_schema_version);
+       ("displayTimeUnit", Str "ms");
+       ( "recorder",
+         Obj
+           [
+             ( "capacity",
+               Num (float_of_int (Vini_sim.Span.capacity recorder)) );
+             ("retained", Num (float_of_int (Vini_sim.Span.length recorder)));
+             ( "overwritten",
+               Num (float_of_int (Vini_sim.Span.overwritten recorder)) );
+           ] );
+       ("traceEvents", Arr (span_trace_events trees));
+       ("breakdown", Arr (List.map span_row_json (Span.breakdown trees)));
+       ( "breakdown_by_origin",
+         Arr
+           (List.map
+              (fun (key, rows) ->
+                Obj
+                  [
+                    ("origin", Str key);
+                    ("rows", Arr (List.map span_row_json rows));
+                  ])
+              (Span.breakdown_by_origin trees)) );
+       ("drops", Arr (List.map span_forensic_json (Span.forensics trees)));
+       ( "worst_paths",
+         Arr (List.map span_tree_json (Span.worst ~n:worst trees)) );
+     ]
+    @ extra)
+
 let write ~path j =
   let oc = open_out path in
   output_string oc (to_string j);

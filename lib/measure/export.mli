@@ -52,6 +52,29 @@ val document :
     concatenated, plus the trace when given and any [extra] top-level
     fields. *)
 
+val spans_schema_version : string
+
+val spans_document :
+  ?worst:int -> ?extra:(string * json) list -> Vini_sim.Span.t -> json
+(** The [vini.spans/1] flight-recorder document — simultaneously a Chrome
+    trace-event JSON object loadable in Perfetto / chrome://tracing:
+
+    {v
+    { "schema": "vini.spans/1",
+      "displayTimeUnit": "ms",
+      "recorder":    {"capacity", "retained", "overwritten"},
+      "traceEvents": [ hops as "X" complete events (ts/dur in µs,
+                       tid = provenance id, cat = attribution),
+                       origins and drops as "i" instants ],
+      "breakdown":   [ {"attribution", "hops", "total_s", "mean_s",
+                        "p95_s"} per category ],
+      "breakdown_by_origin": [ {"origin", "rows": [...]} per flow ],
+      "drops":       [ {"orig", "pkt", "site", "reason", "bytes", "t_s",
+                        "path": [origin/hop steps so far]} ],
+      "worst_paths": [ {"orig", "origin", "total_s", "dropped",
+                        "hops": [...]} top-[worst] by latency ] }
+    v} *)
+
 val write : path:string -> json -> unit
 
 val series_csv : Monitor.t -> string

@@ -8,7 +8,7 @@ type t = {
   mutable cumulative : int;
   mutable cumulative_rev : (float * int) list;
   mutable positions_rev : (float * int) list;
-  mutable packets_rev : (float * string) list;
+  mutable packets_rev : (float * int * string) list;
   mutable count : int;
 }
 
@@ -26,7 +26,7 @@ let now_s t = Time.to_sec_f (Engine.now t.engine)
 
 let record_packet t pkt =
   t.count <- t.count + 1;
-  t.packets_rev <- (now_s t, Packet.describe pkt) :: t.packets_rev;
+  t.packets_rev <- (now_s t, pkt.Packet.id, Packet.describe pkt) :: t.packets_rev;
   match pkt.Packet.proto with
   | Packet.Tcp seg when seg.Packet.payload_len > 0 ->
       t.positions_rev <- (now_s t, seg.Packet.seq) :: t.positions_rev

@@ -22,7 +22,9 @@ val segment_positions : t -> (float * int) list
 (** (arrival time s, segment's stream offset) for data segments —
     Figure 9(b)'s scatter. *)
 
-val packets : t -> (float * string) list
-(** All captured packets as (time, one-line description). *)
+val packets : t -> (float * int * string) list
+(** All captured packets as (time, packet id, one-line description).  The
+    id keys into the flight recorder: grep a capture row's id in a
+    [vini.spans/1] export to pull up the packet's causal tree. *)
 
 val count : t -> int

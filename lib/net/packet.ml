@@ -34,6 +34,7 @@ and proto = Udp of udp | Tcp of tcp | Icmp of icmp
 
 and t = {
   id : int;
+  orig : int;
   src : Addr.t;
   dst : Addr.t;
   ttl : int;
@@ -70,15 +71,25 @@ and icmp_size = function
       (* Quoted IP header + 8 bytes of the offending datagram. *)
       Wire.ipv4_header + 8
 
-let udp ?(ttl = default_ttl) ~src ~dst ~sport ~dport body =
-  { id = fresh_id (); src; dst; ttl; corrupt = false;
+(* A fresh packet is its own provenance root; encapsulation sites and ICMP
+   error generators pass [?orig] so the flight recorder can stitch the
+   outer frame's spans onto the inner packet's causal tree. *)
+let provenance id = function Some o -> o | None -> id
+
+let udp ?(ttl = default_ttl) ?orig ~src ~dst ~sport ~dport body =
+  let id = fresh_id () in
+  { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
     proto = Udp { usport = sport; udport = dport; body } }
 
-let tcp ?(ttl = default_ttl) ~src ~dst seg =
-  { id = fresh_id (); src; dst; ttl; corrupt = false; proto = Tcp seg }
+let tcp ?(ttl = default_ttl) ?orig ~src ~dst seg =
+  let id = fresh_id () in
+  { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
+    proto = Tcp seg }
 
-let icmp ?(ttl = default_ttl) ~src ~dst msg =
-  { id = fresh_id (); src; dst; ttl; corrupt = false; proto = Icmp msg }
+let icmp ?(ttl = default_ttl) ?orig ~src ~dst msg =
+  let id = fresh_id () in
+  { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
+    proto = Icmp msg }
 
 let corrupted t = { t with corrupt = true }
 

@@ -59,6 +59,13 @@ and proto = Udp of udp | Tcp of tcp | Icmp of icmp
 
 and t = private {
   id : int;             (** unique per process run, for tracing *)
+  orig : int;           (** provenance: the root packet's id.  Equal to
+                            [id] for fresh packets; encapsulation
+                            (UDP tunnel, OpenVPN) and ICMP error
+                            generation pass the inner/offending packet's
+                            [orig] through, so the flight recorder
+                            ({!Vini_sim.Span}) joins outer frames onto
+                            the original packet's causal tree. *)
   src : Addr.t;
   dst : Addr.t;
   ttl : int;
@@ -68,9 +75,14 @@ and t = private {
 
 val default_ttl : int
 
-val udp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> sport:int -> dport:int -> body -> t
-val tcp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> tcp -> t
-val icmp : ?ttl:int -> src:Addr.t -> dst:Addr.t -> icmp -> t
+val udp :
+  ?ttl:int -> ?orig:int -> src:Addr.t -> dst:Addr.t -> sport:int ->
+  dport:int -> body -> t
+val tcp : ?ttl:int -> ?orig:int -> src:Addr.t -> dst:Addr.t -> tcp -> t
+val icmp : ?ttl:int -> ?orig:int -> src:Addr.t -> dst:Addr.t -> icmp -> t
+(** [?orig] overrides the provenance id (default: the fresh packet's own
+    id).  Pass [inner.orig] at encapsulation sites and the offending
+    packet's [orig] when generating ICMP errors. *)
 
 val size : t -> int
 (** Total IP datagram size in bytes (header + nested contents).

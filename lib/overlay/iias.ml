@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 module Addr = Vini_net.Addr
 module Prefix = Vini_net.Prefix
@@ -148,10 +149,26 @@ let dispatch_control vn (pkt : Packet.t) msg =
   (match vn.vrip with Some r -> Rip.receive r ~ifindex msg | None -> ());
   List.iter (fun f -> f ~src:pkt.Packet.src ~ifindex msg) vn.control_hooks
 
+let click_comp vn =
+  Printf.sprintf "%s/click@%s" vn.slice_name (Pnode.name vn.node)
+
+let drop_span vn (pkt : Packet.t) ~reason =
+  if Span.on () then
+    Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+      ~component:(click_comp vn) ~reason ~bytes:(Packet.size pkt) ()
+
+(* Every unroutable-packet site funnels here so the flight recorder sees
+   one canonical "no-route" drop with the vnode's path-so-far. *)
+let no_route vn (pkt : Packet.t) =
+  vn.n_no_route <- vn.n_no_route + 1;
+  drop_span vn pkt ~reason:"no-route"
+
 let rec route vn (pkt : Packet.t) =
+  if Span.on () then
+    Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+      ~component:(click_comp vn ^ "/fib") Span.Proto_processing;
   match Fib.lookup vn.fib pkt.Packet.dst with
-  | None ->
-      vn.n_no_route <- vn.n_no_route + 1
+  | None -> no_route vn pkt
   | Some Deliver -> deliver_local vn pkt
   | Some Direct -> forward vn pkt.Packet.dst pkt
   | Some (Via nh) -> forward vn nh pkt
@@ -160,8 +177,11 @@ and forward vn nh pkt =
   match Packet.decr_ttl pkt with
   | None ->
       vn.n_ttl <- vn.n_ttl + 1;
+      drop_span vn pkt ~reason:"ttl-expired";
+      (* The notice inherits the dying packet's provenance: the expiry
+         and the resulting ICMP share one causal tree. *)
       let notice =
-        Packet.icmp ~src:vn.vtap_addr ~dst:pkt.Packet.src
+        Packet.icmp ~orig:pkt.Packet.orig ~src:vn.vtap_addr ~dst:pkt.Packet.src
           (Packet.Time_exceeded
              { orig_src = pkt.Packet.src; orig_dst = pkt.Packet.dst })
       in
@@ -179,9 +199,8 @@ and emit vn nh pkt depth =
   | None when depth > 0 -> (
       match Fib.lookup vn.fib nh with
       | Some (Via nh2) when not (Addr.equal nh2 nh) -> emit vn nh2 pkt (depth - 1)
-      | Some Direct | Some (Via _) | Some Deliver | None ->
-          vn.n_no_route <- vn.n_no_route + 1)
-  | None -> vn.n_no_route <- vn.n_no_route + 1
+      | Some Direct | Some (Via _) | Some Deliver | None -> no_route vn pkt)
+  | None -> no_route vn pkt
 
 and deliver_local vn (pkt : Packet.t) =
   (* Routing-protocol traffic terminates in the control plane. *)
@@ -211,25 +230,33 @@ and deliver_local vn (pkt : Packet.t) =
         if in_pool then vpn_out vn pkt
         else if (not (Prefix.contains private_space pkt.Packet.dst)) && vn.egress
         then napt_out vn pkt
-        else vn.n_no_route <- vn.n_no_route + 1
+        else no_route vn pkt
       end
 
 and vpn_out vn pkt =
   match Hashtbl.find_opt vn.vpn_clients pkt.Packet.dst with
-  | None -> vn.n_no_route <- vn.n_no_route + 1
+  | None -> no_route vn pkt
   | Some (client_pub, client_port) ->
       vn.n_vpn_out <- vn.n_vpn_out + 1;
+      (* OpenVPN encapsulation: the outer frame continues the inner
+         packet's causal tree. *)
       let outer =
-        Packet.udp ~src:(Pnode.addr vn.node) ~dst:client_pub ~sport:vpn_port
-          ~dport:client_port (Packet.Vpn pkt)
+        Packet.udp ~orig:pkt.Packet.orig ~src:(Pnode.addr vn.node)
+          ~dst:client_pub ~sport:vpn_port ~dport:client_port (Packet.Vpn pkt)
       in
+      if Span.on () then
+        Span.instant ~pkt:outer.Packet.id ~orig:outer.Packet.orig
+          ~component:(click_comp vn ^ "/vpn-encap") Span.Proto_processing;
       Pnode.send_as vn.node ~cls:vn.slice_name outer
 
 and napt_out vn pkt =
   match Napt.translate_out vn.napt pkt with
-  | None -> vn.n_no_route <- vn.n_no_route + 1
+  | None -> no_route vn pkt
   | Some out ->
       vn.n_napt_out <- vn.n_napt_out + 1;
+      if Span.on () then
+        Span.instant ~pkt:out.Packet.id ~orig:out.Packet.orig
+          ~component:(click_comp vn ^ "/napt") Span.Proto_processing;
       ensure_napt_binding vn out;
       Pnode.send_as vn.node ~cls:vn.slice_name out
 
@@ -257,6 +284,9 @@ and napt_injector vn pkt =
   match Napt.translate_in vn.napt pkt with
   | Some inner ->
       vn.n_napt_in <- vn.n_napt_in + 1;
+      if Span.on () then
+        Span.instant ~pkt:inner.Packet.id ~orig:inner.Packet.orig
+          ~component:(click_comp vn ^ "/napt") Span.Proto_processing;
       route vn inner
   | None -> ()
 
@@ -277,10 +307,10 @@ let click_handler t vn (pkt : Packet.t) =
           let module Trace = Vini_sim.Trace in
           if Trace.on Trace.Category.Packet_drop then
             Trace.emit ~severity:Trace.Warn
-              ~component:(Printf.sprintf "%s/click@%s" vn.slice_name
-                            (Pnode.name vn.node))
+              ~component:(click_comp vn)
               (Trace.Packet_drop
-                 { reason = "corrupt"; bytes = Packet.size inner })
+                 { reason = "corrupt"; bytes = Packet.size inner });
+          drop_span vn inner ~reason:"corrupt"
         end
     | Packet.Udp { udport; usport; body = Packet.Vpn inner; _ }
       when udport = vpn_port ->
@@ -338,8 +368,11 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
                Element.make
                  (Printf.sprintf "totunnel-%d-%d" vid nbr)
                  (fun inner ->
+                   (* UDP-tunnel encapsulation: the outer frame inherits
+                      the inner packet's provenance. *)
                    let outer =
-                     Packet.udp ~src:(Pnode.addr pnode) ~dst:remote_pub
+                     Packet.udp ~orig:inner.Packet.orig
+                       ~src:(Pnode.addr pnode) ~dst:remote_pub
                        ~sport:t.tunnel_port ~dport:t.tunnel_port
                        (Packet.Tunnel inner)
                    in
@@ -369,6 +402,12 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
                        ~sport:520 ~dport:520
                        (Packet.Control { size; msg })
                    in
+                   (* Routing-protocol emitter: a packet origin. *)
+                   if Span.on () then
+                     Span.origin ~pkt:inner.Packet.id ~orig:inner.Packet.orig
+                       ~bytes:(Packet.size inner)
+                       ~component:(Printf.sprintf "routing-%d-%d" vid nbr)
+                       ();
                    ignore (ctrl_inject inner))
              in
              {
@@ -501,8 +540,8 @@ let enable_egress t v =
       match pkt.Packet.proto with
       | Packet.Icmp (Packet.Echo_request e) ->
           Ipstack.send stack
-            (Packet.icmp ~src:(Pnode.addr vn.node) ~dst:pkt.Packet.src
-               (Packet.Echo_reply e))
+            (Packet.icmp ~orig:pkt.Packet.orig ~src:(Pnode.addr vn.node)
+               ~dst:pkt.Packet.src (Packet.Echo_reply e))
       | Packet.Icmp _ | Packet.Udp _ | Packet.Tcp _ -> napt_injector vn pkt)
 
 let advertise_prefix ?(quiet = false) t v prefix =

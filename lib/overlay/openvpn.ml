@@ -31,9 +31,12 @@ let connect ~host ~server ?(server_port = 1194) ~vaddr () =
             ~tx:(fun inner ->
               let t = Lazy.force t in
               t.sent <- t.sent + 1;
+              (* OpenVPN ingress: outer frame continues the inner
+                 packet's causal tree. *)
               let outer =
-                Packet.udp ~src:(Pnode.addr t.host) ~dst:t.server
-                  ~sport:t.client_port ~dport:t.server_port (Packet.Vpn inner)
+                Packet.udp ~orig:inner.Packet.orig ~src:(Pnode.addr t.host)
+                  ~dst:t.server ~sport:t.client_port ~dport:t.server_port
+                  (Packet.Vpn inner)
               in
               Pnode.send t.host outer)
             ();

@@ -28,6 +28,7 @@ type proc = {
   mutable budget : Time.t;
   mutable cpu_time : Time.t;
   mutable wakeups : int;
+  mutable last_start : Time.t; (* wall-clock start of the latest exec *)
 }
 
 let create ~engine ~rng ~speed_ghz ~contention =
@@ -57,6 +58,7 @@ let spawn t ~slice ~name ~has_work ~next_cost ~exec =
     budget = Time.zero;
     cpu_time = Time.zero;
     wakeups = 0;
+    last_start = Time.zero;
   }
 
 let wake_latency p =
@@ -105,8 +107,10 @@ and step p =
   else begin
     let cost = p.next_cost () in
     let wall = dilate cost p.fraction in
+    let start = Engine.now p.cpu.engine in
     ignore
       (Engine.after p.cpu.engine wall (fun () ->
+           p.last_start <- start;
            p.exec ();
            p.cpu_time <- Time.add p.cpu_time cost;
            p.budget <- Time.sub p.budget cost;
@@ -133,6 +137,7 @@ let kick p =
              episode p))
 
 let wake_latency_hist t = t.wake_hist
+let last_service p = p.last_start
 let cpu_time p = p.cpu_time
 let wakeups p = p.wakeups
 let proc_name p = p.name

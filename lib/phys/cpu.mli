@@ -68,5 +68,11 @@ val wake_latency_hist : t -> Vini_std.Histogram.t
 val cpu_time : proc -> Vini_sim.Time.t
 (** Total CPU time consumed so far (the [ps TIME] column of §5.1). *)
 
+val last_service : proc -> Vini_sim.Time.t
+(** Wall-clock time the most recent [exec] began its (dilated) service
+    slice — i.e. when the work item it just completed left the run queue.
+    [Process] uses it to split a packet's wait into queueing
+    vs cpu_service for the flight recorder ({!Vini_sim.Span}). *)
+
 val wakeups : proc -> int
 val proc_name : proc -> string

@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 
 type cls = {
@@ -180,13 +181,27 @@ and drain t =
           (* Root serialisation at the NIC rate. *)
           let now = Engine.now t.engine in
           let tx = Time.of_sec_f (size *. 8.0 /. t.rate_bps) in
-          t.busy_until <- Time.add (Time.max t.busy_until now) tx;
+          let start = Time.max t.busy_until now in
+          t.busy_until <- Time.add start tx;
+          if Span.on () then begin
+            Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+              ~component:("htb." ^ c.name) ();
+            Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+              ~component:("htb." ^ c.name) Span.Serialization ~t0:start
+              ~t1:t.busy_until
+          end;
           ignore
             (Engine.at t.engine t.busy_until (fun () -> t.out pkt));
           schedule t)
 
 let enqueue t c pkt =
   let accepted = Vini_std.Fifo.push c.queue pkt in
+  if Span.on () then
+    if accepted then Span.note_enqueue ~pkt:pkt.Packet.id
+    else
+      Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+        ~component:("htb." ^ c.name) ~reason:"htb-overflow"
+        ~bytes:(Packet.size pkt) ();
   if accepted then schedule t;
   accepted
 

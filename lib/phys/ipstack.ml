@@ -1,8 +1,10 @@
 module Packet = Vini_net.Packet
+module Span = Vini_sim.Span
 
 type t = {
   engine : Vini_sim.Engine.t;
   local_addr : Vini_net.Addr.t;
+  span_comp : string; (* flight-recorder component, precomputed *)
   mutable tx : Packet.t -> unit;
   udp : (int, Packet.t -> unit) Hashtbl.t;
   tcp : (int, Packet.t -> unit) Hashtbl.t;
@@ -15,6 +17,7 @@ let create ~engine ~local_addr ~tx () =
   {
     engine;
     local_addr;
+    span_comp = "ip." ^ Vini_net.Addr.to_string local_addr;
     tx;
     udp = Hashtbl.create 8;
     tcp = Hashtbl.create 8;
@@ -26,7 +29,17 @@ let create ~engine ~local_addr ~tx () =
 let engine t = t.engine
 let local_addr t = t.local_addr
 let set_tx t tx = t.tx <- tx
-let send t pkt = t.tx pkt
+
+(* Every datagram the stack sources passes through here: the natural place
+   to open its flight-recorder tree.  A packet re-originating an inherited
+   provenance (ICMP errors, encapsulated frames injected back into a
+   stack) gets a second Origin on the same tree, which the aggregator
+   treats as a continuation, not a new root. *)
+let send t pkt =
+  if Span.on () then
+    Span.origin ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+      ~bytes:(Packet.size pkt) ~component:t.span_comp ();
+  t.tx pkt
 
 let bind tbl which ~port handler =
   if Hashtbl.mem tbl port then
@@ -46,12 +59,17 @@ let alloc_ephemeral t =
 let set_icmp_handler t h = t.icmp <- Some h
 
 let echo_reply t (pkt : Packet.t) e =
+  (* The reply continues the request's causal tree. *)
   let reply =
-    Packet.icmp ~src:t.local_addr ~dst:pkt.Packet.src (Packet.Echo_reply e)
+    Packet.icmp ~orig:pkt.Packet.orig ~src:t.local_addr ~dst:pkt.Packet.src
+      (Packet.Echo_reply e)
   in
-  t.tx reply
+  send t reply
 
 let deliver t (pkt : Packet.t) =
+  if Span.on () then
+    Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+      ~component:t.span_comp Span.Proto_processing;
   match pkt.Packet.proto with
   | Packet.Udp u -> (
       match Hashtbl.find_opt t.udp u.Packet.udport with

@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 
 type stats = {
@@ -24,6 +25,7 @@ type dir_state = {
 type t = {
   engine : Engine.t;
   rng : Vini_std.Rng.t;
+  name : string;
   bandwidth_bps : float;
   delay : Time.t;
   loss : float;
@@ -43,13 +45,14 @@ let fresh_dir () =
     bytes_sent = 0;
   }
 
-let create ~engine ~rng ~bandwidth_bps ~delay ?(loss = 0.0)
+let create ~engine ~rng ?(name = "plink") ~bandwidth_bps ~delay ?(loss = 0.0)
     ?(queue_bytes = Calibration.link_queue_bytes) () =
   if bandwidth_bps <= 0.0 then invalid_arg "Plink.create: bandwidth";
   if loss < 0.0 || loss > 1.0 then invalid_arg "Plink.create: loss";
   {
     engine;
     rng;
+    name;
     bandwidth_bps;
     delay;
     loss;
@@ -70,35 +73,62 @@ let backlog_bytes t d =
     int_of_float
       (Time.to_sec_f (Time.sub d.busy_until now) *. t.bandwidth_bps /. 8.0)
 
+let span_drop t pkt ~reason =
+  if Span.on () then
+    Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+      ~reason ~bytes:(Packet.size pkt) ()
+
 let transmit t ~dir pkt ~deliver =
   let d = t.dirs.(dir) in
   let size = Packet.size pkt in
-  if not t.up then d.down_drops <- d.down_drops + 1
-  else if backlog_bytes t d + size > t.queue_bytes then
-    d.queue_drops <- d.queue_drops + 1
+  if not t.up then begin
+    d.down_drops <- d.down_drops + 1;
+    span_drop t pkt ~reason:"link-down"
+  end
+  else if backlog_bytes t d + size > t.queue_bytes then begin
+    d.queue_drops <- d.queue_drops + 1;
+    span_drop t pkt ~reason:"link-queue-overflow"
+  end
   else if t.loss > 0.0 && Vini_std.Rng.float t.rng 1.0 < t.loss then begin
     (* Random loss still occupies the wire. *)
     let now = Engine.now t.engine in
     d.busy_until <- Time.add (Time.max d.busy_until now) (serialization t size);
     d.loss_drops <- d.loss_drops + 1;
     d.sent <- d.sent + 1;
-    d.bytes_sent <- d.bytes_sent + size
+    d.bytes_sent <- d.bytes_sent + size;
+    span_drop t pkt ~reason:"link-loss"
   end
   else begin
     let now = Engine.now t.engine in
-    let tx_done = Time.add (Time.max d.busy_until now) (serialization t size) in
+    let start = Time.max d.busy_until now in
+    let tx_done = Time.add start (serialization t size) in
     d.busy_until <- tx_done;
     d.sent <- d.sent + 1;
     d.bytes_sent <- d.bytes_sent + size;
+    if Span.on () then begin
+      (* The wire's own queueing: time spent waiting for the transmitter
+         (the virtual backlog), then the serialisation slice. *)
+      if Time.compare start now > 0 then
+        Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+          Span.Queueing ~t0:now ~t1:start;
+      Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+        Span.Serialization ~t0:start ~t1:tx_done
+    end;
     let arrival = Time.add tx_done t.delay in
     ignore
       (Engine.at t.engine arrival (fun () ->
            (* A failure during flight loses in-flight packets too. *)
            if t.up then begin
              d.delivered <- d.delivered + 1;
+             if Span.on () then
+               Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                 ~component:t.name Span.Propagation ~t0:tx_done ~t1:arrival;
              deliver pkt
            end
-           else d.down_drops <- d.down_drops + 1))
+           else begin
+             d.down_drops <- d.down_drops + 1;
+             span_drop t pkt ~reason:"link-down"
+           end))
   end
 
 let set_up t up = t.up <- up

@@ -20,12 +20,16 @@ type stats = {
 val create :
   engine:Vini_sim.Engine.t ->
   rng:Vini_std.Rng.t ->
+  ?name:string ->
   bandwidth_bps:float ->
   delay:Vini_sim.Time.t ->
   ?loss:float ->
   ?queue_bytes:int ->
   unit ->
   t
+(** [?name] (default ["plink"]) labels this link's flight-recorder spans
+    — queueing/serialisation/propagation hops and link-drop forensics
+    ({!Vini_sim.Span}). *)
 
 val transmit : t -> dir:int -> Vini_net.Packet.t -> deliver:(Vini_net.Packet.t -> unit) -> unit
 (** Queue a packet on direction [dir] (0 or 1).  [deliver] fires at the

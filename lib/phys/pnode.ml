@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 
 type t = {
@@ -103,7 +104,10 @@ let drop_down t pkt =
   let module Trace = Vini_sim.Trace in
   if Trace.on Trace.Category.Packet_drop then
     Trace.emit ~severity:Trace.Debug ~component:t.name
-      (Trace.Packet_drop { reason = "node-down"; bytes = Packet.size pkt })
+      (Trace.Packet_drop { reason = "node-down"; bytes = Packet.size pkt });
+  if Span.on () then
+    Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
+      ~reason:"node-down" ~bytes:(Packet.size pkt) ()
 
 let send_as t ~cls pkt =
   if not t.up then drop_down t pkt
@@ -143,12 +147,22 @@ let egress_class_stats t ~name =
       | None -> None)
 
 (* The kernel is a FIFO server: arrival waits for prior kernel work. *)
-let kernel_work t cost k =
+let kernel_work ?pkt t cost k =
   let now = Engine.now t.engine in
   let start = Time.max now t.kernel_busy in
   let finish = Time.add start cost in
   t.kernel_busy <- finish;
   t.kernel_cpu <- Time.add t.kernel_cpu cost;
+  (if Span.on () then
+     match pkt with
+     | None -> ()
+     | Some p ->
+         let comp = t.name ^ ".kernel" in
+         if Time.compare start now > 0 then
+           Span.hop ~pkt:p.Packet.id ~orig:p.Packet.orig ~component:comp
+             Span.Queueing ~t0:now ~t1:start;
+         Span.hop ~pkt:p.Packet.id ~orig:p.Packet.orig ~component:comp
+           Span.Cpu_service ~t0:start ~t1:finish);
   ignore (Engine.at t.engine finish k)
 
 let nic_latency t =
@@ -165,7 +179,7 @@ let rx_overhead t pkt ~k =
     in
     ignore
       (Engine.after t.engine (nic_latency t) (fun () ->
-           if t.up then kernel_work t cost k else drop_down t pkt))
+           if t.up then kernel_work ~pkt t cost k else drop_down t pkt))
 
 let deliver_local t pkt =
   if not t.up then drop_down t pkt
@@ -176,7 +190,7 @@ let deliver_local t pkt =
     ignore
       (Engine.after t.engine (nic_latency t) (fun () ->
            if t.up then
-             kernel_work t cost (fun () -> Ipstack.deliver t.stack pkt)
+             kernel_work ~pkt t cost (fun () -> Ipstack.deliver t.stack pkt)
            else drop_down t pkt))
 
 let kernel_cpu_time t = t.kernel_cpu
@@ -188,12 +202,21 @@ let open_udp_socket t ~port ?(rcvbuf_bytes = Calibration.udp_rcvbuf_bytes)
   in
   let module Trace = Vini_sim.Trace in
   let handler pkt =
-    if Vini_std.Fifo.push buf pkt then on_packet ()
-    else if Trace.on Trace.Category.Packet_drop then
-      Trace.emit ~severity:Trace.Warn
-        ~component:(Printf.sprintf "%s.sock:%d" t.name port)
-        (Trace.Packet_drop
-           { reason = "sock-overflow"; bytes = Packet.size pkt })
+    if Vini_std.Fifo.push buf pkt then begin
+      if Span.on () then Span.note_enqueue ~pkt:pkt.Packet.id;
+      on_packet ()
+    end
+    else begin
+      if Trace.on Trace.Category.Packet_drop then
+        Trace.emit ~severity:Trace.Warn
+          ~component:(Printf.sprintf "%s.sock:%d" t.name port)
+          (Trace.Packet_drop
+             { reason = "sock-overflow"; bytes = Packet.size pkt });
+      if Span.on () then
+        Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+          ~component:(Printf.sprintf "%s.sock:%d" t.name port)
+          ~reason:"sock-overflow" ~bytes:(Packet.size pkt) ()
+    end
   in
   let sock = { Socket.node = t; sock_port = port; buf; handler } in
   Ipstack.bind_udp t.stack ~port handler;

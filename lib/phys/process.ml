@@ -1,4 +1,5 @@
 module Time = Vini_sim.Time
+module Span = Vini_sim.Span
 module Packet = Vini_net.Packet
 
 type source =
@@ -136,6 +137,21 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
         match source_pop s with
         | Some pkt ->
             t.processed <- t.processed + 1;
+            if Span.on () then begin
+              (* Split the packet's in-process wait at the instant the
+                 scheduler began this (dilated) service slice: before it
+                 is queueing, after it is CPU service. *)
+              match t.proc with
+              | Some p ->
+                  let comp = component t in
+                  let start = Cpu.last_service p in
+                  Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                    ~component:comp ~until:start ();
+                  Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                    ~component:comp Span.Cpu_service ~t0:start
+                    ~t1:(Vini_sim.Engine.now (Pnode.engine node))
+              | None -> ()
+            end;
             t.handler pkt
         | None -> ())
     | None -> ()
@@ -172,16 +188,29 @@ let open_queue t ?(capacity_bytes = Calibration.udp_rcvbuf_bytes) () =
           ~component:(t.proc_name ^ ".inq")
           (Trace.Packet_drop
              { reason = "process-dead"; bytes = Packet.size pkt });
+      if Span.on () then
+        Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+          ~component:(t.proc_name ^ ".inq") ~reason:"process-dead"
+          ~bytes:(Packet.size pkt) ();
       false
     end
     else begin
       let accepted = Vini_std.Fifo.push q pkt in
-      if accepted then kick t
-      else if Trace.on Trace.Category.Packet_drop then
-        Trace.emit ~severity:Trace.Warn
-          ~component:(t.proc_name ^ ".inq")
-          (Trace.Packet_drop
-             { reason = "queue-overflow"; bytes = Packet.size pkt });
+      if accepted then begin
+        if Span.on () then Span.note_enqueue ~pkt:pkt.Packet.id;
+        kick t
+      end
+      else begin
+        if Trace.on Trace.Category.Packet_drop then
+          Trace.emit ~severity:Trace.Warn
+            ~component:(t.proc_name ^ ".inq")
+            (Trace.Packet_drop
+               { reason = "queue-overflow"; bytes = Packet.size pkt });
+        if Span.on () then
+          Span.drop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+            ~component:(t.proc_name ^ ".inq") ~reason:"queue-overflow"
+            ~bytes:(Packet.size pkt) ()
+      end;
       accepted
     end
 

@@ -76,6 +76,9 @@ let rec create ~engine ~rng ~graph
     (fun (l : Graph.link) ->
       let plink =
         Plink.create ~engine ~rng:(Vini_std.Rng.split rng)
+          ~name:
+            (Printf.sprintf "plink.%s-%s" (Graph.name graph l.a)
+               (Graph.name graph l.b))
           ~bandwidth_bps:l.bandwidth_bps ~delay:l.delay ~loss:l.loss ()
       in
       Hashtbl.replace links (key l.a l.b) plink;
@@ -129,9 +132,16 @@ and forward t nid pkt =
             else
               match Packet.decr_ttl pkt with
               | None ->
-                  (* TTL expired here; notify the source. *)
+                  (* TTL expired here; notify the source.  The notice
+                     inherits the dying packet's provenance so forensics
+                     show the expiry on the original packet's tree. *)
+                  if Vini_sim.Span.on () then
+                    Vini_sim.Span.drop ~pkt:pkt.Packet.id
+                      ~orig:pkt.Packet.orig ~component:(Pnode.name node)
+                      ~reason:"ttl-expired" ~bytes:(Packet.size pkt) ();
                   let notice =
-                    Packet.icmp ~src:(Pnode.addr node) ~dst:pkt.Packet.src
+                    Packet.icmp ~orig:pkt.Packet.orig ~src:(Pnode.addr node)
+                      ~dst:pkt.Packet.src
                       (Packet.Time_exceeded
                          { orig_src = pkt.Packet.src; orig_dst = pkt.Packet.dst })
                   in

@@ -188,3 +188,74 @@ let observability_run ?(duration_s = 2) ?(seed = 7001)
       [ monitor ]
   in
   (doc, mbps)
+
+(* ---- The flight-recorder run (CI's spans artifact) --------------------- *)
+
+module Packet = Vini_net.Packet
+module Ipstack = Vini_phys.Ipstack
+module Sspan = Vini_sim.Span
+module Mspan = Vini_measure.Span
+
+(* A quarter of the recorder's default ring: plenty for the traffic
+   window's trees while keeping the JSON artifact CI-friendly. *)
+let spans_run ?(duration_s = 2) ?(seed = 7001) ?(span_capacity = 65_536) () =
+  let engine, _underlay, iias = make_overlay ~seed in
+  (* A sink enabling the [span] category plus an installed recorder opens
+     the double gate; installing both before convergence means even
+     routing-protocol chatter gets causal trees. *)
+  let trace =
+    Trace.create ~capacity:256 ~categories:[ Trace.Category.Span ] ()
+  in
+  Trace.install trace;
+  let recorder = Sspan.create ~capacity:span_capacity () in
+  Sspan.install recorder;
+  let monitor = Monitor.create ~engine ~interval:(Time.ms 200) () in
+  Mspan.watch monitor ~prefix:"spans" recorder;
+  let v_src = Iias.vnode iias Datasets.Deter.src in
+  let v_sink = Iias.vnode iias Datasets.Deter.sink in
+  Engine.run ~until:(Time.sec 25) engine;
+  Tcp.listen ~stack:(Iias.tap v_sink) ~port:5001 ~on_accept:(fun _ -> ()) ();
+  let conn =
+    Tcp.connect ~stack:(Iias.tap v_src) ~dst:(Iias.tap_addr v_sink)
+      ~dst_port:5001 ()
+  in
+  Tcp.send_forever conn;
+  (* TTL-limited probes guarantee the artifact exercises drop forensics:
+     each dies mid-path with a recorded path-so-far.  They go in near the
+     end of the window so bulk-TCP records can't wrap the ring past them
+     before the export. *)
+  ignore
+    (Engine.at engine
+       (Time.sub (Time.sec (25 + duration_s)) (Time.ms 100))
+       (fun () ->
+         for i = 0 to 3 do
+           Ipstack.send (Iias.tap v_src)
+             (Packet.udp ~ttl:1 ~src:(Iias.tap_addr v_src)
+                ~dst:(Iias.tap_addr v_sink) ~sport:40000 ~dport:40001
+                (Packet.Probe
+                   { Packet.flow = 9; seq = i; sent_ns = 0L; pad = 32 }))
+         done));
+  Engine.run ~until:(Time.sec (25 + duration_s)) engine;
+  Monitor.stop monitor;
+  let trees = Mspan.trees recorder in
+  Mspan.register_breakdown monitor ~prefix:"spans" trees;
+  Sspan.uninstall ();
+  Trace.uninstall ();
+  let stats = Tcp.stats conn in
+  let mbps =
+    float_of_int stats.Tcp.bytes_acked *. 8.0
+    /. (float_of_int duration_s *. 1e6)
+  in
+  let doc =
+    Export.spans_document
+      ~extra:
+        [
+          ("scenario", Export.Str "deter-iias-tcp-spans");
+          ("duration_s", Export.Num (float_of_int duration_s));
+          ("seed", Export.Num (float_of_int seed));
+          ("tcp_mbps", Export.Num mbps);
+          ("metrics", Export.document [ monitor ]);
+        ]
+      recorder
+  in
+  (doc, mbps)

@@ -38,3 +38,15 @@ val observability_run :
     the physical CPU scheduler and the TCP sender.  Returns the
     [vini.metrics/1] export document (this is what the bench writes to
     [BENCH_METRICS.json]) and the measured throughput in Mb/s. *)
+
+val spans_run :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?span_capacity:int ->
+  unit ->
+  Vini_measure.Export.json * float
+(** The flight-recorder run: same IIAS TCP scenario with a span recorder
+    installed from t=0 (so routing chatter, the transfer, and four
+    deliberately TTL-doomed probes all leave causal trees).  Returns the
+    [vini.spans/1] document (with embedded Chrome [traceEvents] and a
+    nested [metrics] document) and the measured throughput in Mb/s. *)

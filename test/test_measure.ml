@@ -116,7 +116,13 @@ let test_tcpdump_capture () =
   in
   check Alcotest.bool "monotonic" true (monotonic cum);
   check Alcotest.bool "positions recorded" true
-    (List.length (Tcpdump.segment_positions dump) > 10)
+    (List.length (Tcpdump.segment_positions dump) > 10);
+  (* Capture rows carry the packet id that keys into the flight
+     recorder: present, positive, and not all the same. *)
+  let ids = List.map (fun (_, id, _) -> id) (Tcpdump.packets dump) in
+  check Alcotest.bool "ids positive" true (List.for_all (fun i -> i > 0) ids);
+  check Alcotest.bool "ids vary across packets" true
+    (List.sort_uniq compare ids |> List.length > 1)
 
 let test_monitor_sampling_and_rate () =
   let engine = Engine.create () in
@@ -256,6 +262,175 @@ let test_export_document_roundtrip () =
       check Alcotest.string "reason survives escaping" "x,y\"z"
         (Option.get (Export.to_str (get "reason" ev)))
 
+(* --- export edge cases --------------------------------------------------- *)
+
+let roundtrip j =
+  match Export.of_string (Export.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e
+
+let test_export_string_escaping () =
+  (* Quotes, backslashes and every control character must survive
+     to_string/of_string unchanged. *)
+  let controls = String.init 0x20 Char.chr in
+  let nasty =
+    [ "\"quoted\""; "back\\slash"; "\\\""; controls; "mixed \"\\\n\t\x01 end" ]
+  in
+  List.iter
+    (fun s ->
+      match roundtrip (Export.Str s) with
+      | Export.Str s' -> check Alcotest.string "string round-trips" s s'
+      | _ -> Alcotest.fail "string parsed as non-string")
+    nasty;
+  (* Escaping applies to object keys too. *)
+  match roundtrip (Export.Obj [ ("a\"b\\c\nd", Export.Num 1.0) ]) with
+  | Export.Obj [ (k, _) ] -> check Alcotest.string "key round-trips" "a\"b\\c\nd" k
+  | _ -> Alcotest.fail "object shape lost"
+
+let test_export_nonfinite_floats () =
+  check Alcotest.string "nan degrades to null" "null"
+    (Export.to_string (Export.Num Float.nan));
+  check Alcotest.string "+inf" "1e999" (Export.to_string (Export.Num infinity));
+  check Alcotest.string "-inf" "-1e999"
+    (Export.to_string (Export.Num neg_infinity));
+  (* The 1e999 spelling parses back as an infinity, so exports containing
+     them still round-trip. *)
+  (match roundtrip (Export.Num infinity) with
+  | Export.Num v -> check Alcotest.bool "+inf round-trips" true (v = infinity)
+  | _ -> Alcotest.fail "non-number");
+  (match roundtrip (Export.Num neg_infinity) with
+  | Export.Num v -> check Alcotest.bool "-inf round-trips" true (v = neg_infinity)
+  | _ -> Alcotest.fail "non-number");
+  (* NaN becomes Null: lossy by design, but still valid JSON. *)
+  match roundtrip (Export.Num Float.nan) with
+  | Export.Null -> ()
+  | _ -> Alcotest.fail "nan should parse back as null"
+
+let test_export_deep_nesting () =
+  let depth = 500 in
+  let deep = ref (Export.Num 7.0) in
+  for _ = 1 to depth do
+    deep := Export.Arr [ Export.Obj [ ("k", !deep) ] ]
+  done;
+  let rec unwrap n j =
+    if n = 0 then j
+    else
+      match j with
+      | Export.Arr [ Export.Obj [ ("k", inner) ] ] -> unwrap (n - 1) inner
+      | _ -> Alcotest.fail "nesting shape lost"
+  in
+  match unwrap depth (roundtrip !deep) with
+  | Export.Num v -> check (Alcotest.float 0.0) "payload survives" 7.0 v
+  | _ -> Alcotest.fail "payload lost"
+
+(* --- the flight recorder's cold half ------------------------------------- *)
+
+module Sspan = Vini_sim.Span
+module Mspan = Vini_measure.Span
+module Trace = Vini_sim.Trace
+
+(* Two hand-built causal trees: pkt 100 delivered through an encap (inner
+   pkt 100, outer pkt 101, same orig), pkt 200 killed by TTL. *)
+let synthetic_recorder () =
+  let engine = Engine.create () in
+  let tr = Trace.create ~categories:[ Trace.Category.Span ] () in
+  Trace.install tr;
+  let r = Sspan.create ~capacity:64 () in
+  Sspan.install r;
+  ignore
+    (Engine.at engine (Time.ms 1) (fun () ->
+         Sspan.origin ~pkt:100 ~orig:100 ~bytes:1500 ~component:"src" ();
+         Sspan.origin ~pkt:200 ~orig:200 ~bytes:64 ~component:"probe" ()));
+  ignore
+    (Engine.at engine (Time.ms 4) (fun () ->
+         Sspan.hop ~pkt:100 ~orig:100 ~component:"q" Sspan.Queueing
+           ~t0:(Time.ms 1) ~t1:(Time.ms 2);
+         Sspan.hop ~pkt:100 ~orig:100 ~component:"cpu" Sspan.Cpu_service
+           ~t0:(Time.ms 2) ~t1:(Time.ms 3);
+         Sspan.hop ~pkt:101 ~orig:100 ~component:"link" Sspan.Serialization
+           ~t0:(Time.ms 3) ~t1:(Time.ms 4);
+         Sspan.drop ~pkt:200 ~orig:200 ~component:"router"
+           ~reason:"ttl-expired" ~bytes:64 ()));
+  Engine.run engine;
+  Sspan.uninstall ();
+  Trace.uninstall ();
+  r
+
+let test_span_trees_and_breakdown () =
+  let r = synthetic_recorder () in
+  let trees = Mspan.trees r in
+  check Alcotest.int "two trees" 2 (List.length trees);
+  let t100 = List.find (fun t -> t.Mspan.tree_orig = 100) trees in
+  let t200 = List.find (fun t -> t.Mspan.tree_orig = 200) trees in
+  check Alcotest.int "tree 100: three hops" 3 (List.length t100.Mspan.hops);
+  check Alcotest.int "tree 100: no drops" 0 (List.length t100.Mspan.drops);
+  check Alcotest.string "root component" "src" (Mspan.root_component t100);
+  check (Alcotest.float 1e-9) "total latency = 3 ms" 0.003
+    (Mspan.total_latency t100);
+  check Alcotest.bool "encap kept one tree" true
+    (List.exists (fun h -> h.Mspan.h_pkt = 101) t100.Mspan.hops);
+  check Alcotest.int "tree 200 died" 1 (List.length t200.Mspan.drops);
+  let rows = Mspan.breakdown trees in
+  check Alcotest.int "one row per category"
+    (List.length Sspan.attributions) (List.length rows);
+  let row a = List.find (fun x -> x.Mspan.attribution = a) rows in
+  check (Alcotest.float 1e-9) "queueing 1 ms" 0.001 (row Sspan.Queueing).Mspan.total_s;
+  check (Alcotest.float 1e-9) "cpu 1 ms" 0.001 (row Sspan.Cpu_service).Mspan.total_s;
+  check Alcotest.int "propagation empty" 0 (row Sspan.Propagation).Mspan.hop_count;
+  (match Mspan.breakdown_by_origin trees with
+  | [ ("src", _); ("probe", _) ] -> ()
+  | groups ->
+      Alcotest.failf "unexpected origin groups: %s"
+        (String.concat "," (List.map fst groups)));
+  match Mspan.worst ~n:1 trees with
+  | [ w ] -> check Alcotest.int "worst is the slow tree" 100 w.Mspan.tree_orig
+  | _ -> Alcotest.fail "worst ?n did not cap"
+
+let test_span_forensics_path () =
+  let r = synthetic_recorder () in
+  let forensics = Mspan.forensics (Mspan.trees r) in
+  match forensics with
+  | [ f ] ->
+      check Alcotest.int "orig" 200 f.Mspan.f_orig;
+      check Alcotest.string "site" "router" f.Mspan.f_site;
+      check Alcotest.string "reason" "ttl-expired" f.Mspan.f_reason;
+      check Alcotest.bool "path non-empty" true (f.Mspan.f_path <> []);
+      (match f.Mspan.f_path with
+      | Mspan.At_origin o :: _ ->
+          check Alcotest.string "path starts at the origin" "probe"
+            o.Mspan.o_component
+      | _ -> Alcotest.fail "path must start at the origin")
+  | fs -> Alcotest.failf "expected one forensic record, got %d" (List.length fs)
+
+let test_spans_document () =
+  let r = synthetic_recorder () in
+  let doc = Export.spans_document ~worst:1 r in
+  let parsed = roundtrip doc in
+  let get k j = Option.get (Export.member k j) in
+  check Alcotest.string "schema" Export.spans_schema_version
+    (Option.get (Export.to_str (get "schema" parsed)));
+  let events = Option.get (Export.to_list (get "traceEvents" parsed)) in
+  (* 2 origins + 3 hops + 1 drop *)
+  check Alcotest.int "trace events" 6 (List.length events);
+  List.iter
+    (fun ev ->
+      check Alcotest.bool "event has name/ph/ts" true
+        (Export.member "name" ev <> None
+        && Export.member "ph" ev <> None
+        && Export.member "ts" ev <> None))
+    events;
+  check Alcotest.bool "has X and i phases" true
+    (let phases =
+       List.filter_map (fun ev -> Option.bind (Export.member "ph" ev) Export.to_str) events
+     in
+     List.mem "X" phases && List.mem "i" phases);
+  let drops = Option.get (Export.to_list (get "drops" parsed)) in
+  check Alcotest.int "one drop" 1 (List.length drops);
+  let path = Option.get (Export.to_list (get "path" (List.hd drops))) in
+  check Alcotest.bool "drop path non-empty" true (path <> []);
+  let worst = Option.get (Export.to_list (get "worst_paths" parsed)) in
+  check Alcotest.int "worst capped at 1" 1 (List.length worst)
+
 let suite =
   [
     Alcotest.test_case "ping counts and rtt" `Quick test_ping_counts_and_rtt;
@@ -271,4 +446,13 @@ let suite =
     Alcotest.test_case "export json roundtrip" `Quick test_export_json_roundtrip;
     Alcotest.test_case "export document roundtrip" `Quick
       test_export_document_roundtrip;
+    Alcotest.test_case "export string escaping" `Quick
+      test_export_string_escaping;
+    Alcotest.test_case "export non-finite floats" `Quick
+      test_export_nonfinite_floats;
+    Alcotest.test_case "export deep nesting" `Quick test_export_deep_nesting;
+    Alcotest.test_case "span trees and breakdown" `Quick
+      test_span_trees_and_breakdown;
+    Alcotest.test_case "span drop forensics" `Quick test_span_forensics_path;
+    Alcotest.test_case "spans document" `Quick test_spans_document;
   ]

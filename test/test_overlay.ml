@@ -67,6 +67,68 @@ let test_ping_across_overlay () =
     true
     (avg > 0.1 && avg < 5.0)
 
+let test_flight_recorder_across_overlay () =
+  (* End to end: record a ping crossing the full overlay and check the
+     causal tree has every attribution category, inherited provenance
+     across UDP-tunnel encapsulation, and a forensic path for a
+     TTL-doomed packet. *)
+  let module Sspan = Vini_sim.Span in
+  let module Mspan = Vini_measure.Span in
+  let module Trace = Vini_sim.Trace in
+  let module Packet = Vini_net.Packet in
+  let engine, iias = make_chain () in
+  converge engine;
+  let tr = Trace.create ~categories:[ Trace.Category.Span ] () in
+  Trace.install tr;
+  let r = Sspan.create ~capacity:65_536 () in
+  Sspan.install r;
+  let v0 = Iias.vnode iias 0 and v2 = Iias.vnode iias 2 in
+  let ping =
+    Ping.start ~stack:(Iias.tap v0) ~dst:(Iias.tap_addr v2) ~count:20 ()
+  in
+  ignore
+    (Engine.at engine (Time.sec 21) (fun () ->
+         Ipstack.send (Iias.tap v0)
+           (Packet.udp ~ttl:1 ~src:(Iias.tap_addr v0) ~dst:(Iias.tap_addr v2)
+              ~sport:40000 ~dport:40001
+              (Packet.Probe { Packet.flow = 1; seq = 0; sent_ns = 0L; pad = 8 }))));
+  Engine.run ~until:(Time.sec 30) engine;
+  Sspan.uninstall ();
+  Trace.uninstall ();
+  check Alcotest.int "pings still delivered while recording" 20
+    (Ping.received ping);
+  let trees = Mspan.trees r in
+  check Alcotest.bool "trees recorded" true (trees <> []);
+  (* Every attribution category shows up somewhere on a loaded overlay. *)
+  let rows = Mspan.breakdown trees in
+  List.iter
+    (fun row ->
+      check Alcotest.bool
+        (Sspan.attribution_name row.Mspan.attribution ^ " hops present")
+        true (row.Mspan.hop_count > 0))
+    rows;
+  (* Encapsulation inherits provenance: some tree carries a hop or origin
+     whose packet id differs from the tree's root id (the outer tunnel
+     frame continuing the inner packet's tree). *)
+  check Alcotest.bool "encap continues the inner packet's tree" true
+    (List.exists
+       (fun t ->
+         List.exists (fun (h : Mspan.hop) -> h.Mspan.h_pkt <> t.Mspan.tree_orig) t.Mspan.hops
+         || List.exists
+              (fun (o : Mspan.origin) -> o.Mspan.o_pkt <> t.Mspan.tree_orig)
+              t.Mspan.origins)
+       trees);
+  (* The TTL-doomed probe died with a non-empty path-so-far. *)
+  let forensics = Mspan.forensics trees in
+  let ttl =
+    List.filter (fun f -> f.Mspan.f_reason = "ttl-expired") forensics
+  in
+  check Alcotest.bool "ttl probe produced a forensic record" true (ttl <> []);
+  List.iter
+    (fun f ->
+      check Alcotest.bool "forensic path non-empty" true (f.Mspan.f_path <> []))
+    forensics
+
 let test_vlink_failure_and_reconvergence () =
   (* Square topology: 0-1-2 and 0-3-2 as alternate path. *)
   let engine = Engine.create ~seed:11 () in
@@ -551,6 +613,8 @@ let suite =
   [
     Alcotest.test_case "ospf converges over tunnels" `Quick test_ospf_converges;
     Alcotest.test_case "ping across overlay" `Quick test_ping_across_overlay;
+    Alcotest.test_case "flight recorder across overlay" `Quick
+      test_flight_recorder_across_overlay;
     Alcotest.test_case "virtual link failure reroutes" `Quick
       test_vlink_failure_and_reconvergence;
     Alcotest.test_case "tcp transfer over overlay" `Quick test_tcp_over_overlay;

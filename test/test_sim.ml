@@ -258,6 +258,100 @@ let test_engine_instrumentation () =
   check Alcotest.int "callback histogram populated" 100
     (Vini_std.Histogram.count (Engine.callback_hist e))
 
+(* ---- the per-packet flight recorder (hot half) ------------------------- *)
+
+module Span = Vini_sim.Span
+
+let span_cleanup () =
+  Span.uninstall ();
+  Trace.uninstall ()
+
+let test_span_double_gate () =
+  span_cleanup ();
+  check Alcotest.bool "nothing installed: off" false (Span.on ());
+  let r = Span.create ~capacity:8 () in
+  Span.install r;
+  check Alcotest.bool "recorder alone: still off" false (Span.on ());
+  let tr = Trace.create ~categories:[ Trace.Category.Custom ] () in
+  Trace.install tr;
+  check Alcotest.bool "sink without span category: off" false (Span.on ());
+  Trace.enable tr Trace.Category.Span;
+  check Alcotest.bool "both halves open: on" true (Span.on ());
+  Span.instant ~pkt:1 ~orig:1 ~component:"x" Span.Proto_processing;
+  check Alcotest.int "recorded" 1 (Span.length r);
+  Trace.disable tr Trace.Category.Span;
+  check Alcotest.bool "category disabled: off" false (Span.on ());
+  Trace.enable tr Trace.Category.Span;
+  Span.uninstall ();
+  check Alcotest.bool "recorder removed: off" false (Span.on ());
+  Trace.uninstall ();
+  check Alcotest.bool "all removed: off" false (Span.on ())
+
+let test_span_ring_bounded () =
+  span_cleanup ();
+  let r = Span.create ~capacity:4 () in
+  Span.install r;
+  let tr = Trace.create ~categories:[ Trace.Category.Span ] () in
+  Trace.install tr;
+  for i = 1 to 10 do
+    Span.instant ~pkt:i ~orig:i ~component:"ring" Span.Proto_processing
+  done;
+  check Alcotest.int "length capped" 4 (Span.length r);
+  check Alcotest.int "capacity" 4 (Span.capacity r);
+  check Alcotest.int "overwritten counted" 6 (Span.overwritten r);
+  check
+    (Alcotest.list Alcotest.int)
+    "oldest evicted, order kept" [ 7; 8; 9; 10 ]
+    (List.map Span.record_pkt (Span.records r));
+  Span.clear r;
+  check Alcotest.int "clear empties" 0 (Span.length r);
+  check Alcotest.int "clear resets overwritten" 0 (Span.overwritten r);
+  span_cleanup ()
+
+let test_span_queue_helpers () =
+  span_cleanup ();
+  let e = Engine.create () in
+  let r = Span.create ~capacity:16 () in
+  Span.install r;
+  let tr = Trace.create ~categories:[ Trace.Category.Span ] () in
+  Trace.install tr;
+  ignore (Engine.at e (Time.ms 1) (fun () -> Span.note_enqueue ~pkt:7));
+  ignore
+    (Engine.at e (Time.ms 3) (fun () ->
+         Span.dequeue_hop ~pkt:7 ~orig:7 ~component:"q" ();
+         (* Unknown id and zero wait both record nothing. *)
+         Span.dequeue_hop ~pkt:99 ~orig:99 ~component:"q" ();
+         Span.note_enqueue ~pkt:8;
+         Span.dequeue_hop ~pkt:8 ~orig:8 ~component:"q" ()));
+  Engine.run e;
+  (match Span.records r with
+  | [ Span.Hop { pkt = 7; attribution = Span.Queueing; t0; t1; _ } ] ->
+      check time "wait opens at enqueue" (Time.ms 1) t0;
+      check time "wait closes at dequeue" (Time.ms 3) t1
+  | records ->
+      Alcotest.failf "expected exactly the pkt-7 queueing hop, got %d records"
+        (List.length records));
+  span_cleanup ()
+
+let test_span_disabled_records_nothing () =
+  span_cleanup ();
+  let r = Span.create ~capacity:8 () in
+  (* Not installed: emitters must be inert even when called directly. *)
+  Span.origin ~pkt:1 ~orig:1 ~bytes:64 ~component:"x" ();
+  Span.drop ~pkt:1 ~orig:1 ~component:"x" ~reason:"r" ~bytes:64 ();
+  Span.note_enqueue ~pkt:1;
+  Span.dequeue_hop ~pkt:1 ~orig:1 ~component:"x" ();
+  check Alcotest.int "nothing recorded" 0 (Span.length r)
+
+let test_span_attribution_names () =
+  List.iter
+    (fun a ->
+      check Alcotest.bool "name round-trips" true
+        (Span.attribution_of_name (Span.attribution_name a) = Some a))
+    Span.attributions;
+  check Alcotest.bool "unknown name rejected" true
+    (Span.attribution_of_name "warp_drive" = None)
+
 let suite =
   [
     Alcotest.test_case "time units" `Quick test_time_units;
@@ -282,4 +376,11 @@ let suite =
       test_engine_pending_counts_live;
     Alcotest.test_case "engine instrumentation" `Quick
       test_engine_instrumentation;
+    Alcotest.test_case "span double gate" `Quick test_span_double_gate;
+    Alcotest.test_case "span ring bounded" `Quick test_span_ring_bounded;
+    Alcotest.test_case "span queue helpers" `Quick test_span_queue_helpers;
+    Alcotest.test_case "span disabled is inert" `Quick
+      test_span_disabled_records_nothing;
+    Alcotest.test_case "span attribution names" `Quick
+      test_span_attribution_names;
   ]

@@ -130,6 +130,39 @@ let lookup_loop lookup fib probes () =
     done
   done
 
+(* ---- Embedding solvers: 100-slice arrival ----------------------------- *)
+
+(* The admission-control workload end to end: 100 six-node ring slices
+   arrive one by one at a fresh Abilene substrate (4 reference cores per
+   site, so the tail of the sequence is rejected) and each is solved
+   and, when feasible, committed.  Timed per slice decision for both
+   solvers — the online solver pays exponential congestion pricing per
+   candidate, greedy a best-fit scan.  There is no old/new pair here
+   (the two algorithms trade placement quality against solve time), so
+   both are recorded, not gated. *)
+
+let embed_slices = 100
+let embed_passes = scale 16
+
+let embed_arrival algo () =
+  let module S = Vini_embed.Substrate in
+  let module Em = Vini_embed.Embed in
+  let module Rq = Vini_embed.Request in
+  let phys = Vini_repro.Abilene.topology () in
+  let vtopo = Vini_repro.Migration.virtual_ring 6 in
+  for _ = 1 to embed_passes do
+    let sub = S.of_graph ~node_capacity:(fun _ -> 4.0) phys in
+    for i = 0 to embed_slices - 1 do
+      let req =
+        Rq.make ~name:"arrival"
+          ~cpu:(fun _ -> 0.25)
+          ~bw:(fun _ -> 5e7)
+          ~algo ~seed:i ()
+      in
+      ignore (Em.admit sub ~vtopo req)
+    done
+  done
+
 (* ---- Macro: §5.1 forwarding replay ------------------------------------ *)
 
 (* The Table 2 IIAS row end to end — iperf TCP across the 3-node DETER
@@ -255,11 +288,20 @@ let run () =
     bench ~name:"lpm.compressed_uniform" ~ops:lpm_ops
       (lookup_loop Fib.lookup fib uniform)
   in
+  let embed_ops = embed_passes * embed_slices in
+  let embed_greedy =
+    bench ~name:"embed.solve_greedy" ~ops:embed_ops
+      (embed_arrival Vini_embed.Request.Greedy)
+  in
+  let embed_online =
+    bench ~name:"embed.solve_online" ~ops:embed_ops
+      (embed_arrival Vini_embed.Request.Online)
+  in
   let macro_b, mbps = macro () in
   let spans_off_a, spans_on, spans_off_b = spans_benches () in
   let benches =
-    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; macro_b;
-      spans_off_a; spans_on; spans_off_b ]
+    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; embed_greedy;
+      embed_online; macro_b; spans_off_a; spans_on; spans_off_b ]
   in
   let speedups =
     [

@@ -79,6 +79,16 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* Physical substrates addressable by name ([vini run], [vini embed]).
+   "mesh" is a generous default: 16 well-connected Waxman sites. *)
+let physical_topology ~seed = function
+  | "abilene" -> Abilene.topology ()
+  | "deter" -> Vini_topo.Datasets.Deter.topology ()
+  | "planetlab3" -> Vini_topo.Datasets.Planetlab3.topology ()
+  | "nlr" -> Vini_topo.Datasets.Nlr.topology ()
+  | "mesh" -> Vini_topo.Datasets.waxman ~rng:(Vini_std.Rng.create seed) ~n:16 ()
+  | other -> failwith ("unknown substrate " ^ other)
+
 (* Dump the "trace" part of an export document as one line per event. *)
 let print_trace_events doc =
   let module E = Vini_measure.Export in
@@ -439,7 +449,7 @@ let ablate_cmd =
 
 let run_cmd =
   let run spec_file phys_name watch seed duration trace metrics_out report_out
-      spans_out =
+      spans_out embed_out =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -453,17 +463,7 @@ let run_cmd =
           close_in ic;
           s
     in
-    let phys =
-      match phys_name with
-      | "abilene" -> Abilene.topology ()
-      | "deter" -> Vini_topo.Datasets.Deter.topology ()
-      | "planetlab3" -> Vini_topo.Datasets.Planetlab3.topology ()
-      | "nlr" -> Vini_topo.Datasets.Nlr.topology ()
-      | "mesh" ->
-          (* A generous default substrate: 16 well-connected sites. *)
-          Vini_topo.Datasets.waxman ~rng:(Vini_std.Rng.create seed) ~n:16 ()
-      | other -> failwith ("unknown substrate " ^ other)
-    in
+    let phys = physical_topology ~seed phys_name in
     let spec =
       match Vini_core.Spec_lang.load text ~phys with
       | Ok s -> s
@@ -656,7 +656,44 @@ let run_cmd =
         in
         E.write ~path doc;
         Printf.printf "report written to %s\n" path)
-      report_out
+      report_out;
+    Option.iter
+      (fun path ->
+        let module E = Vini_measure.Export in
+        let module V = Vini_core.Vini in
+        match (V.mapping inst, V.placement_request inst) with
+        | Some m, Some req ->
+            let slices =
+              [
+                {
+                  E.es_name = spec.Vini_core.Experiment.exp_name;
+                  es_vtopo = spec.Vini_core.Experiment.vtopo;
+                  es_request = req;
+                  es_result = Ok m;
+                };
+              ]
+            in
+            let migrations =
+              List.map
+                (fun (mg : V.migration) ->
+                  {
+                    E.mg_vnode = mg.V.m_vnode;
+                    mg_from = mg.m_from;
+                    mg_to = mg.m_to;
+                    mg_down_s = Vini_sim.Time.to_sec_f mg.m_down_at;
+                    mg_restored_s = Vini_sim.Time.to_sec_f mg.m_restored_at;
+                  })
+                (V.migrations inst)
+            in
+            E.write ~path
+              (E.embed_document ~migrations ~substrate:(V.substrate vini)
+                 ~slices ());
+            Printf.printf "embedding written to %s (%d migration(s))\n" path
+              (List.length migrations)
+        | _ ->
+            Printf.printf
+              "embed-out: pinned placement, no embedding document\n")
+      embed_out
   in
   let spec_arg =
     Arg.(value & opt (some file) None
@@ -686,12 +723,22 @@ let run_cmd =
                    violations, per-vnode counters, supervised restarts) to \
                    $(docv).")
   in
+  let embed_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "embed-out" ] ~docv:"FILE"
+             ~doc:"Write the run's vini.embed/1 embedding document (solved \
+                   mapping, substrate stress, acceptance counters, and any \
+                   crash-driven migrations with their downtime) to $(docv).  \
+                   Inspect or produce standalone documents with $(b,vini \
+                   embed).")
+  in
   let doc =
     "Deploy a textual experiment specification (§6.2) and watch it run."
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
-          $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg)
+          $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg
+          $ embed_out_arg)
 
 (* --- spans ----------------------------------------------------------------------- *)
 
@@ -827,6 +874,159 @@ let spans_cmd =
   in
   Cmd.v (Cmd.info "spans" ~doc) Term.(const run $ file_arg $ check_arg)
 
+(* --- embed ----------------------------------------------------------------------- *)
+
+let embed_cmd =
+  let module Embed = Vini_embed.Embed in
+  let module Request = Vini_embed.Request in
+  let module Substrate = Vini_embed.Substrate in
+  let module E = Vini_measure.Export in
+  let module Graph = Vini_topo.Graph in
+  let run phys_name vnodes cpu bw_mbps solver seed slices check out =
+    let phys = physical_topology ~seed phys_name in
+    let algo =
+      match Request.algo_of_string solver with
+      | Some a -> a
+      | None -> failwith ("unknown solver " ^ solver ^ " (greedy or online)")
+    in
+    let vtopo = Migration.virtual_ring vnodes in
+    let sub = Substrate.of_graph phys in
+    let bw = bw_mbps *. 1e6 in
+    Printf.printf
+      "embedding %d slice(s) of a %d-node virtual ring (cpu %.2f cores/vnode, \
+       bw %.1f Mb/s/vlink, %s solver) on %s (%d nodes)\n\n"
+      slices vnodes cpu bw_mbps solver phys_name (Graph.node_count phys);
+    let checked = ref 0 in
+    let results =
+      List.init slices (fun i ->
+          let name =
+            if slices = 1 then "slice" else Printf.sprintf "slice%d" i
+          in
+          let req =
+            Request.make ~name ~cpu:(fun _ -> cpu) ~bw:(fun _ -> bw) ~algo
+              ~seed:(seed + i) ()
+          in
+          let res =
+            match Embed.solve sub ~vtopo req with
+            | Ok m ->
+                if check then begin
+                  (match Embed.check sub ~vtopo req m with
+                  | Ok () -> incr checked
+                  | Error e ->
+                      Printf.eprintf "check: FAIL (%s): %s\n" name e;
+                      exit 1);
+                end;
+                Embed.commit sub ~vtopo req m;
+                Substrate.note_admitted sub;
+                Ok m
+            | Error r ->
+                Substrate.note_rejected sub;
+                Error r
+          in
+          { E.es_name = name; es_vtopo = vtopo; es_request = req;
+            es_result = res })
+    in
+    List.iter
+      (fun s ->
+        match s.E.es_result with
+        | Ok m ->
+            Report.table
+              ~title:
+                (Printf.sprintf "%s: mapped (stretch %.3f)" s.E.es_name
+                   (Embed.stretch sub m))
+              ~header:[ "vnode"; "pnode"; "cpu" ]
+              ~rows:
+                (Array.to_list
+                   (Array.mapi
+                      (fun v p ->
+                        [ Graph.name vtopo v; Graph.name phys p; f cpu ])
+                      m.Embed.nodes));
+            if slices = 1 then
+              List.iter
+                (fun ((va, vb), path) ->
+                  Printf.printf "  %s-%s via %s\n" (Graph.name vtopo va)
+                    (Graph.name vtopo vb)
+                    (String.concat " > " (List.map (Graph.name phys) path)))
+                m.Embed.vpaths
+        | Error r ->
+            Printf.printf "%s: REJECTED [%s] %s\n" s.E.es_name
+              (Embed.rejection_kind r)
+              (Embed.rejection_to_string r))
+      results;
+    print_newline ();
+    Report.table ~title:"per-pnode stress (reference cores)"
+      ~header:[ "pnode"; "capacity"; "used"; "residual" ]
+      ~rows:
+        (List.init (Graph.node_count phys) (fun p ->
+             [
+               Graph.name phys p;
+               f (Substrate.node_capacity sub p);
+               f (Substrate.node_used sub p);
+               f (Substrate.node_residual sub p);
+             ]));
+    Printf.printf "admitted %d, rejected %d (acceptance %.2f)\n"
+      (Substrate.admitted sub) (Substrate.rejected sub)
+      (Substrate.acceptance_rate sub);
+    if check && !checked > 0 then
+      Printf.printf "check: OK (%d mapping(s) validated)\n" !checked;
+    Option.iter
+      (fun path ->
+        E.write ~path (E.embed_document ~substrate:sub ~slices:results ());
+        Printf.printf "embedding written to %s\n" path)
+      out;
+    if Substrate.admitted sub = 0 && Substrate.rejected sub > 0 then exit 3
+  in
+  let phys_arg =
+    Arg.(value & opt string "abilene"
+         & info [ "phys" ] ~docv:"NAME"
+             ~doc:"Physical substrate: abilene, mesh, nlr, deter, planetlab3.")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 6 & info [ "nodes" ] ~docv:"N"
+           ~doc:"Virtual ring size (the slice topology to place).")
+  in
+  let cpu_arg =
+    Arg.(value & opt float 0.25 & info [ "cpu" ] ~docv:"CORES"
+           ~doc:"Per-virtual-node CPU demand, in reference cores.")
+  in
+  let bw_arg =
+    Arg.(value & opt float 0.0 & info [ "bw" ] ~docv:"MBPS"
+           ~doc:"Per-virtual-link bandwidth demand, in Mb/s.")
+  in
+  let solver_arg =
+    Arg.(value & opt string "greedy"
+         & info [ "solver" ] ~docv:"ALGO"
+             ~doc:"Placement solver: greedy (capacity-aware best-fit) or \
+                   online (deterministic congestion-priced).")
+  in
+  let slices_arg =
+    Arg.(value & opt int 1 & info [ "slices" ] ~docv:"N"
+           ~doc:"Admit an arrival sequence of N identical slices against the \
+                 shared substrate and report the acceptance rate.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate every accepted mapping against the substrate \
+                   (injectivity, liveness, path adjacency, residual fit) \
+                   before committing it; non-zero exit on failure.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the vini.embed/1 JSON document (mappings or \
+                   structured rejections, substrate stress, residual \
+                   histogram, acceptance) to $(docv).")
+  in
+  let doc =
+    "Place virtual topologies on a physical substrate with the \
+     capacity-aware embedding engine: solved mappings, per-pnode stress, \
+     structured rejection reasons.  Exits 3 when nothing could be admitted."
+  in
+  Cmd.v (Cmd.info "embed" ~doc)
+    Term.(const run $ phys_arg $ nodes_arg $ cpu_arg $ bw_arg $ solver_arg
+          $ seed_arg $ slices_arg $ check_arg $ out_arg)
+
 (* --- mttr ------------------------------------------------------------------------ *)
 
 let mttr_cmd =
@@ -867,6 +1067,6 @@ let main =
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; spans_cmd; mttr_cmd; upcalls_cmd ]
+      ablate_cmd; spans_cmd; embed_cmd; mttr_cmd; upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -45,25 +45,37 @@ let action_to_string = function
 
 type event = { at : Time.t; action : action }
 
+type placement =
+  | Pinned of (int -> int)
+  | Auto of Vini_embed.Request.t
+
 type spec = {
   exp_name : string;
   slice : Vini_phys.Slice.t;
   vtopo : Graph.t;
-  embedding : int -> int;
+  placement : placement;
   routing : Iias.routing_choice;
   ingresses : (int * Vini_net.Prefix.t) list;
   egresses : int list;
   events : event list;
 }
 
-let make ~name ~slice ~vtopo ?(embedding = Fun.id)
+let make ~name ~slice ~vtopo ?embedding ?placement
     ?(routing = Iias.default_ospf) ?(ingresses = []) ?(egresses = [])
     ?(events = []) () =
+  let placement =
+    match (embedding, placement) with
+    | Some _, Some _ ->
+        invalid_arg "Experiment.make: embedding and placement are exclusive"
+    | Some f, None -> Pinned f
+    | None, Some p -> p
+    | None, None -> Pinned Fun.id
+  in
   {
     exp_name = name;
     slice;
     vtopo;
-    embedding;
+    placement;
     routing;
     ingresses;
     egresses;
@@ -75,18 +87,44 @@ let mirror ~name ~slice ~graph ?(events = []) () =
 
 let at seconds action = { at = Time.of_sec_f seconds; action }
 
-let validate spec =
+let validate ?phys spec =
   let n = Graph.node_count spec.vtopo in
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  let seen = Hashtbl.create n in
-  for v = 0 to n - 1 do
-    let p = spec.embedding v in
-    if Hashtbl.mem seen p then
-      err "virtual nodes %d and %d share physical node %d" (Hashtbl.find seen p)
-        v p
-    else Hashtbl.replace seen p v
-  done;
+  let pn = Option.map Graph.node_count phys in
+  let check_pnode what p =
+    if p < 0 then err "%s targets negative physical node %d" what p
+    else
+      match pn with
+      | Some count when p >= count ->
+          err "%s targets nonexistent physical node %d (substrate has %d)" what
+            p count
+      | Some _ | None -> ()
+  in
+  (match spec.placement with
+  | Pinned f ->
+      let seen = Hashtbl.create n in
+      for v = 0 to n - 1 do
+        let p = f v in
+        check_pnode (Printf.sprintf "embedding of virtual node %d" v) p;
+        if Hashtbl.mem seen p then
+          err "virtual nodes %d and %d share physical node %d"
+            (Hashtbl.find seen p) v p
+        else Hashtbl.replace seen p v
+      done
+  | Auto req ->
+      let seenv = Hashtbl.create 8 and seenp = Hashtbl.create 8 in
+      List.iter
+        (fun (v, p) ->
+          if v < 0 || v >= n then
+            err "pin references virtual node %d out of range" v
+          else if Hashtbl.mem seenv v then err "virtual node %d pinned twice" v
+          else Hashtbl.replace seenv v ();
+          check_pnode (Printf.sprintf "pin of virtual node %d" v) p;
+          if p >= 0 then
+            if Hashtbl.mem seenp p then err "physical node %d pinned twice" p
+            else Hashtbl.replace seenp p ())
+        req.Vini_embed.Request.pins);
   let check_vlink what a b =
     if a < 0 || a >= n || b < 0 || b >= n then
       err "%s references node out of range (%d, %d)" what a b

@@ -45,11 +45,20 @@ val action_to_string : action -> string
 
 type event = { at : Vini_sim.Time.t; action : action }
 
+type placement =
+  | Pinned of (int -> int)
+      (** hand-written embedding: virtual node id -> physical node id,
+          injective *)
+  | Auto of Vini_embed.Request.t
+      (** capacity-aware placement solved at deploy time against the
+          substrate's residual capacities; the request's pins fix chosen
+          virtual nodes, everything else is placed by the solver *)
+
 type spec = {
   exp_name : string;
   slice : Vini_phys.Slice.t;
   vtopo : Vini_topo.Graph.t;
-  embedding : int -> int;
+  placement : placement;
   routing : Vini_overlay.Iias.routing_choice;
   ingresses : (int * Vini_net.Prefix.t) list;
   egresses : int list;
@@ -61,6 +70,7 @@ val make :
   slice:Vini_phys.Slice.t ->
   vtopo:Vini_topo.Graph.t ->
   ?embedding:(int -> int) ->
+  ?placement:placement ->
   ?routing:Vini_overlay.Iias.routing_choice ->
   ?ingresses:(int * Vini_net.Prefix.t) list ->
   ?egresses:int list ->
@@ -68,7 +78,10 @@ val make :
   unit ->
   spec
 (** Defaults: identity embedding (virtual node i on physical node i),
-    OSPF with the paper's timers, no ingress/egress, no events. *)
+    OSPF with the paper's timers, no ingress/egress, no events.
+    [?embedding:f] is sugar for [?placement:(Pinned f)].
+    @raise Invalid_argument when both [embedding] and [placement] are
+    given. *)
 
 val mirror :
   name:string ->
@@ -83,5 +96,7 @@ val mirror :
 val at : float -> action -> event
 (** [at seconds action] — sugar for building timelines. *)
 
-val validate : spec -> (unit, string) result
-(** Check embedding injectivity and event references before deploying. *)
+val validate : ?phys:Vini_topo.Graph.t -> spec -> (unit, string) result
+(** Check the placement (injectivity and, with [phys], that every pinned
+    or hand-written target actually exists on the substrate) and event
+    references before deploying. *)

@@ -205,6 +205,8 @@ let feed b line =
       if not (known_node b v) then Error (Printf.sprintf "unknown node %S" v)
       else if List.mem_assoc v b.b_embeds then
         Error (Printf.sprintf "duplicate embed for %S" v)
+      else if List.exists (fun (_, p') -> p' = p) b.b_embeds then
+        Error (Printf.sprintf "duplicate embed target %S" p)
       else begin
         b.b_embeds <- b.b_embeds @ [ (v, p) ];
         Ok ()
@@ -379,12 +381,18 @@ let elaborate_event p ev =
 
 let to_spec p ~phys =
   let ( let* ) = Result.bind in
-  (* Embedding: explicit embeds first, then same-name physical nodes, then
-     the free physical indices in order. *)
+  (* Placement: explicit embeds and same-name physical nodes become pins;
+     everything else is placed by the capacity-aware solver at deploy
+     time. *)
   let phys_index name =
     match Graph.id_of_name phys name with
     | i -> Some i
     | exception Not_found -> None
+  in
+  let* () =
+    if List.length p.nodes > Graph.node_count phys then
+      Error "physical substrate too small for the virtual topology"
+    else Ok ()
   in
   let* explicit =
     List.fold_left
@@ -397,41 +405,19 @@ let to_spec p ~phys =
   in
   let used = Hashtbl.create 8 in
   List.iter (fun (_, pi) -> Hashtbl.replace used pi ()) explicit;
-  let assignment = Hashtbl.create 8 in
-  List.iter (fun (v, pi) -> Hashtbl.replace assignment v pi) explicit;
-  (* Same-name pass. *)
+  let pinned = Hashtbl.create 8 in
+  List.iter (fun (v, pi) -> Hashtbl.replace pinned v pi) explicit;
+  (* Same-name pass: a virtual node named like a physical node sticks to
+     it unless an explicit embed already claimed that machine. *)
   List.iter
     (fun v ->
-      if not (Hashtbl.mem assignment v) then
+      if not (Hashtbl.mem pinned v) then
         match phys_index v with
         | Some pi when not (Hashtbl.mem used pi) ->
-            Hashtbl.replace assignment v pi;
+            Hashtbl.replace pinned v pi;
             Hashtbl.replace used pi ()
         | Some _ | None -> ())
     p.nodes;
-  (* Free-index pass. *)
-  let next_free = ref 0 in
-  let* () =
-    List.fold_left
-      (fun acc v ->
-        let* () = acc in
-        if Hashtbl.mem assignment v then Ok ()
-        else begin
-          while
-            !next_free < Graph.node_count phys && Hashtbl.mem used !next_free
-          do
-            incr next_free
-          done;
-          if !next_free >= Graph.node_count phys then
-            Error "physical substrate too small for the virtual topology"
-          else begin
-            Hashtbl.replace assignment v !next_free;
-            Hashtbl.replace used !next_free ();
-            Ok ()
-          end
-        end)
-      (Ok ()) p.nodes
-  in
   let* events =
     List.fold_left
       (fun acc ev ->
@@ -442,16 +428,30 @@ let to_spec p ~phys =
   in
   let index_of name = Option.get (node_index p name) in
   let vtopo = vtopo p in
-  let nodes_arr = Array.of_list p.nodes in
-  let embedding v = Hashtbl.find assignment nodes_arr.(v) in
+  let pins =
+    List.filter_map
+      (fun v ->
+        Option.map (fun pi -> (index_of v, pi)) (Hashtbl.find_opt pinned v))
+      p.nodes
+  in
+  (* The slice's CPU reservation is exactly what admission control must
+     guarantee per virtual node; a fair-share slice demands nothing.  The
+     seed only breaks exact-cost ties, derived stably from the name. *)
+  let req =
+    Vini_embed.Request.make ~name:p.p_name
+      ~cpu:(fun _ -> p.p_slice.Slice.reservation)
+      ~pins
+      ~seed:(Hashtbl.hash p.p_name land 0xffff)
+      ()
+  in
   let spec =
-    Experiment.make ~name:p.p_name ~slice:p.p_slice ~vtopo ~embedding
-      ~routing:p.p_routing
+    Experiment.make ~name:p.p_name ~slice:p.p_slice ~vtopo
+      ~placement:(Experiment.Auto req) ~routing:p.p_routing
       ~ingresses:(List.map (fun (v, pool) -> (index_of v, pool)) p.p_ingresses)
       ~egresses:(List.map index_of p.p_egresses)
       ~events:(List.rev events) ()
   in
-  let* () = Experiment.validate spec in
+  let* () = Experiment.validate ~phys spec in
   Ok spec
 
 let load text ~phys =

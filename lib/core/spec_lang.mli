@@ -48,9 +48,12 @@ val slice : parsed -> Vini_phys.Slice.t
 
 val to_spec :
   parsed -> phys:Vini_topo.Graph.t -> (Experiment.spec, string) result
-(** Resolve against a physical substrate: [embed] lines map virtual nodes
-    to physical nodes by name; unembedded nodes take the physical node of
-    the same name if one exists, otherwise the next free index. *)
+(** Resolve against a physical substrate into an {!Experiment.Auto}
+    placement: [embed] lines pin virtual nodes to physical nodes by name
+    (each target at most once), unembedded nodes named like a physical
+    node pin to it, and everything else is placed by the capacity-aware
+    solver at deploy time.  The request demands the slice's CPU
+    reservation per virtual node. *)
 
 val load :
   string -> phys:Vini_topo.Graph.t -> (Experiment.spec, string) result

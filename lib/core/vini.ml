@@ -2,30 +2,61 @@ module Time = Vini_sim.Time
 module Engine = Vini_sim.Engine
 module Underlay = Vini_phys.Underlay
 module Iias = Vini_overlay.Iias
+module Substrate = Vini_embed.Substrate
+module Embed = Vini_embed.Embed
+module Request = Vini_embed.Request
+
+type migration = {
+  m_vnode : int;
+  m_from : int;
+  m_to : int;
+  m_down_at : Time.t;      (* when the hosting machine died *)
+  m_restored_at : Time.t;  (* when the replacement router was revived *)
+}
 
 type instance = {
   ispec : Experiment.spec;
   overlay : Iias.t;
   owner : t;
+  areq : Request.t option;  (* Some for Auto placements *)
   mutable started : bool;
   mutable instance_epoch : Time.t;
   mutable upcall_hooks : (Underlay.event -> unit) list;
   mutable upcalls : int;
+  mutable mapping : Embed.mapping option;
+  mutable migrations : migration list;
+  mutable reembed_failures : (int * Embed.rejection) list;
+  (* Crash_pnode v downs the machine *currently* hosting v; Restore_pnode
+     v must reboot that same machine even if v migrated away meanwhile. *)
+  crash_sites : (int, int) Hashtbl.t;
+  down_since : (int, Time.t) Hashtbl.t;  (* vnode -> machine-death instant *)
 }
 
 and t = {
   engine : Engine.t;
   under : Underlay.t;
+  substrate : Substrate.t;
+  reembed_delay : Time.t;
   mutable deployed : instance list;
   mutable next_tunnel_port : int;
 }
 
-let create ~engine ~graph ?profile ?mask_failures () =
+let create ~engine ~graph ?profile ?mask_failures
+    ?(reembed_delay = Time.ms 500) () =
   let rng = Vini_std.Rng.split (Engine.rng engine) in
   let under =
     Underlay.create ~engine ~rng ~graph ?profile ?mask_failures ()
   in
-  let t = { engine; under; deployed = []; next_tunnel_port = 33000 } in
+  let t =
+    {
+      engine;
+      under;
+      substrate = Substrate.of_underlay under;
+      reembed_delay;
+      deployed = [];
+      next_tunnel_port = 33000;
+    }
+  in
   (* Fan underlay alarms out to every experiment: the upcalls of §6.1. *)
   Underlay.subscribe under (fun ev ->
       List.iter
@@ -37,35 +68,156 @@ let create ~engine ~graph ?profile ?mask_failures () =
 
 let engine t = t.engine
 let underlay t = t.under
+let substrate t = t.substrate
 
-let deploy t spec =
-  (match Experiment.validate spec with
+(* --- crash-driven re-embedding ----------------------------------------- *)
+
+(* A dead machine's virtual node waits [reembed_delay] — the grace period
+   in which a reboot lets the supervisor restart in place — then, if the
+   machine is still down, is re-embedded onto a feasible surviving node
+   and rebuilt there.  Survivors never move: the solver runs with every
+   other virtual node pinned to its current host. *)
+let attempt_reembed inst v =
+  let t = inst.owner in
+  let p = Iias.current_pnode inst.overlay v in
+  if not (Underlay.node_is_up t.under p) then
+    match (inst.mapping, inst.areq) with
+    | Some m, Some req ->
+        let vtopo = inst.ispec.Experiment.vtopo in
+        Embed.withdraw t.substrate ~vtopo req m;
+        (match Embed.reembed t.substrate ~vtopo req m ~vnode:v with
+        | Ok m' ->
+            Embed.commit t.substrate ~vtopo req m';
+            Iias.migrate_vnode inst.overlay v ~pnode:m'.Embed.nodes.(v);
+            inst.mapping <- Some m';
+            let down_at =
+              Option.value
+                (Hashtbl.find_opt inst.down_since v)
+                ~default:(Engine.now t.engine)
+            in
+            Hashtbl.remove inst.down_since v;
+            inst.migrations <-
+              inst.migrations
+              @ [
+                  {
+                    m_vnode = v;
+                    m_from = p;
+                    m_to = m'.Embed.nodes.(v);
+                    m_down_at = down_at;
+                    m_restored_at = Engine.now t.engine;
+                  };
+                ]
+        | Error rej ->
+            (* Nowhere to go: put the old reservation back and leave the
+               vnode to the supervisor's restart-in-place loop. *)
+            Embed.commit t.substrate ~vtopo req m;
+            inst.reembed_failures <- inst.reembed_failures @ [ (v, rej) ])
+    | _ -> ()
+
+(* A crash whose own timeline schedules a later Restore_pnode for the same
+   virtual node is planned downtime — maintenance, not failure.  The
+   machine will reboot and the supervisor restart in place, so migrating
+   the vnode away (and paying the routing re-convergence twice) would be
+   wrong.  Only unplanned deaths re-embed. *)
+let planned_restore inst v =
+  let now = Engine.now inst.owner.engine in
+  List.exists
+    (fun ev ->
+      match ev.Experiment.action with
+      | Experiment.Restore_pnode rv ->
+          rv = v
+          && Time.compare (Time.add inst.instance_epoch ev.Experiment.at) now
+             > 0
+      | _ -> false)
+    inst.ispec.Experiment.events
+
+let schedule_reembed inst p =
+  let t = inst.owner in
+  Array.iteri
+    (fun v host ->
+      if host = p && not (planned_restore inst v) then begin
+        if not (Hashtbl.mem inst.down_since v) then
+          Hashtbl.replace inst.down_since v (Engine.now t.engine);
+        ignore
+          (Engine.after t.engine t.reembed_delay (fun () ->
+               attempt_reembed inst v))
+      end)
+    (Iias.current_embedding inst.overlay)
+
+(* --- deployment --------------------------------------------------------- *)
+
+let try_deploy t spec =
+  (match Experiment.validate ~phys:(Underlay.graph t.under) spec with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Vini.deploy: " ^ msg));
-  let tunnel_port = t.next_tunnel_port in
-  t.next_tunnel_port <- t.next_tunnel_port + 10;
-  let overlay =
-    Iias.create ~underlay:t.under ~slice:spec.Experiment.slice
-      ~vtopo:spec.Experiment.vtopo ~embedding:spec.Experiment.embedding
-      ~routing:spec.Experiment.routing ~tunnel_port ()
+  let vtopo = spec.Experiment.vtopo in
+  let placement_result =
+    match spec.Experiment.placement with
+    | Experiment.Pinned f -> Ok (f, None, None)
+    | Experiment.Auto req -> (
+        match Embed.admit t.substrate ~vtopo req with
+        | Ok m -> Ok ((fun v -> m.Embed.nodes.(v)), Some m, Some req)
+        | Error r -> Error r)
   in
-  List.iter
-    (fun (v, pool) -> Iias.enable_ingress overlay v ~pool)
-    spec.Experiment.ingresses;
-  List.iter (fun v -> Iias.enable_egress overlay v) spec.Experiment.egresses;
-  let inst =
-    {
-      ispec = spec;
-      overlay;
-      owner = t;
-      started = false;
-      instance_epoch = Time.zero;
-      upcall_hooks = [];
-      upcalls = 0;
-    }
-  in
-  t.deployed <- t.deployed @ [ inst ];
-  inst
+  match placement_result with
+  | Error r -> Error r
+  | Ok (embedding, mapping, areq) ->
+      let tunnel_port = t.next_tunnel_port in
+      t.next_tunnel_port <- t.next_tunnel_port + 10;
+      let overlay =
+        Iias.create ~underlay:t.under ~slice:spec.Experiment.slice ~vtopo
+          ~embedding ~routing:spec.Experiment.routing ~tunnel_port ()
+      in
+      List.iter
+        (fun (v, pool) -> Iias.enable_ingress overlay v ~pool)
+        spec.Experiment.ingresses;
+      List.iter
+        (fun v -> Iias.enable_egress overlay v)
+        spec.Experiment.egresses;
+      let inst =
+        {
+          ispec = spec;
+          overlay;
+          owner = t;
+          areq;
+          started = false;
+          instance_epoch = Time.zero;
+          upcall_hooks = [];
+          upcalls = 0;
+          mapping;
+          migrations = [];
+          reembed_failures = [];
+          crash_sites = Hashtbl.create 4;
+          down_since = Hashtbl.create 4;
+        }
+      in
+      if areq <> None then
+        inst.upcall_hooks <-
+          inst.upcall_hooks
+          @ [
+              (function
+              | Underlay.Node_down p when inst.started ->
+                  schedule_reembed inst p
+              | Underlay.Node_down _ | Underlay.Node_up _
+              | Underlay.Link_down _ | Underlay.Link_up _ ->
+                  ());
+            ];
+      t.deployed <- t.deployed @ [ inst ];
+      Ok inst
+
+let deploy t spec =
+  match try_deploy t spec with
+  | Ok inst -> inst
+  | Error r ->
+      invalid_arg
+        ("Vini.deploy: embedding rejected: " ^ Embed.rejection_to_string r)
+
+let undeploy t inst =
+  (match (inst.mapping, inst.areq) with
+  | Some m, Some req ->
+      Embed.withdraw t.substrate ~vtopo:inst.ispec.Experiment.vtopo req m
+  | _ -> ());
+  t.deployed <- List.filter (fun i -> i != inst) t.deployed
 
 let run_action inst = function
   | Experiment.Fail_vlink (a, b) -> Iias.set_vlink_state inst.overlay a b false
@@ -82,13 +234,17 @@ let run_action inst = function
   | Experiment.Set_vlink_cost (a, b, cost) ->
       Iias.set_vlink_cost inst.overlay a b cost
   | Experiment.Crash_pnode v ->
-      Underlay.set_node_state inst.owner.under
-        (inst.ispec.Experiment.embedding v)
-        false
+      let p = Iias.current_pnode inst.overlay v in
+      Hashtbl.replace inst.crash_sites v p;
+      Underlay.set_node_state inst.owner.under p false
   | Experiment.Restore_pnode v ->
-      Underlay.set_node_state inst.owner.under
-        (inst.ispec.Experiment.embedding v)
-        true
+      let p =
+        match Hashtbl.find_opt inst.crash_sites v with
+        | Some p -> p
+        | None -> Iias.current_pnode inst.overlay v
+      in
+      Hashtbl.remove inst.crash_sites v;
+      Underlay.set_node_state inst.owner.under p true
   | Experiment.Kill_process v -> Iias.kill_vnode inst.overlay v
   | Experiment.Flap_vlink (a, b, down_s) ->
       Iias.set_vlink_state inst.overlay a b false;
@@ -128,3 +284,7 @@ let instances t = t.deployed
 let on_upcall inst f = inst.upcall_hooks <- inst.upcall_hooks @ [ f ]
 let upcalls_delivered inst = inst.upcalls
 let epoch inst = inst.instance_epoch
+let mapping inst = inst.mapping
+let placement_request inst = inst.areq
+let migrations inst = inst.migrations
+let reembed_failures inst = inst.reembed_failures

@@ -10,21 +10,55 @@
 type t
 type instance
 
+type migration = {
+  m_vnode : int;
+  m_from : int;
+  m_to : int;
+  m_down_at : Vini_sim.Time.t;      (** when the hosting machine died *)
+  m_restored_at : Vini_sim.Time.t;  (** when the replacement was revived *)
+}
+
 val create :
   engine:Vini_sim.Engine.t ->
   graph:Vini_topo.Graph.t ->
   ?profile:(Vini_topo.Graph.node_id -> Vini_phys.Underlay.node_profile) ->
   ?mask_failures:bool ->
+  ?reembed_delay:Vini_sim.Time.t ->
   unit ->
   t
+(** [reembed_delay] (default 500 ms) is the grace period after a machine
+    death before an auto-placed experiment re-embeds the displaced
+    virtual node elsewhere — a machine that reboots within it is simply
+    restarted in place by the supervisor.  A death whose own timeline
+    schedules a later {!Experiment.Restore_pnode} for the same virtual
+    node is planned downtime and never triggers a re-embed. *)
 
 val engine : t -> Vini_sim.Engine.t
 val underlay : t -> Vini_phys.Underlay.t
 
+val substrate : t -> Vini_embed.Substrate.t
+(** The shared residual-capacity account all auto-placed experiments
+    reserve from. *)
+
 val deploy : t -> Experiment.spec -> instance
-(** Validate and instantiate an experiment (not yet started).
-    @raise Invalid_argument when the spec fails validation or a physical
-    node would host two virtual nodes of the same experiment. *)
+(** Validate and instantiate an experiment (not yet started).  An
+    [Experiment.Auto] placement is solved here against the substrate's
+    residual capacities and its reservation committed.
+    @raise Invalid_argument when the spec fails validation, a physical
+    node would host two virtual nodes of the same experiment, or an
+    auto placement is rejected (use {!try_deploy} to handle rejections
+    structurally). *)
+
+val try_deploy :
+  t -> Experiment.spec -> (instance, Vini_embed.Embed.rejection) result
+(** Like {!deploy} but admission-control rejections of [Auto] placements
+    come back as structured values instead of an exception.  Spec
+    validation errors still raise [Invalid_argument]. *)
+
+val undeploy : t -> instance -> unit
+(** Tear the experiment down from the embedding layer's point of view:
+    release its substrate reservation (if auto-placed) and stop routing
+    upcalls to it. *)
 
 val start : instance -> unit
 (** Start the overlay's routing and schedule the spec's events relative
@@ -45,3 +79,21 @@ val upcalls_delivered : instance -> int
 
 val epoch : instance -> Vini_sim.Time.t
 (** The start instant (events are relative to it). *)
+
+(** {2 Embedding introspection}
+
+    Auto-placed instances know their mapping and its history.  When the
+    machine hosting a virtual node dies and stays down past the
+    re-embed delay, the embedder is consulted for a feasible surviving
+    host (all other virtual nodes pinned in place); on success the
+    virtual node migrates there ({!Vini_overlay.Iias.migrate_vnode}) and
+    the move is recorded with its downtime; on rejection the old
+    reservation is restored and the failure recorded. *)
+
+val mapping : instance -> Vini_embed.Embed.mapping option
+(** Current solved mapping ([None] for pinned placements); updated by
+    migrations. *)
+
+val placement_request : instance -> Vini_embed.Request.t option
+val migrations : instance -> migration list
+val reembed_failures : instance -> (int * Vini_embed.Embed.rejection) list

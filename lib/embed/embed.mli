@@ -1,0 +1,97 @@
+(** Capacity-aware slice embedding: solvers, admission control,
+    re-embedding.
+
+    Given a {!Substrate} (residual capacities + liveness) and a
+    {!Request} (demands + pins), [solve] maps every virtual node onto a
+    distinct live physical node and every virtual link onto a
+    capacity-feasible physical path, or explains why it cannot with a
+    structured {!rejection}.  Two solvers are provided:
+
+    - {!Request.Greedy} — best-fit: virtual nodes in descending CPU
+      demand land on the physical node with the largest residual CPU;
+      virtual links take capacity-feasible IGP-shortest paths.
+    - {!Request.Online} — deterministic online placement in the style of
+      Even et al.: candidates are priced by exponential congestion costs
+      ([alpha]{^ utilisation}), virtual nodes arrive in id order, and
+      exact-cost ties are broken by a seeded, stable rule — byte-identical
+      runs for equal seeds.
+
+    [solve] is pure: it prices against a snapshot of the substrate and
+    reserves nothing.  Admission control composes it with {!commit} /
+    {!withdraw} (see {!admit}), so multiple slices share one substrate
+    and infeasible requests bounce with a reason instead of
+    oversubscribing anything. *)
+
+type mapping = {
+  nodes : int array;  (** virtual node id -> physical node id, injective *)
+  vpaths : ((int * int) * int list) list;
+      (** per virtual link (endpoints normalised [va < vb], sorted) the
+          physical node path joining the endpoints' hosts; a single-node
+          path means both endpoints share a host *)
+}
+
+type rejection =
+  | Too_large of { vnodes : int; pnodes : int }
+      (** more virtual nodes than live physical nodes *)
+  | Pin_invalid of { vnode : int; pnode : int; reason : string }
+      (** a pin names a bad target: out of range, down, doubly used, or
+          short on CPU *)
+  | Node_exhausted of { vnode : int; demand : float; best_residual : float }
+      (** no live, unused physical node has [demand] reference cores
+          free; [best_residual] is the best on offer *)
+  | Link_exhausted of { va : int; vb : int; demand : float }
+      (** virtual link [va]-[vb]: live physical paths exist but none has
+          [demand] bits/s residual on every hop *)
+  | Unreachable of { va : int; vb : int }
+      (** virtual link [va]-[vb]: the hosts are in different live
+          partitions of the substrate *)
+
+val rejection_kind : rejection -> string
+(** Stable machine-readable tag: ["too_large"], ["pin_invalid"],
+    ["node_exhausted"], ["link_exhausted"], ["unreachable"]. *)
+
+val rejection_to_string : rejection -> string
+
+val solve :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t ->
+  (mapping, rejection) result
+(** Pure: reads residuals, reserves nothing.  Deterministic for equal
+    substrate state, topology, and request (including seed). *)
+
+val commit :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping -> unit
+(** Reserve the mapping's CPU and bandwidth on the substrate. *)
+
+val withdraw :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping -> unit
+(** Release what {!commit} reserved. *)
+
+val admit :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t ->
+  (mapping, rejection) result
+(** [solve] + [commit] + admission counters: [Ok] mappings are reserved
+    and counted admitted; rejections are counted rejected. *)
+
+val reembed :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->
+  vnode:int -> (mapping, rejection) result
+(** Re-place one displaced virtual node: solves with every other virtual
+    node pinned to its current host, so survivors never move.  Pure like
+    [solve] — the caller withdraws the old mapping first and commits the
+    result (or re-commits the old mapping on rejection). *)
+
+val check :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->
+  (unit, string) result
+(** Validate a mapping against the {e current} substrate: injectivity,
+    ranges, liveness, path adjacency and endpoints, and that the
+    aggregate demand fits the current residuals (i.e. the mapping could
+    be committed now).  First violation wins. *)
+
+val path_stretch : Substrate.t -> int list -> float
+(** IGP weight of a physical path over the unconstrained shortest path
+    between its ends; 1.0 for trivial paths. *)
+
+val stretch : Substrate.t -> mapping -> float
+(** Mean {!path_stretch} over the mapping's multi-hop paths; 1.0 when
+    there are none. *)

@@ -1,0 +1,22 @@
+type algo = Greedy | Online
+
+let algo_to_string = function Greedy -> "greedy" | Online -> "online"
+
+let algo_of_string = function
+  | "greedy" -> Some Greedy
+  | "online" -> Some Online
+  | _ -> None
+
+type t = {
+  req_name : string;
+  cpu_demand : int -> float;
+  bw_demand : Vini_topo.Graph.link -> float;
+  pins : (int * int) list;
+  algo : algo;
+  seed : int;
+}
+
+let make ?(name = "slice")
+    ?(cpu = fun _ -> Vini_phys.Calibration.default_reservation)
+    ?(bw = fun _ -> 0.0) ?(pins = []) ?(algo = Greedy) ?(seed = 0) () =
+  { req_name = name; cpu_demand = cpu; bw_demand = bw; pins; algo; seed }

@@ -1,0 +1,49 @@
+(** An embedding request: what a slice asks of the substrate.
+
+    A request quantifies the virtual topology's demands — a CPU share per
+    virtual node (in reference cores, i.e. fractions of a
+    {!Vini_phys.Calibration.reference_ghz} machine) and a bandwidth per
+    virtual link — plus the placement constraints: [pins] fix chosen
+    virtual nodes onto named physical nodes ({!Vini_core.Spec_lang}
+    [embed] lines become pins), everything else is placed by the solver.
+
+    Requests are deliberately independent of any one virtual topology
+    instance: the demands are functions evaluated against the [vtopo]
+    handed to {!Embed.solve}, so the same request template can price
+    different slices. *)
+
+type algo =
+  | Greedy  (** capacity-aware best-fit, vlinks on capacity-feasible
+                shortest paths (IGP weights) *)
+  | Online  (** deterministic online placement in the style of Even et
+                al.: exponential congestion costs, seeded stable
+                tie-breaks *)
+
+val algo_to_string : algo -> string
+val algo_of_string : string -> algo option
+
+type t = {
+  req_name : string;
+  cpu_demand : int -> float;
+      (** per-vnode CPU demand in reference cores (>= 0) *)
+  bw_demand : Vini_topo.Graph.link -> float;
+      (** per-vlink bandwidth demand in bits/s (>= 0; 0 = no
+          reservation, the link is still mapped onto a physical path) *)
+  pins : (int * int) list;  (** (vnode, pnode) placement constraints *)
+  algo : algo;
+  seed : int;  (** tie-break seed for the online solver *)
+}
+
+val make :
+  ?name:string ->
+  ?cpu:(int -> float) ->
+  ?bw:(Vini_topo.Graph.link -> float) ->
+  ?pins:(int * int) list ->
+  ?algo:algo ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: name ["slice"], CPU demand
+    {!Vini_phys.Calibration.default_reservation} (the 25% PL-VINI
+    reservation) per vnode, zero bandwidth demand, no pins, [Greedy],
+    seed 0. *)

@@ -543,3 +543,164 @@ let trace_csv tr =
            (csv_cell (Trace.kind_detail ev.Trace.kind))))
     (Trace.events tr);
   Buffer.contents b
+
+(* ---- vini.embed/1 ------------------------------------------------------- *)
+
+let embed_schema_version = "vini.embed/1"
+
+module Substrate = Vini_embed.Substrate
+module Embed = Vini_embed.Embed
+module Request = Vini_embed.Request
+
+type embed_slice = {
+  es_name : string;
+  es_vtopo : Vini_topo.Graph.t;
+  es_request : Request.t;
+  es_result : (Embed.mapping, Embed.rejection) result;
+}
+
+type embed_migration = {
+  mg_vnode : int;
+  mg_from : int;
+  mg_to : int;
+  mg_down_s : float;
+  mg_restored_s : float;
+}
+
+let embed_slice_json sub s =
+  let module Graph = Vini_topo.Graph in
+  let base =
+    [
+      ("name", Str s.es_name);
+      ("algo", Str (Request.algo_to_string s.es_request.Request.algo));
+      ("seed", Num (float_of_int s.es_request.Request.seed));
+    ]
+  in
+  match s.es_result with
+  | Error r ->
+      Obj
+        (base
+        @ [
+            ("status", Str "rejected");
+            ( "rejection",
+              Obj
+                [
+                  ("kind", Str (Embed.rejection_kind r));
+                  ("detail", Str (Embed.rejection_to_string r));
+                ] );
+          ])
+  | Ok m ->
+      let sg = Substrate.graph sub in
+      let nodes =
+        Array.to_list
+          (Array.mapi
+             (fun v p ->
+               Obj
+                 [
+                   ("vnode", Num (float_of_int v));
+                   ("vname", Str (Graph.name s.es_vtopo v));
+                   ("pnode", Num (float_of_int p));
+                   ("pname", Str (Graph.name sg p));
+                   ("cpu", Num (s.es_request.Request.cpu_demand v));
+                 ])
+             m.Embed.nodes)
+      in
+      let vlinks =
+        List.map
+          (fun ((va, vb), path) ->
+            let bw =
+              match Graph.find_link s.es_vtopo va vb with
+              | Some l -> s.es_request.Request.bw_demand l
+              | None -> 0.0
+            in
+            Obj
+              [
+                ("va", Num (float_of_int va));
+                ("vb", Num (float_of_int vb));
+                ("bw", Num bw);
+                ("path", Arr (List.map (fun p -> Num (float_of_int p)) path));
+                ("stretch", Num (Embed.path_stretch sub path));
+              ])
+          m.Embed.vpaths
+      in
+      Obj
+        (base
+        @ [
+            ("status", Str "mapped");
+            ("nodes", Arr nodes);
+            ("vlinks", Arr vlinks);
+            ("mean_stretch", Num (Embed.stretch sub m));
+          ])
+
+let embed_document ?(migrations = []) ?(extra = []) ~substrate ~slices () =
+  let module Graph = Vini_topo.Graph in
+  let sg = Substrate.graph substrate in
+  let pn = Graph.node_count sg in
+  let pnode_stress =
+    List.init pn (fun p ->
+        Obj
+          [
+            ("pnode", Num (float_of_int p));
+            ("pname", Str (Graph.name sg p));
+            ("capacity", Num (Substrate.node_capacity substrate p));
+            ("used", Num (Substrate.node_used substrate p));
+            ("residual", Num (Substrate.node_residual substrate p));
+          ])
+  in
+  let plink_stress =
+    List.map
+      (fun (l : Graph.link) ->
+        Obj
+          [
+            ("a", Num (float_of_int l.Graph.a));
+            ("b", Num (float_of_int l.Graph.b));
+            ("capacity", Num (Substrate.link_capacity substrate l.Graph.a l.Graph.b));
+            ("used", Num (Substrate.link_used substrate l.Graph.a l.Graph.b));
+            ("residual", Num (Substrate.link_residual substrate l.Graph.a l.Graph.b));
+          ])
+      (Graph.links sg)
+  in
+  let histogram =
+    Array.to_list
+      (Array.map
+         (fun (lo, hi, count) ->
+           Arr [ Num lo; Num hi; Num (float_of_int count) ])
+         (Substrate.residual_histogram substrate))
+  in
+  let migrations_json =
+    List.map
+      (fun mg ->
+        Obj
+          [
+            ("vnode", Num (float_of_int mg.mg_vnode));
+            ("from", Num (float_of_int mg.mg_from));
+            ("to", Num (float_of_int mg.mg_to));
+            ("down_s", Num mg.mg_down_s);
+            ("restored_s", Num mg.mg_restored_s);
+            ("downtime_s", Num (mg.mg_restored_s -. mg.mg_down_s));
+          ])
+      migrations
+  in
+  Obj
+    ([
+       ("schema", Str embed_schema_version);
+       ( "substrate",
+         Obj
+           [
+             ("nodes", Num (float_of_int pn));
+             ("links", Num (float_of_int (Graph.link_count sg)));
+           ] );
+       ("slices", Arr (List.map (embed_slice_json substrate) slices));
+       ("pnode_stress", Arr pnode_stress);
+       ("plink_stress", Arr plink_stress);
+       ("residual_histogram", Arr histogram);
+       ( "acceptance",
+         Obj
+           [
+             ("admitted", Num (float_of_int (Substrate.admitted substrate)));
+             ("rejected", Num (float_of_int (Substrate.rejected substrate)));
+             ("rate", Num (Substrate.acceptance_rate substrate));
+           ] );
+       ("migrations", Arr migrations_json);
+     ]
+    @ extra)

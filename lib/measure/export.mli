@@ -75,6 +75,53 @@ val spans_document :
                         "hops": [...]} top-[worst] by latency ] }
     v} *)
 
+val embed_schema_version : string
+
+type embed_slice = {
+  es_name : string;
+  es_vtopo : Vini_topo.Graph.t;
+  es_request : Vini_embed.Request.t;
+  es_result :
+    (Vini_embed.Embed.mapping, Vini_embed.Embed.rejection) result;
+}
+
+type embed_migration = {
+  mg_vnode : int;
+  mg_from : int;
+  mg_to : int;
+  mg_down_s : float;     (** machine-death instant, seconds *)
+  mg_restored_s : float; (** replacement-revival instant, seconds *)
+}
+
+val embed_document :
+  ?migrations:embed_migration list ->
+  ?extra:(string * json) list ->
+  substrate:Vini_embed.Substrate.t ->
+  slices:embed_slice list ->
+  unit ->
+  json
+(** The [vini.embed/1] document: per-slice mapping (or structured
+    rejection), per-physical-node and per-physical-link stress,
+    residual-capacity histogram, admission acceptance counters, and
+    migration history with per-move downtime:
+
+    {v
+    { "schema": "vini.embed/1",
+      "substrate":  {"nodes", "links"},
+      "slices":     [ {"name", "algo", "seed", "status": "mapped",
+                       "nodes":  [{"vnode","vname","pnode","pname","cpu"}],
+                       "vlinks": [{"va","vb","bw","path","stretch"}],
+                       "mean_stretch"}
+                    | {..., "status": "rejected",
+                       "rejection": {"kind", "detail"}} ],
+      "pnode_stress": [{"pnode","pname","capacity","used","residual"}],
+      "plink_stress": [{"a","b","capacity","used","residual"}],
+      "residual_histogram": [[lo, hi, count], ...],
+      "acceptance": {"admitted", "rejected", "rate"},
+      "migrations": [{"vnode","from","to","down_s","restored_s",
+                      "downtime_s"}] }
+    v} *)
+
 val write : path:string -> json -> unit
 
 val series_csv : Monitor.t -> string

@@ -46,7 +46,6 @@ type tunnel = {
   nbr : int;
   local_vaddr : Addr.t;
   remote_vaddr : Addr.t;
-  remote_pub : Addr.t;
   faulty : Faulty.t;
   to_wire : Element.t;              (* final ToTunnel element *)
   tail : Element.t ref;             (* faulty's downstream: shaper or wire *)
@@ -71,13 +70,19 @@ type vnode = {
   vid : int;
   vnode_name : string;
   slice_name : string;
-  node : Pnode.t;
-  proc : Process.t;
+  (* The hosting machine, Click process, and per-host state are mutable:
+     a migration (crash-driven re-embedding) rebuilds all three on another
+     machine while every closure that needs them dereferences the vnode at
+     call time. *)
+  mutable node : Pnode.t;
+  mutable proc : Process.t;
+  mutable ctrl_inject : Packet.t -> bool;
+  mutable tap_inject : Packet.t -> bool;
   tap_stack : Ipstack.t;
   vtap_addr : Addr.t;
   fib : action Fib.t;
   vrib : Rib.t;
-  napt : Napt.t;
+  mutable napt : Napt.t;
   tunnels : tunnel list;
   connected_actions : (Prefix.t, action) Hashtbl.t;
   vpn_clients : (Addr.t, Addr.t * int) Hashtbl.t;
@@ -109,7 +114,7 @@ type t = {
   routing : routing_choice;
   tunnel_port : int;
   tunnel_rcvbuf_bytes : int;
-  embedding_fn : int -> int;
+  placement : int array;  (* vnode id -> current physical node id *)
   mutable vnodes : vnode array;
   rng : Vini_std.Rng.t;
   mutable started : bool;
@@ -351,8 +356,10 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
        let ctrl_inject = Process.open_queue proc () in
        let tap_inject = Process.open_queue proc () in
        let tap_stack =
+         (* The injector is read through the vnode record at send time, so
+            a migrated vnode's tap feeds the replacement process. *)
          Ipstack.create ~engine ~local_addr:vtap
-           ~tx:(fun pkt -> ignore (tap_inject pkt))
+           ~tx:(fun pkt -> ignore (t.vnodes.(vid).tap_inject pkt))
            ()
        in
        (* Tunnels: one per incident virtual link. *)
@@ -363,20 +370,24 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
              let a_end = min vid nbr = vid in
              let local_vaddr = Prefix.host subnet (if a_end then 1 else 2) in
              let remote_vaddr = Prefix.host subnet (if a_end then 2 else 1) in
-             let remote_pub = Underlay.addr t.underlay (t.embedding_fn nbr) in
              let to_wire =
                Element.make
                  (Printf.sprintf "totunnel-%d-%d" vid nbr)
                  (fun inner ->
                    (* UDP-tunnel encapsulation: the outer frame inherits
-                      the inner packet's provenance. *)
+                      the inner packet's provenance.  Source machine and
+                      remote endpoint are resolved per packet so tunnels
+                      follow migrations of either end. *)
+                   let vn = t.vnodes.(vid) in
                    let outer =
                      Packet.udp ~orig:inner.Packet.orig
-                       ~src:(Pnode.addr pnode) ~dst:remote_pub
+                       ~src:(Pnode.addr vn.node)
+                       ~dst:(Underlay.addr t.underlay t.placement.(nbr))
                        ~sport:t.tunnel_port ~dport:t.tunnel_port
                        (Packet.Tunnel inner)
                    in
-                   Pnode.send_as pnode ~cls:t.slice.Vini_phys.Slice.name outer)
+                   Pnode.send_as vn.node ~cls:t.slice.Vini_phys.Slice.name
+                     outer)
              in
              (* Indirection so a shaper can be spliced in at runtime. *)
              let tail_ref = ref to_wire in
@@ -408,13 +419,12 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
                        ~bytes:(Packet.size inner)
                        ~component:(Printf.sprintf "routing-%d-%d" vid nbr)
                        ();
-                   ignore (ctrl_inject inner))
+                   ignore (t.vnodes.(vid).ctrl_inject inner))
              in
              {
                nbr;
                local_vaddr;
                remote_vaddr;
-               remote_pub;
                faulty;
                to_wire;
                tail = tail_ref;
@@ -430,6 +440,8 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
     slice_name = t.slice.Vini_phys.Slice.name;
     node = pnode;
     proc;
+    ctrl_inject;
+    tap_inject;
     tap_stack;
     vtap_addr = vtap;
     fib;
@@ -457,18 +469,34 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
     n_corrupt = 0;
   }
 
+(* A crashing click process takes its whole router down: the routing
+   instances go silent for good (neighbours detect the death by missed
+   hellos) and the FIB — data-plane state — is lost.  Also run when a
+   migration abandons a machine. *)
+let teardown_router vn =
+  (match vn.vospf with Some o -> Ospf.stop o | None -> ());
+  (match vn.vrip with Some r -> Rip.stop r | None -> ());
+  vn.vospf <- None;
+  vn.vrip <- None;
+  Fib.clear vn.fib
+
+let wire_process t vn =
+  Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt);
+  Process.on_crash vn.proc (fun () -> teardown_router vn)
+
 let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
     ?(tunnel_port = 33000)
     ?(tunnel_rcvbuf_bytes = Vini_phys.Calibration.udp_rcvbuf_bytes) () =
   let n = Graph.node_count vtopo in
+  let placement = Array.init n embedding in
   (* Injectivity check: one vnode per pnode per slice (fixed UDP port). *)
   let seen = Hashtbl.create n in
-  for v = 0 to n - 1 do
-    let p = embedding v in
-    if Hashtbl.mem seen p then
-      invalid_arg "Iias.create: embedding maps two virtual nodes to one node";
-    Hashtbl.replace seen p ()
-  done;
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p then
+        invalid_arg "Iias.create: embedding maps two virtual nodes to one node";
+      Hashtbl.replace seen p ())
+    placement;
   let engine = Underlay.engine underlay in
   let rng = Vini_std.Rng.split (Engine.rng engine) in
   (* Number links once, for /30 allocation. *)
@@ -486,7 +514,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
       routing;
       tunnel_port;
       tunnel_rcvbuf_bytes;
-      embedding_fn = embedding;
+      placement;
       vnodes = [||];
       rng;
       started = false;
@@ -495,7 +523,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
   in
   t.vnodes <-
     Array.init n (fun vid ->
-        let pnode = Underlay.node underlay (embedding vid) in
+        let pnode = Underlay.node underlay placement.(vid) in
         let links_of_vid =
           List.map
             (fun (nbr, link) ->
@@ -504,19 +532,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
             (Graph.neighbors vtopo vid)
         in
         build_vnode t ~vid ~pnode ~links_of_vid);
-  Array.iter
-    (fun vn ->
-      Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt);
-      (* A crashing click process takes its whole router down: the routing
-         instances go silent for good (neighbours detect the death by
-         missed hellos) and the FIB — data-plane state — is lost. *)
-      Process.on_crash vn.proc (fun () ->
-          (match vn.vospf with Some o -> Ospf.stop o | None -> ());
-          (match vn.vrip with Some r -> Rip.stop r | None -> ());
-          vn.vospf <- None;
-          vn.vrip <- None;
-          Fib.clear vn.fib))
-    t.vnodes;
+  Array.iter (fun vn -> wire_process t vn) t.vnodes;
   t
 
 let vnode_count t = Array.length t.vnodes
@@ -528,13 +544,11 @@ let vnode_by_name t n =
 let assert_not_started t what =
   if t.started then invalid_arg ("Iias: " ^ what ^ " must precede start")
 
-let enable_egress t v =
-  assert_not_started t "enable_egress";
-  let vn = t.vnodes.(v) in
-  vn.egress <- true;
-  (* ICMP has no port to pre-bind, so returning echo replies reach the
-     kernel's ICMP path: try the NAPT table there, keep kernel echo
-     behaviour for everything else. *)
+(* ICMP has no port to pre-bind, so returning echo replies reach the
+   kernel's ICMP path: try the NAPT table there, keep kernel echo
+   behaviour for everything else.  Installed on the current hosting
+   machine's stack — re-applied when a migration changes the machine. *)
+let install_egress_icmp vn =
   let stack = Pnode.stack vn.node in
   Ipstack.set_icmp_handler stack (fun pkt ->
       match pkt.Packet.proto with
@@ -543,6 +557,12 @@ let enable_egress t v =
             (Packet.icmp ~orig:pkt.Packet.orig ~src:(Pnode.addr vn.node)
                ~dst:pkt.Packet.src (Packet.Echo_reply e))
       | Packet.Icmp _ | Packet.Udp _ | Packet.Tcp _ -> napt_injector vn pkt)
+
+let enable_egress t v =
+  assert_not_started t "enable_egress";
+  let vn = t.vnodes.(v) in
+  vn.egress <- true;
+  install_egress_icmp vn
 
 let advertise_prefix ?(quiet = false) t v prefix =
   assert_not_started t "advertise_prefix";
@@ -662,6 +682,63 @@ let enable_supervision ?policy t =
 let supervisor t = t.supervisor
 let kill_vnode t v = Process.crash t.vnodes.(v).proc
 let vnode_alive vn = Process.alive vn.proc
+
+(* --- migration ---------------------------------------------------------- *)
+
+let current_pnode t v = t.placement.(v)
+let current_embedding t = Array.copy t.placement
+
+(* Rebuild virtual node [v] on physical node [pid]: a fresh Click process
+   (the old machine may be a smoking crater), fresh per-host state (NAPT
+   public address, port bindings, sockets), same virtual identity (tap
+   address, /30 interfaces, RIB).  Tunnels re-aim themselves because every
+   encapsulation reads [t.placement] at send time; the supervisor, if any,
+   adopts the replacement so crash-recovery budgets carry over. *)
+let migrate_vnode t v ~pnode:pid =
+  if v < 0 || v >= Array.length t.vnodes then
+    invalid_arg "Iias.migrate_vnode: virtual node out of range";
+  let pn = Graph.node_count (Underlay.graph t.underlay) in
+  if pid < 0 || pid >= pn then
+    invalid_arg "Iias.migrate_vnode: physical node out of range";
+  Array.iteri
+    (fun v' p ->
+      if v' <> v && p = pid then
+        invalid_arg "Iias.migrate_vnode: target already hosts this slice")
+    t.placement;
+  if not (Underlay.node_is_up t.underlay pid) then
+    invalid_arg "Iias.migrate_vnode: target node is down";
+  let vn = t.vnodes.(v) in
+  let old_name = Process.name vn.proc in
+  if Process.alive vn.proc then Process.crash vn.proc;
+  let target = Underlay.node t.underlay pid in
+  t.placement.(v) <- pid;
+  vn.node <- target;
+  let proc =
+    Process.create ~node:target ~slice:t.slice
+      ~name:
+        (Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
+           (Pnode.name target))
+      ~handler:(fun _ -> ())
+      ()
+  in
+  vn.proc <- proc;
+  wire_process t vn;
+  vn.ctrl_inject <- Process.open_queue proc ();
+  vn.tap_inject <- Process.open_queue proc ();
+  vn.napt <- Napt.create ~public_addr:(Pnode.addr target) ();
+  Hashtbl.reset vn.bound_napt_ports;
+  if vn.ingress_pool <> None then
+    ignore (Process.open_socket proc ~port:vpn_port ());
+  if vn.egress then install_egress_icmp vn;
+  if t.started then begin
+    ignore
+      (Process.open_socket proc ~port:t.tunnel_port
+         ~rcvbuf_bytes:t.tunnel_rcvbuf_bytes ());
+    revive_vnode t vn
+  end;
+  match t.supervisor with
+  | Some sup -> Supervisor.adopt sup ~name:old_name proc
+  | None -> ()
 
 (* --- accessors and control -------------------------------------------- *)
 

@@ -88,6 +88,33 @@ val supervisor : t -> Vini_phys.Supervisor.t option
 val kill_vnode : t -> int -> unit
 (** Crash one vnode's Click process ([Kill_process] fault). *)
 
+(** {2 Migration}
+
+    When a physical node dies for good, restart-in-place is hopeless; the
+    embedding layer ({!Vini_core.Vini}) instead re-embeds the displaced
+    virtual node onto a feasible surviving machine and calls
+    {!migrate_vnode}. *)
+
+val migrate_vnode : t -> int -> pnode:int -> unit
+(** Rebuild virtual node [v] on physical node [pnode]: a fresh Click
+    process and per-host state (NAPT public address, sockets, port
+    bindings) on the target machine, keeping the virtual identity — tap
+    address, /30 interface addresses, RIB.  Tunnels from every neighbour
+    re-aim automatically (encapsulation resolves the current placement
+    per packet).  If the instance is started, the router is revived
+    immediately (RIB replayed into the fresh FIB, routing instance
+    restarted to re-form adjacencies); a supervisor, if enabled, adopts
+    the replacement process.
+    @raise Invalid_argument if either id is out of range, the target is
+    down, or the target already hosts a virtual node of this slice. *)
+
+val current_pnode : t -> int -> int
+(** Physical node currently hosting a virtual node (differs from the
+    deploy-time embedding after migrations). *)
+
+val current_embedding : t -> int array
+(** Snapshot of the current vnode -> pnode placement. *)
+
 val vnode_alive : vnode -> bool
 
 val vnode_count : t -> int

@@ -21,8 +21,8 @@ let default_policy =
   }
 
 type child = {
-  child_name : string;
-  proc : Process.t;
+  mutable child_name : string;
+  mutable proc : Process.t;
   child_policy : policy;
   on_restart : unit -> unit;
   mutable crash_times : float list;  (* newest first, within the window *)
@@ -117,6 +117,20 @@ let supervise t ?policy ~name ?(on_restart = fun () -> ()) proc =
 
 let find t ~name =
   List.find_opt (fun c -> String.equal c.child_name name) t.children
+
+(* Point an existing child at a replacement process (migration: the old
+   process's machine died and the router was rebuilt elsewhere).  The
+   child keeps its crash history and restart budget; any restart attempt
+   still pending against the dead process stands down on its own, since
+   [attempt] sees the adopted process alive. *)
+let adopt t ~name proc =
+  match find t ~name with
+  | None -> invalid_arg (Printf.sprintf "Supervisor.adopt: unknown child %S" name)
+  | Some c ->
+      c.proc <- proc;
+      c.child_name <- Process.name proc;
+      lifecycle c "adopt" (Printf.sprintf "was %S" name);
+      Process.on_crash proc (fun () -> on_child_crash t c)
 
 let state t ~name =
   match find t ~name with

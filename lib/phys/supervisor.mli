@@ -48,6 +48,14 @@ val supervise :
 (** Watch a process (hooks {!Process.on_crash}).  [policy] overrides the
     supervisor default for this child. *)
 
+val adopt : t -> name:string -> Process.t -> unit
+(** Re-point the child registered under [name] at a replacement process
+    (after a migration rebuilt it on another machine).  The child keeps
+    its crash history and restart budget but takes the new process's
+    name; a restart attempt pending against the old process stands down
+    by itself.
+    @raise Invalid_argument for an unknown child. *)
+
 val state : t -> name:string -> [ `Running | `Waiting | `Given_up ] option
 (** [`Waiting] = dead with a restart pending (or its node still down). *)
 

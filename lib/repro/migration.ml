@@ -1,0 +1,113 @@
+module Time = Vini_sim.Time
+module Engine = Vini_sim.Engine
+module Graph = Vini_topo.Graph
+module Underlay = Vini_phys.Underlay
+module Slice = Vini_phys.Slice
+module Iias = Vini_overlay.Iias
+module Vini = Vini_core.Vini
+module Experiment = Vini_core.Experiment
+module Request = Vini_embed.Request
+module Ping = Vini_measure.Ping
+module Export = Vini_measure.Export
+
+type result = {
+  placement_before : int array;
+  placement_after : int array;
+  migrations : Vini.migration list;
+  reembed_failures : (int * Vini_embed.Embed.rejection) list;
+  pings_sent : int;
+  pings_received : int;
+  ping_series : (float * float) list;
+  export : Export.json;
+}
+
+let virtual_ring n =
+  let names = Array.init n (Printf.sprintf "v%d") in
+  let mk a b =
+    { Graph.a; b; bandwidth_bps = 1e9; delay = Time.ms 2; loss = 0.0;
+      weight = 10 }
+  in
+  (* Below three nodes a "ring" would duplicate its one link; degrade to a
+     chain so any n >= 1 is a valid topology. *)
+  let links =
+    if n < 3 then List.init (max 0 (n - 1)) (fun i -> mk i (i + 1))
+    else List.init n (fun i -> mk i ((i + 1) mod n))
+  in
+  Graph.create ~names ~links
+
+let warmup_s = 30.0
+
+let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
+    ?(algo = Request.Greedy) () =
+  let g = Vini_rcc.Rcc.abilene () in
+  let vtopo = virtual_ring vnodes in
+  let engine = Engine.create ~seed () in
+  let profile _ = Underlay.planetlab_profile ~speed_ghz:2.0 in
+  let vini = Vini.create ~engine ~graph:g ~profile () in
+  let req =
+    Request.make ~name:"migrate-demo" ~cpu:(fun _ -> 0.25) ~algo ~seed ()
+  in
+  let spec =
+    Experiment.make ~name:"migrate-demo" ~slice:(Slice.pl_vini "migrate")
+      ~vtopo
+      ~placement:(Experiment.Auto req)
+      ~events:
+        [ Experiment.at (warmup_s +. crash_at) (Experiment.Crash_pnode 0) ]
+      ()
+  in
+  let inst = Vini.deploy vini spec in
+  let placement_before = Iias.current_embedding (Vini.iias inst) in
+  Vini.start inst;
+  let iias = Vini.iias inst in
+  Engine.run ~until:(Time.of_sec_f warmup_s) engine;
+  let half = vnodes / 2 in
+  let interval_ms = 250 in
+  let count = int_of_float (duration *. 1000.0 /. float_of_int interval_ms) in
+  let ping =
+    Ping.start
+      ~stack:(Iias.tap (Iias.vnode iias half))
+      ~dst:(Iias.tap_addr (Iias.vnode iias 0))
+      ~count
+      ~mode:(Ping.Interval (Time.ms interval_ms))
+      ~reply_timeout:(Time.ms 900) ()
+  in
+  Engine.run ~until:(Time.of_sec_f (warmup_s +. duration +. 5.0)) engine;
+  let slices =
+    [
+      {
+        Export.es_name = spec.Experiment.exp_name;
+        es_vtopo = vtopo;
+        es_request = req;
+        es_result =
+          (match Vini.mapping inst with
+          | Some m -> Ok m
+          | None -> assert false);
+      };
+    ]
+  in
+  let migrations = Vini.migrations inst in
+  let export =
+    Export.embed_document
+      ~migrations:
+        (List.map
+           (fun (m : Vini.migration) ->
+             {
+               Export.mg_vnode = m.Vini.m_vnode;
+               mg_from = m.Vini.m_from;
+               mg_to = m.Vini.m_to;
+               mg_down_s = Time.to_sec_f m.Vini.m_down_at;
+               mg_restored_s = Time.to_sec_f m.Vini.m_restored_at;
+             })
+           migrations)
+      ~substrate:(Vini.substrate vini) ~slices ()
+  in
+  {
+    placement_before;
+    placement_after = Iias.current_embedding iias;
+    migrations;
+    reembed_failures = Vini.reembed_failures inst;
+    pings_sent = Ping.sent ping;
+    pings_received = Ping.received ping;
+    ping_series = Ping.series ping;
+    export;
+  }

@@ -1,0 +1,42 @@
+(** Crash-driven re-embedding, end to end: the embedding engine's
+    headline scenario.
+
+    A six-node virtual ring is auto-placed on the Abilene substrate by
+    the capacity-aware solver.  Mid-run a hosting machine is crashed and
+    {e stays down} past the re-embed grace period, so instead of waiting
+    for a reboot the embedding layer re-solves with the survivors pinned,
+    migrates the displaced virtual node onto a feasible spare machine
+    ({!Vini_overlay.Iias.migrate_vnode}), and records the move with its
+    downtime.  Pings run across the ring throughout; the run's
+    [vini.embed/1] export (mapping, substrate stress, acceptance,
+    migration downtime) is returned verbatim — two runs with the same
+    seed produce byte-identical documents, which is exactly what the
+    determinism test asserts. *)
+
+type result = {
+  placement_before : int array;  (** vnode -> pnode at deploy *)
+  placement_after : int array;   (** vnode -> pnode at the end *)
+  migrations : Vini_core.Vini.migration list;
+  reembed_failures : (int * Vini_embed.Embed.rejection) list;
+  pings_sent : int;
+  pings_received : int;
+  ping_series : (float * float) list;
+      (** reply (time s, rtt ms) pairs, engine-absolute times *)
+  export : Vini_measure.Export.json;  (** the [vini.embed/1] document *)
+}
+
+val virtual_ring : int -> Vini_topo.Graph.t
+(** An n-node ring with uniform 1 Gb/s / 2 ms / weight-10 links (a chain
+    below three nodes, where a ring would duplicate its only link). *)
+
+val run :
+  ?seed:int ->
+  ?vnodes:int ->
+  ?crash_at:float ->
+  ?duration:float ->
+  ?algo:Vini_embed.Request.algo ->
+  unit ->
+  result
+(** Defaults: seed 4242, 6 virtual nodes, crash 10 s into a 40 s
+    measurement window (after 30 s of routing warmup), greedy solver.
+    The crashed machine is whichever one hosts virtual node 0. *)

@@ -64,6 +64,33 @@ let test_validate_rejects_bad_ingress () =
   in
   check Alcotest.bool "bad ingress" true (Result.is_error (Experiment.validate spec))
 
+let test_validate_rejects_nonexistent_pnode () =
+  (* Regression: an embedding must not target a physical node the substrate
+     does not have — deploy used to accept it and fail deep inside the
+     overlay instead. *)
+  let spec =
+    Experiment.make ~name:"offmap" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~embedding:(fun v -> [| 0; 1; 99 |].(v)) ()
+  in
+  check Alcotest.bool "without a substrate: structurally fine" true
+    (Experiment.validate spec = Ok ());
+  check Alcotest.bool "against the substrate: rejected" true
+    (Result.is_error (Experiment.validate ~phys:(phys ()) spec));
+  (let engine = Engine.create ~seed:1 () in
+   let vini = Vini.create ~engine ~graph:(phys ()) () in
+   check Alcotest.bool "deploy raises" true
+     (try
+        ignore (Vini.deploy vini spec);
+        false
+      with Invalid_argument _ -> true));
+  (* Negative targets need no substrate to be nonsense. *)
+  let neg =
+    Experiment.make ~name:"neg" ~slice:(Slice.pl_vini "s") ~vtopo:(tri ())
+      ~embedding:(fun v -> v - 1) ()
+  in
+  check Alcotest.bool "negative id rejected" true
+    (Result.is_error (Experiment.validate neg))
+
 (* --- deploy and run ----------------------------------------------------- *)
 
 let fresh_vini ?(seed = 42) () =
@@ -232,6 +259,8 @@ let suite =
     Alcotest.test_case "spec rejects shared pnode" `Quick test_validate_rejects_shared_pnode;
     Alcotest.test_case "spec rejects bad events" `Quick test_validate_rejects_bad_event;
     Alcotest.test_case "spec rejects bad ingress" `Quick test_validate_rejects_bad_ingress;
+    Alcotest.test_case "spec rejects nonexistent pnode" `Quick
+      test_validate_rejects_nonexistent_pnode;
     Alcotest.test_case "deploy + event timeline" `Quick test_deploy_and_event_timeline;
     Alcotest.test_case "deploy rejects invalid" `Quick test_deploy_rejects_invalid;
     Alcotest.test_case "custom events run" `Quick test_custom_event_runs;

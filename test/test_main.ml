@@ -17,4 +17,5 @@ let () =
       ("spec", Test_spec.suite);
       ("rcc", Test_rcc.suite);
       ("repro", Test_repro.suite);
+      ("embed", Test_embed.suite);
     ]

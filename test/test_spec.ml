@@ -111,12 +111,37 @@ embed y on pop4
   let p = parse_ok text in
   match Spec_lang.to_spec p ~phys:(phys ()) with
   | Error e -> Alcotest.failf "to_spec: %s" e
-  | Ok spec ->
-      (* pop2 matches by name -> 2; y pinned to pop4 -> 4; x takes the first
-         free index -> 0. *)
-      check Alcotest.int "same-name" 2 (spec.Experiment.embedding 0);
-      check Alcotest.int "free index" 0 (spec.Experiment.embedding 1);
-      check Alcotest.int "explicit" 4 (spec.Experiment.embedding 2)
+  | Ok spec -> (
+      (* Embed lines are pins on an Auto placement now; solving it against
+         the bare substrate shows the resolution: pop2 matches by name -> 2,
+         y pinned to pop4 -> 4, x is placed by the solver (all residuals
+         equal, ties break to the lowest id) -> 0. *)
+      let req =
+        match spec.Experiment.placement with
+        | Experiment.Auto r -> r
+        | Experiment.Pinned _ -> Alcotest.fail "expected an Auto placement"
+      in
+      let sub = Vini_embed.Substrate.of_graph (phys ()) in
+      match Vini_embed.Embed.solve sub ~vtopo:spec.Experiment.vtopo req with
+      | Error r ->
+          Alcotest.failf "solve: %s" (Vini_embed.Embed.rejection_to_string r)
+      | Ok m ->
+          check Alcotest.int "same-name" 2 m.Vini_embed.Embed.nodes.(0);
+          check Alcotest.int "free index" 0 m.Vini_embed.Embed.nodes.(1);
+          check Alcotest.int "explicit" 4 m.Vini_embed.Embed.nodes.(2))
+
+let test_duplicate_embed_rejected () =
+  (* Satellite regression: a second embed line for the same virtual node
+     (or the same physical target) is a parse error, not a silent
+     last-one-wins. *)
+  expect_parse_error
+    "experiment x\nnode a\nnode b\nlink a b\nembed a on pop0\nembed a on \
+     pop1\n"
+    "duplicate embed for \"a\"";
+  expect_parse_error
+    "experiment x\nnode a\nnode b\nlink a b\nembed a on pop0\nembed b on \
+     pop0\n"
+    "duplicate embed target \"pop0\""
 
 let test_embedding_errors () =
   let p =
@@ -276,6 +301,8 @@ let suite =
     Alcotest.test_case "slice forms" `Quick test_slice_forms;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "embedding resolution" `Quick test_embedding_resolution;
+    Alcotest.test_case "duplicate embed rejected" `Quick
+      test_duplicate_embed_rejected;
     Alcotest.test_case "embedding errors" `Quick test_embedding_errors;
     Alcotest.test_case "spec runs end to end" `Quick test_spec_runs_end_to_end;
     Alcotest.test_case "chaos verbs round-trip" `Quick

@@ -92,6 +92,90 @@ let churn_calendar () =
         Calendar.push c ~key:k' k'
   done
 
+(* ---- Sharded engine scaling (conservative PDES on domains) ------------ *)
+
+(* The same hold-model churn, run on the sharded runtime: one shard per
+   Abilene PoP, lookahead = the real inter-PoP propagation delays
+   (adjacency-restricted), every 16th event migrating to a random
+   neighbor via [Shard.post] so the barrier/mailbox machinery is on the
+   measured path.  Identical seeded workload at [domains = 1] and
+   [domains = 4]; the per-shard FNV checksum over (event time, payload)
+   must match between the two configs — the bench aborts otherwise — and
+   the ratio of the two wall-clock timings is the [sched.sharded_scaling]
+   speedup CI gates at >= 1.5x on 4-core runners.  Wall clock, not
+   [Sys.time]: CPU seconds sum across domains and would hide scaling. *)
+
+module Coordinator = Vini_sim.Coordinator
+module Shard = Vini_sim.Shard
+module Stime = Vini_sim.Time
+module Graph = Vini_topo.Graph
+
+let sharded_pending = 1_024 (* initial events per shard *)
+let sharded_work = 256 (* xorshift64 rounds of per-event CPU *)
+let sharded_horizon = if fast then Stime.ms 12 else Stime.ms 100
+
+let sharded_run ~domains =
+  let g = Vini_repro.Abilene.topology () in
+  let n = Graph.node_count g in
+  let lookahead src dst =
+    Option.map (fun l -> l.Graph.delay) (Graph.find_link g src dst)
+  in
+  let c = Coordinator.create ~seed:42 ~shards:n ~domains ~lookahead () in
+  let neighbors =
+    Array.init n (fun s -> Array.of_list (Graph.neighbors g s))
+  in
+  (* Shard-confined cells: slot [s] is touched only by shard [s]. *)
+  let sums = Array.make n 0L in
+  let fired = Array.make n 0 in
+  let rec ev s () =
+    let sh = Coordinator.shard c s in
+    let x = ref (Int64.of_int ((s lsl 20) lxor (fired.(s) + 1))) in
+    for _ = 1 to sharded_work do
+      x := Int64.logxor !x (Int64.shift_left !x 13);
+      x := Int64.logxor !x (Int64.shift_right_logical !x 7);
+      x := Int64.logxor !x (Int64.shift_left !x 17)
+    done;
+    sums.(s) <-
+      Int64.add (Int64.mul sums.(s) 1099511628211L)
+        (Int64.add (Shard.now sh) !x);
+    fired.(s) <- fired.(s) + 1;
+    let rng = Shard.rng sh in
+    if fired.(s) land 15 = 0 && Array.length neighbors.(s) > 0 then begin
+      (* Migrate: the event continues on a random neighbor one link
+         propagation later (>= lookahead by construction). *)
+      let d, l = neighbors.(s).(Rng.int rng (Array.length neighbors.(s))) in
+      ignore
+        (Shard.post sh ~dst:d
+           (Stime.add (Shard.now sh) l.Graph.delay)
+           (ev d))
+    end
+    else
+      ignore (Shard.after sh (Stime.ns (Rng.int rng sched_inc)) (ev s))
+  in
+  for s = 0 to n - 1 do
+    let sh = Coordinator.shard c s in
+    for _ = 1 to sharded_pending do
+      ignore (Shard.at sh (Stime.ns (Rng.int (Shard.rng sh) sched_inc)) (ev s))
+    done
+  done;
+  Coordinator.run ~until:sharded_horizon c;
+  let sum = Array.fold_left Int64.add 0L sums in
+  (Coordinator.events_fired c, sum)
+
+let sharded_bench ~name ~domains =
+  let trials = if fast then 1 else 2 in
+  let best = ref infinity and ops = ref 1 and sum = ref 0L in
+  for _ = 1 to trials do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let n, s = sharded_run ~domains in
+    let dt = Unix.gettimeofday () -. t0 in
+    ops := n;
+    sum := s;
+    if dt < !best then best := dt
+  done;
+  ({ name; ops = !ops; ns_per_op = !best *. 1e9 /. float_of_int !ops }, !sum)
+
 (* ---- LPM lookup ------------------------------------------------------- *)
 
 (* An Abilene-scale-and-then-some table (2k prefixes, /8../28) probed two
@@ -297,15 +381,28 @@ let run () =
     bench ~name:"embed.solve_online" ~ops:embed_ops
       (embed_arrival Vini_embed.Request.Online)
   in
+  let sharded_1, sum_1 = sharded_bench ~name:"sched.sharded_1dom" ~domains:1 in
+  let sharded_4, sum_4 = sharded_bench ~name:"sched.sharded_4dom" ~domains:4 in
+  if sum_1 <> sum_4 then (
+    Printf.eprintf
+      "FATAL: sharded determinism violated: checksum %Ld (1 domain) <> %Ld (4 domains)\n%!"
+      sum_1 sum_4;
+    exit 1);
   let macro_b, mbps = macro () in
   let spans_off_a, spans_on, spans_off_b = spans_benches () in
   let benches =
-    [ heap_b; cal_b; ref_flow; fib_flow; ref_uni; fib_uni; embed_greedy;
-      embed_online; macro_b; spans_off_a; spans_on; spans_off_b ]
+    [ heap_b; cal_b; sharded_1; sharded_4; ref_flow; fib_flow; ref_uni;
+      fib_uni; embed_greedy; embed_online; macro_b; spans_off_a; spans_on;
+      spans_off_b ]
   in
   let speedups =
     [
       ("scheduler_churn", heap_b, cal_b);
+      (* Domain scaling of the sharded runtime: wall-clock 1-domain /
+         4-domain on the identical seeded workload.  Gated >= 1.5x in CI
+         on 4-core runners; ~1.0 on this box is honest when it has fewer
+         cores (the [cores] runner field records which regime applied). *)
+      ("sched.sharded_scaling", sharded_1, sharded_4);
       ("lpm_lookup_flow", ref_flow, fib_flow);
       ("lpm_lookup_uniform", ref_uni, fib_uni);
       (* The disabled-path gate: two recorder-absent replays should cost
@@ -330,6 +427,9 @@ let run () =
     (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)))
     hits misses;
   Printf.printf "  e2e replay %.1f Mb/s\n" mbps;
+  Printf.printf
+    "  sharded determinism checksum %Ld (identical at 1 and 4 domains)\n"
+    sum_1;
   let doc =
     Export.Obj
       [
@@ -339,6 +439,9 @@ let run () =
             [
               ("ocaml", Export.Str Sys.ocaml_version);
               ("word_size", Export.Num (float_of_int Sys.word_size));
+              ( "cores",
+                Export.Num
+                  (float_of_int (Domain.recommended_domain_count ())) );
             ] );
         ("benches", Export.Arr (List.map bench_json benches));
         ( "speedups",

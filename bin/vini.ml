@@ -61,6 +61,15 @@ let trace_arg =
   Arg.(value & opt (some trace_cats_conv) None
        & info [ "trace"; "trace-categories" ] ~docv:"CATS" ~doc)
 
+let domains_arg =
+  let doc =
+    "Run on the sharded engine with $(docv) OCaml domains.  The logical \
+     shard count is fixed, so output is byte-identical for every value \
+     (the determinism-gate CI job enforces it); omit the flag for the \
+     classic single-queue engine."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let spans_out_arg =
   let doc =
     "Install the per-packet flight recorder and write its vini.spans/1 \
@@ -131,7 +140,10 @@ let print_trace_events doc =
 (* --- deter ---------------------------------------------------------------- *)
 
 let deter_cmd =
-  let run runs seconds seed trace metrics_out spans_out =
+  let run runs seconds seed trace metrics_out spans_out domains =
+    (match domains with
+    | Some d when d < 1 -> failwith "--domains must be at least 1"
+    | Some _ | None -> ());
     let net = Deter.network_tcp ~runs ~duration_s:seconds ~seed () in
     let iias = Deter.iias_tcp ~runs ~duration_s:seconds ~seed:(seed + 1000) () in
     Report.table ~title:"Table 2: TCP throughput on DETER"
@@ -172,7 +184,7 @@ let deter_cmd =
         (* A flight-recorded IIAS run: every packet's causal tree, with
            TTL-doomed probes so the artifact always has drop forensics. *)
         let doc, mbps =
-          Deter.spans_run ~duration_s:seconds ~seed:(seed + 5000) ()
+          Deter.spans_run ~duration_s:seconds ~seed:(seed + 5000) ?domains ()
         in
         Printf.printf "\nflight-recorded IIAS TCP run: %.1f Mb/s\n" mbps;
         Vini_measure.Export.write ~path doc;
@@ -182,7 +194,7 @@ let deter_cmd =
   let doc = "Microbenchmark #1: overlay efficiency on dedicated hardware (§5.1.1)." in
   Cmd.v (Cmd.info "deter" ~doc)
     Term.(const run $ runs_arg $ seconds_arg $ seed_arg $ trace_arg
-          $ metrics_out_arg $ spans_out_arg)
+          $ metrics_out_arg $ spans_out_arg $ domains_arg)
 
 (* --- planetlab -------------------------------------------------------------- *)
 
@@ -449,7 +461,7 @@ let ablate_cmd =
 
 let run_cmd =
   let run spec_file phys_name watch seed duration trace metrics_out report_out
-      spans_out embed_out =
+      spans_out embed_out domains =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -473,7 +485,24 @@ let run_cmd =
       spec.Vini_core.Experiment.exp_name
       (Graph.node_count spec.Vini_core.Experiment.vtopo)
       phys_name;
-    let engine = Engine.create ~seed () in
+    (* CLI --domains overrides the spec's [domains] verb; either one (even
+       a value of 1) selects the sharded engine so determinism is checked
+       sharded-vs-sharded.  No flag and no verb = classic engine. *)
+    let domains =
+      match domains with
+      | Some d when d < 1 -> failwith "--domains must be at least 1"
+      | Some _ as d -> d
+      | None ->
+          let sd = spec.Vini_core.Experiment.domains in
+          if sd > 1 then Some sd else None
+    in
+    let shards = Option.map (fun _ -> Engine.default_logical_shards) domains in
+    let engine = Engine.create ~seed ?shards () in
+    Option.iter
+      (fun d ->
+        Printf.printf "domains %d (%d logical shards, lookahead-windowed)\n" d
+          (Engine.shards engine))
+      domains;
     (* The span gate needs a sink enabling the span category *and* an
        installed recorder; [--spans-out] supplies both, folding the span
        category into [--trace]'s set (or a minimal sink) as needed. *)
@@ -526,7 +555,8 @@ let run_cmd =
           wd)
         report_out
     in
-    Engine.run ~until:(Time.sec 0) engine;
+    let run_domains = Option.value domains ~default:1 in
+    Vini_core.Vini.run ~until:(Time.sec 0) ~domains:run_domains vini;
     let src, dst =
       match watch with
       | Some s -> (
@@ -552,7 +582,8 @@ let run_cmd =
         Vini_measure.Monitor.counter m ~name:"ping.received" (fun () ->
             float_of_int (Vini_measure.Ping.received ping)))
       monitor;
-    Engine.run ~until:(Time.sec (duration + 10)) engine;
+    Vini_core.Vini.run ~until:(Time.sec (duration + 10)) ~domains:run_domains
+      vini;
     Report.series
       ~title:
         (Printf.sprintf "ping %s -> %s during the experiment"
@@ -738,7 +769,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
           $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg
-          $ embed_out_arg)
+          $ embed_out_arg $ domains_arg)
 
 (* --- spans ----------------------------------------------------------------------- *)
 

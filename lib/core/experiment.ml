@@ -58,11 +58,12 @@ type spec = {
   ingresses : (int * Vini_net.Prefix.t) list;
   egresses : int list;
   events : event list;
+  domains : int;
 }
 
 let make ~name ~slice ~vtopo ?embedding ?placement
     ?(routing = Iias.default_ospf) ?(ingresses = []) ?(egresses = [])
-    ?(events = []) () =
+    ?(events = []) ?(domains = 1) () =
   let placement =
     match (embedding, placement) with
     | Some _, Some _ ->
@@ -80,6 +81,7 @@ let make ~name ~slice ~vtopo ?embedding ?placement
     ingresses;
     egresses;
     events;
+    domains;
   }
 
 let mirror ~name ~slice ~graph ?(events = []) () =
@@ -169,6 +171,7 @@ let validate ?phys spec =
   List.iter
     (fun v -> if v < 0 || v >= n then err "egress node %d out of range" v)
     spec.egresses;
+  if spec.domains < 1 then err "domains must be at least 1 (got %d)" spec.domains;
   match !errors with
   | [] -> Ok ()
   | es -> Error (String.concat "; " (List.rev es))

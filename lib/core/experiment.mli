@@ -63,6 +63,11 @@ type spec = {
   ingresses : (int * Vini_net.Prefix.t) list;
   egresses : int list;
   events : event list;
+  domains : int;
+      (** requested execution parallelism (>= 1; default 1).  Any value
+          above 1 asks the runner for the sharded engine; the output is
+          byte-identical whatever the value, so [domains] is purely a
+          resource knob ([spec-lang verb [domains N]], CLI [--domains]). *)
 }
 
 val make :
@@ -75,11 +80,12 @@ val make :
   ?ingresses:(int * Vini_net.Prefix.t) list ->
   ?egresses:int list ->
   ?events:event list ->
+  ?domains:int ->
   unit ->
   spec
 (** Defaults: identity embedding (virtual node i on physical node i),
-    OSPF with the paper's timers, no ingress/egress, no events.
-    [?embedding:f] is sugar for [?placement:(Pinned f)].
+    OSPF with the paper's timers, no ingress/egress, no events, one
+    domain.  [?embedding:f] is sugar for [?placement:(Pinned f)].
     @raise Invalid_argument when both [embedding] and [placement] are
     given. *)
 

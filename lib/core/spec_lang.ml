@@ -25,6 +25,7 @@ type parsed = {
   p_ingresses : (string * Prefix.t) list;
   p_egresses : string list;
   p_events : event_decl list;
+  p_domains : int;
 }
 
 (* --- unit parsing -------------------------------------------------------- *)
@@ -80,6 +81,7 @@ type builder = {
   mutable b_ingresses : (string * Prefix.t) list;
   mutable b_egresses : string list;
   mutable b_events : event_decl list;
+  mutable b_domains : int option;
 }
 
 let known_node b n = List.mem n b.b_nodes
@@ -225,6 +227,14 @@ let feed b line =
         b.b_egresses <- b.b_egresses @ [ v ];
         Ok ()
       end
+  | [ "domains"; n ] -> (
+      if b.b_domains <> None then Error "duplicate domains line"
+      else
+        match int_of_string_opt n with
+        | Some d when d >= 1 ->
+            b.b_domains <- Some d;
+            Ok ()
+        | Some _ | None -> Error (Printf.sprintf "bad domains count %S" n))
   | "at" :: when_ :: verb :: args -> (
       match float_of_string_opt when_ with
       | None -> Error (Printf.sprintf "bad event time %S" when_)
@@ -253,6 +263,7 @@ let parse text =
       b_ingresses = [];
       b_egresses = [];
       b_events = [];
+      b_domains = None;
     }
   in
   let lines = String.split_on_char '\n' text in
@@ -283,6 +294,7 @@ let parse text =
                 p_ingresses = b.b_ingresses;
                 p_egresses = b.b_egresses;
                 p_events = b.b_events;
+                p_domains = Option.value b.b_domains ~default:1;
               })
 
 (* --- elaboration ----------------------------------------------------------- *)
@@ -449,7 +461,7 @@ let to_spec p ~phys =
       ~placement:(Experiment.Auto req) ~routing:p.p_routing
       ~ingresses:(List.map (fun (v, pool) -> (index_of v, pool)) p.p_ingresses)
       ~egresses:(List.map index_of p.p_egresses)
-      ~events:(List.rev events) ()
+      ~events:(List.rev events) ~domains:p.p_domains ()
   in
   let* () = Experiment.validate ~phys spec in
   Ok spec

@@ -70,6 +70,16 @@ let engine t = t.engine
 let underlay t = t.under
 let substrate t = t.substrate
 
+let run ?until ?(domains = 1) t =
+  if domains < 1 then invalid_arg "Vini.run: domains < 1";
+  (* [domains] is a resource knob, not a semantics knob: the sharded
+     engine's window schedule never consults it, so the run is
+     byte-identical at any value (the determinism-gate CI job holds us to
+     that).  Values above 1 on a non-sharded engine are accepted and
+     ignored — create the engine with ~shards to get the windowed
+     schedule. *)
+  Engine.run ?until t.engine
+
 (* --- crash-driven re-embedding ----------------------------------------- *)
 
 (* A dead machine's virtual node waits [reembed_delay] — the grace period

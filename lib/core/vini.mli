@@ -36,6 +36,15 @@ val create :
 val engine : t -> Vini_sim.Engine.t
 val underlay : t -> Vini_phys.Underlay.t
 
+val run : ?until:Vini_sim.Time.t -> ?domains:int -> t -> unit
+(** Advance the whole deployment ({!Vini_sim.Engine.run} on the owned
+    engine).  [domains] (default 1, must be >= 1) requests execution
+    parallelism; it never changes the schedule — a seeded run produces
+    byte-identical reports and span exports at [~domains:1] and
+    [~domains:N], which the [determinism-gate] CI job enforces.  Sharding
+    itself is fixed when the engine is created
+    ({!Vini_sim.Engine.create}[ ~shards]). *)
+
 val substrate : t -> Vini_embed.Substrate.t
 (** The shared residual-capacity account all auto-placed experiments
     reserve from. *)

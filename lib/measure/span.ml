@@ -49,8 +49,12 @@ let root_component tree =
 
 (* -- reassembly -----------------------------------------------------------
 
-   Ring records are already chronological (oldest retained first); a
-   single pass partitions them by provenance id, preserving order. *)
+   On a single-queue engine ring records are chronological (oldest
+   retained first); a sharded engine records window by window, so order
+   is only per-shard chronological.  A single pass partitions records by
+   provenance id, then each tree's lists — and the trees themselves — are
+   stable-sorted by time, which is the identity on already-ordered
+   input and restores the global merge order otherwise. *)
 
 let trees recorder =
   let tbl : (int, tree ref) Hashtbl.t = Hashtbl.create 1024 in
@@ -92,7 +96,28 @@ let trees recorder =
                 @ [ { d_pkt = pkt; d_component = component; d_reason = reason;
                       d_bytes = bytes; d_t = t } ] })
     (Sim.records recorder);
-  List.rev_map (fun r -> !r) !order
+  let sort_tree t =
+    {
+      t with
+      origins = List.stable_sort (fun a b -> Time.compare a.o_t b.o_t) t.origins;
+      hops =
+        List.stable_sort
+          (fun a b ->
+            let c = Time.compare a.h_t0 b.h_t0 in
+            if c <> 0 then c else Time.compare a.h_t1 b.h_t1)
+          t.hops;
+      drops = List.stable_sort (fun a b -> Time.compare a.d_t b.d_t) t.drops;
+    }
+  in
+  let first_t t =
+    let fold f acc l = List.fold_left f acc l in
+    let m = Int64.max_int in
+    let m = fold (fun acc o -> Time.min acc o.o_t) m t.origins in
+    let m = fold (fun acc h -> Time.min acc h.h_t0) m t.hops in
+    fold (fun acc d -> Time.min acc d.d_t) m t.drops
+  in
+  List.rev_map (fun r -> sort_tree !r) !order
+  |> List.stable_sort (fun a b -> Time.compare (first_t a) (first_t b))
 
 (* -- latency attribution -------------------------------------------------- *)
 

@@ -21,6 +21,7 @@ val create :
   engine:Vini_sim.Engine.t ->
   rng:Vini_std.Rng.t ->
   ?name:string ->
+  ?endpoint_shards:int * int ->
   bandwidth_bps:float ->
   delay:Vini_sim.Time.t ->
   ?loss:float ->
@@ -29,7 +30,12 @@ val create :
   t
 (** [?name] (default ["plink"]) labels this link's flight-recorder spans
     — queueing/serialisation/propagation hops and link-drop forensics
-    ({!Vini_sim.Span}). *)
+    ({!Vini_sim.Span}).
+
+    [?endpoint_shards] (default [(0, 0)]) gives the logical shards of the
+    two endpoints on a sharded engine: direction 0 ([a -> b]) schedules
+    its arrival on [b]'s shard and direction 1 on [a]'s, making the plink
+    the cross-shard handoff edge of the conservative-window schedule. *)
 
 val transmit : t -> dir:int -> Vini_net.Packet.t -> deliver:(Vini_net.Packet.t -> unit) -> unit
 (** Queue a packet on direction [dir] (0 or 1).  [deliver] fires at the

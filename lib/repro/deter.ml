@@ -22,8 +22,17 @@ type ping_result = {
   p_loss_pct : float;
 }
 
-let make_underlay ~seed =
-  let engine = Engine.create ~seed () in
+(* [domains]: any requested parallelism (1 included) selects the sharded
+   engine with its fixed logical shard count, so the CI determinism gate
+   compares sharded runs against sharded runs; omitted = classic engine. *)
+let make_underlay ?domains ~seed () =
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Deter: domains < 1"
+  | Some _ | None -> ());
+  let shards =
+    Option.map (fun _ -> Engine.default_logical_shards) domains
+  in
+  let engine = Engine.create ~seed ?shards () in
   let graph = Datasets.Deter.topology () in
   let underlay =
     Underlay.create ~engine
@@ -32,8 +41,8 @@ let make_underlay ~seed =
   in
   (engine, underlay)
 
-let make_overlay ~seed =
-  let engine, underlay = make_underlay ~seed in
+let make_overlay ?domains ~seed () =
+  let engine, underlay = make_underlay ?domains ~seed () in
   let slice = Slice.pl_vini "iias" in
   let iias =
     Iias.create ~underlay ~slice
@@ -73,7 +82,7 @@ let aggregate runs =
   }
 
 let network_setup ~seed =
-  let engine, underlay = make_underlay ~seed in
+  let engine, underlay = make_underlay ~seed () in
   let src = Underlay.node underlay Datasets.Deter.src in
   let sink = Underlay.node underlay Datasets.Deter.sink in
   let fwdr = Underlay.node underlay Datasets.Deter.fwdr in
@@ -83,7 +92,7 @@ let network_setup ~seed =
     fun () -> Pnode.kernel_cpu_time fwdr )
 
 let iias_setup ~seed =
-  let engine, _underlay, iias = make_overlay ~seed in
+  let engine, _underlay, iias = make_overlay ~seed () in
   let v_src = Iias.vnode iias Datasets.Deter.src in
   let v_sink = Iias.vnode iias Datasets.Deter.sink in
   let v_fwdr = Iias.vnode iias Datasets.Deter.fwdr in
@@ -114,7 +123,7 @@ let ping_result_of p =
   }
 
 let network_ping ?(count = 10_000) ?(seed = 3001) () =
-  let engine, underlay = make_underlay ~seed in
+  let engine, underlay = make_underlay ~seed () in
   let src = Underlay.node underlay Datasets.Deter.src in
   let sink = Underlay.node underlay Datasets.Deter.sink in
   let p =
@@ -124,7 +133,7 @@ let network_ping ?(count = 10_000) ?(seed = 3001) () =
   ping_result_of p
 
 let iias_ping ?(count = 10_000) ?(seed = 4001) () =
-  let engine, _underlay, iias = make_overlay ~seed in
+  let engine, _underlay, iias = make_overlay ~seed () in
   let v_src = Iias.vnode iias Datasets.Deter.src in
   let v_sink = Iias.vnode iias Datasets.Deter.sink in
   Engine.run ~until:(Time.sec 25) engine;
@@ -143,7 +152,7 @@ module Tcp = Vini_transport.Tcp
 
 let observability_run ?(duration_s = 2) ?(seed = 7001)
     ?(trace_capacity = 8192) ?(trace_categories = Trace.Category.all) () =
-  let engine, underlay, iias = make_overlay ~seed in
+  let engine, underlay, iias = make_overlay ~seed () in
   Engine.set_profiling engine true;
   let trace = Trace.create ~capacity:trace_capacity ~categories:trace_categories () in
   Trace.install trace;
@@ -198,8 +207,9 @@ module Mspan = Vini_measure.Span
 
 (* A quarter of the recorder's default ring: plenty for the traffic
    window's trees while keeping the JSON artifact CI-friendly. *)
-let spans_run ?(duration_s = 2) ?(seed = 7001) ?(span_capacity = 65_536) () =
-  let engine, _underlay, iias = make_overlay ~seed in
+let spans_run ?(duration_s = 2) ?(seed = 7001) ?(span_capacity = 65_536)
+    ?domains () =
+  let engine, _underlay, iias = make_overlay ?domains ~seed () in
   (* A sink enabling the [span] category plus an installed recorder opens
      the double gate; installing both before convergence means even
      routing-protocol chatter gets causal trees. *)

@@ -43,10 +43,16 @@ val spans_run :
   ?duration_s:int ->
   ?seed:int ->
   ?span_capacity:int ->
+  ?domains:int ->
   unit ->
   Vini_measure.Export.json * float
 (** The flight-recorder run: same IIAS TCP scenario with a span recorder
     installed from t=0 (so routing chatter, the transfer, and four
     deliberately TTL-doomed probes all leave causal trees).  Returns the
     [vini.spans/1] document (with embedded Chrome [traceEvents] and a
-    nested [metrics] document) and the measured throughput in Mb/s. *)
+    nested [metrics] document) and the measured throughput in Mb/s.
+
+    [domains] (>= 1): run on the sharded engine with the fixed logical
+    shard count.  The document is byte-identical for every [domains]
+    value (the determinism-gate CI job hashes it at 1, 2 and 4); omitting
+    the argument uses the classic single-queue engine. *)

@@ -7,11 +7,34 @@ type handle = {
   live : int ref; (* the owning engine's live-event counter *)
 }
 
+(* Sharded mode: the event space is partitioned over a fixed number of
+   logical shards, each with its own calendar queue and clock, executed in
+   conservative windows of one lookahead.  The window schedule is a pure
+   function of the seed and the shard count — never of how many domains
+   the host happens to run — which is what makes a seeded run
+   byte-identical at --domains 1/2/N.  Experiment callbacks freely share
+   state (tables, traces, supervisors), so windows here execute shards
+   serially in ascending shard id; the truly parallel path for
+   shard-confined workloads is {!Coordinator}. *)
+type shard_q = {
+  squeue : handle Vini_std.Calendar.t;
+  mutable sclock : Time.t;
+}
+
+type sharding = {
+  nshards : int;
+  sh : shard_q array;
+  mutable current : int; (* affinity: where [at] schedules *)
+  mutable lookahead : Time.t; (* window width; see [set_lookahead] *)
+  mutable queued : int; (* total queue length, cancelled entries included *)
+}
+
 type t = {
   mutable clock : Time.t;
   queue : handle Vini_std.Calendar.t;
   live : int ref; (* scheduled, not yet fired or cancelled *)
   root_rng : Vini_std.Rng.t;
+  sharding : sharding option;
   mutable cancelled_count : int;
   mutable fired : int;
   mutable max_pending : int;
@@ -24,13 +47,33 @@ type t = {
   callback_hist : Vini_std.Histogram.t;
 }
 
-let create ?(seed = 42) () =
+let default_logical_shards = 8
+let default_lookahead = Time.us 500
+
+let create ?(seed = 42) ?shards () =
+  let sharding =
+    match shards with
+    | None -> None
+    | Some n ->
+        if n < 1 then invalid_arg "Engine.create: shards < 1";
+        Some
+          {
+            nshards = n;
+            sh =
+              Array.init n (fun _ ->
+                  { squeue = Vini_std.Calendar.create (); sclock = Time.zero });
+            current = 0;
+            lookahead = default_lookahead;
+            queued = 0;
+          }
+  in
   let t =
     {
       clock = Time.zero;
       queue = Vini_std.Calendar.create ();
       live = ref 0;
       root_rng = Vini_std.Rng.create seed;
+      sharding;
       cancelled_count = 0;
       fired = 0;
       max_pending = 0;
@@ -39,38 +82,114 @@ let create ?(seed = 42) () =
       callback_hist = Vini_std.Histogram.create ();
     }
   in
-  Trace.set_clock (fun () -> t.clock);
+  Trace.set_clock (fun () ->
+      match t.sharding with
+      | None -> t.clock
+      | Some s -> s.sh.(s.current).sclock);
   t
 
-let now t = t.clock
+let now t =
+  match t.sharding with
+  | None -> t.clock
+  | Some s -> s.sh.(s.current).sclock
+
 let rng t = t.root_rng
+
+let shards t = match t.sharding with None -> 1 | Some s -> s.nshards
+let is_sharded t = t.sharding <> None
+
+let shard_of t key =
+  match t.sharding with
+  | None -> 0
+  | Some s ->
+      let k = if key < 0 then -key else key in
+      k mod s.nshards
+
+let current_shard t = match t.sharding with None -> 0 | Some s -> s.current
+
+let set_lookahead t l =
+  match t.sharding with
+  | None -> ()
+  | Some s ->
+      if Time.compare l Time.zero <= 0 then
+        invalid_arg "Engine.set_lookahead: lookahead must be positive";
+      s.lookahead <- l
+
+let lookahead t =
+  match t.sharding with None -> Time.zero | Some s -> s.lookahead
 
 (* Cancelled handles stay queued (lazy delete) until popped; when they
    outnumber the live events, sweep them out so a cancel-heavy workload
-   (retransmission timers, failure detectors) cannot bloat the queue. *)
+   (retransmission timers, failure detectors) cannot bloat the queue.
+   Sharded mode keeps one global [queued]/live balance and sweeps every
+   shard queue at once, so cross-shard cancellations (an event scheduled
+   on shard A, cancelled from shard B's callback) are reclaimed too. *)
 let compact_threshold = 64
 
 let maybe_compact t =
-  let len = Vini_std.Calendar.length t.queue in
-  if len > compact_threshold && len - !(t.live) > !(t.live) then
-    t.cancelled_count <-
-      t.cancelled_count
-      + Vini_std.Calendar.compact t.queue ~dead:(fun h -> h.state = Cancelled)
+  match t.sharding with
+  | None ->
+      let len = Vini_std.Calendar.length t.queue in
+      if len > compact_threshold && len - !(t.live) > !(t.live) then
+        t.cancelled_count <-
+          t.cancelled_count
+          + Vini_std.Calendar.compact t.queue ~dead:(fun h ->
+                h.state = Cancelled)
+  | Some s ->
+      if s.queued > compact_threshold && s.queued - !(t.live) > !(t.live) then
+        Array.iter
+          (fun q ->
+            let removed =
+              Vini_std.Calendar.compact q.squeue ~dead:(fun h ->
+                  h.state = Cancelled)
+            in
+            t.cancelled_count <- t.cancelled_count + removed;
+            s.queued <- s.queued - removed)
+          s.sh
+
+let profile_horizon t time clock =
+  if t.profiling then
+    Vini_std.Histogram.add t.horizon_hist (Time.to_sec_f (Time.sub time clock))
+
+let at_shard t ~shard time callback =
+  match t.sharding with
+  | None ->
+      if shard <> 0 then invalid_arg "Engine.at_shard: engine is not sharded";
+      let time = Time.max time t.clock in
+      let h = { time; callback; state = Pending; live = t.live } in
+      Vini_std.Calendar.push t.queue ~key:time h;
+      incr t.live;
+      let depth = Vini_std.Calendar.length t.queue in
+      if depth > t.max_pending then t.max_pending <- depth;
+      profile_horizon t time t.clock;
+      maybe_compact t;
+      h
+  | Some s ->
+      if shard < 0 || shard >= s.nshards then
+        invalid_arg "Engine.at_shard: shard out of range";
+      let q = s.sh.(shard) in
+      (* Clamp to the destination clock: inside a window the destination
+         may have advanced past the requested arrival.  With the
+         lookahead at or below every cross-shard latency this never
+         triggers (arrival >= sender clock + lookahead >= window bound);
+         when a latency sits under the lookahead floor the clamp is a
+         deterministic, bounded skew.  See DESIGN.md §13. *)
+      let time = Time.max time q.sclock in
+      let h = { time; callback; state = Pending; live = t.live } in
+      Vini_std.Calendar.push q.squeue ~key:time h;
+      incr t.live;
+      s.queued <- s.queued + 1;
+      if s.queued > t.max_pending then t.max_pending <- s.queued;
+      profile_horizon t time q.sclock;
+      maybe_compact t;
+      h
 
 let at t time callback =
-  let time = Time.max time t.clock in
-  let h = { time; callback; state = Pending; live = t.live } in
-  Vini_std.Calendar.push t.queue ~key:time h;
-  incr t.live;
-  let depth = Vini_std.Calendar.length t.queue in
-  if depth > t.max_pending then t.max_pending <- depth;
-  if t.profiling then
-    Vini_std.Histogram.add t.horizon_hist
-      (Time.to_sec_f (Time.sub time t.clock));
-  maybe_compact t;
-  h
+  match t.sharding with
+  | None -> at_shard t ~shard:0 time callback
+  | Some s -> at_shard t ~shard:s.current time callback
 
-let after t delta callback = at t (Time.add t.clock (Time.max delta Time.zero)) callback
+let after t delta callback = at t (Time.add (now t) (Time.max delta Time.zero)) callback
 
 let cancel h =
   match h.state with
@@ -82,7 +201,7 @@ let cancel h =
 let is_cancelled h = h.state = Cancelled
 
 let rec every t ?start ?jitter period f =
-  let base = match start with Some s -> s | None -> Time.add t.clock period in
+  let base = match start with Some s -> s | None -> Time.add (now t) period in
   let fire_at =
     match jitter with
     | None -> base
@@ -95,29 +214,65 @@ let rec every t ?start ?jitter period f =
          if f () then
            every t ~start:(Time.add fire_at period) ?jitter period f))
 
-let step t =
-  match Vini_std.Calendar.pop t.queue with
-  | None -> false
-  | Some h -> (
-      match h.state with
-      | Cancelled ->
-          t.cancelled_count <- t.cancelled_count + 1;
-          true
-      | Fired -> assert false
-      | Pending ->
-          h.state <- Fired;
-          decr t.live;
-          t.clock <- Time.max t.clock h.time;
-          t.fired <- t.fired + 1;
-          if t.profiling then begin
-            let t0 = Sys.time () in
-            h.callback ();
-            Vini_std.Histogram.add t.callback_hist (Sys.time () -. t0)
-          end
-          else h.callback ();
-          true)
+let fire t h clock_set =
+  h.state <- Fired;
+  decr t.live;
+  clock_set h.time;
+  t.fired <- t.fired + 1;
+  if t.profiling then begin
+    let t0 = Sys.time () in
+    h.callback ();
+    Vini_std.Histogram.add t.callback_hist (Sys.time () -. t0)
+  end
+  else h.callback ()
 
-let run ?until t =
+let step t =
+  match t.sharding with
+  | None -> (
+      match Vini_std.Calendar.pop t.queue with
+      | None -> false
+      | Some h -> (
+          match h.state with
+          | Cancelled ->
+              t.cancelled_count <- t.cancelled_count + 1;
+              true
+          | Fired -> assert false
+          | Pending ->
+              fire t h (fun time -> t.clock <- Time.max t.clock time);
+              true))
+  | Some s -> (
+      (* Global earliest event with (time, shard id) tie-break, so a
+         sharded single-step drains in a deterministic total order. *)
+      let best = ref None in
+      Array.iteri
+        (fun i q ->
+          match Vini_std.Calendar.peek q.squeue with
+          | None -> ()
+          | Some h -> (
+              match !best with
+              | None -> best := Some (i, h)
+              | Some (_, bh) ->
+                  if Time.compare h.time bh.time < 0 then best := Some (i, h)))
+        s.sh;
+      match !best with
+      | None -> false
+      | Some (i, _) -> (
+          s.current <- i;
+          let q = s.sh.(i) in
+          match Vini_std.Calendar.pop q.squeue with
+          | None -> assert false
+          | Some h -> (
+              s.queued <- s.queued - 1;
+              match h.state with
+              | Cancelled ->
+                  t.cancelled_count <- t.cancelled_count + 1;
+                  true
+              | Fired -> assert false
+              | Pending ->
+                  fire t h (fun time -> q.sclock <- Time.max q.sclock time);
+                  true)))
+
+let run_legacy ?until t =
   let continue () =
     match (Vini_std.Calendar.peek t.queue, until) with
     | None, _ -> false
@@ -130,6 +285,78 @@ let run ?until t =
   match until with
   | Some limit when Time.compare limit t.clock > 0 -> t.clock <- limit
   | Some _ | None -> ()
+
+(* Windowed drain: each pass executes, shard by shard in ascending id,
+   every event in [tmin, tmin + lookahead).  Because the plink lookahead
+   is the minimum cross-shard latency, an event fired in the window can
+   only schedule into another shard at or beyond the window bound, so the
+   pass order between shards is invisible to the result — and the window
+   structure itself depends only on event times, never on domain count. *)
+let run_sharded ?until t s =
+  let tmin () =
+    let best = ref None in
+    Array.iter
+      (fun q ->
+        match Vini_std.Calendar.peek q.squeue with
+        | None -> ()
+        | Some h -> (
+            match !best with
+            | None -> best := Some h.time
+            | Some b -> if Time.compare h.time b < 0 then best := Some h.time))
+      s.sh;
+    !best
+  in
+  let width = Time.max s.lookahead (Time.ns 1) in
+  let rec windows () =
+    match tmin () with
+    | None -> ()
+    | Some tm
+      when match until with
+           | Some u -> Time.compare tm u > 0
+           | None -> false ->
+        ()
+    | Some tm ->
+        let bound =
+          let b = Time.add tm width in
+          if Time.compare b tm < 0 then Int64.max_int else b
+        in
+        for i = 0 to s.nshards - 1 do
+          s.current <- i;
+          let q = s.sh.(i) in
+          let continue () =
+            match Vini_std.Calendar.peek q.squeue with
+            | None -> false
+            | Some h ->
+                Time.compare h.time bound < 0
+                && (match until with
+                   | None -> true
+                   | Some u -> Time.compare h.time u <= 0)
+          in
+          while continue () do
+            match Vini_std.Calendar.pop q.squeue with
+            | None -> assert false
+            | Some h -> (
+                s.queued <- s.queued - 1;
+                match h.state with
+                | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
+                | Fired -> assert false
+                | Pending ->
+                    fire t h (fun time -> q.sclock <- Time.max q.sclock time))
+          done
+        done;
+        windows ()
+  in
+  windows ();
+  (match until with
+  | Some u ->
+      Array.iter (fun q -> if Time.compare u q.sclock > 0 then q.sclock <- u) s.sh
+  | None -> ());
+  s.current <- 0
+
+let run ?until t =
+  match t.sharding with
+  | None -> run_legacy ?until t
+  | Some s -> run_sharded ?until t s
 
 let pending t = !(t.live)
 let events_fired t = t.fired

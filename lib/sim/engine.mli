@@ -23,9 +23,54 @@ type t
 type handle
 (** A scheduled event; may be cancelled before it fires. *)
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?shards:int -> unit -> t
 (** [seed] (default 42) initialises the root RNG from which subsystems
-    {!Vini_std.Rng.split} their own streams. *)
+    {!Vini_std.Rng.split} their own streams.
+
+    [shards] switches the engine into {e sharded mode}: the event space is
+    partitioned over that many logical shards, each with its own calendar
+    queue and clock, and {!run} drains them in conservative windows one
+    {!lookahead} wide.  The window schedule is a pure function of the seed
+    and the shard count — physical domain count is never consulted — so a
+    seeded sharded run produces byte-identical output however many domains
+    the host offers.  Experiment callbacks share state across shards
+    (routing tables, the trace sink, supervisors), so sharded windows here
+    execute serially in ascending shard id; {!Coordinator} is the truly
+    parallel runtime for shard-confined workloads.  Omitting [shards]
+    keeps the classic single-queue engine, bit-identical to previous
+    releases. *)
+
+val default_logical_shards : int
+(** The fixed logical shard count used by [--domains] runs (8): constant
+    so that output does not depend on the machine's core count. *)
+
+val shards : t -> int
+(** Logical shard count; 1 for a non-sharded engine. *)
+
+val is_sharded : t -> bool
+
+val shard_of : t -> int -> int
+(** [shard_of t key] maps a stable integer key (e.g. a pnode index) to its
+    shard, [key mod shards]; always 0 on a non-sharded engine. *)
+
+val current_shard : t -> int
+(** The shard whose callback is currently executing (scheduling affinity
+    of {!at}); 0 outside callbacks and on non-sharded engines. *)
+
+val at_shard : t -> shard:int -> Time.t -> (unit -> unit) -> handle
+(** Schedule on an explicit shard — the cross-shard handoff used by plinks
+    to deliver a packet at its destination pnode's shard.  The time is
+    clamped to the destination shard's clock (a deterministic, bounded
+    skew possible only for latencies below the lookahead; see DESIGN.md
+    §13).  On a non-sharded engine only [~shard:0] is valid. *)
+
+val set_lookahead : t -> Time.t -> unit
+(** Set the conservative window width; the underlay sets it to the minimum
+    plink propagation delay (floored).  Must be positive.  No-op on a
+    non-sharded engine. *)
+
+val lookahead : t -> Time.t
+(** Current window width; {!Time.zero} on a non-sharded engine. *)
 
 val now : t -> Time.t
 val rng : t -> Vini_std.Rng.t

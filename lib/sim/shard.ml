@@ -1,0 +1,191 @@
+type state = Pending | Fired | Cancelled
+
+type handle = {
+  time : Time.t;
+  callback : unit -> unit;
+  mutable state : state;
+  live : int ref; (* the owning shard's live-event counter *)
+}
+
+type remote = {
+  r_src : int;
+  r_dst : int;
+  r_time : Time.t;
+  r_callback : unit -> unit;
+  mutable r_cancelled : bool;
+  mutable r_handle : handle option; (* set on delivery at the barrier *)
+}
+
+type t = {
+  sid : int;
+  nshards : int;
+  queue : handle Vini_std.Calendar.t;
+  mutable clock : Time.t;
+  live : int ref;
+  srng : Vini_std.Rng.t;
+  lookahead : int -> int -> Time.t option;
+  outboxes : remote Vini_std.Mailbox.t array; (* indexed by destination *)
+  mutable cancel_reqs : remote list;          (* newest first *)
+  mutable fired : int;
+  mutable cancelled_count : int;
+  mutable posts : int;
+}
+
+let make ~id ~nshards ~mailbox_capacity ~lookahead ~rng =
+  if id < 0 || id >= nshards then invalid_arg "Shard.make: id out of range";
+  {
+    sid = id;
+    nshards;
+    queue = Vini_std.Calendar.create ();
+    clock = Time.zero;
+    live = ref 0;
+    srng = rng;
+    lookahead;
+    outboxes =
+      Array.init nshards (fun _ -> Vini_std.Mailbox.create ~capacity:mailbox_capacity);
+    cancel_reqs = [];
+    fired = 0;
+    cancelled_count = 0;
+    posts = 0;
+  }
+
+let id t = t.sid
+let now t = t.clock
+let rng t = t.srng
+
+(* Same lazy-delete discipline as [Engine]: cancelled handles stay queued
+   until popped or, when they outnumber the live events, swept out. *)
+let compact_threshold = 64
+
+let maybe_compact t =
+  let len = Vini_std.Calendar.length t.queue in
+  if len > compact_threshold && len - !(t.live) > !(t.live) then
+    t.cancelled_count <-
+      t.cancelled_count
+      + Vini_std.Calendar.compact t.queue ~dead:(fun h -> h.state = Cancelled)
+
+let at t time callback =
+  let time = Time.max time t.clock in
+  let h = { time; callback; state = Pending; live = t.live } in
+  Vini_std.Calendar.push t.queue ~key:time h;
+  incr t.live;
+  maybe_compact t;
+  h
+
+let after t delta callback =
+  at t (Time.add t.clock (Time.max delta Time.zero)) callback
+
+let cancel h =
+  match h.state with
+  | Pending ->
+      h.state <- Cancelled;
+      decr h.live
+  | Fired | Cancelled -> ()
+
+let is_cancelled h = h.state = Cancelled
+
+let post t ~dst time callback =
+  if dst < 0 || dst >= t.nshards then invalid_arg "Shard.post: dst out of range";
+  if dst = t.sid then invalid_arg "Shard.post: dst is the posting shard (use at)";
+  (match t.lookahead t.sid dst with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Shard.post: no channel from shard %d to shard %d" t.sid
+           dst)
+  | Some l ->
+      if Time.compare time (Time.add t.clock l) < 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Shard.post: arrival %Ldns < now %Ldns + lookahead %Ldns (shard \
+              %d -> %d): conservative synchronization violated"
+             time t.clock l t.sid dst));
+  let r =
+    {
+      r_src = t.sid;
+      r_dst = dst;
+      r_time = time;
+      r_callback = callback;
+      r_cancelled = false;
+      r_handle = None;
+    }
+  in
+  if not (Vini_std.Mailbox.push t.outboxes.(dst) r) then
+    failwith
+      (Printf.sprintf
+         "Shard.post: outbox %d -> %d full (%d messages); raise \
+          ~mailbox_capacity"
+         t.sid dst
+         (Vini_std.Mailbox.capacity t.outboxes.(dst)));
+  t.posts <- t.posts + 1;
+  r
+
+let post_after t ~dst delta callback =
+  post t ~dst (Time.add t.clock (Time.max delta Time.zero)) callback
+
+let cancel_post t r =
+  if r.r_src <> t.sid then
+    invalid_arg "Shard.cancel_post: remote was posted by another shard";
+  if not r.r_cancelled then begin
+    r.r_cancelled <- true;
+    t.cancel_reqs <- r :: t.cancel_reqs
+  end
+
+let post_is_cancelled r = r.r_cancelled
+
+let pending t = !(t.live)
+let events_fired t = t.fired
+let events_cancelled t = t.cancelled_count
+let posts_sent t = t.posts
+
+(* --- coordinator interface ------------------------------------------- *)
+
+let next_time t =
+  match Vini_std.Calendar.peek t.queue with
+  | None -> None
+  | Some h -> Some h.time
+
+let exec_window t ~bound ~limit =
+  let continue () =
+    match Vini_std.Calendar.peek t.queue with
+    | None -> false
+    | Some h ->
+        Time.compare h.time bound < 0
+        && (match limit with
+           | None -> true
+           | Some u -> Time.compare h.time u <= 0)
+  in
+  while continue () do
+    match Vini_std.Calendar.pop t.queue with
+    | None -> assert false
+    | Some h -> (
+        match h.state with
+        | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
+        | Fired -> assert false
+        | Pending ->
+            h.state <- Fired;
+            decr t.live;
+            t.clock <- Time.max t.clock h.time;
+            t.fired <- t.fired + 1;
+            h.callback ())
+  done
+
+let advance_clock t time = t.clock <- Time.max t.clock time
+
+let outbox t dst = t.outboxes.(dst)
+
+let deliver t r =
+  if r.r_cancelled then
+    (* Cancelled while still in flight: never enters the queue, but the
+       run's cancellation count must not depend on barrier timing. *)
+    t.cancelled_count <- t.cancelled_count + 1
+  else r.r_handle <- Some (at t r.r_time r.r_callback)
+
+let take_cancel_requests t =
+  let reqs = List.rev t.cancel_reqs in
+  t.cancel_reqs <- [];
+  reqs
+
+let apply_remote_cancel r =
+  match r.r_handle with
+  | Some h -> cancel h
+  | None -> () (* cancelled before delivery; accounted for in [deliver] *)

@@ -1,0 +1,63 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of the oldest message *)
+  mutable len : int;
+  cap : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity < 1";
+  (* Start small and grow toward [capacity]: most shard pairs exchange a
+     handful of messages per window, a few (backbone links) burst. *)
+  { buf = Array.make (min capacity 8) None; head = 0; len = 0; cap = capacity }
+
+let length t = t.len
+let capacity t = t.cap
+let is_empty t = t.len = 0
+
+let grow t =
+  let n = Array.length t.buf in
+  let n' = min t.cap (n * 2) in
+  let buf' = Array.make n' None in
+  for i = 0 to t.len - 1 do
+    buf'.(i) <- t.buf.((t.head + i) mod n)
+  done;
+  t.buf <- buf';
+  t.head <- 0
+
+let push t v =
+  if t.len = t.cap then false
+  else begin
+    if t.len = Array.length t.buf then grow t;
+    t.buf.((t.head + t.len) mod Array.length t.buf) <- Some v;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let v = t.buf.(t.head) in
+    t.buf.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.buf;
+    t.len <- t.len - 1;
+    v
+  end
+
+let drain t f =
+  let n = ref 0 in
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some v ->
+        incr n;
+        f v;
+        go ()
+  in
+  go ();
+  !n
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.len <- 0

@@ -293,6 +293,38 @@ let prop_spec_topology_roundtrip =
                (List.sort compare (Graph.links g))
                (List.sort compare (Graph.links g2)))
 
+let test_domains_verb () =
+  (* Default: a spec without the verb runs single-domain. *)
+  let p = parse_ok "experiment d\nnode a\n" in
+  (match Spec_lang.to_spec p ~phys:(phys ()) with
+  | Ok spec -> check Alcotest.int "default domains" 1 spec.Experiment.domains
+  | Error e -> Alcotest.failf "to_spec: %s" e);
+  (* Explicit count flows through to the validated spec. *)
+  let p = parse_ok "experiment d\nnode a\ndomains 4\n" in
+  (match Spec_lang.to_spec p ~phys:(phys ()) with
+  | Ok spec ->
+      check Alcotest.int "domains 4" 4 spec.Experiment.domains;
+      check Alcotest.bool "validates" true (Experiment.validate spec = Ok ())
+  | Error e -> Alcotest.failf "to_spec: %s" e);
+  (* Bad counts and duplicates are parse errors. *)
+  let fails text =
+    match Spec_lang.parse text with Ok _ -> false | Error _ -> true
+  in
+  check Alcotest.bool "domains 0 rejected" true
+    (fails "experiment d\nnode a\ndomains 0\n");
+  check Alcotest.bool "domains -2 rejected" true
+    (fails "experiment d\nnode a\ndomains -2\n");
+  check Alcotest.bool "non-numeric rejected" true
+    (fails "experiment d\nnode a\ndomains many\n");
+  check Alcotest.bool "duplicate rejected" true
+    (fails "experiment d\nnode a\ndomains 2\ndomains 4\n");
+  (* Validation rejects a hand-built spec with a bad count. *)
+  match Spec_lang.to_spec (parse_ok "experiment d\nnode a\n") ~phys:(phys ()) with
+  | Error e -> Alcotest.failf "to_spec: %s" e
+  | Ok spec ->
+      check Alcotest.bool "validate rejects domains 0" true
+        (Experiment.validate { spec with Experiment.domains = 0 } <> Ok ())
+
 let suite =
   [
     Alcotest.test_case "example parses+elaborates" `Quick
@@ -308,5 +340,6 @@ let suite =
     Alcotest.test_case "chaos verbs round-trip" `Quick
       test_chaos_verbs_roundtrip;
     Alcotest.test_case "chaos verb errors" `Quick test_chaos_verb_errors;
+    Alcotest.test_case "domains verb" `Quick test_domains_verb;
     QCheck_alcotest.to_alcotest prop_spec_topology_roundtrip;
   ]

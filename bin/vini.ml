@@ -705,15 +705,7 @@ let run_cmd =
               ]
             in
             let migrations =
-              List.map
-                (fun (mg : V.migration) ->
-                  {
-                    E.mg_vnode = mg.V.m_vnode;
-                    mg_from = mg.m_from;
-                    mg_to = mg.m_to;
-                    mg_down_s = Vini_sim.Time.to_sec_f mg.m_down_at;
-                    mg_restored_s = Vini_sim.Time.to_sec_f mg.m_restored_at;
-                  })
+              List.map Vini_repro.Migration.export_of_migration
                 (V.migrations inst)
             in
             E.write ~path
@@ -1058,6 +1050,183 @@ let embed_cmd =
     Term.(const run $ phys_arg $ nodes_arg $ cpu_arg $ bw_arg $ solver_arg
           $ seed_arg $ slices_arg $ check_arg $ out_arg)
 
+(* --- migrate --------------------------------------------------------------------- *)
+
+let migrate_cmd =
+  let module V = Vini_core.Vini in
+  let module E = Vini_measure.Export in
+  let module Time = Vini_sim.Time in
+  let run seed vnodes at duration domains target crash compare_ check out =
+    let kind_str (m : V.migration) =
+      match m.V.m_kind with V.Planned -> "planned" | V.Crash_driven -> "crash"
+    in
+    let print_result label (r : Migration.result) =
+      Report.table
+        ~title:(Printf.sprintf "%s: migration records" label)
+        ~header:
+          [ "vnode"; "from"; "to"; "kind"; "down_s"; "loss"; "stretch<";
+            "stretch>"; "balance<"; "balance>" ]
+        ~rows:
+          (List.map
+             (fun (m : V.migration) ->
+               [
+                 string_of_int m.V.m_vnode;
+                 string_of_int m.m_from;
+                 string_of_int m.m_to;
+                 kind_str m;
+                 f (Time.to_sec_f (Time.sub m.m_restored_at m.m_down_at));
+                 (match m.m_cutover_loss with
+                 | Some n -> string_of_int n
+                 | None -> "-");
+                 f m.m_stretch_before;
+                 f m.m_stretch_after;
+                 f m.m_balance_before;
+                 f m.m_balance_after;
+               ])
+             r.Migration.migrations);
+      Printf.printf "%s: pings %d sent, %d received (%d lost)\n" label
+        r.Migration.pings_sent r.Migration.pings_received
+        (r.Migration.pings_sent - r.Migration.pings_received);
+      List.iter
+        (fun (v, reason) ->
+          Printf.printf "%s: migration of vnode %d failed: %s\n" label v
+            reason)
+        r.Migration.migration_failures
+    in
+    let write_export (r : Migration.result) =
+      Option.iter
+        (fun path ->
+          E.write ~path r.Migration.export;
+          Printf.printf "embedding written to %s\n" path)
+        out
+    in
+    let total_loss (r : Migration.result) =
+      List.fold_left
+        (fun acc (m : V.migration) ->
+          acc + Option.value ~default:0 m.V.m_cutover_loss)
+        0 r.Migration.migrations
+    in
+    let total_down (r : Migration.result) =
+      List.fold_left
+        (fun acc (m : V.migration) ->
+          acc +. Time.to_sec_f (Time.sub m.V.m_restored_at m.V.m_down_at))
+        0.0 r.Migration.migrations
+    in
+    if compare_ then begin
+      let c = Migration.compare_modes ~seed ~vnodes ~at ~duration ?domains () in
+      print_result "planned" c.Migration.planned;
+      print_newline ();
+      print_result "crash" c.Migration.crash;
+      print_newline ();
+      Report.table ~title:"planned vs crash-driven"
+        ~header:[ "mode"; "downtime_s"; "cutover_loss"; "ping_loss" ]
+        ~rows:
+          [
+            [ "planned"; f c.Migration.planned_downtime_s;
+              string_of_int c.Migration.planned_cutover_loss;
+              string_of_int c.Migration.planned_ping_loss ];
+            [ "crash"; f c.Migration.crash_downtime_s; "-";
+              string_of_int c.Migration.crash_ping_loss ];
+          ];
+      write_export c.Migration.planned;
+      if
+        check
+        && (c.Migration.planned_cutover_loss > 0
+           || c.Migration.planned_downtime_s > 0.0
+           || c.Migration.planned.Migration.migrations = [])
+      then begin
+        Printf.eprintf "check: FAIL (planned migration not lossless)\n";
+        exit 3
+      end
+    end
+    else if crash then begin
+      let r = Migration.run ~seed ~vnodes ~crash_at:at ~duration ?domains () in
+      print_result "crash" r;
+      write_export r;
+      if check && (r.Migration.migrations = [] || total_down r <= 0.0) then begin
+        Printf.eprintf
+          "check: FAIL (crash-driven migration recorded no downtime)\n";
+        exit 3
+      end
+    end
+    else begin
+      let r =
+        Migration.run_planned ~seed ~vnodes ~migrate_at:at ~duration ?domains
+          ?target ()
+      in
+      print_result "planned" r;
+      write_export r;
+      if
+        check
+        && (r.Migration.migrations = []
+           || r.Migration.migration_failures <> []
+           || total_loss r > 0 || total_down r > 0.0)
+      then begin
+        Printf.eprintf
+          "check: FAIL (planned migration lost packets or failed)\n";
+        exit 3
+      end
+    end
+  in
+  let vnodes_arg =
+    Arg.(value & opt int 6 & info [ "vnodes" ] ~docv:"N"
+           ~doc:"Virtual ring size placed on Abilene.")
+  in
+  let at_arg =
+    Arg.(value & opt float 10.0
+         & info [ "at" ] ~docv:"SEC"
+             ~doc:"Seconds into the measurement window at which the move \
+                   (or crash) happens.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 40.0 & info [ "duration" ] ~docv:"SEC"
+           ~doc:"Measurement window, in simulated seconds.")
+  in
+  let target_arg =
+    Arg.(value & opt (some int) None
+         & info [ "target" ] ~docv:"PNODE"
+             ~doc:"Explicit physical target for the planned move (default: \
+                   first spare machine).")
+  in
+  let crash_flag =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"Run the crash-driven scenario instead of the planned \
+                   one.")
+  in
+  let compare_flag =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"Run both scenarios on the same seed and print the \
+                   planned-vs-crash quality summary.")
+  in
+  let check_flag =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit 3 unless the planned migration completed with zero \
+                   downtime and zero cutover packet loss (and, with \
+                   $(b,--crash), the crash-driven one recorded real \
+                   downtime).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the run's vini.embed/1 JSON document (mapping, \
+                   substrate stress, migration records with cutover loss \
+                   and stretch/balance deltas) to $(docv).")
+  in
+  let doc =
+    "Live-migrate a virtual node of a running slice, make-before-break: \
+     pre-cloned process, double-provisioned resources, atomic barrier \
+     flip, drain, retire.  Prints migration-quality records (downtime, \
+     cutover loss, path-stretch and balance deltas); $(b,--compare) runs \
+     the planned and crash-driven scenarios side by side."
+  in
+  Cmd.v (Cmd.info "migrate" ~doc)
+    Term.(const run $ seed_arg $ vnodes_arg $ at_arg $ duration_arg
+          $ domains_arg $ target_arg $ crash_flag $ compare_flag $ check_flag
+          $ out_arg)
+
 (* --- mttr ------------------------------------------------------------------------ *)
 
 let mttr_cmd =
@@ -1098,6 +1267,6 @@ let main =
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; spans_cmd; embed_cmd; mttr_cmd; upcalls_cmd ]
+      ablate_cmd; spans_cmd; embed_cmd; migrate_cmd; mttr_cmd; upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

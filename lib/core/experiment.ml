@@ -15,6 +15,7 @@ type action =
   | Kill_process of int
   | Flap_vlink of int * int * float
   | Corrupt_vlink of int * int * float
+  | Migrate_vnode of int * int
   | Custom of string * (Iias.t -> unit)
 
 let is_chaos_action = function
@@ -22,7 +23,8 @@ let is_chaos_action = function
   | Corrupt_vlink _ ->
       true
   | Fail_vlink _ | Restore_vlink _ | Fail_plink _ | Restore_plink _
-  | Set_vlink_loss _ | Set_vlink_bandwidth _ | Set_vlink_cost _ | Custom _ ->
+  | Set_vlink_loss _ | Set_vlink_bandwidth _ | Set_vlink_cost _
+  | Migrate_vnode _ | Custom _ ->
       false
 
 let action_to_string = function
@@ -41,6 +43,7 @@ let action_to_string = function
   | Kill_process v -> Printf.sprintf "kill-process %d" v
   | Flap_vlink (a, b, d) -> Printf.sprintf "flap-link %d %d %g" a b d
   | Corrupt_vlink (a, b, p) -> Printf.sprintf "corrupt-link %d %d %g" a b p
+  | Migrate_vnode (v, p) -> Printf.sprintf "migrate %d %d" v p
   | Custom (name, _) -> Printf.sprintf "custom %s" name
 
 type event = { at : Time.t; action : action }
@@ -162,6 +165,9 @@ let validate ?phys spec =
       | Corrupt_vlink (a, b, p) ->
           check_vlink "Corrupt_vlink" a b;
           if p < 0.0 || p > 1.0 then err "corruption probability outside [0,1]"
+      | Migrate_vnode (v, p) ->
+          check_vnode "Migrate_vnode" v;
+          check_pnode "Migrate_vnode" p
       | Fail_plink _ | Restore_plink _ | Custom _ -> ())
     spec.events;
   List.iter

@@ -31,6 +31,10 @@ type action =
   | Corrupt_vlink of int * int * float
       (** corrupt the given fraction of the link's packets; receivers
           drop them on checksum verification *)
+  | Migrate_vnode of int * int
+      (** live-migrate the virtual node to the given physical node,
+          make-before-break ([Vini.migrate ~target]): pre-clone, barrier
+          flip, drain, retire — zero packet loss in steady state *)
   | Custom of string * (Vini_overlay.Iias.t -> unit)
       (** named scripted action (start traffic, change rates, ...) *)
 

@@ -134,7 +134,7 @@ let event_verbs =
     ("set-bandwidth", 3); ("clear-bandwidth", 2); ("set-cost", 3);
     ("fail-physical", 2); ("restore-physical", 2);
     ("crash-node", 1); ("restore-node", 1); ("kill-process", 1);
-    ("flap-link", 3); ("corrupt-link", 3) ]
+    ("flap-link", 3); ("corrupt-link", 3); ("migrate", 2) ]
 
 let feed b line =
   match tokens line with
@@ -434,7 +434,26 @@ let to_spec p ~phys =
     List.fold_left
       (fun acc ev ->
         let* acc = acc in
-        let* e = elaborate_event p ev in
+        (* [migrate VNODE PHYS] is the one verb naming a physical node, so
+           it elaborates here, where the substrate is in scope. *)
+        let* e =
+          match (ev.verb, ev.args) with
+          | "migrate", [ v; pname ] -> (
+              match node_index p v with
+              | None ->
+                  Error (Printf.sprintf "event references unknown node %S" v)
+              | Some vi -> (
+                  match phys_index pname with
+                  | Some pi ->
+                      Ok
+                        {
+                          Experiment.at = Time.of_sec_f ev.ev_at;
+                          action = Experiment.Migrate_vnode (vi, pi);
+                        }
+                  | None ->
+                      Error (Printf.sprintf "unknown physical node %S" pname)))
+          | _ -> elaborate_event p ev
+        in
         Ok (e :: acc))
       (Ok []) p.p_events
   in

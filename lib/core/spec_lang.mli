@@ -31,6 +31,8 @@
     at 40 crash-node Denver          # chaos verbs: crash-node, restore-node,
     at 55 restore-node Denver        #   kill-process, flap-link A B SECS,
     at 60 corrupt-link Denver Washington 0.01    #   corrupt-link A B PROB
+    at 70 migrate Denver pop5        # make-before-break live migration to
+                                     #   a physical node, named like embed
     v}
 
     Bandwidths accept [k]/[m]/[g] suffixes (bits per second); delays accept

@@ -6,12 +6,39 @@ module Substrate = Vini_embed.Substrate
 module Embed = Vini_embed.Embed
 module Request = Vini_embed.Request
 
+type migration_kind = Planned | Crash_driven
+
 type migration = {
   m_vnode : int;
   m_from : int;
   m_to : int;
-  m_down_at : Time.t;      (* when the hosting machine died *)
-  m_restored_at : Time.t;  (* when the replacement router was revived *)
+  m_kind : migration_kind;
+  m_down_at : Time.t;      (* when service stopped (= restored for planned) *)
+  m_restored_at : Time.t;  (* when the replacement router was serving *)
+  m_cutover_loss : int option;    (* packets; measured for planned moves *)
+  m_stretch_before : float;       (* mean path stretch around the move *)
+  m_stretch_after : float;
+  m_balance_before : float;       (* substrate max node stress around it *)
+  m_balance_after : float;
+}
+
+(* An in-flight planned (make-before-break) move and the accounting needed
+   to settle or roll it back. *)
+type pending_move = {
+  pv_vnode : int;
+  pv_from : int;
+  pv_to : int;
+  pv_acct : move_acct option;  (* None for pinned placements *)
+  mutable pv_flipped : bool;
+  mutable pv_flip_at : Time.t;
+}
+
+and move_acct = {
+  mv_cur : Embed.mapping;   (* mapping when the move was provisioned *)
+  mv_next : Embed.mapping;  (* planned mapping, committed as a delta *)
+  mv_except : int list;     (* parked vnodes at provision time *)
+  mv_stretch_before : float;
+  mv_balance_before : float;
 }
 
 type instance = {
@@ -26,6 +53,12 @@ type instance = {
   mutable mapping : Embed.mapping option;
   mutable migrations : migration list;
   mutable reembed_failures : (int * Embed.rejection) list;
+  (* Vnodes whose share is off the substrate books: their machine died and
+     the re-embed was rejected, so the residuals look exactly as after a
+     withdraw of just that vnode.  Re-committed when the machine reboots. *)
+  mutable parked : int list;
+  mutable pending_moves : pending_move list;
+  mutable migration_failures : (int * string) list;
   (* Crash_pnode v downs the machine *currently* hosting v; Restore_pnode
      v must reboot that same machine even if v migrated away meanwhile. *)
   crash_sites : (int, int) Hashtbl.t;
@@ -82,47 +115,104 @@ let run ?until ?(domains = 1) t =
 
 (* --- crash-driven re-embedding ----------------------------------------- *)
 
+let is_deployed inst = List.exists (fun i -> i == inst) inst.owner.deployed
+
 (* A dead machine's virtual node waits [reembed_delay] — the grace period
    in which a reboot lets the supervisor restart in place — then, if the
    machine is still down, is re-embedded onto a feasible surviving node
    and rebuilt there.  Survivors never move: the solver runs with every
-   other virtual node pinned to its current host. *)
-let attempt_reembed inst v =
+   other virtual node pinned to its current host.  A rejected re-embed
+   parks the vnode: the survivors' reservations go back on the books but
+   the dead vnode's share stays released, exactly as a withdraw of just
+   that vnode would leave the substrate. *)
+let rec attempt_reembed inst v =
   let t = inst.owner in
-  let p = Iias.current_pnode inst.overlay v in
-  if not (Underlay.node_is_up t.under p) then
-    match (inst.mapping, inst.areq) with
-    | Some m, Some req ->
-        let vtopo = inst.ispec.Experiment.vtopo in
-        Embed.withdraw t.substrate ~vtopo req m;
-        (match Embed.reembed t.substrate ~vtopo req m ~vnode:v with
-        | Ok m' ->
-            Embed.commit t.substrate ~vtopo req m';
-            Iias.migrate_vnode inst.overlay v ~pnode:m'.Embed.nodes.(v);
-            inst.mapping <- Some m';
-            let down_at =
-              Option.value
-                (Hashtbl.find_opt inst.down_since v)
-                ~default:(Engine.now t.engine)
-            in
-            Hashtbl.remove inst.down_since v;
-            inst.migrations <-
-              inst.migrations
-              @ [
-                  {
-                    m_vnode = v;
-                    m_from = p;
-                    m_to = m'.Embed.nodes.(v);
-                    m_down_at = down_at;
-                    m_restored_at = Engine.now t.engine;
-                  };
-                ]
-        | Error rej ->
-            (* Nowhere to go: put the old reservation back and leave the
-               vnode to the supervisor's restart-in-place loop. *)
-            Embed.commit t.substrate ~vtopo req m;
-            inst.reembed_failures <- inst.reembed_failures @ [ (v, rej) ])
-    | _ -> ()
+  if is_deployed inst then
+    if inst.pending_moves <> [] then
+      (* A live migration's double-provisioned accounting is in flight;
+         settle it first, then retry. *)
+      ignore
+        (Engine.after t.engine t.reembed_delay (fun () ->
+             attempt_reembed inst v))
+    else
+      let p = Iias.current_pnode inst.overlay v in
+      if not (Underlay.node_is_up t.under p) then
+        match (inst.mapping, inst.areq) with
+        | Some m, Some req -> (
+            let vtopo = inst.ispec.Experiment.vtopo in
+            Embed.withdraw ~except:inst.parked t.substrate ~vtopo req m;
+            match Embed.reembed t.substrate ~vtopo req m ~vnode:v with
+            | Ok m' ->
+                let survivors_parked =
+                  List.filter (fun w -> w <> v) inst.parked
+                in
+                Embed.commit ~except:survivors_parked t.substrate ~vtopo req m';
+                inst.parked <- survivors_parked;
+                let balance = Substrate.max_node_stress t.substrate in
+                let stretch_before = Embed.stretch t.substrate m in
+                Iias.migrate_vnode inst.overlay v ~pnode:m'.Embed.nodes.(v);
+                inst.mapping <- Some m';
+                let down_at =
+                  Option.value
+                    (Hashtbl.find_opt inst.down_since v)
+                    ~default:(Engine.now t.engine)
+                in
+                Hashtbl.remove inst.down_since v;
+                inst.migrations <-
+                  inst.migrations
+                  @ [
+                      {
+                        m_vnode = v;
+                        m_from = p;
+                        m_to = m'.Embed.nodes.(v);
+                        m_kind = Crash_driven;
+                        m_down_at = down_at;
+                        m_restored_at = Engine.now t.engine;
+                        m_cutover_loss = None;
+                        m_stretch_before = stretch_before;
+                        m_stretch_after = Embed.stretch t.substrate m';
+                        m_balance_before = balance;
+                        m_balance_after = balance;
+                      };
+                    ]
+            | Error rej ->
+                (* Nowhere to go: survivors' reservations go back, the
+                   dead vnode's share stays off the books (parked), and
+                   the vnode waits for the supervisor's restart-in-place
+                   loop. *)
+                Embed.commit ~except:(v :: inst.parked) t.substrate ~vtopo req
+                  m;
+                if not (List.mem v inst.parked) then
+                  inst.parked <- inst.parked @ [ v ];
+                inst.reembed_failures <- inst.reembed_failures @ [ (v, rej) ])
+        | _ -> ()
+
+(* A machine reboot brings a parked vnode's share back onto the books: the
+   supervisor restarts the process in place, and the substrate account
+   must follow.  Deferred while a live migration is settling, like
+   [attempt_reembed]. *)
+let rec restore_parked inst p =
+  let t = inst.owner in
+  if is_deployed inst && inst.parked <> [] then
+    if inst.pending_moves <> [] then
+      ignore
+        (Engine.after t.engine t.reembed_delay (fun () ->
+             restore_parked inst p))
+    else
+      match (inst.mapping, inst.areq) with
+      | Some m, Some req ->
+          let vtopo = inst.ispec.Experiment.vtopo in
+          List.iter
+            (fun v ->
+              if Iias.current_pnode inst.overlay v = p then begin
+                let others = List.filter (fun w -> w <> v) inst.parked in
+                Embed.commit_delta ~except:others t.substrate ~vtopo req m
+                  ~vnode:v;
+                inst.parked <- others;
+                Hashtbl.remove inst.down_since v
+              end)
+            inst.parked
+      | _ -> ()
 
 (* A crash whose own timeline schedules a later Restore_pnode for the same
    virtual node is planned downtime — maintenance, not failure.  The
@@ -197,6 +287,9 @@ let try_deploy t spec =
           mapping;
           migrations = [];
           reembed_failures = [];
+          parked = [];
+          pending_moves = [];
+          migration_failures = [];
           crash_sites = Hashtbl.create 4;
           down_since = Hashtbl.create 4;
         }
@@ -208,6 +301,8 @@ let try_deploy t spec =
               (function
               | Underlay.Node_down p when inst.started ->
                   schedule_reembed inst p
+              | Underlay.Node_up p when inst.started ->
+                  restore_parked inst p
               | Underlay.Node_down _ | Underlay.Node_up _
               | Underlay.Link_down _ | Underlay.Link_up _ ->
                   ());
@@ -225,9 +320,182 @@ let deploy t spec =
 let undeploy t inst =
   (match (inst.mapping, inst.areq) with
   | Some m, Some req ->
-      Embed.withdraw t.substrate ~vtopo:inst.ispec.Experiment.vtopo req m
+      let vtopo = inst.ispec.Experiment.vtopo in
+      (* Parked shares are already off the books; an in-flight move also
+         holds the other side of its double-provisioned delta (the old
+         share if flipped, the new one if not). *)
+      Embed.withdraw ~except:inst.parked t.substrate ~vtopo req m;
+      List.iter
+        (fun pv ->
+          match pv.pv_acct with
+          | Some a ->
+              let other = if pv.pv_flipped then a.mv_cur else a.mv_next in
+              Embed.withdraw_delta ~except:a.mv_except t.substrate ~vtopo req
+                other ~vnode:pv.pv_vnode
+          | None -> ())
+        inst.pending_moves
   | _ -> ());
+  inst.pending_moves <- [];
   t.deployed <- List.filter (fun i -> i != inst) t.deployed
+
+(* --- planned live migration -------------------------------------------- *)
+
+(* Settle a flipped move once its drain window closes: retire the old
+   process (counting what it still buffered as cutover loss), release the
+   old share of the double-provisioned delta, and record the move's
+   quality figures. *)
+let finish_move inst pv =
+  let t = inst.owner in
+  if is_deployed inst && List.memq pv inst.pending_moves then begin
+    let loss = Iias.finish_migration inst.overlay pv.pv_vnode in
+    inst.pending_moves <- List.filter (fun x -> x != pv) inst.pending_moves;
+    let stretch_before, stretch_after, balance_before =
+      match (pv.pv_acct, inst.areq) with
+      | Some a, Some req ->
+          let vtopo = inst.ispec.Experiment.vtopo in
+          Embed.withdraw_delta ~except:a.mv_except t.substrate ~vtopo req
+            a.mv_cur ~vnode:pv.pv_vnode;
+          ( a.mv_stretch_before,
+            Embed.stretch t.substrate a.mv_next,
+            a.mv_balance_before )
+      | _ ->
+          let b = Substrate.max_node_stress t.substrate in
+          (1.0, 1.0, b)
+    in
+    inst.migrations <-
+      inst.migrations
+      @ [
+          {
+            m_vnode = pv.pv_vnode;
+            m_from = pv.pv_from;
+            m_to = pv.pv_to;
+            m_kind = Planned;
+            (* Make-before-break: service never stopped, downtime zero. *)
+            m_down_at = pv.pv_flip_at;
+            m_restored_at = pv.pv_flip_at;
+            m_cutover_loss = Some loss;
+            m_stretch_before = stretch_before;
+            m_stretch_after = stretch_after;
+            m_balance_before = balance_before;
+            m_balance_after = Substrate.max_node_stress t.substrate;
+          };
+        ]
+  end
+
+(* Roll a not-yet-flipped move back: retire the clone, release the new
+   share of the delta, record the failure.  The old process never stopped
+   serving, so the slice observes nothing. *)
+let rollback_move inst pv reason =
+  let t = inst.owner in
+  Iias.abort_migration inst.overlay pv.pv_vnode;
+  (match (pv.pv_acct, inst.areq) with
+  | Some a, Some req ->
+      Embed.withdraw_delta ~except:a.mv_except t.substrate
+        ~vtopo:inst.ispec.Experiment.vtopo req a.mv_next ~vnode:pv.pv_vnode
+  | _ -> ());
+  inst.pending_moves <- List.filter (fun x -> x != pv) inst.pending_moves;
+  inst.migration_failures <- inst.migration_failures @ [ (pv.pv_vnode, reason) ]
+
+(* Schedule the atomic flip at the next barrier-safe instant and the drain
+   completion after it.  The flip callback re-checks liveness: if the
+   clone, its machine, or the old process died since provisioning, the
+   move rolls back instead of flipping. *)
+let flip_delay = Time.ms 10
+
+let schedule_flip inst pv ~drain =
+  let t = inst.owner in
+  ignore
+    (Engine.at_barrier t.engine
+       (Time.add (Engine.now t.engine) flip_delay)
+       (fun () ->
+         if is_deployed inst && List.memq pv inst.pending_moves then
+           if Iias.commit_migration inst.overlay pv.pv_vnode then begin
+             pv.pv_flipped <- true;
+             pv.pv_flip_at <- Engine.now t.engine;
+             (match pv.pv_acct with
+             | Some a -> inst.mapping <- Some a.mv_next
+             | None -> ());
+             ignore
+               (Engine.after t.engine drain (fun () -> finish_move inst pv))
+           end
+           else
+             rollback_move inst pv
+               "flip aborted: a process or machine died before the cutover"))
+
+let migrate ?target ?(drain = Time.sec 1) inst ~vnode =
+  let t = inst.owner in
+  if not inst.started then invalid_arg "Vini.migrate: instance not started";
+  if List.exists (fun pv -> pv.pv_vnode = vnode) inst.pending_moves then
+    invalid_arg "Vini.migrate: migration of this vnode already in flight";
+  if List.mem vnode inst.parked then
+    invalid_arg "Vini.migrate: virtual node's machine is down";
+  let vtopo = inst.ispec.Experiment.vtopo in
+  let cur_host = Iias.current_pnode inst.overlay vnode in
+  match (inst.mapping, inst.areq) with
+  | Some m, Some req -> (
+      match Embed.plan_move t.substrate ~vtopo req m ~vnode ?target () with
+      | Error r -> Error r
+      | Ok next when next.Embed.nodes.(vnode) = cur_host ->
+          (* The current host is already the cheapest feasible one. *)
+          Ok false
+      | Ok next ->
+          let tp = next.Embed.nodes.(vnode) in
+          let acct =
+            {
+              mv_cur = m;
+              mv_next = next;
+              mv_except = inst.parked;
+              mv_stretch_before = Embed.stretch t.substrate m;
+              mv_balance_before = Substrate.max_node_stress t.substrate;
+            }
+          in
+          (* Make before break: the new share joins the books while the
+             old one is still held; [begin_migration] double-provisions
+             the process and sockets the same way. *)
+          Embed.commit_delta ~except:acct.mv_except t.substrate ~vtopo req next
+            ~vnode;
+          (try Iias.begin_migration inst.overlay vnode ~pnode:tp
+           with e ->
+             Embed.withdraw_delta ~except:acct.mv_except t.substrate ~vtopo req
+               next ~vnode;
+             raise e);
+          let pv =
+            {
+              pv_vnode = vnode;
+              pv_from = cur_host;
+              pv_to = tp;
+              pv_acct = Some acct;
+              pv_flipped = false;
+              pv_flip_at = Time.zero;
+            }
+          in
+          inst.pending_moves <- inst.pending_moves @ [ pv ];
+          schedule_flip inst pv ~drain;
+          Ok true)
+  | _ -> (
+      (* Pinned placement: no substrate accounting to move, but the
+         make-before-break data-plane pipeline runs the same. *)
+      match target with
+      | None ->
+          invalid_arg "Vini.migrate: pinned placement needs an explicit target"
+      | Some tp ->
+          if tp = cur_host then Ok false
+          else begin
+            Iias.begin_migration inst.overlay vnode ~pnode:tp;
+            let pv =
+              {
+                pv_vnode = vnode;
+                pv_from = cur_host;
+                pv_to = tp;
+                pv_acct = None;
+                pv_flipped = false;
+                pv_flip_at = Time.zero;
+              }
+            in
+            inst.pending_moves <- inst.pending_moves @ [ pv ];
+            schedule_flip inst pv ~drain;
+            Ok true
+          end)
 
 let run_action inst = function
   | Experiment.Fail_vlink (a, b) -> Iias.set_vlink_state inst.overlay a b false
@@ -263,6 +531,14 @@ let run_action inst = function
              Iias.set_vlink_state inst.overlay a b true))
   | Experiment.Corrupt_vlink (a, b, p) ->
       Iias.set_vlink_corrupt inst.overlay a b p
+  | Experiment.Migrate_vnode (v, p) ->
+      (* Planned moves from a timeline are best-effort: a rejected plan
+         is recorded in [migration_failures], not raised mid-run. *)
+      (match migrate ~target:p inst ~vnode:v with
+      | Ok _ -> ()
+      | Error r ->
+          inst.migration_failures <-
+            inst.migration_failures @ [ (v, Embed.rejection_to_string r) ])
   | Experiment.Custom (_, f) -> f inst.overlay
 
 let start inst =
@@ -298,3 +574,6 @@ let mapping inst = inst.mapping
 let placement_request inst = inst.areq
 let migrations inst = inst.migrations
 let reembed_failures inst = inst.reembed_failures
+let migration_failures inst = inst.migration_failures
+let parked inst = inst.parked
+let pending_migrations inst = List.length inst.pending_moves

@@ -10,12 +10,32 @@
 type t
 type instance
 
+type migration_kind =
+  | Planned
+      (** make-before-break live move ({!migrate}): zero downtime, the
+          cutover loss is measured *)
+  | Crash_driven
+      (** reactive re-embed after a machine death: downtime is the
+          death-to-revival interval, cutover loss is not meaningful *)
+
 type migration = {
   m_vnode : int;
   m_from : int;
   m_to : int;
-  m_down_at : Vini_sim.Time.t;      (** when the hosting machine died *)
-  m_restored_at : Vini_sim.Time.t;  (** when the replacement was revived *)
+  m_kind : migration_kind;
+  m_down_at : Vini_sim.Time.t;
+      (** when the hosting machine died; equals [m_restored_at] (the flip
+          instant) for planned moves, whose downtime is zero *)
+  m_restored_at : Vini_sim.Time.t;  (** when the replacement took over *)
+  m_cutover_loss : int option;
+      (** planned moves only: packets lost across the cutover window
+          (drop forensics plus packets retired with the old process);
+          zero in steady state *)
+  m_stretch_before : float;  (** {!Vini_embed.Embed.stretch} pre-move *)
+  m_stretch_after : float;
+  m_balance_before : float;
+      (** {!Vini_embed.Substrate.max_node_stress} pre-move *)
+  m_balance_after : float;
 }
 
 val create :
@@ -106,3 +126,50 @@ val mapping : instance -> Vini_embed.Embed.mapping option
 val placement_request : instance -> Vini_embed.Request.t option
 val migrations : instance -> migration list
 val reembed_failures : instance -> (int * Vini_embed.Embed.rejection) list
+
+val parked : instance -> int list
+(** Virtual nodes whose re-embed after a machine death was rejected:
+    their share of the reservation is released exactly (the survivors'
+    share stays committed) and they wait, unhosted, until their machine
+    returns ({!Experiment.Restore_pnode}) and they are re-committed. *)
+
+(** {2 Planned live migration (make-before-break)}
+
+    The proactive counterpart to crash-driven re-embedding: move a
+    virtual node {e before} breaking anything.  {!migrate} plans the move
+    with the online solver's congestion pricing (or takes an explicit
+    [?target]), double-provisions CPU and incident-path bandwidth for the
+    new placement alongside the old, pre-clones the Click process on the
+    target ({!Vini_overlay.Iias.begin_migration}), flips ingress/egress
+    atomically at a barrier-safe instant, drains in-flight packets
+    through the old process, then retires it and releases the old share.
+    In steady state the cutover loses zero packets; the measured loss,
+    path-stretch delta and substrate-balance delta are recorded in
+    {!migrations}.  A move that cannot flip (target died meanwhile) rolls
+    back cleanly: the old process never stopped serving and the new share
+    is withdrawn, leaving substrate accounts exactly as before. *)
+
+val migrate :
+  ?target:int ->
+  ?drain:Vini_sim.Time.t ->
+  instance ->
+  vnode:int ->
+  (bool, Vini_embed.Embed.rejection) result
+(** Start a make-before-break move of [vnode].  Without [?target] the
+    online solver picks the cheapest feasible host under congestion
+    pricing (pinned placements require an explicit target); [?drain]
+    (default 1 s) is how long in-flight packets may keep arriving at the
+    old process after the flip.  [Ok true]: the move is in flight and
+    will commit (or roll back) asynchronously.  [Ok false]: the current
+    host is already the best choice — nothing to do.  [Error r]: the
+    solver rejected every alternative (capacity, partition, invalid
+    explicit target).
+    @raise Invalid_argument if the instance is not started, the vnode is
+    parked, or a migration of it is already in flight. *)
+
+val pending_migrations : instance -> int
+(** Number of in-flight planned moves (begun, not yet settled). *)
+
+val migration_failures : instance -> (int * string) list
+(** Planned moves that were rejected at planning time (timeline
+    [migrate] events) or rolled back before the flip, with the reason. *)

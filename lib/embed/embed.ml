@@ -342,22 +342,56 @@ let solve sub ~vtopo (req : Request.t) =
     Ok { nodes; vpaths }
   with Reject r -> Error r
 
-let iter_mapping ~vtopo (req : Request.t) m ~node ~path =
-  Array.iteri (fun v p -> node p (req.Request.cpu_demand v)) m.nodes;
+let iter_mapping ?(except = []) ~vtopo (req : Request.t) m ~node ~path =
+  Array.iteri
+    (fun v p ->
+      if not (List.mem v except) then node p (req.Request.cpu_demand v))
+    m.nodes;
   List.iter
     (fun ((va, vb), p) ->
-      match Graph.find_link vtopo va vb with
-      | Some l -> path p (req.Request.bw_demand l)
-      | None -> ())
+      if (not (List.mem va except)) && not (List.mem vb except) then
+        match Graph.find_link vtopo va vb with
+        | Some l -> path p (req.Request.bw_demand l)
+        | None -> ())
     m.vpaths
 
-let commit sub ~vtopo req m =
-  iter_mapping ~vtopo req m
+let commit ?except sub ~vtopo req m =
+  iter_mapping ?except ~vtopo req m
     ~node:(Substrate.reserve_node sub)
     ~path:(Substrate.reserve_path sub)
 
-let withdraw sub ~vtopo req m =
-  iter_mapping ~vtopo req m
+let withdraw ?except sub ~vtopo req m =
+  iter_mapping ?except ~vtopo req m
+    ~node:(Substrate.release_node sub)
+    ~path:(Substrate.release_path sub)
+
+(* One virtual node's own share of a mapping: its CPU plus the bandwidth
+   of its incident virtual links' paths.  A path whose other endpoint is
+   in [except] is skipped — when several vnodes' shares are out of the
+   substrate at once (parked after rejected re-embeds, or mid-migration),
+   a path between two of them must be moved by exactly one of the two
+   delta operations, not both. *)
+let iter_delta ?(except = []) ~vtopo (req : Request.t) m ~vnode ~node ~path =
+  node m.nodes.(vnode) (req.Request.cpu_demand vnode);
+  List.iter
+    (fun ((va, vb), p) ->
+      if
+        (va = vnode || vb = vnode)
+        && (not (List.mem va except))
+        && not (List.mem vb except)
+      then
+        match Graph.find_link vtopo va vb with
+        | Some l -> path p (req.Request.bw_demand l)
+        | None -> ())
+    m.vpaths
+
+let commit_delta ?except sub ~vtopo req m ~vnode =
+  iter_delta ?except ~vtopo req m ~vnode
+    ~node:(Substrate.reserve_node sub)
+    ~path:(Substrate.reserve_path sub)
+
+let withdraw_delta ?except sub ~vtopo req m ~vnode =
+  iter_delta ?except ~vtopo req m ~vnode
     ~node:(Substrate.release_node sub)
     ~path:(Substrate.release_path sub)
 
@@ -375,6 +409,184 @@ let reembed sub ~vtopo (req : Request.t) m ~vnode =
   let pins = ref [] in
   Array.iteri (fun v p -> if v <> vnode then pins := (v, p) :: !pins) m.nodes;
   solve sub ~vtopo { req with Request.pins = List.rev !pins }
+
+(* Price and route a make-before-break move of one virtual node.  Every
+   survivor keeps its host {e and} its exact committed paths; only the
+   moving vnode's host and incident paths change.  Pure, like [solve],
+   but against a snapshot in which the mover's own share (CPU +
+   incident-path bandwidth) has been credited back: the plan prices the
+   steady state after the old share is withdrawn, even though the
+   migration double-provisions in between ([commit_delta] on the new
+   mapping while the old share is still held, [withdraw_delta] on the
+   old one only after the flip commits). *)
+let plan_move sub ~vtopo (req : Request.t) m ~vnode ?target () =
+  let vn = Graph.node_count vtopo in
+  if vnode < 0 || vnode >= vn then
+    invalid_arg "Embed.plan_move: virtual node out of range";
+  let st = snapshot sub in
+  let pn = Graph.node_count st.sg in
+  let dem = req.Request.cpu_demand vnode in
+  st.nres.(m.nodes.(vnode)) <- st.nres.(m.nodes.(vnode)) +. dem;
+  List.iter
+    (fun ((va, vb), p) ->
+      if va = vnode || vb = vnode then
+        match Graph.find_link vtopo va vb with
+        | Some l ->
+            let bw = req.Request.bw_demand l in
+            if bw > 0.0 then
+              let rec credit = function
+                | a :: (b :: _ as rest) ->
+                    Hashtbl.replace st.lres (key a b)
+                      (local_link_residual st a b +. bw);
+                    credit rest
+                | [ _ ] | [] -> ()
+              in
+              credit p
+        | None -> ())
+    m.vpaths;
+  let used = Array.make pn false in
+  Array.iteri (fun v p -> if v <> vnode then used.(p) <- true) m.nodes;
+  let nbrs =
+    List.sort (fun (u1, _) (u2, _) -> compare u1 u2) (Graph.neighbors vtopo vnode)
+  in
+  let cap_blocked = ref None and live_blocked = ref None in
+  (* Candidate pricing, same cost model as [place_online]: exponential
+     node-congestion increment plus congestion-priced constrained paths
+     to every neighbour's (unmoved) host. *)
+  let price p =
+    let cap = Substrate.node_capacity st.sub p in
+    let ncost =
+      if cap <= 0.0 then infinity
+      else
+        let u0 = cap -. st.nres.(p) in
+        (alpha ** ((u0 +. dem) /. cap)) -. (alpha ** (u0 /. cap))
+    in
+    let feasible = ref true and pcost = ref 0.0 in
+    List.iter
+      (fun (u, vl) ->
+        if !feasible then begin
+          let bw = req.Request.bw_demand vl in
+          match
+            constrained_path st ~weight:(congestion_weight st ~bw) ~need:bw p
+              m.nodes.(u)
+          with
+          | Some (_, d) -> pcost := !pcost +. d
+          | None -> (
+              feasible := false;
+              match
+                constrained_path st ~weight:hop_weight ~need:0.0 p m.nodes.(u)
+              with
+              | Some _ ->
+                  if !cap_blocked = None then
+                    cap_blocked := Some (key vnode u, bw)
+              | None ->
+                  if !live_blocked = None then live_blocked := Some (key vnode u))
+        end)
+      nbrs;
+    if !feasible then Some (ncost +. !pcost) else None
+  in
+  (* Final incident paths for the chosen host, reserved incrementally in
+     the mapping's normalised vlink order so the mover's own paths cannot
+     overcommit a link among themselves. *)
+  let route p =
+    List.filter_map
+      (fun ((va, vb), _) ->
+        if va = vnode || vb = vnode then begin
+          let u = if va = vnode then vb else va in
+          match Graph.find_link vtopo va vb with
+          | None -> None
+          | Some l -> (
+              let bw = req.Request.bw_demand l in
+              match
+                constrained_path st ~weight:(congestion_weight st ~bw) ~need:bw
+                  p m.nodes.(u)
+              with
+              | Some (path, _) ->
+                  reserve_local_path st path bw;
+                  let path = if va = vnode then path else List.rev path in
+                  Some ((va, vb), path)
+              | None -> (
+                  match
+                    constrained_path st ~weight:hop_weight ~need:0.0 p
+                      m.nodes.(u)
+                  with
+                  | Some _ ->
+                      raise (Reject (Link_exhausted { va; vb; demand = bw }))
+                  | None -> raise (Reject (Unreachable { va; vb }))))
+        end
+        else None)
+      m.vpaths
+  in
+  let build p =
+    let paths = route p in
+    let nodes = Array.copy m.nodes in
+    nodes.(vnode) <- p;
+    let vpaths =
+      List.map
+        (fun ((va, vb), old) ->
+          match List.assoc_opt (va, vb) paths with
+          | Some np -> ((va, vb), np)
+          | None -> ((va, vb), old))
+        m.vpaths
+    in
+    { nodes; vpaths }
+  in
+  try
+    match target with
+    | Some p ->
+        let fail reason =
+          raise (Reject (Pin_invalid { vnode; pnode = p; reason }))
+        in
+        if p < 0 || p >= pn then fail "physical node out of range";
+        if not (Substrate.node_up st.sub p) then fail "physical node is down";
+        if used.(p) then fail "physical node already hosts this slice";
+        if st.nres.(p) +. eps < dem then
+          fail
+            (Printf.sprintf "insufficient CPU (demand %.3f, residual %.3f)" dem
+               st.nres.(p));
+        Ok (build p)
+    | None ->
+        let cands = ref [] in
+        let best_res = ref 0.0 and any_cap = ref false in
+        for p = 0 to pn - 1 do
+          if Substrate.node_up st.sub p && not used.(p) then begin
+            if st.nres.(p) > !best_res then best_res := st.nres.(p);
+            if st.nres.(p) +. eps >= dem then begin
+              any_cap := true;
+              match price p with
+              | Some c -> cands := (c, p) :: !cands
+              | None -> ()
+            end
+          end
+        done;
+        (match List.rev !cands with
+        | [] ->
+            if not !any_cap then
+              raise
+                (Reject
+                   (Node_exhausted
+                      { vnode; demand = dem; best_residual = !best_res }))
+            else begin
+              match (!cap_blocked, !live_blocked) with
+              | Some ((va, vb), bw), _ ->
+                  raise (Reject (Link_exhausted { va; vb; demand = bw }))
+              | None, Some (va, vb) -> raise (Reject (Unreachable { va; vb }))
+              | None, None -> assert false
+            end
+        | cands ->
+            let minc =
+              List.fold_left (fun acc (c, _) -> Float.min acc c) infinity cands
+            in
+            let ties =
+              List.filter
+                (fun (c, _) -> c -. minc <= 1e-9 *. (1.0 +. Float.abs minc))
+                cands
+            in
+            let k = List.length ties in
+            let idx = (((req.Request.seed + vnode) mod k) + k) mod k in
+            let _, p = List.nth ties idx in
+            Ok (build p))
+  with Reject r -> Error r
 
 exception Check_failed of string
 

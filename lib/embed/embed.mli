@@ -59,12 +59,37 @@ val solve :
     substrate state, topology, and request (including seed). *)
 
 val commit :
+  ?except:int list ->
   Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping -> unit
-(** Reserve the mapping's CPU and bandwidth on the substrate. *)
+(** Reserve the mapping's CPU and bandwidth on the substrate.  [except]
+    lists virtual nodes whose share (CPU and incident-path bandwidth) is
+    left out — used to re-commit only the survivors of a rejected
+    re-embed, parking the dead vnode's share off the books. *)
 
 val withdraw :
+  ?except:int list ->
   Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping -> unit
-(** Release what {!commit} reserved. *)
+(** Release what {!commit} reserved, with the same [except] semantics. *)
+
+val commit_delta :
+  ?except:int list ->
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->
+  vnode:int -> unit
+(** Reserve exactly one virtual node's share of a mapping: its CPU plus
+    the bandwidth of its incident virtual links' paths.  With [except],
+    a path whose {e other} endpoint is listed is skipped — when several
+    vnodes' shares are simultaneously off the books, the path between two
+    of them belongs to exactly one delta.  Paired with {!withdraw_delta}
+    this is the double-provisioning primitive of a make-before-break
+    migration: [commit_delta] on the {e new} mapping while the old share
+    is still held, then after the flip [withdraw_delta] on the old one
+    (or, on rollback, [withdraw_delta] on the new one). *)
+
+val withdraw_delta :
+  ?except:int list ->
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->
+  vnode:int -> unit
+(** Release one virtual node's share; inverse of {!commit_delta}. *)
 
 val admit :
   Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t ->
@@ -79,6 +104,23 @@ val reembed :
     node pinned to its current host, so survivors never move.  Pure like
     [solve] — the caller withdraws the old mapping first and commits the
     result (or re-commits the old mapping on rejection). *)
+
+val plan_move :
+  Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->
+  vnode:int -> ?target:int -> unit -> (mapping, rejection) result
+(** Plan a make-before-break move of [vnode]: every survivor keeps its
+    host {e and} its exact committed paths; only [vnode]'s host and the
+    paths of its incident virtual links change.  Candidate hosts are
+    priced with {!Request.Online}'s exponential congestion model (node
+    increment + congestion-priced constrained paths to each neighbour's
+    host), against a snapshot that credits the mover's current share back
+    — the plan describes the steady state after the old share is
+    withdrawn.  [target] forces a specific host (validated like a pin);
+    otherwise the cheapest candidate wins, exact-cost ties broken by the
+    request seed.  The current host is itself a candidate, so a plan that
+    returns the same host means "no profitable move".  Pure: reserves
+    nothing; drive the actual move with {!commit_delta} /
+    {!withdraw_delta}. *)
 
 val check :
   Substrate.t -> vtopo:Vini_topo.Graph.t -> Request.t -> mapping ->

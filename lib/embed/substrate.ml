@@ -107,6 +107,13 @@ let acceptance_rate t =
   let total = t.n_admitted + t.n_rejected in
   if total = 0 then 1.0 else float_of_int t.n_admitted /. float_of_int total
 
+let max_node_stress t =
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i cap -> if cap > 0.0 then m := Float.max !m (t.used.(i) /. cap))
+    t.caps;
+  !m
+
 let residual_histogram ?(buckets = 10) t =
   let counts = Array.make buckets 0 in
   Array.iteri

@@ -65,6 +65,11 @@ val rejected : t -> int
 val acceptance_rate : t -> float
 (** admitted / (admitted + rejected); 1.0 before any decision. *)
 
+val max_node_stress : t -> float
+(** Largest per-node utilisation fraction (used/capacity) across the
+    substrate — the balance figure the background defragmenter watches
+    and migration-quality records report. *)
+
 val residual_histogram : ?buckets:int -> t -> (float * float * int) array
 (** Histogram of per-node residual CPU {e fractions} (residual/capacity)
     over [buckets] equal-width bins of [0,1] (default 10): the

@@ -572,8 +572,14 @@ type embed_migration = {
   mg_vnode : int;
   mg_from : int;
   mg_to : int;
+  mg_kind : string;
   mg_down_s : float;
   mg_restored_s : float;
+  mg_cutover_loss : int option;
+  mg_stretch_before : float;
+  mg_stretch_after : float;
+  mg_balance_before : float;
+  mg_balance_after : float;
 }
 
 let embed_slice_json sub s =
@@ -684,9 +690,18 @@ let embed_document ?(migrations = []) ?(extra = []) ~substrate ~slices () =
             ("vnode", Num (float_of_int mg.mg_vnode));
             ("from", Num (float_of_int mg.mg_from));
             ("to", Num (float_of_int mg.mg_to));
+            ("kind", Str mg.mg_kind);
             ("down_s", Num mg.mg_down_s);
             ("restored_s", Num mg.mg_restored_s);
             ("downtime_s", Num (mg.mg_restored_s -. mg.mg_down_s));
+            ( "cutover_loss",
+              match mg.mg_cutover_loss with
+              | Some n -> Num (float_of_int n)
+              | None -> Null );
+            ("stretch_before", Num mg.mg_stretch_before);
+            ("stretch_after", Num mg.mg_stretch_after);
+            ("balance_before", Num mg.mg_balance_before);
+            ("balance_after", Num mg.mg_balance_after);
           ])
       migrations
   in

@@ -89,8 +89,17 @@ type embed_migration = {
   mg_vnode : int;
   mg_from : int;
   mg_to : int;
-  mg_down_s : float;     (** machine-death instant, seconds *)
-  mg_restored_s : float; (** replacement-revival instant, seconds *)
+  mg_kind : string;      (** ["planned"] | ["crash"] *)
+  mg_down_s : float;     (** machine-death (or flip) instant, seconds *)
+  mg_restored_s : float; (** replacement-takeover instant, seconds *)
+  mg_cutover_loss : int option;
+      (** planned moves: packets lost across the cutover (zero in steady
+          state); [None] (JSON [null]) for crash-driven moves *)
+  mg_stretch_before : float;  (** path stretch before/after the move *)
+  mg_stretch_after : float;
+  mg_balance_before : float;
+      (** max per-node substrate stress before/after the move *)
+  mg_balance_after : float;
 }
 
 val embed_document :

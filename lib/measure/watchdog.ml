@@ -13,6 +13,7 @@ type t = {
   vtopo : Graph.t;
   period : Time.t;
   grace : Time.t;
+  migration_aware : bool;
   mutable running : bool;
   mutable stopped : bool;
   mutable sweeps : int;
@@ -25,7 +26,7 @@ type t = {
 let max_probe_ttl = 32
 
 let create ~engine ~overlay ~vtopo ?(period = Time.sec 1)
-    ?(grace = Time.sec 15) () =
+    ?(grace = Time.sec 15) ?(migration_aware = true) () =
   if Time.compare period Time.zero <= 0 then
     invalid_arg "Watchdog.create: period must be positive";
   {
@@ -34,6 +35,7 @@ let create ~engine ~overlay ~vtopo ?(period = Time.sec 1)
     vtopo;
     period;
     grace;
+    migration_aware;
     running = false;
     stopped = false;
     sweeps = 0;
@@ -49,14 +51,23 @@ let report t ~check ~detail =
     Trace.emit ~severity:Trace.Warn ~component:"watchdog"
       (Trace.Watchdog_check { check; detail })
 
+(* A vnode inside its migration cutover window [flip, drain-complete]
+   holds a deliberately frozen FIB (deferred routing changes replay at
+   thaw), so any check reading its forwarding state would alarm on
+   planned, self-healing conditions. *)
+let in_grace t v = t.migration_aware && Iias.migration_grace t.overlay v
+
 (* Follow FIBs from [src] towards [dst]'s tap address, hop budget
-   {!max_probe_ttl} — the simulated analogue of a TTL-limited probe. *)
-type probe = Delivered | Dropped | Looped of int list
+   {!max_probe_ttl} — the simulated analogue of a TTL-limited probe.
+   [Inconclusive]: the probe crossed a vnode inside its migration grace
+   window, whose frozen FIB proves nothing. *)
+type probe = Delivered | Dropped | Looped of int list | Inconclusive
 
 let probe_path t src dst =
   let dst_addr = Iias.tap_addr (Iias.vnode t.overlay dst) in
   let rec walk v ttl trail =
     if ttl = 0 then Looped (List.rev trail)
+    else if in_grace t v then Inconclusive
     else if not (Iias.vnode_alive (Iias.vnode t.overlay v)) then Dropped
     else
       match Iias.fib_next t.overlay v dst_addr with
@@ -111,6 +122,10 @@ let check_pair t now src dst =
           (Printf.sprintf "%s -> %s: %s" (vname t src) (vname t dst)
              (String.concat " " (List.map (vname t) trail)))
   | Delivered -> Hashtbl.remove t.unreachable_since key
+  | Inconclusive ->
+      (* Planned cutover in progress somewhere on the path: neither alarm
+         nor let a stale unreachability clock keep ticking across it. *)
+      Hashtbl.remove t.unreachable_since key
   | Dropped ->
       if connected t src dst then begin
         match Hashtbl.find_opt t.unreachable_since key with
@@ -130,7 +145,7 @@ let check_pair t now src dst =
 
 let check_fib_consistency t v =
   let vn = Iias.vnode t.overlay v in
-  if Iias.vnode_alive vn then begin
+  if Iias.vnode_alive vn && not (in_grace t v) then begin
     let fib = List.map fst (Iias.fib_entries vn) in
     List.iter
       (fun (p, _) ->

@@ -31,10 +31,20 @@ val create :
   vtopo:Vini_topo.Graph.t ->
   ?period:Vini_sim.Time.t ->
   ?grace:Vini_sim.Time.t ->
+  ?migration_aware:bool ->
   unit ->
   t
 (** Default: sweep every 1 s, blackhole grace 15 s (past the paper's 10 s
     OSPF dead interval plus SPF hold-down).
+
+    [migration_aware] (default [true]) suppresses alarms attributable to
+    a vnode inside its planned-migration cutover window
+    ({!Vini_overlay.Iias.migration_grace}): its FIB is deliberately
+    frozen between the flip and drain-complete, so fib-consistency
+    checks on it skip, probes crossing it are inconclusive rather than
+    loops/blackholes, and its pending unreachability clocks are purged.
+    Pass [false] to observe the pre-suppression behaviour (the watchdog
+    then alarms on planned cutovers — regression-tested).
     @raise Invalid_argument on a non-positive period. *)
 
 val start : t -> unit

@@ -104,6 +104,24 @@ type vnode = {
   mutable n_vpn_in : int;
   mutable n_vpn_out : int;
   mutable n_corrupt : int;
+  (* During a live migration's [flip, drain-complete] window the FIB is
+     shared by the old and new Click processes, so RIB-driven changes are
+     deferred (newest first) and replayed when the drain ends. *)
+  mutable fib_frozen : bool;
+  mutable deferred_fib : Rib.change list;
+}
+
+(* An in-flight make-before-break migration: the replacement process
+   pre-cloned (double-provisioned) on the target machine, awaiting the
+   barrier flip. *)
+type pending_mig = {
+  pm_target : int;
+  pm_proc : Process.t;
+  pm_ctrl : Packet.t -> bool;
+  pm_tap : Packet.t -> bool;
+  pm_old_proc : Process.t;
+  mutable pm_flipped : bool;
+  mutable pm_base : int; (* vnode drop census at the flip instant *)
 }
 
 type t = {
@@ -119,6 +137,7 @@ type t = {
   rng : Vini_std.Rng.t;
   mutable started : bool;
   mutable supervisor : Supervisor.t option;
+  pending_migs : (int, pending_mig) Hashtbl.t; (* vnode id -> in-flight *)
 }
 
 (* --- address plan ----------------------------------------------------- *)
@@ -127,6 +146,21 @@ let tap_addr_of vid = Addr.of_octets 10 0 (vid / 250) ((vid mod 250) + 1)
 
 let link_subnet k =
   Prefix.make (Addr.of_octets 10 1 (k / 64) ((k mod 64) * 4)) 30
+
+(* Translate one RIB change into the vnode's Click FIB — the FEA's apply
+   step, also used to replay changes deferred across a migration drain. *)
+let apply_fib_change vn (change : Rib.change) =
+  match change with
+  | Rib.Install (p, r) ->
+      let action =
+        if r.Rib.proto = Rib.Connected then
+          Option.value
+            (Hashtbl.find_opt vn.connected_actions p)
+            ~default:Deliver
+        else Via r.Rib.next_hop
+      in
+      Fib.add vn.fib p action
+  | Rib.Withdraw p -> Fib.remove vn.fib p
 
 (* --- data plane -------------------------------------------------------- *)
 
@@ -297,9 +331,13 @@ and napt_injector vn pkt =
 
 (* Packets reaching the Click process: outer packets addressed to the
    physical node (tunnels, VPN, NAT returns) vs. inner packets injected
-   locally (tap, control plane). *)
-let click_handler t vn (pkt : Packet.t) =
-  if not (Addr.equal pkt.Packet.dst (Pnode.addr vn.node)) then route vn pkt
+   locally (tap, control plane).  [host] is the machine this particular
+   process sits on, captured at wire time rather than read from the vnode:
+   after a migration flip the vnode record points at the new machine, but
+   packets still in flight to the old one must be recognised as outer
+   frames there during the drain. *)
+let click_handler t vn ~host (pkt : Packet.t) =
+  if not (Addr.equal pkt.Packet.dst (Pnode.addr host)) then route vn pkt
   else
     match pkt.Packet.proto with
     | Packet.Udp { udport; body = Packet.Tunnel inner; _ }
@@ -333,18 +371,14 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
   let vtap = tap_addr_of vid in
   let fib = Fib.create () in
        let connected_actions = Hashtbl.create 8 in
+       (* The vnode record is read at call time: no FEA activity happens
+          before the vnodes array is populated, and routing the change
+          through the record lets a migration freeze the FIB while two
+          processes forward from it. *)
        let fea (change : Rib.change) =
-         match change with
-         | Rib.Install (p, r) ->
-             let action =
-               if r.Rib.proto = Rib.Connected then
-                 Option.value
-                   (Hashtbl.find_opt connected_actions p)
-                   ~default:Deliver
-               else Via r.Rib.next_hop
-             in
-             Fib.add fib p action
-         | Rib.Withdraw p -> Fib.remove fib p
+         let vn = t.vnodes.(vid) in
+         if vn.fib_frozen then vn.deferred_fib <- change :: vn.deferred_fib
+         else apply_fib_change vn change
        in
        let proc =
          Process.create ~node:pnode ~slice:t.slice
@@ -467,6 +501,8 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
     n_vpn_in = 0;
     n_vpn_out = 0;
     n_corrupt = 0;
+    fib_frozen = false;
+    deferred_fib = [];
   }
 
 (* A crashing click process takes its whole router down: the routing
@@ -480,9 +516,15 @@ let teardown_router vn =
   vn.vrip <- None;
   Fib.clear vn.fib
 
-let wire_process t vn =
-  Process.set_handler vn.proc (fun pkt -> click_handler t vn pkt);
-  Process.on_crash vn.proc (fun () -> teardown_router vn)
+(* Wire one Click process (the vnode's current one, or a migration's
+   pre-clone) to the shared data plane.  The crash hook is identity
+   guarded: tearing down the shared router state is only correct while
+   this process is still the vnode's current one — an old pre-migration
+   process crashing after the flip must not clear the live FIB. *)
+let wire_process t vn proc =
+  let host = Process.node proc in
+  Process.set_handler proc (fun pkt -> click_handler t vn ~host pkt);
+  Process.on_crash proc (fun () -> if vn.proc == proc then teardown_router vn)
 
 let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
     ?(tunnel_port = 33000)
@@ -519,6 +561,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
       rng;
       started = false;
       supervisor = None;
+      pending_migs = Hashtbl.create 4;
     }
   in
   t.vnodes <-
@@ -532,7 +575,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
             (Graph.neighbors vtopo vid)
         in
         build_vnode t ~vid ~pnode ~links_of_vid);
-  Array.iter (fun vn -> wire_process t vn) t.vnodes;
+  Array.iter (fun vn -> wire_process t vn vn.proc) t.vnodes;
   t
 
 let vnode_count t = Array.length t.vnodes
@@ -707,6 +750,8 @@ let migrate_vnode t v ~pnode:pid =
     t.placement;
   if not (Underlay.node_is_up t.underlay pid) then
     invalid_arg "Iias.migrate_vnode: target node is down";
+  if Hashtbl.mem t.pending_migs v then
+    invalid_arg "Iias.migrate_vnode: live migration in progress";
   let vn = t.vnodes.(v) in
   let old_name = Process.name vn.proc in
   if Process.alive vn.proc then Process.crash vn.proc;
@@ -722,7 +767,7 @@ let migrate_vnode t v ~pnode:pid =
       ()
   in
   vn.proc <- proc;
-  wire_process t vn;
+  wire_process t vn proc;
   vn.ctrl_inject <- Process.open_queue proc ();
   vn.tap_inject <- Process.open_queue proc ();
   vn.napt <- Napt.create ~public_addr:(Pnode.addr target) ();
@@ -739,6 +784,170 @@ let migrate_vnode t v ~pnode:pid =
   match t.supervisor with
   | Some sup -> Supervisor.adopt sup ~name:old_name proc
   | None -> ()
+
+(* --- make-before-break live migration ---------------------------------- *)
+
+let migration_pending t v = Hashtbl.mem t.pending_migs v
+
+let migration_grace t v =
+  match Hashtbl.find_opt t.pending_migs v with
+  | Some pm -> pm.pm_flipped
+  | None -> false
+
+let migration_target t v =
+  Option.map (fun pm -> pm.pm_target) (Hashtbl.find_opt t.pending_migs v)
+
+(* Drops attributable to the vnode across a migration window: its own
+   data-plane drop counters plus the receive-buffer drops of both the old
+   and the replacement process. *)
+let drop_census vn pm =
+  vn.n_no_route + vn.n_ttl + vn.n_corrupt
+  + Process.socket_drops pm.pm_old_proc
+  + Process.socket_drops pm.pm_proc
+
+(* Pre-clone virtual node [v]'s process on physical node [pid]: a fresh
+   Click process wired to the shared data plane, with tunnel (and VPN)
+   sockets open and input queues ready, double-provisioned next to the
+   still-serving old process.  No traffic reaches it until the flip
+   ({!commit_migration}) re-aims the placement. *)
+let begin_migration t v ~pnode:pid =
+  if not t.started then invalid_arg "Iias.begin_migration: not started";
+  if v < 0 || v >= Array.length t.vnodes then
+    invalid_arg "Iias.begin_migration: virtual node out of range";
+  let pn = Graph.node_count (Underlay.graph t.underlay) in
+  if pid < 0 || pid >= pn then
+    invalid_arg "Iias.begin_migration: physical node out of range";
+  if t.placement.(v) = pid then
+    invalid_arg "Iias.begin_migration: virtual node already hosted there";
+  Array.iteri
+    (fun v' p ->
+      if v' <> v && p = pid then
+        invalid_arg "Iias.begin_migration: target already hosts this slice")
+    t.placement;
+  if not (Underlay.node_is_up t.underlay pid) then
+    invalid_arg "Iias.begin_migration: target node is down";
+  if Hashtbl.mem t.pending_migs v then
+    invalid_arg "Iias.begin_migration: migration already in progress";
+  let vn = t.vnodes.(v) in
+  if not (Process.alive vn.proc) then
+    invalid_arg "Iias.begin_migration: virtual node is down";
+  let target = Underlay.node t.underlay pid in
+  let proc =
+    Process.create ~node:target ~slice:t.slice
+      ~name:
+        (Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
+           (Pnode.name target))
+      ~handler:(fun _ -> ())
+      ()
+  in
+  wire_process t vn proc;
+  let pm_ctrl = Process.open_queue proc () in
+  let pm_tap = Process.open_queue proc () in
+  ignore
+    (Process.open_socket proc ~port:t.tunnel_port
+       ~rcvbuf_bytes:t.tunnel_rcvbuf_bytes ());
+  if vn.ingress_pool <> None then
+    ignore (Process.open_socket proc ~port:vpn_port ());
+  Hashtbl.replace t.pending_migs v
+    {
+      pm_target = pid;
+      pm_proc = proc;
+      pm_ctrl;
+      pm_tap;
+      pm_old_proc = vn.proc;
+      pm_flipped = false;
+      pm_base = 0;
+    }
+
+(* The atomic flip, scheduled at a barrier-safe instant
+   ({!Vini_sim.Engine.at_barrier}).  Returns [false] — with no side
+   effects — if the clone, its machine, or the old process died since
+   [begin_migration]; the caller then rolls back with
+   {!abort_migration}.  On success: every tunnel encapsulation and tap
+   injection switches to the target in one step (they dereference the
+   placement and vnode record per packet), the FIB is rebuilt fresh from
+   the RIB and frozen for the drain, and the supervisor adopts the
+   replacement.  The routing instance is {e not} restarted: its control
+   traffic already flows through the vnode record, so the converged
+   control plane migrates with its state — a fresh instance's partial
+   reconvergence, deferred during the freeze and replayed at the thaw,
+   would punch a transient no-route hole at drain-complete.  The old
+   process keeps serving already-buffered and in-flight packets from the
+   same (frozen) FIB until {!finish_migration}. *)
+let commit_migration t v =
+  match Hashtbl.find_opt t.pending_migs v with
+  | None -> invalid_arg "Iias.commit_migration: no migration in progress"
+  | Some pm ->
+      if pm.pm_flipped then invalid_arg "Iias.commit_migration: already flipped";
+      let vn = t.vnodes.(v) in
+      if
+        (not (Process.alive pm.pm_proc))
+        || (not (Underlay.node_is_up t.underlay pm.pm_target))
+        || not (Process.alive vn.proc)
+      then false
+      else begin
+        pm.pm_base <- drop_census vn pm;
+        let target = Underlay.node t.underlay pm.pm_target in
+        let old_name = Process.name vn.proc in
+        (* The routing instance keeps running across the flip — its
+           sends dereference the vnode record, so from here on they
+           originate from the target.  Migrating the converged control
+           plane with its state means the drain defers only genuine
+           topology changes, never a restart's reconvergence churn. *)
+        t.placement.(v) <- pm.pm_target;
+        vn.node <- target;
+        vn.proc <- pm.pm_proc;
+        vn.ctrl_inject <- pm.pm_ctrl;
+        vn.tap_inject <- pm.pm_tap;
+        vn.napt <- Napt.create ~public_addr:(Pnode.addr target) ();
+        Hashtbl.reset vn.bound_napt_ports;
+        if vn.egress then install_egress_icmp vn;
+        (* Fresh FIB from the RIB, then freeze it for the drain window:
+           both processes forward from this table until the old one is
+           retired, so RIB changes are deferred, not applied. *)
+        Fib.clear vn.fib;
+        Rib.reinstall vn.vrib;
+        vn.fib_frozen <- true;
+        (match t.supervisor with
+        | Some sup -> Supervisor.adopt sup ~name:old_name pm.pm_proc
+        | None -> ());
+        pm.pm_flipped <- true;
+        true
+      end
+
+(* Drain complete: retire the old process (planned — no crash hooks, no
+   supervisor budget) and thaw the FIB, replaying the deferred routing
+   changes.  Returns the migration's cutover loss: drops attributable to
+   the vnode across the window plus whatever the retirement found still
+   buffered — the honest count a zero-loss invariant must hold at 0. *)
+let finish_migration t v =
+  match Hashtbl.find_opt t.pending_migs v with
+  | None -> invalid_arg "Iias.finish_migration: no migration in progress"
+  | Some pm ->
+      if not pm.pm_flipped then
+        invalid_arg "Iias.finish_migration: not flipped";
+      let vn = t.vnodes.(v) in
+      let residual = Process.pending_packets pm.pm_old_proc in
+      Process.retire pm.pm_old_proc;
+      let loss = residual + (drop_census vn pm - pm.pm_base) in
+      vn.fib_frozen <- false;
+      List.iter (apply_fib_change vn) (List.rev vn.deferred_fib);
+      vn.deferred_fib <- [];
+      Hashtbl.remove t.pending_migs v;
+      loss
+
+(* Roll back a not-yet-flipped migration: retire the clone (idempotent if
+   its machine already crashed) and forget it.  The old process never
+   stopped serving, so the slice observes nothing.  After the flip a
+   migration can only roll forward ({!finish_migration}). *)
+let abort_migration t v =
+  match Hashtbl.find_opt t.pending_migs v with
+  | None -> invalid_arg "Iias.abort_migration: no migration in progress"
+  | Some pm ->
+      if pm.pm_flipped then
+        invalid_arg "Iias.abort_migration: already flipped; roll forward";
+      Process.retire pm.pm_proc;
+      Hashtbl.remove t.pending_migs v
 
 (* --- accessors and control -------------------------------------------- *)
 

@@ -108,6 +108,62 @@ val migrate_vnode : t -> int -> pnode:int -> unit
     @raise Invalid_argument if either id is out of range, the target is
     down, or the target already hosts a virtual node of this slice. *)
 
+(** {2 Live migration (make-before-break)}
+
+    A {e planned} move, in contrast to the crash-driven
+    {!migrate_vnode}: the replacement process is pre-cloned and
+    double-provisioned on the target while the old one keeps serving
+    ({!begin_migration}); ingress and egress flip atomically at a
+    barrier-safe instant ({!commit_migration} under
+    {!Vini_sim.Engine.at_barrier}); in-flight packets drain through the
+    old process from a frozen FIB; then the old process is retired and
+    the deferred routing changes replay ({!finish_migration}).  In
+    steady state the cutover loses zero packets.  Driven end-to-end by
+    [Vini_core.Vini.migrate]. *)
+
+val begin_migration : t -> int -> pnode:int -> unit
+(** Pre-clone vnode [v]'s Click process on physical node [pnode]: fresh
+    process, tunnel/VPN sockets and input queues open, wired to the
+    shared data plane, but receiving no traffic until the flip.
+    @raise Invalid_argument if the instance is not started, either id is
+    out of range, the target is down, already hosts this slice, or
+    already hosts [v], a migration of [v] is already in flight, or [v]'s
+    process is down. *)
+
+val commit_migration : t -> int -> bool
+(** The atomic flip: placement, tap/control injection, NAPT identity and
+    supervision all switch to the pre-cloned process; the FIB is rebuilt
+    fresh from the RIB and frozen for the drain.  The converged routing
+    instance keeps running — its control traffic already originates
+    from the new machine — so the control plane migrates with its state
+    and never reconverges.  [false] (and no side effects) if
+    the clone, its machine, or the old process died since
+    {!begin_migration} — roll back with {!abort_migration}.  Schedule at
+    a barrier-safe instant ({!Vini_sim.Engine.at_barrier}). *)
+
+val finish_migration : t -> int -> int
+(** Drain complete: retire the old process (planned exit — no crash
+    hooks, no supervisor budget) and thaw the FIB, replaying routing
+    changes deferred during the drain.  Returns the cutover loss: drops
+    attributable to the vnode across the window plus packets the
+    retirement found still buffered. *)
+
+val abort_migration : t -> int -> unit
+(** Roll back a not-yet-flipped migration; the old process never stopped
+    serving.  @raise Invalid_argument after the flip (roll forward). *)
+
+val migration_pending : t -> int -> bool
+(** A migration of this vnode is in flight (begun, not yet finished or
+    aborted). *)
+
+val migration_grace : t -> int -> bool
+(** The vnode is inside its [flip, drain-complete] window — the interval
+    in which the watchdog suppresses loop/blackhole/FIB-consistency
+    alarms for it ({!Vini_measure.Watchdog}). *)
+
+val migration_target : t -> int -> int option
+(** Target physical node of the in-flight migration, if any. *)
+
 val current_pnode : t -> int -> int
 (** Physical node currently hosting a virtual node (differs from the
     deploy-time embedding after migrations). *)

@@ -87,6 +87,26 @@ let crash t =
     List.iter (fun hook -> hook ()) t.crash_hooks
   end
 
+(* Planned shutdown: same resource teardown as a crash, but the exit is
+   expected, so crash hooks (supervisor restarts, router teardown) do not
+   run.  Used to withdraw the old process after a live migration's drain
+   completes. *)
+let retire t =
+  if t.proc_alive then begin
+    t.proc_alive <- false;
+    Array.iter
+      (function
+        | Sock s ->
+            Pnode.Socket.close s;
+            Pnode.Socket.clear s
+        | Queue q -> Vini_std.Fifo.clear q)
+      t.sources;
+    lifecycle_event t "retire" ""
+  end
+
+let pending_packets t =
+  Array.fold_left (fun acc s -> acc + source_pending s) 0 t.sources
+
 let restart t =
   if t.proc_alive then invalid_arg "Process.restart: already running";
   if not (Pnode.is_up t.pnode) then

@@ -49,6 +49,18 @@ val restart : t -> unit
 (** Come back up with empty buffers and freshly bound sockets.
     @raise Invalid_argument if already running or the node is down. *)
 
+val retire : t -> unit
+(** Planned shutdown: close sockets and drop queued input like {!crash},
+    but do {e not} run the {!on_crash} hooks — the exit is expected, so
+    the supervisor must not burn restart budget on it and the overlay must
+    not tear down state the replacement process still uses.  Emits a
+    [Process_lifecycle] "retire" trace event.  Idempotent while dead. *)
+
+val pending_packets : t -> int
+(** Packets currently buffered across this process's sockets and queues —
+    what a {!retire} at this instant would silently discard.  A live
+    migration counts this at drain-complete as residual cutover loss. *)
+
 val on_crash : t -> (unit -> unit) -> unit
 (** Register a hook to run (in registration order) on each crash — how the
     overlay tears down routing state and the supervisor schedules a

@@ -15,6 +15,7 @@ type result = {
   placement_after : int array;
   migrations : Vini.migration list;
   reembed_failures : (int * Vini_embed.Embed.rejection) list;
+  migration_failures : (int * string) list;
   pings_sent : int;
   pings_received : int;
   ping_series : (float * float) list;
@@ -37,11 +38,38 @@ let virtual_ring n =
 
 let warmup_s = 30.0
 
-let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
-    ?(algo = Request.Greedy) () =
+let export_of_migration (m : Vini.migration) =
+  {
+    Export.mg_vnode = m.Vini.m_vnode;
+    mg_from = m.Vini.m_from;
+    mg_to = m.Vini.m_to;
+    mg_kind =
+      (match m.Vini.m_kind with
+      | Vini.Planned -> "planned"
+      | Vini.Crash_driven -> "crash");
+    mg_down_s = Time.to_sec_f m.Vini.m_down_at;
+    mg_restored_s = Time.to_sec_f m.Vini.m_restored_at;
+    mg_cutover_loss = m.Vini.m_cutover_loss;
+    mg_stretch_before = m.Vini.m_stretch_before;
+    mg_stretch_after = m.Vini.m_stretch_after;
+    mg_balance_before = m.Vini.m_balance_before;
+    mg_balance_after = m.Vini.m_balance_after;
+  }
+
+(* Shared scaffolding of both scenarios: the virtual ring auto-placed on
+   Abilene, 30 s of routing warmup, then pings across the ring while the
+   disruption (a crash or a planned move) plays out.  [domains]: any
+   requested parallelism selects the sharded engine with the fixed
+   logical shard count, so the export is byte-identical for every
+   value. *)
+let scenario ?domains ~seed ~vnodes ~algo ~events ~disrupt ~duration () =
+  (match domains with
+  | Some d when d < 1 -> invalid_arg "Migration: domains < 1"
+  | Some _ | None -> ());
+  let shards = Option.map (fun _ -> Engine.default_logical_shards) domains in
   let g = Vini_rcc.Rcc.abilene () in
   let vtopo = virtual_ring vnodes in
-  let engine = Engine.create ~seed () in
+  let engine = Engine.create ~seed ?shards () in
   let profile _ = Underlay.planetlab_profile ~speed_ghz:2.0 in
   let vini = Vini.create ~engine ~graph:g ~profile () in
   let req =
@@ -51,14 +79,13 @@ let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
     Experiment.make ~name:"migrate-demo" ~slice:(Slice.pl_vini "migrate")
       ~vtopo
       ~placement:(Experiment.Auto req)
-      ~events:
-        [ Experiment.at (warmup_s +. crash_at) (Experiment.Crash_pnode 0) ]
-      ()
+      ~events ()
   in
   let inst = Vini.deploy vini spec in
   let placement_before = Iias.current_embedding (Vini.iias inst) in
   Vini.start inst;
   let iias = Vini.iias inst in
+  disrupt ~engine ~vini ~inst;
   Engine.run ~until:(Time.of_sec_f warmup_s) engine;
   let half = vnodes / 2 in
   let interval_ms = 250 in
@@ -88,17 +115,7 @@ let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
   let migrations = Vini.migrations inst in
   let export =
     Export.embed_document
-      ~migrations:
-        (List.map
-           (fun (m : Vini.migration) ->
-             {
-               Export.mg_vnode = m.Vini.m_vnode;
-               mg_from = m.Vini.m_from;
-               mg_to = m.Vini.m_to;
-               mg_down_s = Time.to_sec_f m.Vini.m_down_at;
-               mg_restored_s = Time.to_sec_f m.Vini.m_restored_at;
-             })
-           migrations)
+      ~migrations:(List.map export_of_migration migrations)
       ~substrate:(Vini.substrate vini) ~slices ()
   in
   {
@@ -106,8 +123,88 @@ let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
     placement_after = Iias.current_embedding iias;
     migrations;
     reembed_failures = Vini.reembed_failures inst;
+    migration_failures = Vini.migration_failures inst;
     pings_sent = Ping.sent ping;
     pings_received = Ping.received ping;
     ping_series = Ping.series ping;
     export;
+  }
+
+let run ?(seed = 4242) ?(vnodes = 6) ?(crash_at = 10.0) ?(duration = 40.0)
+    ?(algo = Request.Greedy) ?domains () =
+  scenario ?domains ~seed ~vnodes ~algo
+    ~events:[ Experiment.at (warmup_s +. crash_at) (Experiment.Crash_pnode 0) ]
+    ~disrupt:(fun ~engine:_ ~vini:_ ~inst:_ -> ())
+    ~duration ()
+
+let run_planned ?(seed = 4242) ?(vnodes = 6) ?(migrate_at = 10.0)
+    ?(duration = 40.0) ?(algo = Request.Greedy) ?domains ?target () =
+  let disrupt ~engine ~vini ~inst =
+    ignore
+      (Engine.at engine
+         (Time.of_sec_f (warmup_s +. migrate_at))
+         (fun () ->
+           (* Default target: the first up spare machine — the solver
+              would keep a lightly-loaded slice where it is, and this
+              scenario is about exercising the cutover. *)
+           let target =
+             match target with
+             | Some p -> p
+             | None ->
+                 let emb = Iias.current_embedding (Vini.iias inst) in
+                 let n =
+                   Graph.node_count
+                     (Vini_embed.Substrate.graph (Vini.substrate vini))
+                 in
+                 let used p = Array.exists (( = ) p) emb in
+                 let rec find p =
+                   if p >= n then
+                     invalid_arg "Migration.run_planned: no spare machine"
+                   else if used p then find (p + 1)
+                   else p
+                 in
+                 find 0
+           in
+           ignore (Vini.migrate ~target inst ~vnode:0)))
+  in
+  scenario ?domains ~seed ~vnodes ~algo ~events:[] ~disrupt ~duration ()
+
+(* --- planned vs. crash-driven ------------------------------------------- *)
+
+type comparison = {
+  planned : result;
+  crash : result;
+  planned_downtime_s : float;
+  crash_downtime_s : float;
+  planned_cutover_loss : int;
+  planned_ping_loss : int;
+  crash_ping_loss : int;
+}
+
+let total_downtime r =
+  List.fold_left
+    (fun acc (m : Vini.migration) ->
+      acc +. Time.to_sec_f (Time.sub m.Vini.m_restored_at m.Vini.m_down_at))
+    0.0 r.migrations
+
+let total_cutover_loss r =
+  List.fold_left
+    (fun acc (m : Vini.migration) ->
+      acc + Option.value ~default:0 m.Vini.m_cutover_loss)
+    0 r.migrations
+
+let compare_modes ?(seed = 4242) ?(vnodes = 6) ?(at = 10.0)
+    ?(duration = 40.0) ?domains () =
+  let planned =
+    run_planned ~seed ~vnodes ~migrate_at:at ~duration ?domains ()
+  in
+  let crash = run ~seed ~vnodes ~crash_at:at ~duration ?domains () in
+  {
+    planned;
+    crash;
+    planned_downtime_s = total_downtime planned;
+    crash_downtime_s = total_downtime crash;
+    planned_cutover_loss = total_cutover_loss planned;
+    planned_ping_loss = planned.pings_sent - planned.pings_received;
+    crash_ping_loss = crash.pings_sent - crash.pings_received;
   }

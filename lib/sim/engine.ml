@@ -189,6 +189,15 @@ let at t time callback =
   | None -> at_shard t ~shard:0 time callback
   | Some s -> at_shard t ~shard:s.current time callback
 
+(* Shard 0 executes first inside every conservative window, so an event
+   scheduled here is observed by all shards' events at or after its own
+   window.  Visibility can lead other shards' earlier in-window events by
+   at most one lookahead — which is at most the minimum cross-shard
+   latency, i.e. inside the interval a signal between shards would need
+   anyway.  That makes this the safe point for mutations (like a
+   migration placement flip) that every shard reads. *)
+let at_barrier t time callback = at_shard t ~shard:0 time callback
+
 let after t delta callback = at t (Time.add (now t) (Time.max delta Time.zero)) callback
 
 let cancel h =

@@ -64,6 +64,18 @@ val at_shard : t -> shard:int -> Time.t -> (unit -> unit) -> handle
     skew possible only for latencies below the lookahead; see DESIGN.md
     §13).  On a non-sharded engine only [~shard:0] is valid. *)
 
+val at_barrier : t -> Time.t -> (unit -> unit) -> handle
+(** Barrier-safe scheduling for mutations every shard reads (e.g. a live
+    migration's placement flip).  The callback runs on shard 0, which
+    executes first inside every conservative window: all events in the
+    window containing the flip and every later window observe it, and the
+    only events that can precede it while carrying the old state are other
+    shards' events from {e earlier} windows — a lead bounded by one
+    lookahead, itself at most the minimum cross-shard latency.  A packet
+    already in flight across shards therefore cannot distinguish the flip
+    from a true global barrier at the window boundary.  On a non-sharded
+    engine this is exactly {!at}. *)
+
 val set_lookahead : t -> Time.t -> unit
 (** Set the conservative window width; the underlay sets it to the minimum
     plink propagation delay (floored).  Must be positive.  No-op on a

@@ -18,4 +18,5 @@ let () =
       ("rcc", Test_rcc.suite);
       ("repro", Test_repro.suite);
       ("embed", Test_embed.suite);
+      ("migrate", Test_migrate.suite);
     ]

@@ -293,6 +293,46 @@ let prop_spec_topology_roundtrip =
                (List.sort compare (Graph.links g))
                (List.sort compare (Graph.links g2)))
 
+(* The migrate verb names a virtual node and a *physical* target, so it
+   elaborates in [to_spec] where the substrate graph is in scope. *)
+let test_migrate_verb () =
+  let text =
+    {|experiment mig
+node a
+node b
+link a b
+at 7 migrate b pop3
+|}
+  in
+  (match Spec_lang.to_spec (parse_ok text) ~phys:(phys ()) with
+  | Error e -> Alcotest.failf "to_spec: %s" e
+  | Ok spec -> (
+      check Alcotest.bool "validates" true (Experiment.validate spec = Ok ());
+      match spec.Experiment.events with
+      | [ ev ] ->
+          check Alcotest.string "elaborated" "migrate 1 3"
+            (Experiment.action_to_string ev.Experiment.action)
+      | evs -> Alcotest.failf "expected one event, got %d" (List.length evs)));
+  let expect_elab_error text frag =
+    let full = "experiment bad\nnode a\nnode b\nlink a b\n" ^ text ^ "\n" in
+    match Spec_lang.to_spec (parse_ok full) ~phys:(phys ()) with
+    | Ok _ -> Alcotest.failf "expected elaboration failure (%s)" frag
+    | Error e ->
+        let has =
+          let n = String.length frag in
+          let rec go i =
+            i + n <= String.length e && (String.sub e i n = frag || go (i + 1))
+          in
+          go 0
+        in
+        check Alcotest.bool
+          (Printf.sprintf "error mentions %S (got %S)" frag e)
+          true has
+  in
+  expect_elab_error "at 5 migrate z pop3" "unknown node";
+  expect_elab_error "at 5 migrate b pop9" "unknown physical node";
+  expect_parse_error "experiment x\nnode a\nat 5 migrate a\n" "expects 2"
+
 let test_domains_verb () =
   (* Default: a spec without the verb runs single-domain. *)
   let p = parse_ok "experiment d\nnode a\n" in
@@ -340,6 +380,7 @@ let suite =
     Alcotest.test_case "chaos verbs round-trip" `Quick
       test_chaos_verbs_roundtrip;
     Alcotest.test_case "chaos verb errors" `Quick test_chaos_verb_errors;
+    Alcotest.test_case "migrate verb" `Quick test_migrate_verb;
     Alcotest.test_case "domains verb" `Quick test_domains_verb;
     QCheck_alcotest.to_alcotest prop_spec_topology_roundtrip;
   ]

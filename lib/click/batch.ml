@@ -1,0 +1,57 @@
+module Packet = Vini_net.Packet
+module Addr = Vini_net.Addr
+
+type t = {
+  slots : Packet.t array;
+  mutable len : int;
+}
+
+(* Array.make needs a fill value and Packet.t has no natural zero; a
+   throwaway datagram serves.  Lazy so programs that never batch do not
+   consume a packet id (ids are a global sequence and feed the span
+   exports — an unconditional dummy would shift every id). *)
+let filler =
+  lazy
+    (Packet.udp ~src:Addr.any ~dst:Addr.any ~sport:0 ~dport:0
+       (Packet.Bytes_ 0))
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Batch.create: capacity must be positive";
+  { slots = Array.make capacity (Lazy.force filler); len = 0 }
+
+let add t pkt =
+  if t.len = Array.length t.slots then false
+  else begin
+    Array.unsafe_set t.slots t.len pkt;
+    t.len <- t.len + 1;
+    true
+  end
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Batch.get: index out of range";
+  Array.unsafe_get t.slots i
+
+(* The bounds-checked accessors guard the API surface; in-repo hot loops
+   that already iterate [0, len) use this one. *)
+let unsafe_get t i = Array.unsafe_get t.slots i
+
+let set t i pkt =
+  if i < 0 || i >= t.len then invalid_arg "Batch.set: index out of range";
+  Array.unsafe_set t.slots i pkt
+
+let unsafe_set t i pkt = Array.unsafe_set t.slots i pkt
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Batch.truncate: bad length";
+  t.len <- n
+
+let length t = t.len
+let capacity t = Array.length t.slots
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.slots
+let clear t = t.len <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.slots i)
+  done

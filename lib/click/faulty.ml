@@ -23,24 +23,66 @@ let create ~rng ~out name =
     t.dropped <- t.dropped + 1;
     Element.drop el pkt ~reason
   in
+  let single el pkt =
+    match t.mode with
+    | Pass -> Element.push t.out pkt
+    | Fail -> fault_drop (Lazy.force el) pkt ~reason:"fault-fail"
+    | Lossy p ->
+        if Vini_std.Rng.float t.rng 1.0 < p then
+          fault_drop (Lazy.force el) pkt ~reason:"fault-lossy"
+        else Element.push t.out pkt
+    | Corrupting p ->
+        (* Damaged frames still travel: the receiver's checksum
+           verification is what discards them. *)
+        if Vini_std.Rng.float t.rng 1.0 < p then begin
+          t.corrupted <- t.corrupted + 1;
+          Element.push t.out (Vini_net.Packet.corrupted pkt)
+        end
+        else Element.push t.out pkt
+  in
+  (* The batch body makes the same decisions in the same packet order as
+     [single] — in particular one RNG draw per packet, in batch order —
+     so a batched run and a packet-at-a-time run of the same traffic are
+     observationally identical.  Survivors are compacted in place
+     (FIFO-preserving) rather than copied to a fresh batch. *)
+  let batch el b =
+    match t.mode with
+    | Pass -> Element.push_batch t.out b
+    | Fail ->
+        Batch.iter b (fun pkt ->
+            fault_drop (Lazy.force el) pkt ~reason:"fault-fail");
+        Batch.clear b
+    | Lossy p ->
+        let kept = ref 0 in
+        for i = 0 to Batch.length b - 1 do
+          let pkt = Batch.unsafe_get b i in
+          if Vini_std.Rng.float t.rng 1.0 < p then
+            fault_drop (Lazy.force el) pkt ~reason:"fault-lossy"
+          else begin
+            Batch.unsafe_set b !kept pkt;
+            incr kept
+          end
+        done;
+        Batch.truncate b !kept;
+        if not (Batch.is_empty b) then Element.push_batch t.out b
+    | Corrupting p ->
+        (* The damaged frame is a fresh record replacing the original in
+           the batch; a pooled original becomes garbage and the copy is
+           what eventually gets recycled — see DESIGN.md §15. *)
+        for i = 0 to Batch.length b - 1 do
+          if Vini_std.Rng.float t.rng 1.0 < p then begin
+            t.corrupted <- t.corrupted + 1;
+            Batch.unsafe_set b i
+              (Vini_net.Packet.corrupted (Batch.unsafe_get b i))
+          end
+        done;
+        Element.push_batch t.out b
+  in
   let rec el =
     lazy
-      (Element.make name (fun pkt ->
-           match t.mode with
-           | Pass -> Element.push t.out pkt
-           | Fail -> fault_drop (Lazy.force el) pkt ~reason:"fault-fail"
-           | Lossy p ->
-               if Vini_std.Rng.float t.rng 1.0 < p then
-                 fault_drop (Lazy.force el) pkt ~reason:"fault-lossy"
-               else Element.push t.out pkt
-           | Corrupting p ->
-               (* Damaged frames still travel: the receiver's checksum
-                  verification is what discards them. *)
-               if Vini_std.Rng.float t.rng 1.0 < p then begin
-                 t.corrupted <- t.corrupted + 1;
-                 Element.push t.out (Vini_net.Packet.corrupted pkt)
-               end
-               else Element.push t.out pkt))
+      (Element.make_batch name
+         ~single:(fun pkt -> single el pkt)
+         ~batch:(fun b -> batch el b))
   in
   t.element <- Some (Lazy.force el);
   t

@@ -229,6 +229,7 @@ let clear t =
 
 let cache_hits t = t.hits
 let cache_misses t = t.misses
+let generation t = t.gen
 
 let pp pp_v ppf t =
   List.iter

@@ -55,4 +55,12 @@ val cache_misses : 'a t -> int
 (** Lookups that had to walk the trie (including every first lookup after
     a table update, since updates invalidate the cache). *)
 
+val generation : 'a t -> int
+(** The flow-cache generation counter: bumped by every {!add}, {!remove}
+    of a present prefix, and {!clear}.  A batched forwarding loop that
+    memoises one lookup result across consecutive same-destination
+    packets must compare generations before reusing it — a control
+    packet routed mid-batch can update the table, and the memo must
+    never outlive the cache it shadows. *)
+
 val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,55 @@
+module Packet = Vini_net.Packet
+
+type t = {
+  slots : Packet.t array;
+  mutable head : int; (* next pop position *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  (* Reuses the batch filler so only one dummy packet id is ever minted. *)
+  { slots = Array.make capacity (Lazy.force Batch.filler); head = 0; len = 0 }
+
+(* Indices stay in [0, cap) and advance by at most cap, so a compare and
+   subtract replace the [mod] (an integer division) on every hot-path
+   access. *)
+let[@inline] wrap cap i = if i >= cap then i - cap else i
+
+let push t pkt =
+  let cap = Array.length t.slots in
+  if t.len = cap then false
+  else begin
+    Array.unsafe_set t.slots (wrap cap (t.head + t.len)) pkt;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let pkt = Array.unsafe_get t.slots t.head in
+    t.head <- wrap (Array.length t.slots) (t.head + 1);
+    t.len <- t.len - 1;
+    Some pkt
+  end
+
+let pop_into t batch ~max =
+  let cap = Array.length t.slots in
+  let n = min t.len (min max (Batch.capacity batch - Batch.length batch)) in
+  let idx = ref t.head in
+  for _ = 1 to n do
+    ignore (Batch.add batch (Array.unsafe_get t.slots !idx));
+    idx := wrap cap (!idx + 1)
+  done;
+  t.head <- !idx;
+  t.len <- t.len - n;
+  n
+
+let length t = t.len
+let capacity t = Array.length t.slots
+let is_empty t = t.len = 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,38 @@
+(** Fixed-capacity single-producer/single-consumer packet ring — the link
+    between a packet source and the scheduler event that drains it in
+    bursts.
+
+    Same shape as {!Vini_std.Mailbox} (bounded circular buffer, explicit
+    backpressure: a full ring refuses the push and the producer counts
+    the drop), specialised to packets and extended with a batch drain:
+    {!pop_into} moves up to [max] packets into a {!Batch} in FIFO order
+    with no per-packet allocation, which is how a breath begins.
+
+    Producer and consumer are synchronised externally — on the
+    deterministic engine both run in the same domain, interleaved by the
+    event loop — so the ring is plain mutable state with no atomics,
+    exactly like the mailbox it mirrors. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val push : t -> Vini_net.Packet.t -> bool
+(** Append in FIFO position; [false] when full (the packet was not
+    enqueued — the producer owns it still, and typically drops it or
+    recycles it to its pool). *)
+
+val pop : t -> Vini_net.Packet.t option
+
+val pop_into : t -> Batch.t -> max:int -> int
+(** [pop_into t batch ~max] appends up to [max] packets (bounded also by
+    the batch's free capacity) into [batch] in FIFO order and returns how
+    many moved.  Allocation-free. *)
+
+val length : t -> int
+val capacity : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all queued packets (references retained until overwritten). *)

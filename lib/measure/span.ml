@@ -111,7 +111,7 @@ let trees recorder =
   in
   let first_t t =
     let fold f acc l = List.fold_left f acc l in
-    let m = Int64.max_int in
+    let m = Time.max_value in
     let m = fold (fun acc o -> Time.min acc o.o_t) m t.origins in
     let m = fold (fun acc h -> Time.min acc h.h_t0) m t.hops in
     fold (fun acc d -> Time.min acc d.d_t) m t.drops

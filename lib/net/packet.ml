@@ -1,7 +1,7 @@
 type control = ..
 
 type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
-type echo = { ident : int; icmp_seq : int; sent_ns : int64; data_len : int }
+type echo = { ident : int; icmp_seq : int; sent_ns : int; data_len : int }
 
 type icmp =
   | Echo_request of echo
@@ -9,7 +9,7 @@ type icmp =
   | Time_exceeded of { orig_src : Addr.t; orig_dst : Addr.t }
   | Dest_unreachable of { orig_src : Addr.t; orig_dst : Addr.t }
 
-type probe = { flow : int; seq : int; sent_ns : int64; pad : int }
+type probe = { flow : int; seq : int; sent_ns : int; pad : int }
 
 type tcp = {
   sport : int;
@@ -19,7 +19,7 @@ type tcp = {
   flags : tcp_flags;
   window : int;
   payload_len : int;
-  sent_ns : int64;
+  sent_ns : int;
 }
 
 type body =
@@ -40,6 +40,7 @@ and t = {
   ttl : int;
   proto : proto;
   corrupt : bool;
+  len : int;
 }
 
 let default_ttl = 64
@@ -49,19 +50,25 @@ let fresh_id () =
   incr next_id;
   !next_id
 
-let rec size t = Wire.ipv4_header + proto_size t.proto
+(* Sizes are computed once, at construction, and cached in [t.len]:
+   every element and link on the forwarding path charges bytes per hop,
+   so [size] must be O(1) regardless of encapsulation depth.  Nested
+   packets already carry their own cached length, so even construction
+   is O(1) in the nesting. *)
 
-and proto_size = function
+let size t = t.len
+
+let rec proto_size = function
   | Udp u -> Wire.udp_header + body_size u.body
   | Tcp seg -> Wire.tcp_header + seg.payload_len
   | Icmp i -> Wire.icmp_header + icmp_size i
 
 and body_size = function
   | Bytes_ n -> n
-  | Tunnel inner -> size inner
+  | Tunnel inner -> inner.len
   | Vpn inner ->
       (* Crypto framing beyond the outer IP+UDP already accounted for. *)
-      size inner + (Wire.openvpn_overhead - Wire.ipv4_header - Wire.udp_header)
+      inner.len + (Wire.openvpn_overhead - Wire.ipv4_header - Wire.udp_header)
   | Probe p -> max p.pad 12
   | Control c -> c.size
 
@@ -78,18 +85,19 @@ let provenance id = function Some o -> o | None -> id
 
 let udp ?(ttl = default_ttl) ?orig ~src ~dst ~sport ~dport body =
   let id = fresh_id () in
-  { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
-    proto = Udp { usport = sport; udport = dport; body } }
+  let proto = Udp { usport = sport; udport = dport; body } in
+  { id; orig = provenance id orig; src; dst; ttl; corrupt = false; proto;
+    len = Wire.ipv4_header + proto_size proto }
 
 let tcp ?(ttl = default_ttl) ?orig ~src ~dst seg =
   let id = fresh_id () in
   { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
-    proto = Tcp seg }
+    proto = Tcp seg; len = Wire.ipv4_header + proto_size (Tcp seg) }
 
 let icmp ?(ttl = default_ttl) ?orig ~src ~dst msg =
   let id = fresh_id () in
   { id; orig = provenance id orig; src; dst; ttl; corrupt = false;
-    proto = Icmp msg }
+    proto = Icmp msg; len = Wire.ipv4_header + proto_size (Icmp msg) }
 
 let corrupted t = { t with corrupt = true }
 
@@ -117,13 +125,20 @@ let write_header b t =
   if t.corrupt then Bytes.set b 8 (Char.chr ((t.ttl lxor 0x40) land 0xFF))
 
 (* Decapsulation verifies every tunnelled frame, so [intact] runs once per
-   forwarded packet; reusing one scratch header keeps the hot path free of
-   per-packet allocation (the simulation is single-threaded). *)
+   forwarded packet.  The wire-image check below materialises the header
+   and validates its checksum; because [write_header] damages exactly one
+   byte after checksumming when [t.corrupt] is set (and none otherwise),
+   its verdict is always [not t.corrupt] — a single 16-bit word changed by
+   a nonzero delta cannot keep a ones'-complement sum valid.  The hot path
+   uses the flag directly; [intact_wire] keeps the checksum route alive so
+   a test can assert the equivalence on arbitrary packets. *)
 let intact_scratch = Bytes.make Wire.ipv4_header '\000'
 
-let intact t =
+let intact_wire t =
   write_header intact_scratch t;
   Wire.checksum_valid intact_scratch
+
+let intact t = not t.corrupt
 
 let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
 let with_src t src = { t with src }

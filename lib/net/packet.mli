@@ -15,15 +15,16 @@
     {!with_dst}, NAPT rewrites) allocate one small record and share the
     body, so a packet held in a queue can never be mutated behind the
     queue's back — a determinism guarantee the chaos layer relies on.
-    The only per-hop costs are that record copy and the checksum pass in
-    {!intact}, which reuses a scratch buffer instead of allocating. *)
+    The only per-hop cost is that record copy: {!size} reads a length
+    cached at construction and {!intact} reads the corruption flag, so
+    neither allocates nor walks the encapsulation chain. *)
 
 type control = ..
 (** Extended by [vini_routing] (OSPF/RIP/BGP messages). *)
 
 type tcp_flags = { syn : bool; ack : bool; fin : bool; rst : bool }
 
-type echo = { ident : int; icmp_seq : int; sent_ns : int64; data_len : int }
+type echo = { ident : int; icmp_seq : int; sent_ns : int; data_len : int }
 
 type icmp =
   | Echo_request of echo
@@ -31,7 +32,7 @@ type icmp =
   | Time_exceeded of { orig_src : Addr.t; orig_dst : Addr.t }
   | Dest_unreachable of { orig_src : Addr.t; orig_dst : Addr.t }
 
-type probe = { flow : int; seq : int; sent_ns : int64; pad : int }
+type probe = { flow : int; seq : int; sent_ns : int; pad : int }
 (** A measurement datagram: flow id, sequence number, send timestamp and
     padding bytes (iperf UDP test packets). *)
 
@@ -43,7 +44,7 @@ type tcp = {
   flags : tcp_flags;
   window : int;         (** advertised receive window, bytes *)
   payload_len : int;
-  sent_ns : int64;      (** sender timestamp (for tracing; RTT uses timers) *)
+  sent_ns : int;      (** sender timestamp (for tracing; RTT uses timers) *)
 }
 
 type body =
@@ -71,6 +72,7 @@ and t = private {
   ttl : int;
   proto : proto;
   corrupt : bool;       (** a fault element damaged the frame in flight *)
+  len : int;            (** cached total datagram size; read via {!size} *)
 }
 
 val default_ttl : int
@@ -85,8 +87,9 @@ val icmp : ?ttl:int -> ?orig:int -> src:Addr.t -> dst:Addr.t -> icmp -> t
     packet's [orig] when generating ICMP errors. *)
 
 val size : t -> int
-(** Total IP datagram size in bytes (header + nested contents).
-    O(encapsulation depth); allocation-free. *)
+(** Total IP datagram size in bytes (header + nested contents).  O(1):
+    the length is computed at construction and cached in {!field-len},
+    because every element and link charges bytes per hop. *)
 
 val body_size : body -> int
 
@@ -98,11 +101,19 @@ val corrupted : t -> t
     {!intact} and discard it, charging the loss to the corruption fault. *)
 
 val intact : t -> bool
-(** Re-derive the IPv4 header image and verify its Internet checksum
-    ({!Wire.checksum_valid}).  [false] exactly for {!corrupted} packets.
-    Runs once per decapsulated frame on the forwarding hot path: the
-    header is built in a single reused scratch buffer (the simulation is
-    single-threaded), so the check allocates nothing per packet. *)
+(** [false] exactly for {!corrupted} packets.  Runs once per decapsulated
+    frame on the forwarding hot path, so it reads the corruption flag
+    directly; this is provably equivalent to re-deriving the wire header
+    and verifying its Internet checksum, because {!write_header} damages
+    exactly one byte after checksumming — see {!intact_wire}. *)
+
+val intact_wire : t -> bool
+(** The checksum route: materialise the IPv4 header image ({!write_header}
+    into a reused scratch buffer) and verify it with
+    {!Wire.checksum_valid}.  Semantically identical to {!intact} — a test
+    asserts the equivalence on arbitrary packets — but pays the header
+    serialisation; kept as the oracle for that test and for callers that
+    want the real wire check. *)
 
 val with_src : t -> Addr.t -> t
 val with_dst : t -> Addr.t -> t

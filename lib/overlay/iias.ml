@@ -12,6 +12,7 @@ module Underlay = Vini_phys.Underlay
 module Supervisor = Vini_phys.Supervisor
 module Fib = Vini_click.Fib
 module Element = Vini_click.Element
+module Batch = Vini_click.Batch
 module Faulty = Vini_click.Faulty
 module Shaper = Vini_click.Shaper
 module Napt = Vini_click.Napt
@@ -132,6 +133,7 @@ type t = {
   routing : routing_choice;
   tunnel_port : int;
   tunnel_rcvbuf_bytes : int;
+  click_burst : int;
   placement : int array;  (* vnode id -> current physical node id *)
   mutable vnodes : vnode array;
   rng : Vini_std.Rng.t;
@@ -364,6 +366,42 @@ let click_handler t vn ~host (pkt : Packet.t) =
         route vn inner
     | Packet.Udp _ | Packet.Tcp _ | Packet.Icmp _ -> napt_injector vn pkt
 
+(* Batched FIB resolution: one burst through [route]'s decision logic,
+   with consecutive same-destination packets resolved once.  The memo sits
+   in front of the FIB's own flow cache and is guarded by the generation
+   counter — a control packet routed mid-batch may update the table, and
+   the memo must never outlive the cache line it shadows.  Per-packet
+   spans are emitted exactly as [route] emits them, so a batched run's
+   flight-recorder stream per packet is the per-packet stream. *)
+let route_batch vn b =
+  let n = Batch.length b in
+  let memo_gen = ref (-1) in
+  let memo_dst = ref Addr.any in
+  let memo_act = ref None in
+  for i = 0 to n - 1 do
+    let pkt = Batch.unsafe_get b i in
+    if Span.on () then
+      Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+        ~component:(click_comp vn ^ "/fib") Span.Proto_processing;
+    let dst = pkt.Packet.dst in
+    let act =
+      if !memo_gen = Fib.generation vn.fib && Addr.equal dst !memo_dst then
+        !memo_act
+      else begin
+        let a = Fib.lookup vn.fib dst in
+        memo_dst := dst;
+        memo_act := a;
+        memo_gen := Fib.generation vn.fib;
+        a
+      end
+    in
+    match act with
+    | None -> no_route vn pkt
+    | Some Deliver -> deliver_local vn pkt
+    | Some Direct -> forward vn dst pkt
+    | Some (Via nh) -> forward vn nh pkt
+  done
+
 (* --- construction ------------------------------------------------------ *)
 
 let build_vnode t ~vid ~pnode ~links_of_vid =
@@ -384,6 +422,7 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
          Process.create ~node:pnode ~slice:t.slice
            ~name:(Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
                     (Pnode.name pnode))
+           ~burst:t.click_burst
            ~handler:(fun _ -> ())
            ()
        in
@@ -528,7 +567,10 @@ let wire_process t vn proc =
 
 let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
     ?(tunnel_port = 33000)
-    ?(tunnel_rcvbuf_bytes = Vini_phys.Calibration.udp_rcvbuf_bytes) () =
+    ?(tunnel_rcvbuf_bytes = Vini_phys.Calibration.udp_rcvbuf_bytes)
+    ?(click_burst = 1) () =
+  if click_burst < 1 then
+    invalid_arg "Iias.create: click_burst must be positive";
   let n = Graph.node_count vtopo in
   let placement = Array.init n embedding in
   (* Injectivity check: one vnode per pnode per slice (fixed UDP port). *)
@@ -556,6 +598,7 @@ let create ~underlay ~slice ~vtopo ~embedding ?(routing = default_ospf)
       routing;
       tunnel_port;
       tunnel_rcvbuf_bytes;
+      click_burst;
       placement;
       vnodes = [||];
       rng;
@@ -763,6 +806,7 @@ let migrate_vnode t v ~pnode:pid =
       ~name:
         (Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
            (Pnode.name target))
+      ~burst:t.click_burst
       ~handler:(fun _ -> ())
       ()
   in
@@ -837,6 +881,7 @@ let begin_migration t v ~pnode:pid =
       ~name:
         (Printf.sprintf "%s/click@%s" t.slice.Vini_phys.Slice.name
            (Pnode.name target))
+      ~burst:t.click_burst
       ~handler:(fun _ -> ())
       ()
   in

@@ -39,13 +39,22 @@ val create :
   ?routing:routing_choice ->
   ?tunnel_port:int ->
   ?tunnel_rcvbuf_bytes:int ->
+  ?click_burst:int ->
   unit ->
   t
 (** [embedding] maps virtual node ids to physical node ids (injective).
     Default routing: {!default_ospf}; default tunnel port 33000;
     [tunnel_rcvbuf_bytes] sizes the Click process's tunnel-socket receive
     buffer (default {!Vini_phys.Calibration.udp_rcvbuf_bytes}) — the
-    buffer whose overflow drives Figure 6, exposed for ablation. *)
+    buffer whose overflow drives Figure 6, exposed for ablation.
+
+    [click_burst] (default 1) batches every Click process's input
+    service: each CPU service slice drains up to that many packets in one
+    scheduler event (see {!Vini_phys.Process.create}).  1 keeps the
+    classic one-event-per-packet schedule — required for runs whose
+    exports must be byte-identical to historical baselines; higher values
+    trade per-packet scheduler events for throughput, deterministically
+    per seed. *)
 
 val enable_egress : t -> int -> unit
 (** Make a virtual node an egress: it advertises a default route into the
@@ -184,6 +193,17 @@ val tap : vnode -> Vini_phys.Ipstack.t
 (** The host stack applications use (ICMP echo auto-answered). *)
 
 val tap_addr : vnode -> Vini_net.Addr.t
+
+val route_batch : vnode -> Vini_click.Batch.t -> unit
+(** Push a whole burst through this virtual node's forwarding decision —
+    the batched data plane's entry into the overlay FIB.  Equivalent to
+    routing each packet of the batch in order (same decisions, same
+    drops, same per-packet spans), but consecutive packets to one
+    destination resolve the FIB once: the lookup memo is refreshed only
+    when the destination or the table's {!Vini_click.Fib.generation}
+    changes.  The caller owns the batch; routed packets leave through the
+    usual tunnel elements. *)
+
 val process : vnode -> Vini_phys.Process.t
 val rib : vnode -> Vini_routing.Rib.t
 val ospf : vnode -> Vini_routing.Ospf.t option

@@ -57,7 +57,7 @@ let connect ~host ~server ?(server_port = 1194) ~vaddr () =
      our own overlay address bounces off the ingress and back. *)
   Ipstack.send t.tun
     (Packet.udp ~src:vaddr ~dst:vaddr ~sport:client_port ~dport:server_port
-       (Packet.Probe { Packet.flow = 0; seq = 0; sent_ns = 0L; pad = 16 }));
+       (Packet.Probe { Packet.flow = 0; seq = 0; sent_ns = 0; pad = 16 }));
   t
 
 let stack t = t.tun

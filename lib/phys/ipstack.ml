@@ -8,6 +8,14 @@ type t = {
   mutable tx : Packet.t -> unit;
   udp : (int, Packet.t -> unit) Hashtbl.t;
   tcp : (int, Packet.t -> unit) Hashtbl.t;
+  (* One-entry demux memo per protocol: a stack usually serves one hot
+     flow, so the common delivery is a port compare instead of a
+     hashtable probe (and the [Some] that [find_opt] allocates).
+     Invalidated (port -1) on any bind/unbind. *)
+  mutable udp_memo_port : int;
+  mutable udp_memo : Packet.t -> unit;
+  mutable tcp_memo_port : int;
+  mutable tcp_memo : Packet.t -> unit;
   mutable icmp : (Packet.t -> unit) option;
   mutable next_ephemeral : int;
   mutable unmatched : int;
@@ -21,6 +29,10 @@ let create ~engine ~local_addr ~tx () =
     tx;
     udp = Hashtbl.create 8;
     tcp = Hashtbl.create 8;
+    udp_memo_port = -1;
+    udp_memo = ignore;
+    tcp_memo_port = -1;
+    tcp_memo = ignore;
     icmp = None;
     next_ephemeral = 49152;
     unmatched = 0;
@@ -46,10 +58,29 @@ let bind tbl which ~port handler =
     invalid_arg (Printf.sprintf "Ipstack.bind_%s: port %d in use" which port);
   Hashtbl.replace tbl port handler
 
-let bind_udp t ~port handler = bind t.udp "udp" ~port handler
-let bind_tcp t ~port handler = bind t.tcp "tcp" ~port handler
-let unbind_udp t ~port = Hashtbl.remove t.udp port
-let unbind_tcp t ~port = Hashtbl.remove t.tcp port
+let invalidate_udp_memo t =
+  t.udp_memo_port <- -1;
+  t.udp_memo <- ignore
+
+let invalidate_tcp_memo t =
+  t.tcp_memo_port <- -1;
+  t.tcp_memo <- ignore
+
+let bind_udp t ~port handler =
+  bind t.udp "udp" ~port handler;
+  invalidate_udp_memo t
+
+let bind_tcp t ~port handler =
+  bind t.tcp "tcp" ~port handler;
+  invalidate_tcp_memo t
+
+let unbind_udp t ~port =
+  Hashtbl.remove t.udp port;
+  invalidate_udp_memo t
+
+let unbind_tcp t ~port =
+  Hashtbl.remove t.tcp port;
+  invalidate_tcp_memo t
 
 let alloc_ephemeral t =
   let p = t.next_ephemeral in
@@ -71,14 +102,26 @@ let deliver t (pkt : Packet.t) =
     Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
       ~component:t.span_comp Span.Proto_processing;
   match pkt.Packet.proto with
-  | Packet.Udp u -> (
-      match Hashtbl.find_opt t.udp u.Packet.udport with
-      | Some h -> h pkt
-      | None -> t.unmatched <- t.unmatched + 1)
-  | Packet.Tcp seg -> (
-      match Hashtbl.find_opt t.tcp seg.Packet.dport with
-      | Some h -> h pkt
-      | None -> t.unmatched <- t.unmatched + 1)
+  | Packet.Udp u ->
+      let port = u.Packet.udport in
+      if port = t.udp_memo_port then t.udp_memo pkt
+      else (
+        match Hashtbl.find_opt t.udp port with
+        | Some h ->
+            t.udp_memo_port <- port;
+            t.udp_memo <- h;
+            h pkt
+        | None -> t.unmatched <- t.unmatched + 1)
+  | Packet.Tcp seg ->
+      let port = seg.Packet.dport in
+      if port = t.tcp_memo_port then t.tcp_memo pkt
+      else (
+        match Hashtbl.find_opt t.tcp port with
+        | Some h ->
+            t.tcp_memo_port <- port;
+            t.tcp_memo <- h;
+            h pkt
+        | None -> t.unmatched <- t.unmatched + 1)
   | Packet.Icmp icmp -> (
       match t.icmp with
       | Some h -> h pkt

@@ -10,6 +10,10 @@ type t = {
   name : string;
   addr : Vini_net.Addr.t;
   cpu : Cpu.t;
+  (* Kernel per-packet costs, scaled to this node's speed once at creation
+     (the calibration constants and CPU speed never change). *)
+  cost_forward : Time.t;
+  cost_local : Time.t;
   stack : Ipstack.t;
   mutable tx : Packet.t -> unit;
   mutable kernel_busy : Time.t;
@@ -31,6 +35,7 @@ module Socket = struct
   let port s = s.sock_port
   let recv s = Vini_std.Fifo.pop s.buf
   let peek s = Vini_std.Fifo.peek s.buf
+  let peek_at s i = Vini_std.Fifo.peek_at s.buf i
   let pending s = Vini_std.Fifo.length s.buf
   let drops s = Vini_std.Fifo.drops s.buf
   let close s = Ipstack.unbind_udp s.node.stack ~port:s.sock_port
@@ -50,6 +55,12 @@ let create ~engine ~rng ~id ~name ~addr ~cpu () =
         name;
         addr;
         cpu;
+        cost_forward =
+          Cpu.scale_cost cpu
+            (Time.of_sec_f (Calibration.kernel_forward_us *. 1e-6));
+        cost_local =
+          Cpu.scale_cost cpu
+            (Time.of_sec_f (Calibration.kernel_local_us *. 1e-6));
         stack =
           Ipstack.create ~engine ~local_addr:addr
             ~tx:(fun pkt -> (Lazy.force node).tx pkt)
@@ -163,7 +174,9 @@ let kernel_work ?pkt t cost k =
              Span.Queueing ~t0:now ~t1:start;
          Span.hop ~pkt:p.Packet.id ~orig:p.Packet.orig ~component:comp
            Span.Cpu_service ~t0:start ~t1:finish);
-  ignore (Engine.at t.engine finish k)
+  (* Tail position: both callers invoke [kernel_work] as the last action
+     of a NIC event, so the continuation may join the current breath. *)
+  Engine.at_inline t.engine finish k
 
 let nic_latency t =
   let base = Calibration.nic_latency_us in
@@ -173,25 +186,27 @@ let nic_latency t =
 let rx_overhead t pkt ~k =
   if not t.up then drop_down t pkt
   else
-    let cost =
-      Cpu.scale_cost t.cpu
-        (Time.of_sec_f (Calibration.kernel_forward_us *. 1e-6))
-    in
-    ignore
-      (Engine.after t.engine (nic_latency t) (fun () ->
-           if t.up then kernel_work ~pkt t cost k else drop_down t pkt))
+    let cost = t.cost_forward in
+    (* Only called from the tail of a plink arrival event, so the NIC hop
+       may join the current breath. *)
+    Engine.after_inline t.engine (nic_latency t) (fun () ->
+        if t.up then kernel_work ~pkt t cost k else drop_down t pkt)
 
-let deliver_local t pkt =
+let deliver_local ?(inline = false) t pkt =
   if not t.up then drop_down t pkt
   else
-    let cost =
-      Cpu.scale_cost t.cpu (Time.of_sec_f (Calibration.kernel_local_us *. 1e-6))
+    let cost = t.cost_local in
+    let cb () =
+      if t.up then
+        kernel_work ~pkt t cost (fun () -> Ipstack.deliver t.stack pkt)
+      else drop_down t pkt
     in
-    ignore
-      (Engine.after t.engine (nic_latency t) (fun () ->
-           if t.up then
-             kernel_work ~pkt t cost (fun () -> Ipstack.deliver t.stack pkt)
-           else drop_down t pkt))
+    let lat = nic_latency t in
+    (* [inline] asserts the caller is in tail position (a plink arrival or
+       a kernel-work continuation); the local-send path reaches here
+       mid-callback and must take a real calendar event. *)
+    if inline then Engine.after_inline t.engine lat cb
+    else ignore (Engine.after t.engine lat cb)
 
 let kernel_cpu_time t = t.kernel_cpu
 

@@ -16,6 +16,12 @@ module Socket : sig
   val port : s -> int
   val recv : s -> Vini_net.Packet.t option
   val peek : s -> Vini_net.Packet.t option
+
+  val peek_at : s -> int -> Vini_net.Packet.t option
+  (** [i]-th buffered packet from the head without removing it; [None]
+      out of range.  O(1) — lets a bursting process cost its next [k]
+      packets up front. *)
+
   val pending : s -> int
   val drops : s -> int
   (** Packets rejected because the receive buffer was full. *)
@@ -93,11 +99,17 @@ val egress_class_stats : t -> name:string -> (int * int) option
 
 val rx_overhead : t -> Vini_net.Packet.t -> k:(unit -> unit) -> unit
 (** Charge NIC latency + kernel processing for a packet arriving on a
-    link, then continue.  Used for both local delivery and forwarding. *)
+    link, then continue.  Used for both local delivery and forwarding.
+    Must be called in tail position of the current event callback: the
+    NIC and kernel hops are breath-coalesced ({!Vini_sim.Engine.at_inline})
+    when nothing else is due first. *)
 
-val deliver_local : t -> Vini_net.Packet.t -> unit
+val deliver_local : ?inline:bool -> t -> Vini_net.Packet.t -> unit
 (** Arrival overheads, then demux into the host stack (which may hand the
-    packet to a bound socket or answer ICMP). *)
+    packet to a bound socket or answer ICMP).  Pass [~inline:true] only
+    from the tail of an event callback (a plink arrival, a kernel-work
+    continuation): it lets the NIC hop join the current breath.  The
+    default schedules a real calendar event and is safe anywhere. *)
 
 val kernel_cpu_time : t -> Vini_sim.Time.t
 (** Total kernel CPU consumed (forwarding + local delivery). *)

@@ -15,6 +15,11 @@ type t = {
   cost_of : Packet.t -> Time.t;
   mutable proc : Cpu.proc option;
   mutable rr : int;
+  burst : int;
+  (* Packets budgeted by the last [next_cost] probe; [exec] serves at
+     most this many so the CPU time charged always covers the work done
+     (arrivals between budgeting and service wait for the next slice). *)
+  mutable planned : int;
   mutable processed : int;
   mutable proc_alive : bool;
   mutable crashes : int;
@@ -36,6 +41,11 @@ let source_peek = function
 let source_pop = function
   | Sock s -> Pnode.Socket.recv s
   | Queue q -> Vini_std.Fifo.pop q
+
+let source_peek_at s i =
+  match s with
+  | Sock k -> Pnode.Socket.peek_at k i
+  | Queue q -> Vini_std.Fifo.peek_at q i
 
 let source_drops = function
   | Sock s -> Pnode.Socket.drops s
@@ -122,7 +132,9 @@ let restart t =
     t.sources;
   lifecycle_event t "restart" ""
 
-let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
+let create ~node ~slice ~name ?(cost_of = default_cost) ?(burst = 1) ~handler
+    () =
+  if burst < 1 then invalid_arg "Process.create: burst must be positive";
   let t =
     {
       pnode = node;
@@ -133,6 +145,8 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
       cost_of;
       proc = None;
       rr = 0;
+      burst;
+      planned = 1;
       processed = 0;
       proc_alive = true;
       crashes = 0;
@@ -144,36 +158,72 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ~handler () =
   let has_work () = Option.is_some (next_source t) in
   let next_cost () =
     match next_source t with
-    | Some (_, s) -> (
-        match source_peek s with
-        | Some pkt -> Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt)
-        | None -> Time.zero)
-    | None -> Time.zero
+    | None ->
+        t.planned <- 0;
+        Time.zero
+    | Some (_, s) ->
+        if t.burst = 1 then begin
+          (* The classic path, untouched: one packet, one slice. *)
+          t.planned <- 1;
+          match source_peek s with
+          | Some pkt -> Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt)
+          | None -> Time.zero
+        end
+        else begin
+          (* Budget a burst: up to [burst] packets from this source,
+             charged the sum of their individual costs — batching buys
+             fewer scheduler events, never cheaper CPU. *)
+          let n = min t.burst (source_pending s) in
+          t.planned <- n;
+          let total = ref Time.zero in
+          for i = 0 to n - 1 do
+            match source_peek_at s i with
+            | Some pkt ->
+                total :=
+                  Time.add !total (Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt))
+            | None -> ()
+          done;
+          !total
+        end
+  in
+  let serve_one s =
+    match source_pop s with
+    | Some pkt ->
+        t.processed <- t.processed + 1;
+        if Span.on () then begin
+          (* Split the packet's in-process wait at the instant the
+             scheduler began this (dilated) service slice: before it
+             is queueing, after it is CPU service.  Every packet of a
+             burst shares the slice's start instant. *)
+          match t.proc with
+          | Some p ->
+              let comp = component t in
+              let start = Cpu.last_service p in
+              Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                ~component:comp ~until:start ();
+              Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                ~component:comp Span.Cpu_service ~t0:start
+                ~t1:(Vini_sim.Engine.now (Pnode.engine node))
+          | None -> ()
+        end;
+        t.handler pkt;
+        true
+    | None -> false
   in
   let exec () =
     match next_source t with
-    | Some (i, s) -> (
+    | Some (i, s) ->
         t.rr <- i + 1;
-        match source_pop s with
-        | Some pkt ->
-            t.processed <- t.processed + 1;
-            if Span.on () then begin
-              (* Split the packet's in-process wait at the instant the
-                 scheduler began this (dilated) service slice: before it
-                 is queueing, after it is CPU service. *)
-              match t.proc with
-              | Some p ->
-                  let comp = component t in
-                  let start = Cpu.last_service p in
-                  Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
-                    ~component:comp ~until:start ();
-                  Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
-                    ~component:comp Span.Cpu_service ~t0:start
-                    ~t1:(Vini_sim.Engine.now (Pnode.engine node))
-              | None -> ()
-            end;
-            t.handler pkt
-        | None -> ())
+        if t.burst = 1 then ignore (serve_one s)
+        else begin
+          (* Serve exactly what was budgeted (or less if the handler
+             crashed the process mid-burst and the sources drained). *)
+          let n = max 1 t.planned in
+          let k = ref 0 in
+          while !k < n && serve_one s do
+            incr k
+          done
+        end
     | None -> ()
   in
   let proc =

@@ -13,12 +13,25 @@ val create :
   slice:Slice.t ->
   name:string ->
   ?cost_of:(Vini_net.Packet.t -> Vini_sim.Time.t) ->
+  ?burst:int ->
   handler:(Vini_net.Packet.t -> unit) ->
   unit ->
   t
 (** [cost_of] quotes CPU cost at the {e reference} clock; it is scaled to
     the node automatically.  Default: {!Calibration.click_cost_us} of the
-    packet size. *)
+    packet size.
+
+    [burst] (default 1) is the batched-data-plane knob: each CPU service
+    slice drains up to [burst] packets from the chosen input source in
+    one scheduler event, charged the {e sum} of their per-packet costs up
+    front.  [burst = 1] reproduces the classic one-event-per-packet
+    schedule exactly; higher values deliver the same packets in the same
+    per-source order with the same total CPU time but collapse the
+    per-packet event and wakeup overhead — schedules (and thus span
+    timestamps) differ from the [burst = 1] run, deterministically per
+    seed.  Within a burst, per-packet spans all split their
+    queueing/service boundary at the slice start.
+    @raise Invalid_argument when [burst < 1]. *)
 
 val open_socket : t -> port:int -> ?rcvbuf_bytes:int -> unit -> Pnode.Socket.s
 (** A socket whose arrivals wake this process. *)

@@ -109,11 +109,7 @@ let emit_configs g =
           add "interface ge-%d/0/0\n" ifindex;
           add "  description to %s\n" (sanitise (Graph.name g nbr));
           add "  bandwidth %d\n" (int_of_float (l.Graph.bandwidth_bps /. 1e3));
-          add "  delay %d\n"
-            (Int64.to_int
-               (Int64.div
-                  (l.Graph.delay : Vini_sim.Time.t)
-                  1000L));
+          add "  delay %d\n" ((l.Graph.delay : Vini_sim.Time.t) / 1000);
           add "  ip ospf cost %d\n!\n" l.Graph.weight)
         (Graph.neighbors g v);
       add "\n")

@@ -243,7 +243,7 @@ let spans_run ?(duration_s = 2) ?(seed = 7001) ?(span_capacity = 65_536)
              (Packet.udp ~ttl:1 ~src:(Iias.tap_addr v_src)
                 ~dst:(Iias.tap_addr v_sink) ~sport:40000 ~dport:40001
                 (Packet.Probe
-                   { Packet.flow = 9; seq = i; sent_ns = 0L; pad = 32 }))
+                   { Packet.flow = 9; seq = i; sent_ns = 0; pad = 32 }))
          done));
   Engine.run ~until:(Time.sec (25 + duration_s)) engine;
   Monitor.stop monitor;

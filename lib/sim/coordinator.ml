@@ -11,7 +11,7 @@ type t = {
   mutable delivered : int;
 }
 
-let max_time = Int64.max_int
+let max_time = Time.max_value
 
 (* Saturating add for horizon + lookahead: both operands are >= 0, and a
    horizon of [max_time] must stay there rather than wrap negative. *)

@@ -7,6 +7,10 @@ type handle = {
   live : int ref; (* the owning engine's live-event counter *)
 }
 
+(* Fills vacated queue slots (see {!Vini_std.Eventq.create}); never fires. *)
+let dummy_handle =
+  { time = Time.zero; callback = ignore; state = Cancelled; live = ref 0 }
+
 (* Sharded mode: the event space is partitioned over a fixed number of
    logical shards, each with its own calendar queue and clock, executed in
    conservative windows of one lookahead.  The window schedule is a pure
@@ -17,7 +21,7 @@ type handle = {
    serially in ascending shard id; the truly parallel path for
    shard-confined workloads is {!Coordinator}. *)
 type shard_q = {
-  squeue : handle Vini_std.Calendar.t;
+  squeue : handle Vini_std.Eventq.t;
   mutable sclock : Time.t;
 }
 
@@ -31,12 +35,25 @@ type sharding = {
 
 type t = {
   mutable clock : Time.t;
-  queue : handle Vini_std.Calendar.t;
+  queue : handle Vini_std.Eventq.t;
   live : int ref; (* scheduled, not yet fired or cancelled *)
   root_rng : Vini_std.Rng.t;
   sharding : sharding option;
   mutable cancelled_count : int;
   mutable fired : int;
+  mutable inlined : int;
+  (* Breath coalescing ({!at_inline}): inclusive bound up to which a
+     tail-scheduled event may execute immediately instead of through the
+     calendar.  Maintained by the run loops (the run's [until] limit, and
+     in sharded mode the current conservative window's bound); -1 outside
+     a run loop, which disables inlining since times are >= 0. *)
+  mutable inline_until : Time.t;
+  mutable inline_enabled : bool;
+  (* Inline chains nest on the OCaml stack (each coalesced event is a
+     nested call); cap the depth so a long back-to-back burst falls back
+     to the calendar once per [max_inline_depth] events instead of
+     overflowing the stack. *)
+  mutable inline_depth : int;
   mutable max_pending : int;
   (* Profiling (off by default, so the hot path pays one bool test):
      [horizon_hist] sees how far ahead of the clock each event is scheduled
@@ -61,7 +78,7 @@ let create ?(seed = 42) ?shards () =
             nshards = n;
             sh =
               Array.init n (fun _ ->
-                  { squeue = Vini_std.Calendar.create (); sclock = Time.zero });
+                  { squeue = Vini_std.Eventq.create ~dummy:dummy_handle (); sclock = Time.zero });
             current = 0;
             lookahead = default_lookahead;
             queued = 0;
@@ -70,12 +87,16 @@ let create ?(seed = 42) ?shards () =
   let t =
     {
       clock = Time.zero;
-      queue = Vini_std.Calendar.create ();
+      queue = Vini_std.Eventq.create ~dummy:dummy_handle ();
       live = ref 0;
       root_rng = Vini_std.Rng.create seed;
       sharding;
       cancelled_count = 0;
       fired = 0;
+      inlined = 0;
+      inline_until = -1;
+      inline_enabled = true;
+      inline_depth = 0;
       max_pending = 0;
       profiling = false;
       horizon_hist = Vini_std.Histogram.create ();
@@ -129,18 +150,18 @@ let compact_threshold = 64
 let maybe_compact t =
   match t.sharding with
   | None ->
-      let len = Vini_std.Calendar.length t.queue in
+      let len = Vini_std.Eventq.length t.queue in
       if len > compact_threshold && len - !(t.live) > !(t.live) then
         t.cancelled_count <-
           t.cancelled_count
-          + Vini_std.Calendar.compact t.queue ~dead:(fun h ->
+          + Vini_std.Eventq.compact t.queue ~dead:(fun h ->
                 h.state = Cancelled)
   | Some s ->
       if s.queued > compact_threshold && s.queued - !(t.live) > !(t.live) then
         Array.iter
           (fun q ->
             let removed =
-              Vini_std.Calendar.compact q.squeue ~dead:(fun h ->
+              Vini_std.Eventq.compact q.squeue ~dead:(fun h ->
                   h.state = Cancelled)
             in
             t.cancelled_count <- t.cancelled_count + removed;
@@ -157,9 +178,9 @@ let at_shard t ~shard time callback =
       if shard <> 0 then invalid_arg "Engine.at_shard: engine is not sharded";
       let time = Time.max time t.clock in
       let h = { time; callback; state = Pending; live = t.live } in
-      Vini_std.Calendar.push t.queue ~key:time h;
+      Vini_std.Eventq.push t.queue ~key:time h;
       incr t.live;
-      let depth = Vini_std.Calendar.length t.queue in
+      let depth = Vini_std.Eventq.length t.queue in
       if depth > t.max_pending then t.max_pending <- depth;
       profile_horizon t time t.clock;
       maybe_compact t;
@@ -176,7 +197,7 @@ let at_shard t ~shard time callback =
          deterministic, bounded skew.  See DESIGN.md §13. *)
       let time = Time.max time q.sclock in
       let h = { time; callback; state = Pending; live = t.live } in
-      Vini_std.Calendar.push q.squeue ~key:time h;
+      Vini_std.Eventq.push q.squeue ~key:time h;
       incr t.live;
       s.queued <- s.queued + 1;
       if s.queued > t.max_pending then t.max_pending <- s.queued;
@@ -199,6 +220,66 @@ let at t time callback =
 let at_barrier t time callback = at_shard t ~shard:0 time callback
 
 let after t delta callback = at t (Time.add (now t) (Time.max delta Time.zero)) callback
+
+(* Breath coalescing.  An event scheduled at [time] from the tail of the
+   currently-executing callback fires *next* — immediately after this
+   callback returns, before anything else — exactly when (a) the run loop
+   will keep going, [time <= inline_until], and (b) [time] is strictly
+   below every queued key (an equal key has an older seq and drains
+   first).  When both hold, running the callback here, with the clock
+   advanced to [time], is indistinguishable from the calendar route: same
+   order, same clocks, same RNG draws, same [events_fired].  This is what
+   lets a burst of back-to-back packets traverse CPU service and kernel
+   hops as one calendar event (a Snabb-style "breath") while staying
+   byte-identical to the one-event-per-packet schedule.
+
+   Only legal in tail position: any work the caller does after [at_inline]
+   would be reordered before the event.  Inlining is skipped under
+   profiling so the per-event histograms keep their meaning. *)
+let max_inline_depth = 192
+
+let rec at_inline t time callback =
+  match t.sharding with
+  | None ->
+      let time = Time.max time t.clock in
+      if
+        t.inline_enabled && (not t.profiling)
+        && t.inline_depth < max_inline_depth
+        && Time.( <= ) time t.inline_until
+        && time < Vini_std.Eventq.min_key t.queue
+      then begin
+        t.clock <- time;
+        t.fired <- t.fired + 1;
+        t.inlined <- t.inlined + 1;
+        t.inline_depth <- t.inline_depth + 1;
+        callback ();
+        t.inline_depth <- t.inline_depth - 1
+      end
+      else ignore (at t time callback)
+  | Some s ->
+      let q = s.sh.(s.current) in
+      let time = Time.max time q.sclock in
+      if
+        t.inline_enabled && (not t.profiling)
+        && t.inline_depth < max_inline_depth
+        && Time.( <= ) time t.inline_until
+        && time < Vini_std.Eventq.min_key q.squeue
+      then begin
+        q.sclock <- time;
+        t.fired <- t.fired + 1;
+        t.inlined <- t.inlined + 1;
+        t.inline_depth <- t.inline_depth + 1;
+        callback ();
+        t.inline_depth <- t.inline_depth - 1
+      end
+      else ignore (at t time callback)
+
+and after_inline t delta callback =
+  at_inline t (Time.add (now t) (Time.max delta Time.zero)) callback
+
+let set_inline t on = t.inline_enabled <- on
+let inline_enabled t = t.inline_enabled
+let events_inlined t = t.inlined
 
 let cancel h =
   match h.state with
@@ -223,10 +304,10 @@ let rec every t ?start ?jitter period f =
          if f () then
            every t ~start:(Time.add fire_at period) ?jitter period f))
 
-let fire t h clock_set =
-  h.state <- Fired;
-  decr t.live;
-  clock_set h.time;
+(* Two fire paths rather than one taking a clock-setting closure: the
+   closure would be allocated per event, and this runs a million times a
+   second. *)
+let run_callback t h =
   t.fired <- t.fired + 1;
   if t.profiling then begin
     let t0 = Sys.time () in
@@ -235,10 +316,22 @@ let fire t h clock_set =
   end
   else h.callback ()
 
+let fire_legacy t h =
+  h.state <- Fired;
+  decr t.live;
+  t.clock <- Time.max t.clock h.time;
+  run_callback t h
+
+let fire_shard t (q : shard_q) h =
+  h.state <- Fired;
+  decr t.live;
+  q.sclock <- Time.max q.sclock h.time;
+  run_callback t h
+
 let step t =
   match t.sharding with
   | None -> (
-      match Vini_std.Calendar.pop t.queue with
+      match Vini_std.Eventq.pop t.queue with
       | None -> false
       | Some h -> (
           match h.state with
@@ -247,7 +340,7 @@ let step t =
               true
           | Fired -> assert false
           | Pending ->
-              fire t h (fun time -> t.clock <- Time.max t.clock time);
+              fire_legacy t h;
               true))
   | Some s -> (
       (* Global earliest event with (time, shard id) tie-break, so a
@@ -255,7 +348,7 @@ let step t =
       let best = ref None in
       Array.iteri
         (fun i q ->
-          match Vini_std.Calendar.peek q.squeue with
+          match Vini_std.Eventq.peek q.squeue with
           | None -> ()
           | Some h -> (
               match !best with
@@ -268,7 +361,7 @@ let step t =
       | Some (i, _) -> (
           s.current <- i;
           let q = s.sh.(i) in
-          match Vini_std.Calendar.pop q.squeue with
+          match Vini_std.Eventq.pop q.squeue with
           | None -> assert false
           | Some h -> (
               s.queued <- s.queued - 1;
@@ -278,19 +371,25 @@ let step t =
                   true
               | Fired -> assert false
               | Pending ->
-                  fire t h (fun time -> q.sclock <- Time.max q.sclock time);
+                  fire_shard t q h;
                   true)))
 
 let run_legacy ?until t =
+  t.inline_depth <- 0;
+  t.inline_until <-
+    (match until with Some l -> l | None -> Time.max_value);
+  (* [min_key] rather than [peek]: same cursor search, no option
+     allocation per event.  An empty queue reports [max_int], which no
+     real key reaches (keys clamp at [max_int/2]). *)
   let continue () =
-    match (Vini_std.Calendar.peek t.queue, until) with
-    | None, _ -> false
-    | Some _, None -> true
-    | Some h, Some limit -> Time.compare h.time limit <= 0
+    let k = Vini_std.Eventq.min_key t.queue in
+    k <> max_int
+    && match until with None -> true | Some limit -> k <= limit
   in
   while continue () do
     ignore (step t)
   done;
+  t.inline_until <- -1;
   match until with
   | Some limit when Time.compare limit t.clock > 0 -> t.clock <- limit
   | Some _ | None -> ()
@@ -302,18 +401,15 @@ let run_legacy ?until t =
    pass order between shards is invisible to the result — and the window
    structure itself depends only on event times, never on domain count. *)
 let run_sharded ?until t s =
+  t.inline_depth <- 0;
   let tmin () =
-    let best = ref None in
+    let best = ref max_int in
     Array.iter
       (fun q ->
-        match Vini_std.Calendar.peek q.squeue with
-        | None -> ()
-        | Some h -> (
-            match !best with
-            | None -> best := Some h.time
-            | Some b -> if Time.compare h.time b < 0 then best := Some h.time))
+        let k = Vini_std.Eventq.min_key q.squeue in
+        if k < !best then best := k)
       s.sh;
-    !best
+    if !best = max_int then None else Some !best
   in
   let width = Time.max s.lookahead (Time.ns 1) in
   let rec windows () =
@@ -327,35 +423,39 @@ let run_sharded ?until t s =
     | Some tm ->
         let bound =
           let b = Time.add tm width in
-          if Time.compare b tm < 0 then Int64.max_int else b
+          if Time.compare b tm < 0 then Time.max_value else b
         in
+        (* Inline bound for this window: strictly inside the window (an
+           event at the bound belongs to a later window) and within the
+           run limit. *)
+        t.inline_until <-
+          (let b = Time.sub bound (Time.ns 1) in
+           match until with Some u -> Time.min b u | None -> b);
         for i = 0 to s.nshards - 1 do
           s.current <- i;
           let q = s.sh.(i) in
           let continue () =
-            match Vini_std.Calendar.peek q.squeue with
-            | None -> false
-            | Some h ->
-                Time.compare h.time bound < 0
-                && (match until with
-                   | None -> true
-                   | Some u -> Time.compare h.time u <= 0)
+            (* [min_key] = the head's time for every in-range key; an
+               empty queue reports [max_int], which fails [k < bound]. *)
+            let k = Vini_std.Eventq.min_key q.squeue in
+            k < bound
+            && (match until with None -> true | Some u -> k <= u)
           in
           while continue () do
-            match Vini_std.Calendar.pop q.squeue with
+            match Vini_std.Eventq.pop q.squeue with
             | None -> assert false
             | Some h -> (
                 s.queued <- s.queued - 1;
                 match h.state with
                 | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
                 | Fired -> assert false
-                | Pending ->
-                    fire t h (fun time -> q.sclock <- Time.max q.sclock time))
+                | Pending -> fire_shard t q h)
           done
         done;
         windows ()
   in
   windows ();
+  t.inline_until <- -1;
   (match until with
   | Some u ->
       Array.iter (fun q -> if Time.compare u q.sclock > 0 then q.sclock <- u) s.sh

@@ -1,22 +1,25 @@
 (** The discrete-event simulation engine.
 
-    A single-threaded event loop over a calendar queue
-    ({!Vini_std.Calendar}) of timestamped callbacks.  Everything in the
+    A single-threaded event loop over a hole-based binary min-heap
+    ({!Vini_std.Eventq}) of timestamped callbacks.  Everything in the
     repository — links, CPU schedulers, routing timers, TCP
     retransmissions — is expressed as events on one engine, so an entire
     VINI deployment (physical substrate plus every slice) advances on one
     logical clock.
 
-    {b Complexity.}  {!at}/{!after} and {!step} are O(1) amortized
-    (worst case O(n) across a calendar resize); {!pending} is O(1) via a
-    live-event counter maintained on schedule/cancel/fire.  Cancelled
-    events are deleted lazily and swept out in bulk once they outnumber
-    live ones, so cancel-heavy workloads stay O(1) per operation too.
+    {b Complexity.}  {!at}/{!after} and {!step} are O(log pending);
+    the queue's O(1) [min_key] feeds the {!at_inline} fast path, which
+    runs already-due tail calls without touching the queue at all.
+    {!pending} is O(1) via a live-event counter maintained on
+    schedule/cancel/fire.  Cancelled events are deleted lazily and swept
+    out in bulk once they outnumber live ones, so cancel-heavy workloads
+    stay cheap too.
 
     {b Determinism.}  Events fire in (timestamp, scheduling order):
-    same-timestamp events drain strictly FIFO, exactly as with the earlier
-    binary-heap queue, so seeded runs are bit-identical across the two
-    scheduler implementations and across hosts. *)
+    same-timestamp events drain strictly FIFO, exactly as with the
+    binary-heap and calendar queues before this one, so seeded runs are
+    bit-identical across all three scheduler implementations and across
+    hosts. *)
 
 type t
 
@@ -93,6 +96,45 @@ val at : t -> Time.t -> (unit -> unit) -> handle
 
 val after : t -> Time.t -> (unit -> unit) -> handle
 (** Schedule at [now + delta]; negative deltas clamp to now. *)
+
+val at_inline : t -> Time.t -> (unit -> unit) -> unit
+(** Breath coalescing: like {!at}, but when the requested time is provably
+    {e next} in the global event order — at or before the run limit (and,
+    in sharded mode, strictly inside the current conservative window) and
+    strictly earlier than every queued event — the callback executes
+    immediately with the clock advanced, skipping the calendar entirely.
+    Otherwise it degrades to {!at}.
+
+    The inline execution is indistinguishable from the scheduled one:
+    same callback order, same clocks, same RNG draw order, same
+    {!events_fired} count — a seeded run is byte-identical whether
+    coalescing triggers or not (asserted by tests and the CI determinism
+    gate).  What changes is cost: a burst of back-to-back packets flows
+    through CPU-service and kernel hops as one calendar event, the way a
+    Snabb breath pushes a whole batch through an app graph.
+
+    {b Tail position only.}  The caller must invoke this as the last
+    action of the currently-executing event callback (or of setup code
+    outside any run, where it always degrades to {!at}): statements after
+    the call would otherwise be reordered {e after} the event.  There is
+    no handle — an inline-eligible event cannot be cancelled.
+
+    Inlining is disabled under {!set_profiling} (so per-event histograms
+    keep their meaning) and by {!set_inline}[ t false] (the benchmark
+    baseline). *)
+
+val after_inline : t -> Time.t -> (unit -> unit) -> unit
+(** [at_inline] at [now + delta]; negative deltas clamp to now. *)
+
+val set_inline : t -> bool -> unit
+(** Enable/disable breath coalescing (default on).  Purely a performance
+    knob: runs are byte-identical either way. *)
+
+val inline_enabled : t -> bool
+
+val events_inlined : t -> int
+(** How many fired events were coalesced inline (subset of
+    {!events_fired}) — the breath model's effectiveness metric. *)
 
 val cancel : handle -> unit
 (** Idempotent; cancelling a fired event is a no-op.  O(1): the event is

@@ -19,7 +19,7 @@ type remote = {
 type t = {
   sid : int;
   nshards : int;
-  queue : handle Vini_std.Calendar.t;
+  queue : handle Vini_std.Eventq.t;
   mutable clock : Time.t;
   live : int ref;
   srng : Vini_std.Rng.t;
@@ -31,12 +31,16 @@ type t = {
   mutable posts : int;
 }
 
+(* Fills vacated queue slots (see {!Vini_std.Eventq.create}); never fires. *)
+let dummy_handle =
+  { time = Time.zero; callback = ignore; state = Cancelled; live = ref 0 }
+
 let make ~id ~nshards ~mailbox_capacity ~lookahead ~rng =
   if id < 0 || id >= nshards then invalid_arg "Shard.make: id out of range";
   {
     sid = id;
     nshards;
-    queue = Vini_std.Calendar.create ();
+    queue = Vini_std.Eventq.create ~dummy:dummy_handle ();
     clock = Time.zero;
     live = ref 0;
     srng = rng;
@@ -58,16 +62,16 @@ let rng t = t.srng
 let compact_threshold = 64
 
 let maybe_compact t =
-  let len = Vini_std.Calendar.length t.queue in
+  let len = Vini_std.Eventq.length t.queue in
   if len > compact_threshold && len - !(t.live) > !(t.live) then
     t.cancelled_count <-
       t.cancelled_count
-      + Vini_std.Calendar.compact t.queue ~dead:(fun h -> h.state = Cancelled)
+      + Vini_std.Eventq.compact t.queue ~dead:(fun h -> h.state = Cancelled)
 
 let at t time callback =
   let time = Time.max time t.clock in
   let h = { time; callback; state = Pending; live = t.live } in
-  Vini_std.Calendar.push t.queue ~key:time h;
+  Vini_std.Eventq.push t.queue ~key:time h;
   incr t.live;
   maybe_compact t;
   h
@@ -96,7 +100,7 @@ let post t ~dst time callback =
       if Time.compare time (Time.add t.clock l) < 0 then
         invalid_arg
           (Printf.sprintf
-             "Shard.post: arrival %Ldns < now %Ldns + lookahead %Ldns (shard \
+             "Shard.post: arrival %dns < now %dns + lookahead %dns (shard \
               %d -> %d): conservative synchronization violated"
              time t.clock l t.sid dst));
   let r =
@@ -140,22 +144,20 @@ let posts_sent t = t.posts
 (* --- coordinator interface ------------------------------------------- *)
 
 let next_time t =
-  match Vini_std.Calendar.peek t.queue with
+  match Vini_std.Eventq.peek t.queue with
   | None -> None
   | Some h -> Some h.time
 
 let exec_window t ~bound ~limit =
   let continue () =
-    match Vini_std.Calendar.peek t.queue with
-    | None -> false
-    | Some h ->
-        Time.compare h.time bound < 0
-        && (match limit with
-           | None -> true
-           | Some u -> Time.compare h.time u <= 0)
+    (* [min_key] = the head's time for every in-range key, no option
+       allocation; an empty queue reports [max_int], failing [k < bound]. *)
+    let k = Vini_std.Eventq.min_key t.queue in
+    k < bound
+    && (match limit with None -> true | Some u -> k <= u)
   in
   while continue () do
-    match Vini_std.Calendar.pop t.queue with
+    match Vini_std.Eventq.pop t.queue with
     | None -> assert false
     | Some h -> (
         match h.state with

@@ -1,22 +1,23 @@
-type t = int64
+type t = int
 
-let zero = 0L
-let ns n = Int64.of_int n
-let us n = Int64.mul (Int64.of_int n) 1_000L
-let ms n = Int64.mul (Int64.of_int n) 1_000_000L
-let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
-let of_sec_f s = Int64.of_float (Float.round (s *. 1e9))
-let to_sec_f t = Int64.to_float t /. 1e9
-let to_ms_f t = Int64.to_float t /. 1e6
-let of_ms_f m = Int64.of_float (Float.round (m *. 1e6))
-let add = Int64.add
-let sub = Int64.sub
-let mul t n = Int64.mul t (Int64.of_int n)
-let compare = Int64.compare
-let ( <= ) a b = Int64.compare a b <= 0
-let ( < ) a b = Int64.compare a b < 0
-let ( >= ) a b = Int64.compare a b >= 0
-let ( > ) a b = Int64.compare a b > 0
-let min a b = if Stdlib.( <= ) (Int64.compare a b) 0 then a else b
-let max a b = if Stdlib.( >= ) (Int64.compare a b) 0 then a else b
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_sec_f s = int_of_float (Float.round (s *. 1e9))
+let to_sec_f t = float_of_int t /. 1e9
+let to_ms_f t = float_of_int t /. 1e6
+let of_ms_f m = int_of_float (Float.round (m *. 1e6))
+let add = ( + )
+let sub = ( - )
+let mul t n = t * n
+let max_value = max_int
+let compare : t -> t -> int = Int.compare
+let ( <= ) : t -> t -> bool = Stdlib.( <= )
+let ( < ) : t -> t -> bool = Stdlib.( < )
+let ( >= ) : t -> t -> bool = Stdlib.( >= )
+let ( > ) : t -> t -> bool = Stdlib.( > )
+let min : t -> t -> t = Stdlib.min
+let max : t -> t -> t = Stdlib.max
 let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec_f t)

@@ -1,10 +1,18 @@
-(** Simulation time as int64 nanoseconds.
+(** Simulation time as native-int nanoseconds.
 
     Integer time keeps event ordering exact: two events scheduled from the
     same float expression can never be reordered by rounding, which matters
-    for reproducibility of convergence experiments. *)
+    for reproducibility of convergence experiments.
 
-type t = int64
+    The representation is a native [int], not an [int64]: a 63-bit int
+    holds 146 years of nanoseconds, and an immediate int keeps every
+    timestamp unboxed — [add]/[sub]/[compare] on the hot path allocate
+    nothing, where int64 arithmetic boxes its result.  Rounding semantics
+    of {!of_sec_f}/{!of_ms_f} are unchanged from the int64 version
+    (round-to-nearest on the float, then truncate to integer), so seeded
+    schedules are numerically identical. *)
+
+type t = int
 
 val zero : t
 val ns : int -> t
@@ -22,6 +30,11 @@ val of_ms_f : float -> t
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> int -> t
+
+val max_value : t
+(** The largest representable instant ([max_int] ns, ~146 years).  Used as
+    an "unreachable" sentinel by window computations. *)
+
 val compare : t -> t -> int
 val ( <= ) : t -> t -> bool
 val ( < ) : t -> t -> bool

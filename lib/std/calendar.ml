@@ -7,12 +7,12 @@
    more a bounded horizon ahead) both push and pop touch O(1) entries
    amortized; resizes keep the bucket count proportional to occupancy.
 
-   Keys are stored as native ints: the public interface is int64 (to match
-   Time.t) but a 63-bit int holds 146 years of nanoseconds, and native
-   arithmetic keeps the per-operation bucket math unboxed and
-   allocation-free.  Out-of-range keys clamp to the representable maximum;
-   the (key, seq) order is unchanged by the conversion, so pop order is
-   identical to an int64 implementation. *)
+   Keys are native ints throughout: a 63-bit int holds 146 years of
+   nanoseconds, and native arithmetic keeps the per-operation bucket math
+   unboxed and allocation-free.  Out-of-range keys clamp to the
+   representable maximum; the (key, seq) order is unchanged by clamping,
+   so pop order matches an unbounded-key implementation for in-range
+   workloads. *)
 
 type 'a entry = { key : int; seq : int; value : 'a }
 
@@ -34,18 +34,14 @@ let default_max_buckets = 1 lsl 16
    scan below cannot overflow. *)
 let max_key = max_int / 2
 
-let clamp_key key =
-  if Int64.compare key 0L < 0 then 0
-  else if Int64.compare key (Int64.of_int max_key) > 0 then max_key
-  else Int64.to_int key
+let clamp_key key = if key < 0 then 0 else if key > max_key then max_key else key
 
-let create ?(nbuckets = default_min_buckets) ?(width = 1_000_000L) () =
+let create ?(nbuckets = default_min_buckets) ?(width = 1_000_000) () =
   if nbuckets < 1 then invalid_arg "Calendar.create: nbuckets < 1";
-  if Int64.compare width 1L < 0 then invalid_arg "Calendar.create: width < 1";
+  if width < 1 then invalid_arg "Calendar.create: width < 1";
   {
     buckets = Array.make nbuckets [];
-    width = (if Int64.compare width (Int64.of_int max_key) > 0 then max_key
-             else Int64.to_int width);
+    width = (if width > max_key then max_key else width);
     size = 0;
     cur_start = 0;
     next_seq = 0;
@@ -94,7 +90,31 @@ let resize t nbuckets' =
   if Array.length t.buckets <> nbuckets' then
     t.buckets <- Array.make nbuckets' [];
   (if t.size > 0 then begin
-     t.width <- max 1 ((!hi - !lo) / t.size);
+     (* Width from the median inter-event gap rather than the mean
+        ((hi - lo) / size): a handful of far-future entries (protocol
+        timers scheduled seconds ahead of a microsecond-spaced packet
+        cluster) stretch the mean so far that the whole cluster collapses
+        into one bucket and push degrades to a linear sorted insert.  The
+        median ignores the outliers and tracks the cluster's own spacing.
+        Deterministic: depends only on the queue's contents. *)
+     let keys = Array.make t.size 0 in
+     List.iteri (fun i e -> keys.(i) <- e.key) !entries;
+     Array.sort Int.compare keys;
+     let gaps = Array.make (max 1 (t.size - 1)) 0 in
+     let ngaps = ref 0 in
+     for i = 1 to t.size - 1 do
+       let g = keys.(i) - keys.(i - 1) in
+       if g > 0 then begin
+         gaps.(!ngaps) <- g;
+         incr ngaps
+       end
+     done;
+     (if !ngaps = 0 then t.width <- 1
+      else begin
+        let sub = Array.sub gaps 0 !ngaps in
+        Array.sort Int.compare sub;
+        t.width <- max 1 sub.(!ngaps / 2)
+      end);
      t.cur_start <- align t !lo
    end);
   List.iter (reinsert t) !entries
@@ -121,30 +141,36 @@ let push t ~key value =
   maybe_grow t
 
 (* Sparse fallback: direct search for the min (key, seq) over bucket heads.
-   Heads suffice: buckets are sorted. *)
+   Heads suffice: buckets are sorted.  Returns the bucket index (-1 when
+   empty) rather than the entry, so the common caller path allocates
+   nothing. *)
 let find_min_direct t =
-  let best = ref None in
+  let best_b = ref (-1) and best_key = ref 0 and best_seq = ref 0 in
   Array.iteri
     (fun b l ->
-      match (l, !best) with
-      | [], _ -> ()
-      | e :: _, None -> best := Some (b, e)
-      | e :: _, Some (_, be) ->
-          if e.key < be.key || (e.key = be.key && e.seq < be.seq) then
-            best := Some (b, e))
+      match l with
+      | [] -> ()
+      | e :: _ ->
+          if
+            !best_b < 0 || e.key < !best_key
+            || (e.key = !best_key && e.seq < !best_seq)
+          then begin
+            best_b := b;
+            best_key := e.key;
+            best_seq := e.seq
+          end)
     t.buckets;
-  (match !best with
-  | Some (_, e) -> t.cur_start <- align t e.key
-  | None -> ());
-  !best
+  if !best_b >= 0 then t.cur_start <- align t !best_key;
+  !best_b
 
-(* Locate the earliest entry and commit the cursor to its window.  One
-   bucket-year of windows is scanned from the cursor (consecutive windows
-   map to consecutive buckets, so the walk is one add and one wrap test
-   per window); on a miss (all remaining events lie a year or more ahead —
-   a sparse queue) fall back to the direct min scan. *)
+(* Locate the earliest entry's bucket and commit the cursor to its window.
+   One bucket-year of windows is scanned from the cursor (consecutive
+   windows map to consecutive buckets, so the walk is one add and one wrap
+   test per window); on a miss (all remaining events lie a year or more
+   ahead — a sparse queue) fall back to the direct min scan.  Returns -1
+   when empty. *)
 let find_min t =
-  if t.size = 0 then None
+  if t.size = 0 then -1
   else begin
     let nb = Array.length t.buckets in
     let w = t.width in
@@ -154,7 +180,7 @@ let find_min t =
         match t.buckets.(b) with
         | e :: _ when e.key < start + w ->
             t.cur_start <- start;
-            Some (b, e)
+            b
         | _ ->
             let b = b + 1 in
             scan (i + 1) (start + w) (if b = nb then 0 else b)
@@ -162,19 +188,27 @@ let find_min t =
     scan 0 t.cur_start (bucket_of t t.cur_start)
   end
 
+let min_key t =
+  match find_min t with
+  | -1 -> max_int
+  | b -> ( match t.buckets.(b) with e :: _ -> e.key | [] -> assert false)
+
 let peek t =
-  match find_min t with Some (_, e) -> Some e.value | None -> None
+  match find_min t with
+  | -1 -> None
+  | b -> ( match t.buckets.(b) with e :: _ -> Some e.value | [] -> assert false)
 
 let pop t =
   match find_min t with
-  | None -> None
-  | Some (b, e) ->
-      (match t.buckets.(b) with
-      | _ :: rest -> t.buckets.(b) <- rest
-      | [] -> assert false);
-      t.size <- t.size - 1;
-      maybe_shrink t;
-      Some e.value
+  | -1 -> None
+  | b -> (
+      match t.buckets.(b) with
+      | e :: rest ->
+          t.buckets.(b) <- rest;
+          t.size <- t.size - 1;
+          maybe_shrink t;
+          Some e.value
+      | [] -> assert false)
 
 let compact t ~dead =
   let removed = ref 0 in
@@ -194,7 +228,7 @@ let clear t =
   t.cur_start <- 0
 
 let nbuckets t = Array.length t.buckets
-let width t = Int64.of_int t.width
+let width t = t.width
 
 let iter t f =
   Array.iter (fun l -> List.iter (fun e -> f e.value) l) t.buckets

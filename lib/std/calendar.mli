@@ -1,4 +1,4 @@
-(** Calendar queue: a priority queue over non-negative [int64] keys
+(** Calendar queue: a priority queue over non-negative [int] keys
     (nanosecond timestamps) with O(1) amortized push and pop under
     discrete-event-simulation workloads (Brown 1988).
 
@@ -11,6 +11,11 @@
     the common case), walks at most one bucket-year of windows, and only
     then falls back to a direct O(buckets) min scan for sparse queues.
 
+    Keys are native ints end to end (they match {!Vini_sim.Time.t}): a
+    63-bit int holds 146 years of nanoseconds and all bucket math stays
+    unboxed, so push/peek hot paths allocate nothing beyond the entry
+    record itself.
+
     Resizes (doubling above 2 entries/bucket, halving below 1/4) rebuild
     with the bucket width set to the mean inter-event gap; parameters are a
     pure function of queue contents, so runs stay deterministic.
@@ -21,7 +26,7 @@
 
 type 'a t
 
-val create : ?nbuckets:int -> ?width:int64 -> unit -> 'a t
+val create : ?nbuckets:int -> ?width:int -> unit -> 'a t
 (** [nbuckets] (default 16) is the initial and minimum bucket count;
     [width] (default 1ms in ns) the initial window — both adapt on resize.
     @raise Invalid_argument when [nbuckets < 1] or [width < 1]. *)
@@ -29,11 +34,15 @@ val create : ?nbuckets:int -> ?width:int64 -> unit -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-val push : 'a t -> key:int64 -> 'a -> unit
+val push : 'a t -> key:int -> 'a -> unit
 (** Insert with the given key; negative keys clamp to 0 and keys above
-    [max_int/2] (146 years of nanoseconds — the internal representation is
-    a native int, kept unboxed for speed) clamp to that maximum.  Keys
+    [max_int/2] (146 years of nanoseconds) clamp to that maximum.  Keys
     below every previous pop are legal (the cursor rewinds). *)
+
+val min_key : 'a t -> int
+(** Key of the earliest element, or [max_int] when the queue is empty.
+    Commits the same cursor advance as {!peek} but allocates nothing —
+    the scheduler's "is the next event inside this window?" test. *)
 
 val peek : 'a t -> 'a option
 (** Earliest (key, then insertion order) element without removing it. *)
@@ -50,7 +59,7 @@ val clear : 'a t -> unit
 val nbuckets : 'a t -> int
 (** Current bucket count (introspection for tests and benchmarks). *)
 
-val width : 'a t -> int64
+val width : 'a t -> int
 (** Current bucket window in key units (ns). *)
 
 val iter : 'a t -> ('a -> unit) -> unit

@@ -1,0 +1,48 @@
+(** The engine's event queue: an array-based binary min-heap ordered by
+    (key, insertion seq).
+
+    Same contract as {!Calendar} — keys are nanosecond timestamps clamped
+    to [\[0, max_int/2\]], and entries with equal keys pop strictly FIFO,
+    so a seeded simulation is bit-identical whichever queue implementation
+    the engine uses.  The heap wins at the queue depths a deployment
+    sustains (tens to a few hundred pending events): push and pop are a
+    handful of integer compares in preallocated parallel arrays, and
+    {!min_key} — probed on every breath-coalescing decision and run-loop
+    iteration — is a single array load instead of a window scan.
+
+    Not thread-safe; one queue per engine shard. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills vacated slots so popped values are not pinned against
+    the GC; it is never returned.  [capacity] (default 16) is the initial
+    array size; the arrays double as needed and never shrink. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** O(log n), allocation-free (outside array growth).  Negative keys
+    clamp to 0, keys above [max_int/2] clamp to [max_int/2]; clamping
+    preserves (key, seq) order. *)
+
+val min_key : 'a t -> int
+(** Key of the earliest entry; [max_int] when empty (no clamped key can
+    reach it).  O(1), allocation-free. *)
+
+val peek : 'a t -> 'a option
+(** Earliest entry by (key, seq), without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the earliest entry by (key, seq).  O(log n); the
+    option is the only allocation. *)
+
+val compact : 'a t -> dead:('a -> bool) -> int
+(** Drop entries whose value satisfies [dead]; returns how many were
+    removed.  O(n).  Pop order over survivors is unchanged. *)
+
+val clear : 'a t -> unit
+
+val iter : 'a t -> ('a -> unit) -> unit
+(** Iterate in unspecified order. *)

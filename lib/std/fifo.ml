@@ -1,5 +1,21 @@
+(* Ring-buffer FIFO.  The stdlib [Queue] allocates a cell per push;
+   packet queues sit on the forwarding hot path (socket receive buffers,
+   shaper queues, click input rings), so this implementation keeps
+   steady-state push/pop allocation-free: a circular array that doubles
+   when full and never shrinks.
+
+   There is no caller-supplied dummy element (the interface predates the
+   ring), so the backing array is allocated lazily from the first pushed
+   element and popped slots are NOT cleared — a vacated slot retains its
+   last value until a later push overwrites it.  For the bounded queues
+   this type models the pinned values are the most recently dequeued
+   entries, re-overwritten within one queue-depth of pushes, so the
+   retention window is tiny and constant. *)
+
 type 'a t = {
-  q : 'a Queue.t;
+  mutable ring : 'a array; (* [||] until the first push *)
+  mutable head : int;      (* next pop position *)
+  mutable len : int;
   size_of : 'a -> int;
   max_packets : int option;
   max_bytes : int option;
@@ -8,13 +24,32 @@ type 'a t = {
 }
 
 let create ?max_packets ?max_bytes ~size_of () =
-  { q = Queue.create (); size_of; max_packets; max_bytes; bytes = 0; drops = 0 }
+  {
+    ring = [||];
+    head = 0;
+    len = 0;
+    size_of;
+    max_packets;
+    max_bytes;
+    bytes = 0;
+    drops = 0;
+  }
+
+(* Doubling copy; [fill] seeds the fresh array so it has the right tag
+   even when ['a] is [float]. *)
+let grow t fill =
+  let cap = Array.length t.ring in
+  let cap' = if cap = 0 then 16 else 2 * cap in
+  let ring' = Array.make cap' fill in
+  for i = 0 to t.len - 1 do
+    ring'.(i) <- t.ring.((t.head + i) mod cap)
+  done;
+  t.ring <- ring';
+  t.head <- 0
 
 let would_overflow t x =
   let over_packets =
-    match t.max_packets with
-    | None -> false
-    | Some m -> Queue.length t.q >= m
+    match t.max_packets with None -> false | Some m -> t.len >= m
   in
   let over_bytes =
     match t.max_bytes with
@@ -29,25 +64,41 @@ let push t x =
     false
   end
   else begin
-    Queue.push x t.q;
+    if t.len = Array.length t.ring then grow t x;
+    let tail = (t.head + t.len) mod Array.length t.ring in
+    t.ring.(tail) <- x;
+    t.len <- t.len + 1;
     t.bytes <- t.bytes + t.size_of x;
     true
   end
 
 let pop t =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some x ->
-      t.bytes <- t.bytes - t.size_of x;
-      Some x
+  if t.len = 0 then None
+  else begin
+    let x = t.ring.(t.head) in
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    t.len <- t.len - 1;
+    t.bytes <- t.bytes - t.size_of x;
+    Some x
+  end
 
-let peek t = Queue.peek_opt t.q
-let length t = Queue.length t.q
+let peek t = if t.len = 0 then None else Some t.ring.(t.head)
+
+(* O(1) on the ring: position i is a modular index from head.  Lets a
+   burst-scheduling consumer cost the next k entries without popping. *)
+let peek_at t i =
+  if i < 0 || i >= t.len then None
+  else Some t.ring.((t.head + i) mod Array.length t.ring)
+let length t = t.len
 let bytes t = t.bytes
-let is_empty t = Queue.is_empty t.q
+let is_empty t = t.len = 0
 
+(* Dropping the array releases every retained reference; the next push
+   reallocates at the initial capacity. *)
 let clear t =
-  Queue.clear t.q;
+  t.ring <- [||];
+  t.head <- 0;
+  t.len <- 0;
   t.bytes <- 0
 
 let drops t = t.drops

@@ -3,7 +3,13 @@
     Models drop-tail queues: a NIC transmit queue, a UDP socket receive
     buffer, a Click [Queue] element.  The bound may be expressed in packets,
     in bytes, or both; pushes that would exceed either bound are rejected
-    (the caller counts the drop). *)
+    (the caller counts the drop).
+
+    Backed by a circular array that doubles when full and never shrinks,
+    so steady-state pushes allocate nothing (the stdlib [Queue] allocates
+    a cell per push — measurable on the forwarding hot path).  Popped
+    slots retain their last value until overwritten by a later push; the
+    retention window is bounded by one queue depth. *)
 
 type 'a t
 
@@ -16,7 +22,15 @@ val push : 'a t -> 'a -> bool
     when a bound would be exceeded. *)
 
 val pop : 'a t -> 'a option
+
 val peek : 'a t -> 'a option
+
+val peek_at : 'a t -> int -> 'a option
+(** [peek_at t i] is the [i]-th queued element counting from the head
+    ([peek_at t 0 = peek t]) without removing it; [None] when [i] is out
+    of range.  O(1).  Lets a burst scheduler cost the next [k] packets
+    before committing to a service slice. *)
+
 val length : 'a t -> int
 val bytes : 'a t -> int
 val is_empty : 'a t -> bool

@@ -356,7 +356,7 @@ let test_napt_icmp () =
   let n = Napt.create ~public_addr:ext () in
   let echo =
     Packet.icmp ~src:a1 ~dst:web
-      (Packet.Echo_request { ident = 77; icmp_seq = 1; sent_ns = 0L; data_len = 56 })
+      (Packet.Echo_request { ident = 77; icmp_seq = 1; sent_ns = 0; data_len = 56 })
   in
   match Napt.translate_out n echo with
   | None -> Alcotest.fail "icmp echo must translate"
@@ -368,7 +368,7 @@ let test_napt_icmp () =
       in
       let reply =
         Packet.icmp ~src:web ~dst:ext
-          (Packet.Echo_reply { ident = nat_id; icmp_seq = 1; sent_ns = 0L; data_len = 56 })
+          (Packet.Echo_reply { ident = nat_id; icmp_seq = 1; sent_ns = 0; data_len = 56 })
       in
       match Napt.translate_in n reply with
       | None -> Alcotest.fail "echo reply must match"
@@ -417,6 +417,173 @@ let prop_napt_roundtrip =
               | _ -> false)
           | None -> false))
 
+(* --- batched data plane ------------------------------------------------- *)
+
+module Batch = Vini_click.Batch
+module Ring = Vini_click.Ring
+module Pool = Vini_net.Pool
+
+let test_ring_pump_order () =
+  let seen = ref [] in
+  let sink = Element.make "sink" (fun pkt -> seen := pkt.Packet.id :: !seen) in
+  let ring = Ring.create ~capacity:16 in
+  let batch = Batch.create ~capacity:8 in
+  let pkts = List.init 10 (fun _ -> udp ()) in
+  List.iter (fun p -> check Alcotest.bool "push" true (Ring.push ring p)) pkts;
+  let n1 = Element.pump ring ~into:batch ~out:sink ~max:8 in
+  let n2 = Element.pump ring ~into:batch ~out:sink ~max:8 in
+  check Alcotest.int "first burst" 8 n1;
+  check Alcotest.int "second burst" 2 n2;
+  check Alcotest.int "ring drained" 0 (Ring.length ring);
+  check
+    Alcotest.(list int)
+    "FIFO order across bursts"
+    (List.map (fun (p : Packet.t) -> p.Packet.id) pkts)
+    (List.rev !seen);
+  check Alcotest.int "sink counted all" 10 (Element.packets sink)
+
+let test_ring_backpressure () =
+  let ring = Ring.create ~capacity:2 in
+  check Alcotest.bool "1st" true (Ring.push ring (udp ()));
+  check Alcotest.bool "2nd" true (Ring.push ring (udp ()));
+  check Alcotest.bool "full ring refuses" false (Ring.push ring (udp ()));
+  check Alcotest.int "length unchanged" 2 (Ring.length ring)
+
+(* A pool drained mid-burst degrades deterministically: takes fail with
+   exact, schedule-independent counts, and recycling restores service. *)
+let test_pool_exhaustion_degrades () =
+  let pool = Pool.create ~capacity:8 ~mint:(fun _ -> udp ()) () in
+  let got = ref [] in
+  for _ = 1 to 12 do
+    match Pool.take_opt pool with
+    | Some p -> got := p :: !got
+    | None -> ()
+  done;
+  check Alcotest.int "took what existed" 8 (List.length !got);
+  check Alcotest.int "exhaustions counted" 4 (Pool.exhaustions pool);
+  check Alcotest.int "empty" 0 (Pool.available pool);
+  (match !got with
+  | a :: b :: c :: _ ->
+      Pool.recycle pool a;
+      Pool.recycle pool b;
+      Pool.recycle pool c
+  | _ -> Alcotest.fail "unreachable");
+  check Alcotest.int "recycles restore service" 3 (Pool.available pool);
+  (match Pool.take_opt pool with
+  | Some _ -> ()
+  | None -> Alcotest.fail "take after recycle must succeed");
+  (* Overfill protection: more recycles than takes is counted, not
+     trusted. *)
+  let tiny = Pool.create ~capacity:1 ~mint:(fun _ -> udp ()) () in
+  Pool.recycle tiny (udp ());
+  check Alcotest.int "overfill ignored" 1 (Pool.overfills tiny)
+
+(* The batched path delivers the same packets in the same order as a
+   batch-size-1 run, through a chain whose faulty element draws one RNG
+   decision per packet (same seed, same draws, same survivors). *)
+let prop_batched_equals_single =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair (int_range 1 7)
+          (list_size (int_range 1 60) (pair (int_range 0 3) (int_range 20 1400))))
+      ~print:(fun (b, l) -> Printf.sprintf "burst=%d n=%d" b (List.length l))
+  in
+  QCheck.Test.make ~name:"batched chain = per-packet chain (order)" ~count:100
+    gen (fun (burst, specs) ->
+      let dsts =
+        [| a2; Addr.of_string "10.0.0.3"; Addr.of_string "10.0.0.4"; a1 |]
+      in
+      let pkts =
+        List.map (fun (d, size) -> udp ~dst:dsts.(d) ~size ()) specs
+      in
+      let run ~batched =
+        let seen = ref [] in
+        let sink =
+          Element.make "sink" (fun pkt -> seen := pkt.Packet.id :: !seen)
+        in
+        let faulty =
+          Faulty.create ~rng:(Vini_std.Rng.create 77) ~out:sink "lossy"
+        in
+        Faulty.set_mode faulty (Faulty.Lossy 0.3);
+        let el = Faulty.element faulty in
+        if not batched then List.iter (fun p -> Element.push el p) pkts
+        else begin
+          let b = Batch.create ~capacity:burst in
+          List.iter
+            (fun p ->
+              if not (Batch.add b p) then begin
+                Element.push_batch el b;
+                Batch.clear b;
+                ignore (Batch.add b p)
+              end)
+            pkts;
+          if not (Batch.is_empty b) then Element.push_batch el b
+        end;
+        List.rev !seen
+      in
+      run ~batched:false = run ~batched:true)
+
+(* The tentpole invariant: steady-state batched forwarding allocates
+   nothing on the minor heap.  Pool-sourced packets cycle ring -> burst ->
+   faulty -> sink -> pool; after warmup, [Gc.minor_words] across a long
+   window must not move at all. *)
+let test_batched_zero_alloc () =
+  let pool =
+    Pool.create ~capacity:64 ~mint:(fun i -> udp ~size:(64 + i) ()) ()
+  in
+  let sink =
+    Element.make_batch "sink"
+      ~single:(fun pkt -> Pool.recycle pool pkt)
+      ~batch:(fun b ->
+        for i = 0 to Batch.length b - 1 do
+          Pool.recycle pool (Batch.unsafe_get b i)
+        done)
+  in
+  let faulty = Faulty.create ~rng:(Vini_std.Rng.create 7) ~out:sink "pass" in
+  let el = Faulty.element faulty in
+  let ring = Ring.create ~capacity:64 in
+  let batch = Batch.create ~capacity:32 in
+  let breath () =
+    for _ = 1 to 32 do
+      if Pool.available pool > 0 then ignore (Ring.push ring (Pool.take pool))
+    done;
+    ignore (Element.pump ring ~into:batch ~out:el ~max:32)
+  in
+  (* Warmup forces the lazy filler, fills stats fields, and settles the
+     pool/ring population. *)
+  for _ = 1 to 10 do breath () done;
+  let w0 = (Gc.quick_stat ()).Gc.minor_words in
+  for _ = 1 to 1_000 do breath () done;
+  let w1 = (Gc.quick_stat ()).Gc.minor_words in
+  check Alcotest.int "zero minor words across steady-state window" 0
+    (int_of_float (w1 -. w0));
+  check Alcotest.int "no packet lost by the cycle" 64
+    (Pool.available pool + Ring.length ring)
+
+(* Corrupting a pooled packet swaps a fresh damaged record into the batch;
+   the copy is what arrives (and fails the receiver's checksum), while the
+   pool population stays at capacity because the sink recycles whatever
+   record reaches it. *)
+let test_batched_corruption_replaces_in_place () =
+  let pool = Pool.create ~capacity:16 ~mint:(fun _ -> udp ()) () in
+  let delivered = ref 0 and corrupt = ref 0 in
+  let sink =
+    Element.make "sink" (fun pkt ->
+        if Packet.intact pkt then incr delivered else incr corrupt;
+        Pool.recycle pool pkt)
+  in
+  let faulty = Faulty.create ~rng:(Vini_std.Rng.create 3) ~out:sink "corr" in
+  Faulty.set_mode faulty (Faulty.Corrupting 0.5);
+  let el = Faulty.element faulty in
+  let b = Batch.create ~capacity:16 in
+  for _ = 1 to 16 do ignore (Batch.add b (Pool.take pool)) done;
+  Element.push_batch el b;
+  check Alcotest.int "all packets arrived" 16 (!delivered + !corrupt);
+  check Alcotest.int "corruption happened" (Faulty.corrupted faulty) !corrupt;
+  check Alcotest.bool "some corrupted" true (!corrupt > 0);
+  check Alcotest.int "pool back at capacity" 16 (Pool.available pool)
+
 let suite =
   [
     Alcotest.test_case "fib longest match" `Quick test_fib_longest_match;
@@ -447,4 +614,13 @@ let suite =
     Alcotest.test_case "napt icmp echo" `Quick test_napt_icmp;
     Alcotest.test_case "napt untranslatable" `Quick test_napt_untranslatable;
     QCheck_alcotest.to_alcotest prop_napt_roundtrip;
+    Alcotest.test_case "ring pump preserves order" `Quick test_ring_pump_order;
+    Alcotest.test_case "ring backpressure" `Quick test_ring_backpressure;
+    Alcotest.test_case "pool exhaustion degrades deterministically" `Quick
+      test_pool_exhaustion_degrades;
+    Alcotest.test_case "batched steady state allocates nothing" `Quick
+      test_batched_zero_alloc;
+    Alcotest.test_case "batched corruption swaps fresh records" `Quick
+      test_batched_corruption_replaces_in_place;
+    QCheck_alcotest.to_alcotest prop_batched_equals_single;
   ]

@@ -180,10 +180,40 @@ let test_packet_nat_rewrites () =
 let test_packet_describe () =
   let p =
     Packet.icmp ~src:a ~dst:b
-      (Packet.Echo_request { ident = 1; icmp_seq = 7; sent_ns = 0L; data_len = 56 })
+      (Packet.Echo_request { ident = 1; icmp_seq = 7; sent_ns = 0; data_len = 56 })
   in
   check Alcotest.bool "mentions echo" true
     (contains_sub (Packet.describe p) "echo request")
+
+(* Property: the O(1) corruption flag agrees with the wire-level checksum
+   oracle through arbitrary transform chains, so the fast path in the
+   batched forwarding loop never diverges from actually checksumming the
+   header. *)
+let prop_intact_flag_equals_wire =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair (int_range 20 1400) (list_size (int_range 0 8) (int_range 0 3)))
+      ~print:(fun (size, ops) ->
+        Printf.sprintf "size=%d ops=%d" size (List.length ops))
+  in
+  QCheck.Test.make ~name:"intact flag = wire checksum oracle" ~count:300 gen
+    (fun (size, ops) ->
+      let pkt =
+        List.fold_left
+          (fun p op ->
+            match op with
+            | 0 -> ( match Packet.decr_ttl p with Some p' -> p' | None -> p)
+            | 1 -> Packet.corrupted p
+            | 2 -> Packet.with_src p (Addr.of_string "192.168.0.1")
+            | _ -> Packet.with_udp_ports p ~sport:4242 ~dport:2000)
+          (Packet.udp
+             ~src:(Addr.of_string "10.0.0.1")
+             ~dst:(Addr.of_string "10.0.0.2")
+             ~sport:1000 ~dport:2000 (Packet.Bytes_ size))
+          ops
+      in
+      Packet.intact pkt = Packet.intact_wire pkt)
 
 let suite =
   [
@@ -211,4 +241,5 @@ let suite =
     Alcotest.test_case "ttl decrement/expiry" `Quick test_packet_ttl;
     Alcotest.test_case "nat field rewrites" `Quick test_packet_nat_rewrites;
     Alcotest.test_case "packet describe" `Quick test_packet_describe;
+    QCheck_alcotest.to_alcotest prop_intact_flag_equals_wire;
   ]

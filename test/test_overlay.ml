@@ -91,7 +91,7 @@ let test_flight_recorder_across_overlay () =
          Ipstack.send (Iias.tap v0)
            (Packet.udp ~ttl:1 ~src:(Iias.tap_addr v0) ~dst:(Iias.tap_addr v2)
               ~sport:40000 ~dport:40001
-              (Packet.Probe { Packet.flow = 1; seq = 0; sent_ns = 0L; pad = 8 }))));
+              (Packet.Probe { Packet.flow = 1; seq = 0; sent_ns = 0; pad = 8 }))));
   Engine.run ~until:(Time.sec 30) engine;
   Sspan.uninstall ();
   Trace.uninstall ();

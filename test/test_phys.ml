@@ -270,7 +270,7 @@ let test_ipstack_echo_like_kernel () =
   let s = Ipstack.create ~engine ~local_addr:a1 ~tx:(fun p -> sent := p :: !sent) () in
   Ipstack.deliver s
     (Packet.icmp ~src:a2 ~dst:a1
-       (Packet.Echo_request { ident = 1; icmp_seq = 9; sent_ns = 5L; data_len = 56 }));
+       (Packet.Echo_request { ident = 1; icmp_seq = 9; sent_ns = 5; data_len = 56 }));
   match !sent with
   | [ reply ] -> (
       check Alcotest.bool "to sender" true (Addr.equal reply.Packet.dst a2);

@@ -186,7 +186,7 @@ let prop_emit_parse_roundtrip =
                    (fun (l1 : Graph.link) (l2 : Graph.link) ->
                      (* The dialect carries microseconds; compare at that
                         granularity. *)
-                     let us t = Int64.div (t : Vini_sim.Time.t) 1000L in
+                     let us t = (t : Vini_sim.Time.t) / 1000 in
                      l1.Graph.a = l2.Graph.a && l1.Graph.b = l2.Graph.b
                      && l1.Graph.weight = l2.Graph.weight
                      && us l1.Graph.delay = us l2.Graph.delay)

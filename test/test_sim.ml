@@ -498,7 +498,7 @@ let test_coordinator_domain_invariance () =
       Array.iteri
         (fun s oracle_log ->
           check
-            Alcotest.(list (pair int64 int))
+            Alcotest.(list (pair int int))
             (Printf.sprintf "shard %d log at %d domains" s domains)
             oracle_log got.(s))
         oracle)
@@ -587,7 +587,7 @@ let test_engine_sharded_matches_legacy () =
   in
   let legacy = workload (Engine.create ~seed:3 ()) in
   let sharded = workload (Engine.create ~seed:3 ~shards:4 ()) in
-  check Alcotest.(list (pair string int64)) "same schedule" legacy sharded
+  check Alcotest.(list (pair string int)) "same schedule" legacy sharded
 
 let test_engine_sharded_pending_cancel_compaction () =
   (* Satellite: the live counter and the lazy-delete sweep under
@@ -649,7 +649,7 @@ let test_engine_sharded_determinism () =
     List.rev !acc
   in
   check
-    Alcotest.(list (triple int64 int int))
+    Alcotest.(list (triple int int int))
     "identical sharded runs" (run ()) (run ())
 
 let test_engine_sharded_until_and_lookahead () =

@@ -275,7 +275,7 @@ let prop_spec_topology_roundtrip =
             (Printf.sprintf "link %s %s bw %.0f delay %dus weight %d\n"
                (Graph.name g l.Graph.a) (Graph.name g l.Graph.b)
                l.Graph.bandwidth_bps
-               (Int64.to_int (Int64.div l.Graph.delay 1000L))
+               (l.Graph.delay / 1000)
                l.Graph.weight))
         (Graph.links g);
       match Spec_lang.parse (Buffer.contents buf) with
@@ -286,7 +286,7 @@ let prop_spec_topology_roundtrip =
           && Graph.link_count g = Graph.link_count g2
           && List.for_all2
                (fun (l1 : Graph.link) (l2 : Graph.link) ->
-                 let us t = Int64.div (t : Vini_sim.Time.t) 1000L in
+                 let us t = (t : Vini_sim.Time.t) / 1000 in
                  l1.Graph.a = l2.Graph.a && l1.Graph.b = l2.Graph.b
                  && l1.Graph.weight = l2.Graph.weight
                  && us l1.Graph.delay = us l2.Graph.delay)

@@ -142,7 +142,7 @@ let drain_calendar c =
 let test_calendar_sorted_drain () =
   let c = Calendar.create () in
   List.iter
-    (fun k -> Calendar.push c ~key:(Int64.of_int k) k)
+    (fun k -> Calendar.push c ~key:k k)
     [ 5; 3; 8; 1; 9; 2; 7 ];
   check Alcotest.(list int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain_calendar c)
 
@@ -150,14 +150,14 @@ let test_calendar_fifo_ties () =
   let c = Calendar.create () in
   List.iter
     (fun (k, v) -> Calendar.push c ~key:k v)
-    [ (1L, "a"); (1L, "b"); (0L, "z"); (1L, "c") ];
+    [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
   check Alcotest.(list string) "stable" [ "z"; "a"; "b"; "c" ]
     (drain_calendar c)
 
 let test_calendar_negative_clamp () =
   let c = Calendar.create () in
-  Calendar.push c ~key:(-5L) "neg";
-  Calendar.push c ~key:0L "zero";
+  Calendar.push c ~key:(-5) "neg";
+  Calendar.push c ~key:0 "zero";
   (* Clamped to 0, so FIFO between the two decides. *)
   check Alcotest.(list string) "clamped to 0, fifo" [ "neg"; "zero" ]
     (drain_calendar c)
@@ -165,17 +165,17 @@ let test_calendar_negative_clamp () =
 let test_calendar_cursor_rewind () =
   (* A key below everything already popped must still come out first. *)
   let c = Calendar.create () in
-  Calendar.push c ~key:1_000_000_000L 1;
+  Calendar.push c ~key:1_000_000_000 1;
   check Alcotest.(option int) "first pop" (Some 1) (Calendar.pop c);
-  Calendar.push c ~key:5L 2;
-  Calendar.push c ~key:2_000_000_000L 3;
+  Calendar.push c ~key:5 2;
+  Calendar.push c ~key:2_000_000_000 3;
   check Alcotest.(list int) "rewound past pop" [ 2; 3 ] (drain_calendar c)
 
 let test_calendar_resize_adapts () =
   let c = Calendar.create () in
   let initial = Calendar.nbuckets c in
   for i = 1 to 10_000 do
-    Calendar.push c ~key:(Int64.of_int (i * 1_000)) i
+    Calendar.push c ~key:(i * 1_000) i
   done;
   check Alcotest.bool "buckets grew" true (Calendar.nbuckets c > initial);
   check Alcotest.int "length" 10_000 (Calendar.length c);
@@ -187,7 +187,7 @@ let test_calendar_resize_adapts () =
 
 let test_calendar_peek_pop_agree () =
   let c = Calendar.create () in
-  List.iter (fun k -> Calendar.push c ~key:(Int64.of_int k) k) [ 9; 4; 6 ];
+  List.iter (fun k -> Calendar.push c ~key:k k) [ 9; 4; 6 ];
   check Alcotest.(option int) "peek min" (Some 4) (Calendar.peek c);
   check Alcotest.(option int) "pop same" (Some 4) (Calendar.pop c);
   check Alcotest.(option int) "next peek" (Some 6) (Calendar.peek c)
@@ -195,7 +195,7 @@ let test_calendar_peek_pop_agree () =
 let test_calendar_compact () =
   let c = Calendar.create () in
   for i = 1 to 100 do
-    Calendar.push c ~key:(Int64.of_int i) i
+    Calendar.push c ~key:i i
   done;
   let removed = Calendar.compact c ~dead:(fun v -> v mod 3 = 0) in
   check Alcotest.int "removed count" 33 removed;
@@ -205,7 +205,7 @@ let test_calendar_compact () =
 
 let test_calendar_clear () =
   let c = Calendar.create () in
-  Calendar.push c ~key:7L ();
+  Calendar.push c ~key:7 ();
   Calendar.clear c;
   check Alcotest.bool "cleared" true (Calendar.is_empty c);
   check Alcotest.(option unit) "pop empty" None (Calendar.pop c)
@@ -227,7 +227,7 @@ let prop_calendar_matches_heap =
       let cal = Calendar.create () in
       let heap =
         Heap.create ~cmp:(fun (k1, s1, _) (k2, s2, _) ->
-            match Int64.compare k1 k2 with
+            match Int.compare k1 k2 with
             | 0 -> Int.compare s1 s2
             | c -> c)
       in
@@ -245,7 +245,7 @@ let prop_calendar_matches_heap =
         (fun (tag, (k, spread)) ->
           if tag <= 4 then begin
             (* Schedule: tie-dense small keys, or spread out over ms. *)
-            let key = if spread then Int64.of_int (k * 1_000_037) else Int64.of_int k in
+            let key = if spread then k * 1_000_037 else k in
             let id = !next_id in
             incr next_id;
             incr seq;

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Lint intra-repo markdown links.
+
+Walks the repo's top-level markdown files, collects every relative link
+(`[text](FILE.md)` or `[text](FILE.md#anchor)`), and fails if the target
+file does not exist or the anchor does not correspond to any heading in
+it.  Anchors are slugified the way GitHub renders them: lowercase,
+spaces to dashes, punctuation dropped.  External (scheme-qualified) and
+in-page (`#...`) links to the same file are checked too; bare URLs and
+code blocks are ignored.
+
+Usage: python3 tools/check_doc_links.py [file.md ...]
+With no arguments, checks the repo's cross-linked documentation set.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_DOCS = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "PERFORMANCE.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+]
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII docs."""
+    # Inline code and links render as their text before slugification.
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def strip_code_blocks(text: str) -> str:
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def anchors_of(path: Path) -> set:
+    seen, anchors = {}, set()
+    for line in strip_code_blocks(path.read_text()).splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check(files):
+    anchor_cache = {}
+    errors = []
+    for name in files:
+        src = ROOT / name
+        if not src.exists():
+            errors.append(f"{name}: file listed for checking does not exist")
+            continue
+        text = strip_code_blocks(src.read_text())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                    continue
+                frag = None
+                if "#" in target:
+                    target, frag = target.split("#", 1)
+                dest = src if target == "" else (src.parent / target)
+                if not dest.exists():
+                    errors.append(
+                        f"{name}:{lineno}: dangling link -> {m.group(1)}"
+                    )
+                    continue
+                if frag is not None and dest.suffix == ".md":
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = anchors_of(dest)
+                    if frag.lower() not in anchor_cache[dest]:
+                        errors.append(
+                            f"{name}:{lineno}: dangling anchor -> "
+                            f"{m.group(1)} (no heading '#{frag}' in "
+                            f"{dest.name})"
+                        )
+    return errors
+
+
+def main():
+    files = sys.argv[1:] or DEFAULT_DOCS
+    errors = check(files)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} broken doc link(s)", file=sys.stderr)
+        return 1
+    print(f"doc links ok across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,24 @@ let metrics_out_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let timeline_out_arg =
+  let doc =
+    "Install the runtime profiler and write its vini.timeline/1 JSON \
+     document (periodic engine/profiler/overlay snapshots on the \
+     simulated clock) to $(docv).  Inspect with $(b,vini top).  \
+     Deterministic: byte-identical for every $(b,--domains) value."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "timeline-out" ] ~docv:"FILE" ~doc)
+
+let timeline_interval_arg =
+  let doc =
+    "Snapshot interval for $(b,--timeline-out), in simulated \
+     milliseconds."
+  in
+  Arg.(value & opt int 1000
+       & info [ "timeline-interval" ] ~docv:"MS" ~doc)
+
 (* Physical substrates addressable by name ([vini run], [vini embed]).
    "mesh" is a generous default: 16 well-connected Waxman sites. *)
 let physical_topology ~seed = function
@@ -140,7 +158,8 @@ let print_trace_events doc =
 (* --- deter ---------------------------------------------------------------- *)
 
 let deter_cmd =
-  let run runs seconds seed trace metrics_out spans_out domains =
+  let run runs seconds seed trace metrics_out spans_out timeline_out
+      timeline_interval domains =
     (match domains with
     | Some d when d < 1 -> failwith "--domains must be at least 1"
     | Some _ | None -> ());
@@ -189,12 +208,28 @@ let deter_cmd =
         Printf.printf "\nflight-recorded IIAS TCP run: %.1f Mb/s\n" mbps;
         Vini_measure.Export.write ~path doc;
         Printf.printf "spans written to %s\n" path)
-      spans_out
+      spans_out;
+    Option.iter
+      (fun path ->
+        (* A self-observed IIAS run: runtime profiler installed, periodic
+           snapshots on the simulated clock.  Byte-identical across
+           --domains values (CI's timeline-smoke job cmp's it). *)
+        if timeline_interval < 1 then
+          failwith "--timeline-interval must be at least 1 ms";
+        let doc, mbps =
+          Deter.timeline_run ~duration_s:seconds ~seed:(seed + 6000)
+            ~interval_ms:timeline_interval ?domains ()
+        in
+        Printf.printf "\nself-observed IIAS TCP run: %.1f Mb/s\n" mbps;
+        Vini_measure.Export.write ~path doc;
+        Printf.printf "timeline written to %s\n" path)
+      timeline_out
   in
   let doc = "Microbenchmark #1: overlay efficiency on dedicated hardware (§5.1.1)." in
   Cmd.v (Cmd.info "deter" ~doc)
     Term.(const run $ runs_arg $ seconds_arg $ seed_arg $ trace_arg
-          $ metrics_out_arg $ spans_out_arg $ domains_arg)
+          $ metrics_out_arg $ spans_out_arg $ timeline_out_arg
+          $ timeline_interval_arg $ domains_arg)
 
 (* --- planetlab -------------------------------------------------------------- *)
 
@@ -461,7 +496,7 @@ let ablate_cmd =
 
 let run_cmd =
   let run spec_file phys_name watch seed duration trace metrics_out report_out
-      spans_out embed_out domains =
+      spans_out timeline_out timeline_interval embed_out domains =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -544,6 +579,34 @@ let run_cmd =
     (* Converge before the measurement clock starts. *)
     Vini_core.Vini.start inst;
     let iias = Vini_core.Vini.iias inst in
+    (* [--timeline-out] installs the runtime profiler (one load + test on
+       every instrumented hot path; never perturbs the schedule) and a
+       sim-clock sampler over the engine, the profiler and the overlay. *)
+    let profile =
+      Option.map
+        (fun _ ->
+          let p = Vini_sim.Profile.create () in
+          Vini_sim.Profile.install p;
+          p)
+        timeline_out
+    in
+    let timeline =
+      Option.map
+        (fun _ ->
+          if timeline_interval < 1 then
+            failwith "--timeline-interval must be at least 1 ms";
+          let tl =
+            Vini_measure.Timeline.create ~engine
+              ~interval:(Time.ms timeline_interval) ()
+          in
+          Vini_measure.Timeline.watch_engine tl engine;
+          Option.iter
+            (fun p -> Vini_measure.Timeline.watch_profile tl p)
+            profile;
+          Vini_measure.Timeline.watch_overlay tl iias;
+          tl)
+        timeline_out
+    in
     let watchdog =
       Option.map
         (fun _ ->
@@ -599,8 +662,16 @@ let run_cmd =
       (fun path ->
         let r = Option.get recorder in
         Vini_sim.Span.uninstall ();
+        (* With [--timeline-out] alongside, the spans document also
+           carries the profiler's element attribution and one Perfetto
+           counter track per timeline series. *)
+        let counters =
+          match timeline with
+          | Some tl -> Vini_measure.Timeline.counter_series tl
+          | None -> []
+        in
         Vini_measure.Export.write ~path
-          (Vini_measure.Export.spans_document r);
+          (Vini_measure.Export.spans_document ?profile ~counters r);
         Printf.printf "spans written to %s (%d records, %d overwritten)\n"
           path (Vini_sim.Span.length r) (Vini_sim.Span.overwritten r))
       spans_out;
@@ -618,6 +689,24 @@ let run_cmd =
           (Vini_measure.Export.document ?trace:tracer [ m ]);
         Printf.printf "metrics written to %s\n" path)
       metrics_out;
+    Option.iter
+      (fun path ->
+        let tl = Option.get timeline in
+        Vini_measure.Timeline.stop tl;
+        Vini_sim.Profile.uninstall ();
+        let module E = Vini_measure.Export in
+        E.write ~path
+          (Vini_measure.Timeline.document
+             ~extra:
+               [
+                 ("experiment", E.Str spec.Vini_core.Experiment.exp_name);
+                 ("substrate", E.Str phys_name);
+                 ("seed", E.Num (float_of_int seed));
+               ]
+             tl);
+        Printf.printf "timeline written to %s (%d snapshots)\n" path
+          (Vini_measure.Timeline.nsamples tl))
+      timeline_out;
     Option.iter
       (fun path ->
         let module E = Vini_measure.Export in
@@ -761,7 +850,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
           $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg
-          $ embed_out_arg $ domains_arg)
+          $ timeline_out_arg $ timeline_interval_arg $ embed_out_arg
+          $ domains_arg)
 
 (* --- spans ----------------------------------------------------------------------- *)
 
@@ -896,6 +986,127 @@ let spans_cmd =
      breakdown, drop forensics, worst-path exemplars."
   in
   Cmd.v (Cmd.info "spans" ~doc) Term.(const run $ file_arg $ check_arg)
+
+(* --- top ------------------------------------------------------------------------- *)
+
+let top_cmd =
+  let module E = Vini_measure.Export in
+  let run file check =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    let doc =
+      match E.of_string text with
+      | Ok doc -> doc
+      | Error e ->
+          Printf.eprintf "%s: JSON parse error: %s\n" file e;
+          exit 1
+    in
+    let str k = Option.bind (E.member k doc) E.to_str in
+    let num k = Option.bind (E.member k doc) E.to_float in
+    let arr k =
+      Option.value ~default:[] (Option.bind (E.member k doc) E.to_list)
+    in
+    let series =
+      List.filter_map E.to_str (arr "series")
+    in
+    let samples = arr "samples" in
+    let row j =
+      match Option.map (List.filter_map E.to_float) (E.to_list j) with
+      | Some (t :: vs) -> Some (t, vs)
+      | _ -> None
+    in
+    let interval_s = Option.value ~default:0.0 (num "interval_s") in
+    (match List.rev (List.filter_map row samples) with
+    | [] -> Printf.printf "%s: empty timeline (no snapshots)\n" file
+    | (t_last, vs_last) :: rest ->
+        let prev = match rest with p :: _ -> Some p | [] -> None in
+        let title =
+          Printf.sprintf "timeline @ %.3f s (%d snapshots, interval %g s)"
+            t_last (List.length samples) interval_s
+        in
+        (* Last snapshot per series, plus the per-second rate over the
+           final interval — what a live `top` would show. *)
+        let rows =
+          List.mapi
+            (fun i name ->
+              let v = List.nth_opt vs_last i in
+              let rate =
+                match (v, prev) with
+                | Some v, Some (t_prev, vs_prev) when t_last > t_prev -> (
+                    match List.nth_opt vs_prev i with
+                    | Some p -> Some ((v -. p) /. (t_last -. t_prev))
+                    | None -> None)
+                | _ -> None
+              in
+              [
+                name;
+                (match v with Some v -> Printf.sprintf "%g" v | None -> "?");
+                (match rate with
+                | Some r -> Printf.sprintf "%g" r
+                | None -> "-");
+              ])
+            series
+        in
+        Report.table ~title ~header:[ "series"; "value"; "rate/s" ] ~rows);
+    if check then begin
+      let failures = ref [] in
+      let fail fmt =
+        Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+      in
+      (match str "schema" with
+      | Some s when s = Vini_measure.Timeline.schema_version -> ()
+      | Some s ->
+          fail "schema: expected %s, got %s"
+            Vini_measure.Timeline.schema_version s
+      | None -> fail "schema: missing");
+      (match num "interval_s" with
+      | Some s when s > 0.0 -> ()
+      | Some s -> fail "interval_s: not positive (%g)" s
+      | None -> fail "interval_s: missing");
+      let width = List.length series in
+      if List.length (arr "series") <> width then
+        fail "series: non-string entries";
+      let last_t = ref neg_infinity in
+      List.iteri
+        (fun i s ->
+          match row s with
+          | None -> fail "samples[%d]: not an array of numbers" i
+          | Some (t, vs) ->
+              if List.length vs <> width then
+                fail "samples[%d]: %d values for %d series" i
+                  (List.length vs) width;
+              if t <= !last_t then
+                fail "samples[%d]: time %g not increasing" i t;
+              last_t := t)
+        samples;
+      match List.rev !failures with
+      | [] ->
+          Printf.printf "\ncheck: OK (%d series, %d snapshots)\n" width
+            (List.length samples)
+      | fs ->
+          List.iter (fun s -> Printf.eprintf "check: FAIL: %s\n" s) fs;
+          exit 1
+    end
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"A vini.timeline/1 document.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Validate the document: schema tag, positive interval, \
+                   rectangular samples, strictly increasing snapshot \
+                   times.  Non-zero exit on failure.")
+  in
+  let doc =
+    "Inspect a vini.timeline/1 self-observability export: the last \
+     snapshot of every series with its per-second rate over the final \
+     interval."
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ file_arg $ check_arg)
 
 (* --- embed ----------------------------------------------------------------------- *)
 
@@ -1267,6 +1478,7 @@ let main =
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; spans_cmd; embed_cmd; migrate_cmd; mttr_cmd; upcalls_cmd ]
+      ablate_cmd; spans_cmd; top_cmd; embed_cmd; migrate_cmd; mttr_cmd;
+      upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,9 +1,11 @@
 module Packet = Vini_net.Packet
 module Trace = Vini_sim.Trace
 module Span = Vini_sim.Span
+module Profile = Vini_sim.Profile
 
 type t = {
   name : string;
+  pid : int; (* Profile class id, interned once at creation *)
   f : Packet.t -> unit;
   fb : (Batch.t -> unit) option;
   mutable packets : int;
@@ -13,11 +15,21 @@ type t = {
 }
 
 let make name f =
-  { name; f; fb = None; packets = 0; bytes = 0; drops = 0; drop_reasons = [] }
+  {
+    name;
+    pid = Profile.class_id name;
+    f;
+    fb = None;
+    packets = 0;
+    bytes = 0;
+    drops = 0;
+    drop_reasons = [];
+  }
 
 let make_batch name ~single ~batch =
   {
     name;
+    pid = Profile.class_id name;
     f = single;
     fb = Some batch;
     packets = 0;
@@ -40,7 +52,15 @@ let push t pkt =
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + Packet.size pkt;
   observe t pkt;
-  t.f pkt
+  (* Profiler attribution: one gate load + test when off.  When on, the
+     element's frame brackets its body so nested pushes build the
+     collapsed element path. *)
+  if !Profile.gate then begin
+    Profile.enter t.pid ~packets:1;
+    t.f pkt;
+    Profile.leave t.pid
+  end
+  else t.f pkt
 
 let push_batch t b =
   let n = Batch.length b in
@@ -60,14 +80,25 @@ let push_batch t b =
       for i = 0 to n - 1 do
         t.bytes <- t.bytes + Packet.size (Batch.unsafe_get b i)
       done;
-    match t.fb with
-    | Some g -> g b
-    | None ->
-        (* Per-packet element in a batched chain: the burst degenerates
-           to a loop, preserving per-packet semantics exactly. *)
-        for i = 0 to n - 1 do
-          t.f (Batch.unsafe_get b i)
-        done
+    if !Profile.gate then begin
+      Profile.enter t.pid ~packets:n;
+      (match t.fb with
+      | Some g -> g b
+      | None ->
+          for i = 0 to n - 1 do
+            t.f (Batch.unsafe_get b i)
+          done);
+      Profile.leave t.pid
+    end
+    else
+      match t.fb with
+      | Some g -> g b
+      | None ->
+          (* Per-packet element in a batched chain: the burst degenerates
+             to a loop, preserving per-packet semantics exactly. *)
+          for i = 0 to n - 1 do
+            t.f (Batch.unsafe_get b i)
+          done
   end
 
 let drop t ~reason pkt =

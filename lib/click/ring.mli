@@ -34,5 +34,20 @@ val length : t -> int
 val capacity : t -> int
 val is_empty : t -> bool
 
+val depth_hwm : t -> int
+(** Deepest the ring has ever been — the backlog watermark a capacity
+    choice is judged against.  Monotone non-decreasing; deterministic
+    per seed. *)
+
+val pushes : t -> int
+(** Accepted pushes. *)
+
+val pops : t -> int
+(** Packets removed, via {!pop} or {!pop_into}. *)
+
+val rejected : t -> int
+(** Pushes refused because the ring was full (the producer kept the
+    packet; typically a counted drop). *)
+
 val clear : t -> unit
 (** Drop all queued packets (references retained until overwritten). *)

@@ -477,7 +477,54 @@ let span_tree_json (tr : Span.tree) =
              tr.Span.hops) );
     ]
 
-let spans_document ?(worst = 5) ?(extra = []) recorder =
+(* Perfetto counter tracks: each timeline series becomes a "C" event per
+   sample, so pool occupancy, ring depth and engine backlog plot as
+   graphs alongside the packet spans. *)
+let counter_trace_events counters =
+  List.concat_map
+    (fun (name, points) ->
+      List.map
+        (fun (t_s, v) ->
+          Obj
+            [
+              ("name", Str name);
+              ("ph", Str "C");
+              ("ts", Num (t_s *. 1e6));
+              ("pid", Num 1.0);
+              ("args", Obj [ ("value", Num v) ]);
+            ])
+        points)
+    counters
+
+(* The profiler's element attribution: a per-class summary plus the
+   collapsed stacks — each a root-to-leaf element path with its
+   attributed cost, one "path µs" line per entry, loadable directly by
+   flamegraph.pl (integer microseconds as the sample count). *)
+let profile_sections p =
+  let module Profile = Vini_sim.Profile in
+  [
+    ( "element_profile",
+      Arr
+        (List.map
+           (fun (r : Profile.element_row) ->
+             Obj
+               [
+                 ("class", Str r.Profile.er_class);
+                 ("packets", Num (float_of_int r.Profile.er_packets));
+                 ("self_s", Num r.Profile.er_self_s);
+                 ("total_s", Num r.Profile.er_total_s);
+               ])
+           (Profile.element_rows p)) );
+    ( "collapsed",
+      Arr
+        (List.map
+           (fun (path, cost_s, _count) ->
+             Str (Printf.sprintf "%s %.0f" path (cost_s *. 1e6)))
+           (Profile.collapsed p)) );
+  ]
+
+let spans_document ?(worst = 5) ?profile ?(counters = []) ?(extra = [])
+    recorder =
   let trees = Span.trees recorder in
   Obj
     ([
@@ -492,7 +539,8 @@ let spans_document ?(worst = 5) ?(extra = []) recorder =
              ( "overwritten",
                Num (float_of_int (Vini_sim.Span.overwritten recorder)) );
            ] );
-       ("traceEvents", Arr (span_trace_events trees));
+       ( "traceEvents",
+         Arr (span_trace_events trees @ counter_trace_events counters) );
        ("breakdown", Arr (List.map span_row_json (Span.breakdown trees)));
        ( "breakdown_by_origin",
          Arr
@@ -508,6 +556,7 @@ let spans_document ?(worst = 5) ?(extra = []) recorder =
        ( "worst_paths",
          Arr (List.map span_tree_json (Span.worst ~n:worst trees)) );
      ]
+    @ (match profile with None -> [] | Some p -> profile_sections p)
     @ extra)
 
 let write ~path j =

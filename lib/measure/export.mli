@@ -55,9 +55,21 @@ val document :
 val spans_schema_version : string
 
 val spans_document :
-  ?worst:int -> ?extra:(string * json) list -> Vini_sim.Span.t -> json
+  ?worst:int ->
+  ?profile:Vini_sim.Profile.t ->
+  ?counters:(string * (float * float) list) list ->
+  ?extra:(string * json) list ->
+  Vini_sim.Span.t ->
+  json
 (** The [vini.spans/1] flight-recorder document — simultaneously a Chrome
-    trace-event JSON object loadable in Perfetto / chrome://tracing:
+    trace-event JSON object loadable in Perfetto / chrome://tracing.
+
+    [profile] appends the runtime profiler's element attribution: an
+    ["element_profile"] array (class, packets, self_s, total_s) and a
+    ["collapsed"] array of flamegraph-loadable ["a;b;c µs"] stack lines.
+    [counters] (typically {!Timeline.counter_series}) adds one Perfetto
+    counter track per series as ["C"] trace events.  Both default to
+    absent, leaving the document unchanged:
 
     {v
     { "schema": "vini.spans/1",

@@ -86,7 +86,13 @@ let watch_vnode t vn ~prefix =
   counter t ~name:(prefix ^ ".fib_cache_hits") (fun () ->
       float_of_int (fst (Iias.fib_cache_stats vn)));
   counter t ~name:(prefix ^ ".fib_cache_misses") (fun () ->
-      float_of_int (snd (Iias.fib_cache_stats vn)))
+      float_of_int (snd (Iias.fib_cache_stats vn)));
+  counter t ~name:(prefix ^ ".fib_memo_hits") (fun () ->
+      float_of_int (fst (Iias.fib_memo_stats vn)));
+  counter t ~name:(prefix ^ ".fib_memo_lookups") (fun () ->
+      float_of_int (snd (Iias.fib_memo_stats vn)));
+  counter t ~name:(prefix ^ ".breaths") (fun () ->
+      float_of_int (Vini_phys.Process.breaths (Iias.process vn)))
 
 let watch_engine t ?(prefix = "engine") engine =
   counter t ~name:(prefix ^ ".fired") (fun () ->
@@ -108,6 +114,73 @@ let watch_fib t ~prefix fib =
 
 let watch_cpu t ~prefix cpu =
   histogram t ~name:(prefix ^ ".wake_s") (Vini_phys.Cpu.wake_latency_hist cpu)
+
+let watch_pool t ~prefix pool =
+  let open Vini_net in
+  gauge t ~name:(prefix ^ ".available") (fun () ->
+      float_of_int (Pool.available pool));
+  gauge t ~name:(prefix ^ ".low_watermark") (fun () ->
+      float_of_int (Pool.low_watermark pool));
+  counter t ~name:(prefix ^ ".takes") (fun () ->
+      float_of_int (Pool.takes pool));
+  counter t ~name:(prefix ^ ".recycles") (fun () ->
+      float_of_int (Pool.recycles pool));
+  counter t ~name:(prefix ^ ".exhaustions") (fun () ->
+      float_of_int (Pool.exhaustions pool));
+  counter t ~name:(prefix ^ ".overfills") (fun () ->
+      float_of_int (Pool.overfills pool))
+
+let watch_ring t ~prefix ring =
+  let open Vini_click in
+  gauge t ~name:(prefix ^ ".length") (fun () ->
+      float_of_int (Ring.length ring));
+  gauge t ~name:(prefix ^ ".depth_hwm") (fun () ->
+      float_of_int (Ring.depth_hwm ring));
+  counter t ~name:(prefix ^ ".pushes") (fun () ->
+      float_of_int (Ring.pushes ring));
+  counter t ~name:(prefix ^ ".pops") (fun () -> float_of_int (Ring.pops ring));
+  counter t ~name:(prefix ^ ".rejected") (fun () ->
+      float_of_int (Ring.rejected ring))
+
+let watch_process t ~prefix p =
+  let open Vini_phys in
+  counter t ~name:(prefix ^ ".packets") (fun () ->
+      float_of_int (Process.packets_processed p));
+  counter t ~name:(prefix ^ ".breaths") (fun () ->
+      float_of_int (Process.breaths p));
+  counter t ~name:(prefix ^ ".wakeups") (fun () ->
+      float_of_int (Process.wakeups p));
+  counter t ~name:(prefix ^ ".cpu_s") (fun () ->
+      Time.to_sec_f (Process.cpu_time p));
+  gauge t ~name:(prefix ^ ".breath_utilization") (fun () ->
+      let b = Process.breaths p and burst = Process.burst p in
+      if b = 0 then 0.0
+      else
+        float_of_int (Process.packets_processed p)
+        /. float_of_int (b * burst))
+
+let watch_profile t ?(prefix = "profile") p =
+  let open Vini_sim in
+  counter t ~name:(prefix ^ ".windows") (fun () ->
+      float_of_int (Profile.windows p));
+  counter t ~name:(prefix ^ ".cross_posts") (fun () ->
+      float_of_int (Profile.cross_posts_total p));
+  gauge t ~name:(prefix ^ ".queue_hwm") (fun () ->
+      float_of_int (Profile.queue_hwm_max p));
+  gauge t ~name:(prefix ^ ".mailbox_hwm") (fun () ->
+      float_of_int (Profile.mailbox_hwm_max p));
+  gauge t ~name:(prefix ^ ".lookahead_floor_s") (fun () ->
+      Profile.lookahead_floor_s p);
+  counter t ~name:(prefix ^ ".element_packets") (fun () ->
+      float_of_int (Profile.element_packets_total p));
+  counter t ~name:(prefix ^ ".element_cost_s") (fun () ->
+      Profile.attributed_cost_s p);
+  histogram t ~name:(prefix ^ ".window_s") (Profile.window_hist p);
+  histogram t
+    ~name:(prefix ^ ".events_per_window")
+    (Profile.events_per_window p);
+  (* Host wall-clock; export-only (see profile.mli). *)
+  histogram t ~name:(prefix ^ ".barrier_wait_s") (Profile.barrier_wait_hist p)
 
 let watch_tcp t ~prefix conn =
   counter t ~name:(prefix ^ ".retransmits") (fun () ->

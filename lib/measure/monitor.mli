@@ -49,8 +49,9 @@ val stop : t -> unit
 
 val watch_vnode : t -> Vini_overlay.Iias.vnode -> prefix:string -> unit
 (** Registers [<prefix>.cpu_s], [<prefix>.forwarded], [<prefix>.delivered],
-    [<prefix>.sock_drops], [<prefix>.fib_cache_hits] and
-    [<prefix>.fib_cache_misses] for an IIAS virtual node (all counters). *)
+    [<prefix>.sock_drops], [<prefix>.fib_cache_hits/_misses],
+    [<prefix>.fib_memo_hits/_lookups] and [<prefix>.breaths] for an IIAS
+    virtual node (all counters). *)
 
 val watch_fib : t -> prefix:string -> 'a Vini_click.Fib.t -> unit
 (** [<prefix>.lpm_cache_hits] / [.lpm_cache_misses] counters of a FIB's
@@ -64,6 +65,26 @@ val watch_engine : t -> ?prefix:string -> Vini_sim.Engine.t -> unit
 
 val watch_cpu : t -> prefix:string -> Vini_phys.Cpu.t -> unit
 (** [<prefix>.wake_s]: the node scheduler's wake-latency histogram. *)
+
+val watch_pool : t -> prefix:string -> Vini_net.Pool.t -> unit
+(** [<prefix>.available] / [.low_watermark] gauges and [.takes],
+    [.recycles], [.exhaustions], [.overfills] counters of a packet
+    freelist. *)
+
+val watch_ring : t -> prefix:string -> Vini_click.Ring.t -> unit
+(** [<prefix>.length] / [.depth_hwm] gauges and [.pushes], [.pops],
+    [.rejected] counters of an SPSC packet ring. *)
+
+val watch_process : t -> prefix:string -> Vini_phys.Process.t -> unit
+(** [<prefix>.packets], [.breaths], [.wakeups], [.cpu_s] counters plus
+    the [.breath_utilization] gauge (packets per breath over [burst]). *)
+
+val watch_profile : t -> ?prefix:string -> Vini_sim.Profile.t -> unit
+(** The runtime profiler's own telemetry (prefix default ["profile"]):
+    [.windows], [.cross_posts], [.element_packets], [.element_cost_s]
+    counters; [.queue_hwm], [.mailbox_hwm], [.lookahead_floor_s] gauges;
+    [.window_s], [.events_per_window] histograms, and the host-clock
+    [.barrier_wait_s] histogram (export-only — never byte-compared). *)
 
 val watch_tcp : t -> prefix:string -> Vini_transport.Tcp.t -> unit
 (** [<prefix>.retransmits], [.bytes_acked] counters and the

@@ -7,6 +7,7 @@
 type t = {
   slots : Packet.t array;
   mutable free : int;
+  mutable low_watermark : int; (* fewest free slots ever seen *)
   mutable takes : int;
   mutable recycles : int;
   mutable exhaustions : int;
@@ -20,6 +21,7 @@ let create ~capacity ~mint () =
   {
     slots = Array.init capacity mint;
     free = capacity;
+    low_watermark = capacity;
     takes = 0;
     recycles = 0;
     exhaustions = 0;
@@ -34,6 +36,7 @@ let take t =
   else begin
     let i = t.free - 1 in
     t.free <- i;
+    if i < t.low_watermark then t.low_watermark <- i;
     t.takes <- t.takes + 1;
     Array.unsafe_get t.slots i
   end
@@ -46,6 +49,7 @@ let take_opt t =
   else begin
     let i = t.free - 1 in
     t.free <- i;
+    if i < t.low_watermark then t.low_watermark <- i;
     t.takes <- t.takes + 1;
     Some (Array.unsafe_get t.slots i)
   end
@@ -59,6 +63,7 @@ let recycle t pkt =
   end
 
 let available t = t.free
+let low_watermark t = t.low_watermark
 let capacity t = Array.length t.slots
 let takes t = t.takes
 let recycles t = t.recycles

@@ -57,6 +57,11 @@ val recycle : t -> Packet.t -> unit
 val available : t -> int
 (** Packets currently in the freelist. *)
 
+val low_watermark : t -> int
+(** Fewest free packets ever observed — how close the pool has come to
+    exhaustion (0 = it ran dry at least once).  Monotone non-increasing,
+    starts at [capacity]; deterministic per seed. *)
+
 val capacity : t -> int
 val takes : t -> int
 val recycles : t -> int

@@ -105,6 +105,10 @@ type vnode = {
   mutable n_vpn_in : int;
   mutable n_vpn_out : int;
   mutable n_corrupt : int;
+  (* Batched-path FIB-memo effectiveness: lookups resolved by the
+     same-destination memo in [route_batch] vs. total batched lookups. *)
+  mutable n_fib_memo_hits : int;
+  mutable n_fib_memo_lookups : int;
   (* During a live migration's [flip, drain-complete] window the FIB is
      shared by the old and new Click processes, so RIB-driven changes are
      deferred (newest first) and replayed when the drain ends. *)
@@ -384,9 +388,12 @@ let route_batch vn b =
       Span.instant ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
         ~component:(click_comp vn ^ "/fib") Span.Proto_processing;
     let dst = pkt.Packet.dst in
+    vn.n_fib_memo_lookups <- vn.n_fib_memo_lookups + 1;
     let act =
-      if !memo_gen = Fib.generation vn.fib && Addr.equal dst !memo_dst then
+      if !memo_gen = Fib.generation vn.fib && Addr.equal dst !memo_dst then begin
+        vn.n_fib_memo_hits <- vn.n_fib_memo_hits + 1;
         !memo_act
+      end
       else begin
         let a = Fib.lookup vn.fib dst in
         memo_dst := dst;
@@ -540,6 +547,8 @@ let build_vnode t ~vid ~pnode ~links_of_vid =
     n_vpn_in = 0;
     n_vpn_out = 0;
     n_corrupt = 0;
+    n_fib_memo_hits = 0;
+    n_fib_memo_lookups = 0;
     fib_frozen = false;
     deferred_fib = [];
   }
@@ -1141,3 +1150,4 @@ let fib_next t v dst =
 let cpu_time vn = Process.cpu_time vn.proc
 let socket_drops vn = Process.socket_drops vn.proc
 let fib_cache_stats vn = (Fib.cache_hits vn.fib, Fib.cache_misses vn.fib)
+let fib_memo_stats vn = (vn.n_fib_memo_hits, vn.n_fib_memo_lookups)

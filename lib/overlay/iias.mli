@@ -289,6 +289,11 @@ val fib_cache_stats : vnode -> int * int
     ({!Vini_click.Fib.cache_hits}); exported by
     [Vini_measure.Monitor.watch_vnode]. *)
 
+val fib_memo_stats : vnode -> int * int
+(** (hits, lookups) of the batched path's same-destination FIB memo in
+    [route_batch] — the coalescing in front of the flow cache.  Hit rate
+    is [hits / lookups]; deterministic per seed. *)
+
 val fib_next :
   t -> int -> Vini_net.Addr.t -> [ `Local | `Hop of int | `No_route ]
 (** Where vnode [v]'s FIB currently sends a packet for an address: deliver

@@ -1,5 +1,6 @@
 module Time = Vini_sim.Time
 module Span = Vini_sim.Span
+module Profile = Vini_sim.Profile
 module Packet = Vini_net.Packet
 
 type source =
@@ -21,6 +22,9 @@ type t = {
      (arrivals between budgeting and service wait for the next slice). *)
   mutable planned : int;
   mutable processed : int;
+  (* Service slices that drained at least one packet; with [burst] this
+     gives breath utilization, packets / (breaths * burst). *)
+  mutable breaths : int;
   mutable proc_alive : bool;
   mutable crashes : int;
   mutable restarts : int;
@@ -148,6 +152,7 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ?(burst = 1) ~handler
       burst;
       planned = 1;
       processed = 0;
+      breaths = 0;
       proc_alive = true;
       crashes = 0;
       restarts = 0;
@@ -186,43 +191,115 @@ let create ~node ~slice ~name ?(cost_of = default_cost) ?(burst = 1) ~handler
           !total
         end
   in
-  let serve_one s =
+  (* The handler call, wrapped in the profiler's service-cost context so
+     element attribution knows the sim-time CPU cost of the packet in
+     service (one gate load + test when profiling is off). *)
+  let deliver pkt =
+    if !Profile.gate then begin
+      Profile.set_service_cost
+        (Time.to_sec_f (Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt)));
+      t.handler pkt;
+      Profile.clear_service_cost ()
+    end
+    else t.handler pkt
+  in
+  let serve_one ?interval s =
     match source_pop s with
     | Some pkt ->
         t.processed <- t.processed + 1;
-        if Span.on () then begin
-          (* Split the packet's in-process wait at the instant the
-             scheduler began this (dilated) service slice: before it
-             is queueing, after it is CPU service.  Every packet of a
-             burst shares the slice's start instant. *)
-          match t.proc with
-          | Some p ->
-              let comp = component t in
-              let start = Cpu.last_service p in
-              Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
-                ~component:comp ~until:start ();
-              Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
-                ~component:comp Span.Cpu_service ~t0:start
-                ~t1:(Vini_sim.Engine.now (Pnode.engine node))
-          | None -> ()
-        end;
-        t.handler pkt;
+        (if Span.on () then
+           (* Split the packet's in-process wait at the instant the
+              scheduler began this (dilated) service slice: before it
+              is queueing, after it is CPU service.  [interval]
+              overrides the boundaries with this packet's slice of a
+              burst (see [serve_burst_spanned]). *)
+           match t.proc with
+           | Some p ->
+               let comp = component t in
+               let start, finish =
+                 match interval with
+                 | Some (a, b) -> (a, b)
+                 | None ->
+                     ( Cpu.last_service p,
+                       Vini_sim.Engine.now (Pnode.engine node) )
+               in
+               Span.dequeue_hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                 ~component:comp ~until:start ();
+               Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig
+                 ~component:comp Span.Cpu_service ~t0:start ~t1:finish
+           | None -> ());
+        deliver pkt;
         true
     | None -> false
+  in
+  (* Per-hop span attribution under bursting: the burst's service window
+     [start, finish] is apportioned across its packets in proportion to
+     each packet's budgeted cost (the same [scale_cost] quote the budget
+     summed), so every packet's Cpu_service span covers exactly its own
+     share of the breath instead of the whole breath.  The slices tile
+     the window in service order; costs are recomputed with the same
+     float operations in the same order as the budget, so the boundaries
+     are deterministic per seed and across domain counts. *)
+  let serve_burst_spanned s n =
+    match t.proc with
+    | None ->
+        let k = ref 0 in
+        while !k < n && serve_one s do
+          incr k
+        done
+    | Some p ->
+        let start = Cpu.last_service p in
+        let finish = Vini_sim.Engine.now (Pnode.engine node) in
+        let span_s = Time.to_sec_f (Time.sub finish start) in
+        let total = ref 0.0 in
+        for i = 0 to n - 1 do
+          match source_peek_at s i with
+          | Some pkt ->
+              total :=
+                !total
+                +. Time.to_sec_f (Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt))
+          | None -> ()
+        done;
+        let prefix = ref 0.0 in
+        let at_fraction f =
+          if !total <= 0.0 then finish
+          else
+            Time.min finish
+              (Time.add start (Time.of_sec_f (span_s *. (f /. !total))))
+        in
+        let k = ref 0 in
+        let continue = ref true in
+        while !k < n && !continue do
+          (match source_peek s with
+          | Some pkt ->
+              let c =
+                Time.to_sec_f (Cpu.scale_cost (Pnode.cpu node) (t.cost_of pkt))
+              in
+              let t0 = if !total <= 0.0 then start else at_fraction !prefix in
+              prefix := !prefix +. c;
+              let t1 = at_fraction !prefix in
+              continue := serve_one ~interval:(t0, t1) s
+          | None -> continue := false);
+          incr k
+        done
   in
   let exec () =
     match next_source t with
     | Some (i, s) ->
         t.rr <- i + 1;
+        t.breaths <- t.breaths + 1;
         if t.burst = 1 then ignore (serve_one s)
         else begin
           (* Serve exactly what was budgeted (or less if the handler
              crashed the process mid-burst and the sources drained). *)
           let n = max 1 t.planned in
-          let k = ref 0 in
-          while !k < n && serve_one s do
-            incr k
-          done
+          if Span.on () then serve_burst_spanned s n
+          else begin
+            let k = ref 0 in
+            while !k < n && serve_one s do
+              incr k
+            done
+          end
         end
     | None -> ()
   in
@@ -294,6 +371,8 @@ let cpu_time t =
 
 let wakeups t = match t.proc with Some p -> Cpu.wakeups p | None -> 0
 let packets_processed t = t.processed
+let breaths t = t.breaths
+let burst t = t.burst
 
 let socket_drops t =
   Array.fold_left (fun acc s -> acc + source_drops s) 0 t.sources

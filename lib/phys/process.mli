@@ -29,8 +29,10 @@ val create :
     per-source order with the same total CPU time but collapse the
     per-packet event and wakeup overhead — schedules (and thus span
     timestamps) differ from the [burst = 1] run, deterministically per
-    seed.  Within a burst, per-packet spans all split their
-    queueing/service boundary at the slice start.
+    seed.  Within a burst, each packet's Cpu_service span covers its own
+    cost-proportional slice of the service window (the window tiles
+    exactly, in service order), so per-hop attribution stays exact under
+    bursting.
     @raise Invalid_argument when [burst < 1]. *)
 
 val open_socket : t -> port:int -> ?rcvbuf_bytes:int -> unit -> Pnode.Socket.s
@@ -88,6 +90,15 @@ val name : t -> string
 val cpu_time : t -> Vini_sim.Time.t
 val wakeups : t -> int
 val packets_processed : t -> int
+
+val breaths : t -> int
+(** Service slices that drained at least one packet.  Breath utilization
+    is [packets_processed / (breaths * burst)] — how full the bursts the
+    scheduler granted actually ran. *)
+
+val burst : t -> int
+(** The burst size this process was created with. *)
+
 val socket_drops : t -> int
 (** Total receive-buffer drops across this process's sockets. *)
 

@@ -269,3 +269,118 @@ let spans_run ?(duration_s = 2) ?(seed = 7001) ?(span_capacity = 65_536)
       recorder
   in
   (doc, mbps)
+
+(* ---- The timeline run (CI's vini.timeline/1 artifact) ------------------ *)
+
+module Profile = Vini_sim.Profile
+module Timeline = Vini_measure.Timeline
+module Pool = Vini_net.Pool
+module Ring = Vini_click.Ring
+module Batch = Vini_click.Batch
+module Element = Vini_click.Element
+module Addr = Vini_net.Addr
+
+(* A small batched data-plane loop riding the same engine as the overlay
+   replay: a preallocated pool feeds an SPSC ring, and a recurring engine
+   event drains it in breaths through a two-element chain whose sink
+   recycles.  Pool occupancy, ring depth and element attribution series
+   in the timeline artifact therefore carry real (and deterministic)
+   data, not constants.  The pool is sized below what the refill wants so
+   the low watermark actually moves. *)
+let dp_loop engine ~until =
+  let pool =
+    Pool.create ~capacity:48
+      ~mint:(fun i ->
+        Vini_net.Packet.udp
+          ~src:(Addr.of_string "10.99.0.1")
+          ~dst:(Addr.of_string (Printf.sprintf "10.99.1.%d" (1 + (i mod 4))))
+          ~sport:1000 ~dport:2000 (Vini_net.Packet.Bytes_ 512))
+      ()
+  in
+  let ring = Ring.create ~capacity:32 in
+  let sink =
+    Element.make_batch "tl.sink"
+      ~single:(fun pkt -> Pool.recycle pool pkt)
+      ~batch:(fun b ->
+        for i = 0 to Batch.length b - 1 do
+          Pool.recycle pool (Batch.unsafe_get b i)
+        done)
+  in
+  let count =
+    Element.make_batch "tl.count"
+      ~single:(fun pkt -> Element.push sink pkt)
+      ~batch:(fun b -> Element.push_batch sink b)
+  in
+  let burst = Batch.create ~capacity:16 in
+  let rec breath () =
+    if Time.compare (Engine.now engine) until < 0 then begin
+      (* Produce more than one breath consumes so the ring backlog (and
+         its high-watermark) grows before settling at capacity. *)
+      let go = ref true in
+      let pushed = ref 0 in
+      while !go && !pushed < 24 do
+        match Pool.take_opt pool with
+        | None -> go := false
+        | Some p ->
+            if Ring.push ring p then incr pushed
+            else begin
+              Pool.recycle pool p;
+              go := false
+            end
+      done;
+      Batch.clear burst;
+      let n = Ring.pop_into ring burst ~max:16 in
+      if n > 0 then Element.push_batch count burst;
+      ignore (Engine.after engine (Time.ms 50) breath)
+    end
+  in
+  ignore (Engine.after engine (Time.ms 50) breath);
+  (pool, ring)
+
+let timeline_run ?(duration_s = 2) ?(seed = 7001) ?(interval_ms = 200)
+    ?domains () =
+  let engine, _underlay, iias = make_overlay ?domains ~seed () in
+  let profile = Profile.create () in
+  Profile.install profile;
+  let timeline =
+    Timeline.create ~engine ~interval:(Time.ms interval_ms) ()
+  in
+  Timeline.watch_engine timeline engine;
+  Timeline.watch_profile timeline profile;
+  Timeline.watch_overlay timeline iias;
+  let v_src = Iias.vnode iias Datasets.Deter.src in
+  let v_sink = Iias.vnode iias Datasets.Deter.sink in
+  let v_fwdr = Iias.vnode iias Datasets.Deter.fwdr in
+  Timeline.watch_process timeline ~prefix:"click.fwdr"
+    (Iias.process v_fwdr);
+  let stop_at = Time.sec (25 + duration_s) in
+  let pool, ring = dp_loop engine ~until:stop_at in
+  Timeline.watch_pool timeline ~prefix:"dp.pool" pool;
+  Timeline.watch_ring timeline ~prefix:"dp.ring" ring;
+  Engine.run ~until:(Time.sec 25) engine;
+  Tcp.listen ~stack:(Iias.tap v_sink) ~port:5001 ~on_accept:(fun _ -> ()) ();
+  let conn =
+    Tcp.connect ~stack:(Iias.tap v_src) ~dst:(Iias.tap_addr v_sink)
+      ~dst_port:5001 ()
+  in
+  Tcp.send_forever conn;
+  Engine.run ~until:stop_at engine;
+  Timeline.stop timeline;
+  Profile.uninstall ();
+  let stats = Tcp.stats conn in
+  let mbps =
+    float_of_int stats.Tcp.bytes_acked *. 8.0
+    /. (float_of_int duration_s *. 1e6)
+  in
+  let doc =
+    Timeline.document
+      ~extra:
+        [
+          ("scenario", Export.Str "deter-iias-tcp-timeline");
+          ("duration_s", Export.Num (float_of_int duration_s));
+          ("seed", Export.Num (float_of_int seed));
+          ("tcp_mbps", Export.Num mbps);
+        ]
+      timeline
+  in
+  (doc, mbps)

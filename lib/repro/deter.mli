@@ -56,3 +56,23 @@ val spans_run :
     shard count.  The document is byte-identical for every [domains]
     value (the determinism-gate CI job hashes it at 1, 2 and 4); omitting
     the argument uses the classic single-queue engine. *)
+
+val timeline_run :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?interval_ms:int ->
+  ?domains:int ->
+  unit ->
+  Vini_measure.Export.json * float
+(** The self-observability run: the IIAS TCP scenario with the runtime
+    {!Vini_sim.Profile} installed and a {!Vini_measure.Timeline} sampling
+    every [interval_ms] (default 200) milliseconds of simulated time.
+    The timeline watches the engine, the profiler, the whole overlay and
+    the forwarder's Click process, plus a small batched pool-to-ring
+    breath loop riding the same engine so pool occupancy, ring depth and
+    breath utilization series carry real data.  Returns the
+    [vini.timeline/1] document and the measured throughput in Mb/s.
+
+    [domains] behaves exactly as in {!spans_run}; the document is
+    byte-identical across [domains] values (CI's [timeline-smoke] job
+    [cmp]s it at 1, 2 and 4). *)

@@ -132,6 +132,9 @@ type pool = {
   nlanes : int;
 }
 
+let events_fired t =
+  Array.fold_left (fun acc s -> acc + Shard.events_fired s) 0 t.shards
+
 let exec_lane t pool lane =
   let n = Array.length t.shards in
   let s = ref lane in
@@ -199,6 +202,24 @@ let run ?until t =
     | Some u -> Array.iter (fun s -> Shard.advance_clock s u) t.shards
     | None -> ()
   in
+  (* Profiler scaffolding, allocated only when a profile is installed:
+     the static plink floor and a scratch array for per-window
+     events-fired deltas. *)
+  if !Profile.gate then begin
+    let fl = ref max_time in
+    Array.iter
+      (Array.iter (function
+        | Some l -> if Time.compare l !fl < 0 then fl := l
+        | None -> ()))
+      t.la;
+    if Time.compare !fl max_time < 0 then
+      Profile.note_floor ~width_s:(Time.to_sec_f !fl)
+  end;
+  let scratch =
+    if !Profile.gate then
+      Array.init n (fun i -> Shard.events_fired t.shards.(i))
+    else [||]
+  in
   let rec window_loop () =
     drain_barrier t;
     let h = Array.map Shard.next_time t.shards in
@@ -217,9 +238,14 @@ let run ?until t =
            | Some u -> Time.compare tmin u > 0
            | None -> false ->
         finish_at_until ()
-    | Some _ ->
+    | Some tm ->
         let hhat = horizons t in
         pool.bounds <- bounds t hhat;
+        let wfired = if !Profile.gate then events_fired t else 0 in
+        if !Profile.gate then
+          for s = 0 to n - 1 do
+            Profile.note_queue_depth ~shard:s (Shard.pending t.shards.(s))
+          done;
         if nlanes <= 1 then
           for s = 0 to n - 1 do
             Shard.exec_window t.shards.(s) ~bound:pool.bounds.(s)
@@ -237,12 +263,35 @@ let run ?until t =
              if pool.error = None then pool.error <- Some e;
              Mutex.unlock pool.mu);
           Mutex.lock pool.mu;
+          (* Barrier wait: host seconds lane 0 blocks for the slowest
+             worker lane.  Wall-clock by nature, so export-only telemetry
+             (never byte-compared); see profile.mli. *)
+          let w0 = if !Profile.gate then Unix.gettimeofday () else 0.0 in
           while pool.done_count < nlanes - 1 do
             Condition.wait pool.all_done pool.mu
           done;
+          if !Profile.gate then
+            Profile.note_barrier_wait (Unix.gettimeofday () -. w0);
           Mutex.unlock pool.mu
         end;
         t.windows <- t.windows + 1;
+        if !Profile.gate then begin
+          (* Granted window = tightest finite bound minus the window base
+             (the horizon relaxation's actual grant, to compare against
+             the plink floor); plus per-shard events-fired deltas. *)
+          let minb = Array.fold_left Time.min max_time pool.bounds in
+          let width_s =
+            if Time.compare minb max_time < 0 then
+              Time.to_sec_f (Time.sub minb tm)
+            else 0.0
+          in
+          Profile.note_window ~width_s ~events:(events_fired t - wfired);
+          for s = 0 to n - 1 do
+            let f = Shard.events_fired t.shards.(s) in
+            Profile.note_shard_events ~shard:s (f - scratch.(s));
+            scratch.(s) <- f
+          done
+        end;
         (match pool.error with Some _ -> () | None -> window_loop ())
   in
   (try window_loop ()
@@ -256,9 +305,6 @@ let now t =
   Array.fold_left (fun acc s -> Time.min acc (Shard.now s)) max_time t.shards
 
 let pending t = Array.fold_left (fun acc s -> acc + Shard.pending s) 0 t.shards
-
-let events_fired t =
-  Array.fold_left (fun acc s -> acc + Shard.events_fired s) 0 t.shards
 
 let events_cancelled t =
   Array.fold_left (fun acc s -> acc + Shard.events_cancelled s) 0 t.shards

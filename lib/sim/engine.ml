@@ -189,6 +189,11 @@ let at_shard t ~shard time callback =
       if shard < 0 || shard >= s.nshards then
         invalid_arg "Engine.at_shard: shard out of range";
       let q = s.sh.(shard) in
+      (* Profiler: a cross-shard post is a scheduling handoff between
+         shards (what a plink delivery does).  One gate load + test when
+         profiling is off. *)
+      if !Profile.gate && shard <> s.current then
+        Profile.note_cross_post ~src:s.current;
       (* Clamp to the destination clock: inside a window the destination
          may have advanced past the requested arrival.  With the
          lookahead at or below every cross-shard latency this never
@@ -412,6 +417,7 @@ let run_sharded ?until t s =
     if !best = max_int then None else Some !best
   in
   let width = Time.max s.lookahead (Time.ns 1) in
+  if !Profile.gate then Profile.note_floor ~width_s:(Time.to_sec_f width);
   let rec windows () =
     match tmin () with
     | None -> ()
@@ -431,9 +437,17 @@ let run_sharded ?until t s =
         t.inline_until <-
           (let b = Time.sub bound (Time.ns 1) in
            match until with Some u -> Time.min b u | None -> b);
+        let wfired = t.fired in
         for i = 0 to s.nshards - 1 do
           s.current <- i;
           let q = s.sh.(i) in
+          (* Profiler: per-window, per-shard notes (queue depth before the
+             drain, events fired by the drain).  Gate-checked once per
+             shard per window — nothing on the per-event path. *)
+          if !Profile.gate then
+            Profile.note_queue_depth ~shard:i
+              (Vini_std.Eventq.length q.squeue);
+          let sfired = t.fired in
           let continue () =
             (* [min_key] = the head's time for every in-range key; an
                empty queue reports [max_int], which fails [k < bound]. *)
@@ -450,8 +464,13 @@ let run_sharded ?until t s =
                 | Cancelled -> t.cancelled_count <- t.cancelled_count + 1
                 | Fired -> assert false
                 | Pending -> fire_shard t q h)
-          done
+          done;
+          if !Profile.gate then
+            Profile.note_shard_events ~shard:i (t.fired - sfired)
         done;
+        if !Profile.gate then
+          Profile.note_window ~width_s:(Time.to_sec_f width)
+            ~events:(t.fired - wfired);
         windows ()
   in
   windows ();

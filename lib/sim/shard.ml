@@ -121,6 +121,15 @@ let post t ~dst time callback =
          t.sid dst
          (Vini_std.Mailbox.capacity t.outboxes.(dst)));
   t.posts <- t.posts + 1;
+  (* Profiler (one gate load + test when off): the cross-shard handoff
+     and the destination outbox's depth watermark.  Under a multi-domain
+     coordinator this runs on the posting shard's domain; see the
+     threading note in profile.mli. *)
+  if !Profile.gate then begin
+    Profile.note_cross_post ~src:t.sid;
+    Profile.note_mailbox_depth ~shard:dst
+      (Vini_std.Mailbox.length t.outboxes.(dst))
+  end;
   r
 
 let post_after t ~dst delta callback =

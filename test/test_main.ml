@@ -10,6 +10,7 @@ let () =
       ("routing", Test_routing.suite);
       ("transport", Test_transport.suite);
       ("measure", Test_measure.suite);
+      ("profile", Test_profile.suite);
       ("overlay", Test_overlay.suite);
       ("keyspace", Test_keyspace.suite);
       ("core", Test_core.suite);

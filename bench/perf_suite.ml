@@ -265,6 +265,60 @@ let embed_arrival algo () =
     done
   done
 
+(* ---- Internet-scale scenarios (DESIGN.md §17) -------------------------- *)
+
+(* Informational rows, never gated: seeded generation of the reference
+   200-PoP backbone, the lazy workload stream drained at depth, and both
+   embedding solvers admitting 100 slice arrivals against that generated
+   substrate — the scale the heap-based Dijkstra in [constrained_path]
+   exists for (the old unvisited-min scan was quadratic in substrate
+   size and dominated exactly this workload). *)
+
+let scen_spec =
+  { Vini_scenario.Generate.kind = Vini_scenario.Generate.backbone 200;
+    seed = 42 }
+
+let scen_gen_passes = scale 40
+let scen_flows = scale 200_000
+
+let scen_generate () =
+  for _ = 1 to scen_gen_passes do
+    ignore (Vini_scenario.Generate.generate scen_spec)
+  done
+
+let scen_workload () =
+  let module W = Vini_scenario.Workload in
+  let stream =
+    W.create (W.default ~users:1_000_000 ~seed:7) ~nodes:200
+  in
+  let acc = ref 0 in
+  for _ = 1 to scen_flows do
+    acc := !acc + (W.next stream).W.wire_bytes
+  done;
+  ignore !acc
+
+let scen_embed_slices = 100
+let scen_embed_passes = scale 4
+
+let scen_embed algo () =
+  let module S = Vini_embed.Substrate in
+  let module Em = Vini_embed.Embed in
+  let module Rq = Vini_embed.Request in
+  let phys = Vini_scenario.Generate.generate scen_spec in
+  let vtopo = Vini_repro.Migration.virtual_ring 6 in
+  for _ = 1 to scen_embed_passes do
+    let sub = S.of_graph ~node_capacity:(fun _ -> 4.0) phys in
+    for i = 0 to scen_embed_slices - 1 do
+      let req =
+        Rq.make ~name:"arrival"
+          ~cpu:(fun _ -> 0.25)
+          ~bw:(fun _ -> 5e7)
+          ~algo ~seed:i ()
+      in
+      ignore (Em.admit sub ~vtopo req)
+    done
+  done
+
 (* ---- Live-migration cutover ------------------------------------------- *)
 
 (* Cost of one complete make-before-break cycle — pre-clone,
@@ -642,6 +696,21 @@ let run () =
     bench ~name:"embed.solve_online" ~ops:embed_ops
       (embed_arrival Vini_embed.Request.Online)
   in
+  let scen_gen_b =
+    bench ~name:"scenario.gen_backbone200" ~ops:scen_gen_passes scen_generate
+  in
+  let scen_wl_b =
+    bench ~name:"scenario.workload_1m" ~ops:scen_flows scen_workload
+  in
+  let scen_ops = scen_embed_passes * scen_embed_slices in
+  let scen_greedy =
+    bench ~name:"scenario.embed200_greedy" ~ops:scen_ops
+      (scen_embed Vini_embed.Request.Greedy)
+  in
+  let scen_online =
+    bench ~name:"scenario.embed200_online" ~ops:scen_ops
+      (scen_embed Vini_embed.Request.Online)
+  in
   let sharded_1, sum_1 = sharded_bench ~name:"sched.sharded_1dom" ~domains:1 in
   let sharded_4, sum_4 = sharded_bench ~name:"sched.sharded_4dom" ~domains:4 in
   if sum_1 <> sum_4 then (
@@ -666,7 +735,8 @@ let run () =
   let prof_off_a, prof_on, prof_off_b = profiler_benches () in
   let benches =
     [ heap_b; cal_b; evq_b; sharded_1; sharded_4; ref_flow; fib_flow;
-      ref_uni; fib_uni; embed_greedy; embed_online; migrate_b; dp_single;
+      ref_uni; fib_uni; embed_greedy; embed_online; scen_gen_b; scen_wl_b;
+      scen_greedy; scen_online; migrate_b; dp_single;
       dp_batch; macro_b; spans_off_a; spans_on; spans_off_b; prof_off_a;
       prof_on; prof_off_b ]
   in

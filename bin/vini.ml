@@ -107,13 +107,18 @@ let timeline_interval_arg =
        & info [ "timeline-interval" ] ~docv:"MS" ~doc)
 
 (* Physical substrates addressable by name ([vini run], [vini embed]).
-   "mesh" is a generous default: 16 well-connected Waxman sites. *)
+   "mesh" is a generous default: 16 well-connected Waxman sites.  A
+   [.json] path loads a generated vini.topo/1 substrate ([vini gen]). *)
 let physical_topology ~seed = function
   | "abilene" -> Abilene.topology ()
   | "deter" -> Vini_topo.Datasets.Deter.topology ()
   | "planetlab3" -> Vini_topo.Datasets.Planetlab3.topology ()
   | "nlr" -> Vini_topo.Datasets.Nlr.topology ()
   | "mesh" -> Vini_topo.Datasets.waxman ~rng:(Vini_std.Rng.create seed) ~n:16 ()
+  | path when Filename.check_suffix path ".json" -> (
+      match Vini_scenario.Generate.load_file path with
+      | Ok g -> g
+      | Error e -> failwith (path ^ ": " ^ e))
   | other -> failwith ("unknown substrate " ^ other)
 
 (* Dump the "trace" part of an export document as one line per event. *)
@@ -396,7 +401,16 @@ let mirror_cmd =
       match fail_spec with
       | Some s -> (
           match String.split_on_char ',' s with
-          | [ x; y ] -> (Graph.id_of_name g x, Graph.id_of_name g y)
+          | [ x; y ] ->
+              let id n =
+                match Graph.id_of_name_opt g n with
+                | Some i -> i
+                | None ->
+                    failwith
+                      (Printf.sprintf "--fail: topology %S has no node %S"
+                         (Graph.label g) n)
+              in
+              (id x, id y)
           | _ -> failwith "expected --fail NAME,NAME")
       | None ->
           let l = List.hd (Graph.links g) in
@@ -496,7 +510,7 @@ let ablate_cmd =
 
 let run_cmd =
   let run spec_file phys_name watch seed duration trace metrics_out report_out
-      spans_out timeline_out timeline_interval embed_out domains =
+      spans_out timeline_out timeline_interval embed_out scenario_out domains =
     let module Engine = Vini_sim.Engine in
     let module Time = Vini_sim.Time in
     let module Graph = Vini_topo.Graph in
@@ -510,9 +524,22 @@ let run_cmd =
           close_in ic;
           s
     in
-    let phys = physical_topology ~seed phys_name in
+    let parsed =
+      match Vini_core.Spec_lang.parse text with
+      | Ok p -> p
+      | Error e -> failwith ("spec error: " ^ e)
+    in
+    (* A [topology ...] line in the spec wins over [--phys]: the declared
+       substrate is resolved here and used for both the underlay and the
+       elaboration, so embed targets resolve against the same graph. *)
+    let phys, phys_name =
+      match Vini_core.Spec_lang.substrate_graph parsed with
+      | Ok (Some g) -> (g, Graph.label g)
+      | Ok None -> (physical_topology ~seed phys_name, phys_name)
+      | Error e -> failwith ("spec error: " ^ e)
+    in
     let spec =
-      match Vini_core.Spec_lang.load text ~phys with
+      match Vini_core.Spec_lang.to_spec parsed ~phys with
       | Ok s -> s
       | Error e -> failwith ("spec error: " ^ e)
     in
@@ -520,6 +547,15 @@ let run_cmd =
       spec.Vini_core.Experiment.exp_name
       (Graph.node_count spec.Vini_core.Experiment.vtopo)
       phys_name;
+    (match spec.Vini_core.Experiment.scenario with
+    | Some sc ->
+        Printf.printf
+          "scenario: %d simulated users, %s fidelity (tick %.0f ms)\n"
+          sc.Vini_core.Experiment.workload.Vini_scenario.Workload.users
+          (Vini_scenario.Fluid.fidelity_to_string
+             sc.Vini_core.Experiment.fidelity)
+          (Time.to_ms_f sc.Vini_core.Experiment.tick)
+    | None -> ());
     (* CLI --domains overrides the spec's [domains] verb; either one (even
        a value of 1) selects the sharded engine so determinism is checked
        sharded-vs-sharded.  No flag and no verb = classic engine. *)
@@ -625,8 +661,16 @@ let run_cmd =
       | Some s -> (
           match String.split_on_char ',' s with
           | [ a; b ] ->
-              ( Graph.id_of_name spec.Vini_core.Experiment.vtopo a,
-                Graph.id_of_name spec.Vini_core.Experiment.vtopo b )
+              let vtopo = spec.Vini_core.Experiment.vtopo in
+              let id n =
+                match Graph.id_of_name_opt vtopo n with
+                | Some i -> i
+                | None ->
+                    failwith
+                      (Printf.sprintf "--watch: topology %S has no node %S"
+                         (Graph.label vtopo) n)
+              in
+              (id a, id b)
           | _ -> failwith "--watch expects NAME,NAME")
       | None -> (0, Graph.node_count spec.Vini_core.Experiment.vtopo - 1)
     in
@@ -805,7 +849,22 @@ let run_cmd =
         | _ ->
             Printf.printf
               "embed-out: pinned placement, no embedding document\n")
-      embed_out
+      embed_out;
+    Option.iter
+      (fun path ->
+        let module E = Vini_measure.Export in
+        match Vini_core.Spec_lang.workload parsed with
+        | Some workload ->
+            E.write ~path
+              (E.scenario_document ~name:spec.Vini_core.Experiment.exp_name
+                 ?fluid:(Vini_core.Vini.fluid inst)
+                 ~under:(Vini_core.Vini.underlay vini) ~substrate:phys
+                 ~workload ());
+            Printf.printf "scenario written to %s\n" path
+        | None ->
+            Printf.printf
+              "scenario-out: spec declares no workload, nothing to write\n")
+      scenario_out
   in
   let spec_arg =
     Arg.(value & opt (some file) None
@@ -815,7 +874,9 @@ let run_cmd =
   let phys_arg =
     Arg.(value & opt string "mesh"
          & info [ "phys" ] ~docv:"NAME"
-             ~doc:"Physical substrate: mesh, abilene, nlr, deter, planetlab3.")
+             ~doc:"Physical substrate: mesh, abilene, nlr, deter, planetlab3, \
+                   or a vini.topo/1 $(b,.json) file from $(b,vini gen).  A \
+                   $(b,topology) line in the spec overrides this flag.")
   in
   let watch_arg =
     Arg.(value & opt (some string) None
@@ -844,6 +905,14 @@ let run_cmd =
                    Inspect or produce standalone documents with $(b,vini \
                    embed).")
   in
+  let scenario_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "scenario-out" ] ~docv:"FILE"
+             ~doc:"Write the run's vini.scenario/1 document (substrate \
+                   summary, workload parameters, fluid-model conservation \
+                   totals and per-link load, packet-side counters) to \
+                   $(docv).  Requires a $(b,workload) line in the spec.")
+  in
   let doc =
     "Deploy a textual experiment specification (§6.2) and watch it run."
   in
@@ -851,7 +920,7 @@ let run_cmd =
     Term.(const run $ spec_arg $ phys_arg $ watch_arg $ seed_arg $ duration_arg
           $ trace_arg $ metrics_out_arg $ report_out_arg $ spans_out_arg
           $ timeline_out_arg $ timeline_interval_arg $ embed_out_arg
-          $ domains_arg)
+          $ scenario_out_arg $ domains_arg)
 
 (* --- spans ----------------------------------------------------------------------- *)
 
@@ -1473,12 +1542,119 @@ let upcalls_cmd =
   let doc = "Demonstrate physical-failure upcalls to concurrent experiments." in
   Cmd.v (Cmd.info "upcalls" ~doc) Term.(const run $ seed_arg)
 
+(* --- gen ------------------------------------------------------------------------- *)
+
+let gen_cmd =
+  let module Graph = Vini_topo.Graph in
+  let module Generate = Vini_scenario.Generate in
+  let summarize g =
+    let delays =
+      List.map
+        (fun l -> Vini_sim.Time.to_ms_f l.Graph.delay)
+        (Graph.links g)
+    in
+    let mean = List.fold_left ( +. ) 0.0 delays in
+    let n = float_of_int (max 1 (List.length delays)) in
+    Printf.printf "%s: %d nodes, %d links, mean link delay %.2f ms\n"
+      (Graph.label g) (Graph.node_count g) (Graph.link_count g) (mean /. n)
+  in
+  let run kind size seed alpha beta degree bw out check =
+    match check with
+    | Some path -> (
+        match Generate.load_file path with
+        | Ok g ->
+            Printf.printf "%s: valid %s document; " path
+              Generate.schema_version;
+            summarize g
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 1)
+    | None ->
+        let kind =
+          match kind with
+          | Some k -> k
+          | None ->
+              failwith
+                "KIND required (waxman | fat-tree | backbone), or --check FILE"
+        in
+        let size =
+          match size with
+          | Some n -> n
+          | None -> failwith "SIZE required (node count / fat-tree arity)"
+        in
+        let gkind =
+          match
+            Generate.parse_kind kind ~n:size ?alpha ?beta ?degree
+              ?bandwidth_bps:bw ()
+          with
+          | Ok k -> k
+          | Error e -> failwith e
+        in
+        let spec = { Generate.kind = gkind; seed } in
+        let text = Generate.document spec in
+        (match out with
+        | Some path ->
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc text);
+            summarize (Generate.generate spec);
+            Printf.printf "written to %s\n" path
+        | None -> print_string text)
+  in
+  let kind_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"KIND"
+             ~doc:"Generator family: waxman, fat-tree, or backbone.")
+  in
+  let size_arg =
+    Arg.(value & pos 1 (some int) None
+         & info [] ~docv:"SIZE"
+             ~doc:"Node count (waxman, backbone) or arity (fat-tree).")
+  in
+  let alpha_arg =
+    Arg.(value & opt (some float) None
+         & info [ "alpha" ] ~docv:"A" ~doc:"Waxman edge-probability scale.")
+  in
+  let beta_arg =
+    Arg.(value & opt (some float) None
+         & info [ "beta" ] ~docv:"B" ~doc:"Waxman distance-decay parameter.")
+  in
+  let degree_arg =
+    Arg.(value & opt (some int) None
+         & info [ "degree" ] ~docv:"D"
+             ~doc:"Backbone nearest-neighbour links per PoP.")
+  in
+  let bw_arg =
+    Arg.(value & opt (some float) None
+         & info [ "bw" ] ~docv:"BPS" ~doc:"Link bandwidth in bits per second.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the vini.topo/1 document to $(docv) instead of \
+                   stdout.")
+  in
+  let check_arg =
+    Arg.(value & opt (some file) None
+         & info [ "check" ] ~docv:"FILE"
+             ~doc:"Validate $(docv) as a vini.topo/1 document instead of \
+                   generating (exit 1 on schema or structural errors).")
+  in
+  let doc =
+    "Generate a seeded physical substrate (Waxman, fat-tree, or synthetic \
+     backbone) as a vini.topo/1 JSON document.  Byte-identical per (kind, \
+     parameters, seed); always connected.  Feed the file to $(b,vini run \
+     --phys FILE.json) or a spec's $(b,topology load) line."
+  in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ kind_arg $ size_arg $ seed_arg $ alpha_arg $ beta_arg
+          $ degree_arg $ bw_arg $ out_arg $ check_arg)
+
 let main =
   let doc = "VINI: a virtual network infrastructure (SIGCOMM 2006), reproduced" in
   Cmd.group
     (Cmd.info "vini" ~version:"1.0.0" ~doc)
     [ deter_cmd; planetlab_cmd; abilene_cmd; topo_cmd; mirror_cmd; run_cmd;
-      ablate_cmd; spans_cmd; top_cmd; embed_cmd; migrate_cmd; mttr_cmd;
-      upcalls_cmd ]
+      gen_cmd; ablate_cmd; spans_cmd; top_cmd; embed_cmd; migrate_cmd;
+      mttr_cmd; upcalls_cmd ]
 
 let () = exit (Cmd.eval main)

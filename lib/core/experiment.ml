@@ -52,6 +52,12 @@ type placement =
   | Pinned of (int -> int)
   | Auto of Vini_embed.Request.t
 
+type scenario = {
+  workload : Vini_scenario.Workload.params;
+  fidelity : Vini_scenario.Fluid.fidelity;
+  tick : Time.t;
+}
+
 type spec = {
   exp_name : string;
   slice : Vini_phys.Slice.t;
@@ -62,11 +68,12 @@ type spec = {
   egresses : int list;
   events : event list;
   domains : int;
+  scenario : scenario option;
 }
 
 let make ~name ~slice ~vtopo ?embedding ?placement
     ?(routing = Iias.default_ospf) ?(ingresses = []) ?(egresses = [])
-    ?(events = []) ?(domains = 1) () =
+    ?(events = []) ?(domains = 1) ?scenario () =
   let placement =
     match (embedding, placement) with
     | Some _, Some _ ->
@@ -85,6 +92,7 @@ let make ~name ~slice ~vtopo ?embedding ?placement
     egresses;
     events;
     domains;
+    scenario;
   }
 
 let mirror ~name ~slice ~graph ?(events = []) () =
@@ -178,6 +186,14 @@ let validate ?phys spec =
     (fun v -> if v < 0 || v >= n then err "egress node %d out of range" v)
     spec.egresses;
   if spec.domains < 1 then err "domains must be at least 1 (got %d)" spec.domains;
+  (match spec.scenario with
+  | None -> ()
+  | Some sc ->
+      (match Vini_scenario.Workload.validate sc.workload with
+      | Ok () -> ()
+      | Error e -> err "%s" e);
+      if Time.compare sc.tick Time.zero <= 0 then
+        err "scenario tick must be positive");
   match !errors with
   | [] -> Ok ()
   | es -> Error (String.concat "; " (List.rev es))

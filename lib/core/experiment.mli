@@ -58,6 +58,21 @@ type placement =
           substrate's residual capacities; the request's pins fix chosen
           virtual nodes, everything else is placed by the solver *)
 
+type scenario = {
+  workload : Vini_scenario.Workload.params;
+      (** the background user population and its traffic mix *)
+  fidelity : Vini_scenario.Fluid.fidelity;
+      (** [Packet] = no fluid model (the default when [scenario] is
+          [None]); [Flow] = account background load only; [Hybrid] =
+          also fold it into the packet path as queueing delay and loss
+          pressure *)
+  tick : Vini_sim.Time.t;  (** fluid fold period *)
+}
+(** The scenario half of a spec: a generated million-user background
+    workload and the fidelity at which to simulate it (DESIGN.md §17).
+    [Vini.start] installs the fluid model on the instance's underlay
+    when present with a non-[Packet] fidelity. *)
+
 type spec = {
   exp_name : string;
   slice : Vini_phys.Slice.t;
@@ -72,6 +87,8 @@ type spec = {
           above 1 asks the runner for the sharded engine; the output is
           byte-identical whatever the value, so [domains] is purely a
           resource knob ([spec-lang verb [domains N]], CLI [--domains]). *)
+  scenario : scenario option;
+      (** background workload + fidelity; [None] = pure packet fidelity *)
 }
 
 val make :
@@ -85,11 +102,13 @@ val make :
   ?egresses:int list ->
   ?events:event list ->
   ?domains:int ->
+  ?scenario:scenario ->
   unit ->
   spec
 (** Defaults: identity embedding (virtual node i on physical node i),
     OSPF with the paper's timers, no ingress/egress, no events, one
-    domain.  [?embedding:f] is sugar for [?placement:(Pinned f)].
+    domain, no background scenario.  [?embedding:f] is sugar for
+    [?placement:(Pinned f)].
     @raise Invalid_argument when both [embedding] and [placement] are
     given. *)
 

@@ -3,6 +3,13 @@ module Graph = Vini_topo.Graph
 module Prefix = Vini_net.Prefix
 module Slice = Vini_phys.Slice
 module Iias = Vini_overlay.Iias
+module Generate = Vini_scenario.Generate
+module Workload = Vini_scenario.Workload
+module Fluid = Vini_scenario.Fluid
+
+type substrate_decl =
+  | Sub_generate of Generate.spec
+  | Sub_load of string  (* path to a vini.topo/1 file, resolved lazily *)
 
 type link_decl = {
   l_a : string;
@@ -26,6 +33,9 @@ type parsed = {
   p_egresses : string list;
   p_events : event_decl list;
   p_domains : int;
+  p_substrate : substrate_decl option;
+  p_workload : Workload.params option;
+  p_fidelity : (Fluid.fidelity * Time.t) option;
 }
 
 (* --- unit parsing -------------------------------------------------------- *)
@@ -82,6 +92,9 @@ type builder = {
   mutable b_egresses : string list;
   mutable b_events : event_decl list;
   mutable b_domains : int option;
+  mutable b_substrate : substrate_decl option;
+  mutable b_workload : Workload.params option;
+  mutable b_fidelity : (Fluid.fidelity * Time.t) option;
 }
 
 let known_node b n = List.mem n b.b_nodes
@@ -227,6 +240,129 @@ let feed b line =
         b.b_egresses <- b.b_egresses @ [ v ];
         Ok ()
       end
+  | "topology" :: rest -> (
+      if b.b_substrate <> None then Error "duplicate topology line"
+      else
+        match rest with
+        | [ "load"; path ] ->
+            b.b_substrate <- Some (Sub_load path);
+            Ok ()
+        | "generate" :: kind :: n :: opts -> (
+            match int_of_string_opt n with
+            | None -> Error (Printf.sprintf "bad size %S" n)
+            | Some size -> (
+                let rec go ~seed ~alpha ~beta ~degree ~bw = function
+                  | [] -> Ok (seed, alpha, beta, degree, bw)
+                  | "seed" :: v :: rest -> (
+                      match int_of_string_opt v with
+                      | Some seed -> go ~seed ~alpha ~beta ~degree ~bw rest
+                      | None -> Error (Printf.sprintf "bad seed %S" v))
+                  | "alpha" :: v :: rest -> (
+                      match float_of_string_opt v with
+                      | Some a -> go ~seed ~alpha:(Some a) ~beta ~degree ~bw rest
+                      | None -> Error (Printf.sprintf "bad alpha %S" v))
+                  | "beta" :: v :: rest -> (
+                      match float_of_string_opt v with
+                      | Some x -> go ~seed ~alpha ~beta:(Some x) ~degree ~bw rest
+                      | None -> Error (Printf.sprintf "bad beta %S" v))
+                  | "degree" :: v :: rest -> (
+                      match int_of_string_opt v with
+                      | Some d -> go ~seed ~alpha ~beta ~degree:(Some d) ~bw rest
+                      | None -> Error (Printf.sprintf "bad degree %S" v))
+                  | "bw" :: v :: rest -> (
+                      match parse_bw v with
+                      | Some x when x > 0.0 ->
+                          go ~seed ~alpha ~beta ~degree ~bw:(Some x) rest
+                      | Some _ | None ->
+                          Error (Printf.sprintf "bad bandwidth %S" v))
+                  | tok :: _ ->
+                      Error (Printf.sprintf "unknown topology option %S" tok)
+                in
+                match
+                  go ~seed:1 ~alpha:None ~beta:None ~degree:None ~bw:None opts
+                with
+                | Error _ as e -> e
+                | Ok (seed, alpha, beta, degree, bandwidth_bps) -> (
+                    match
+                      Generate.parse_kind kind ~n:size ?alpha ?beta ?degree
+                        ?bandwidth_bps ()
+                    with
+                    | Error e -> Error e
+                    | Ok k -> (
+                        match Generate.generate { Generate.kind = k; seed } with
+                        | _ ->
+                            b.b_substrate <-
+                              Some (Sub_generate { Generate.kind = k; seed });
+                            Ok ()
+                        | exception Invalid_argument msg -> Error msg))))
+        | _ ->
+            Error
+              "topology expects: generate KIND N [seed S] [alpha A] [beta B] \
+               [degree D] [bw BW] | load PATH")
+  | "workload" :: "users" :: n :: opts -> (
+      if b.b_workload <> None then Error "duplicate workload line"
+      else
+        match int_of_string_opt n with
+        | None | Some 0 -> Error (Printf.sprintf "bad user count %S" n)
+        | Some users when users < 0 ->
+            Error (Printf.sprintf "bad user count %S" n)
+        | Some users -> (
+            let rec go (p : Workload.params) = function
+              | [] -> Ok p
+              | "seed" :: v :: rest -> (
+                  match int_of_string_opt v with
+                  | Some seed -> go { p with Workload.seed } rest
+                  | None -> Error (Printf.sprintf "bad seed %S" v))
+              | "rate" :: v :: rest -> (
+                  match float_of_string_opt v with
+                  | Some r when r > 0.0 ->
+                      go { p with Workload.flow_rate_per_user = r } rest
+                  | Some _ | None -> Error (Printf.sprintf "bad rate %S" v))
+              | "bytes" :: v :: rest -> (
+                  match float_of_string_opt v with
+                  | Some x when x > 0.0 ->
+                      go { p with Workload.mean_flow_bytes = x } rest
+                  | Some _ | None ->
+                      Error (Printf.sprintf "bad mean bytes %S" v))
+              | "shape" :: v :: rest -> (
+                  match float_of_string_opt v with
+                  | Some a when a > 1.0 ->
+                      go { p with Workload.pareto_shape = a } rest
+                  | Some _ | None ->
+                      Error (Printf.sprintf "bad pareto shape %S (need > 1)" v))
+              | "skew" :: v :: rest -> (
+                  match float_of_string_opt v with
+                  | Some k when k >= 0.0 ->
+                      go { p with Workload.popularity_skew = k } rest
+                  | Some _ | None -> Error (Printf.sprintf "bad skew %S" v))
+              | tok :: _ ->
+                  Error (Printf.sprintf "unknown workload option %S" tok)
+            in
+            match go (Workload.default ~users ~seed:1) opts with
+            | Error _ as e -> e
+            | Ok p ->
+                b.b_workload <- Some p;
+                Ok ()))
+  | "fidelity" :: level :: opts -> (
+      if b.b_fidelity <> None then Error "duplicate fidelity line"
+      else
+        match Fluid.fidelity_of_string level with
+        | Error e -> Error e
+        | Ok f -> (
+            let rec go tick = function
+              | [] -> Ok tick
+              | "tick" :: v :: rest -> (
+                  match parse_delay v with
+                  | Some t when Time.compare t Time.zero > 0 -> go t rest
+                  | Some _ | None -> Error (Printf.sprintf "bad tick %S" v))
+              | tok :: _ ->
+                  Error (Printf.sprintf "unknown fidelity option %S" tok)
+            in
+            match go Fluid.default_tick opts with
+            | Error _ as e -> e
+            | Ok tick ->
+                b.b_fidelity <- Some (f, tick);
+                Ok ()))
   | [ "domains"; n ] -> (
       if b.b_domains <> None then Error "duplicate domains line"
       else
@@ -264,6 +400,9 @@ let parse text =
       b_egresses = [];
       b_events = [];
       b_domains = None;
+      b_substrate = None;
+      b_workload = None;
+      b_fidelity = None;
     }
   in
   let lines = String.split_on_char '\n' text in
@@ -295,12 +434,30 @@ let parse text =
                 p_egresses = b.b_egresses;
                 p_events = b.b_events;
                 p_domains = Option.value b.b_domains ~default:1;
+                p_substrate = b.b_substrate;
+                p_workload = b.b_workload;
+                p_fidelity = b.b_fidelity;
               })
 
 (* --- elaboration ----------------------------------------------------------- *)
 
 let name p = p.p_name
 let slice p = p.p_slice
+let substrate p = p.p_substrate
+let workload p = p.p_workload
+let fidelity p = p.p_fidelity
+
+(* Resolve a declared substrate to a graph: a generator spec is
+   regenerated (byte-identical per seed), a load declaration reads its
+   vini.topo/1 file here, at resolution time. *)
+let substrate_graph p =
+  match p.p_substrate with
+  | None -> Ok None
+  | Some (Sub_generate gs) -> Ok (Some (Generate.generate gs))
+  | Some (Sub_load path) -> (
+      match Generate.load_file path with
+      | Ok g -> Ok (Some g)
+      | Error e -> Error e)
 
 let node_index p n =
   let rec go i = function
@@ -325,7 +482,7 @@ let vtopo p =
         })
       p.links
   in
-  Graph.create ~names ~links
+  Graph.relabel p.p_name @@ Graph.create ~names ~links
 
 let elaborate_event p ev =
   let node n =
@@ -396,10 +553,10 @@ let to_spec p ~phys =
   (* Placement: explicit embeds and same-name physical nodes become pins;
      everything else is placed by the capacity-aware solver at deploy
      time. *)
-  let phys_index name =
-    match Graph.id_of_name phys name with
-    | i -> Some i
-    | exception Not_found -> None
+  let phys_index name = Graph.id_of_name_opt phys name in
+  let unknown_phys name =
+    Printf.sprintf "unknown physical node %S (substrate %S has no such node)"
+      name (Graph.label phys)
   in
   let* () =
     if List.length p.nodes > Graph.node_count phys then
@@ -412,7 +569,7 @@ let to_spec p ~phys =
         let* acc = acc in
         match phys_index pname with
         | Some pi -> Ok ((v, pi) :: acc)
-        | None -> Error (Printf.sprintf "unknown physical node %S" pname))
+        | None -> Error (unknown_phys pname))
       (Ok []) p.embeds
   in
   let used = Hashtbl.create 8 in
@@ -450,8 +607,7 @@ let to_spec p ~phys =
                           Experiment.at = Time.of_sec_f ev.ev_at;
                           action = Experiment.Migrate_vnode (vi, pi);
                         }
-                  | None ->
-                      Error (Printf.sprintf "unknown physical node %S" pname)))
+                  | None -> Error (unknown_phys pname)))
           | _ -> elaborate_event p ev
         in
         Ok (e :: acc))
@@ -475,12 +631,26 @@ let to_spec p ~phys =
       ~seed:(Hashtbl.hash p.p_name land 0xffff)
       ()
   in
+  (* The scenario half: a workload line turns into a background fluid
+     model; the default fidelity is hybrid (the headline mode), and a
+     fidelity line without a workload has nothing to apply to. *)
+  let* scenario =
+    match (p.p_workload, p.p_fidelity) with
+    | None, Some _ ->
+        Error "fidelity declared without a workload line"
+    | None, None -> Ok None
+    | Some workload, fid ->
+        let fidelity, tick =
+          Option.value fid ~default:(Fluid.Hybrid, Fluid.default_tick)
+        in
+        Ok (Some { Experiment.workload; fidelity; tick })
+  in
   let spec =
     Experiment.make ~name:p.p_name ~slice:p.p_slice ~vtopo
       ~placement:(Experiment.Auto req) ~routing:p.p_routing
       ~ingresses:(List.map (fun (v, pool) -> (index_of v, pool)) p.p_ingresses)
       ~egresses:(List.map index_of p.p_egresses)
-      ~events:(List.rev events) ~domains:p.p_domains ()
+      ~events:(List.rev events) ~domains:p.p_domains ?scenario ()
   in
   let* () = Experiment.validate ~phys spec in
   Ok spec

@@ -35,6 +35,22 @@
                                      #   a physical node, named like embed
     v}
 
+    Internet-scale scenarios (DESIGN.md §17) add three verbs:
+
+    {v
+    topology generate backbone 200 seed 42   # or: waxman N | fat-tree K;
+                                             #   options: alpha A, beta B,
+                                             #   degree D, bw BW
+    topology load substrate.topo.json        # a vini.topo/1 file
+    workload users 1000000 seed 7 rate 0.002 bytes 50000 shape 1.5 skew 1
+    fidelity hybrid tick 100ms               # or: packet | flow
+    v}
+
+    A [topology] line declares the {e physical substrate} the spec wants
+    (resolve it with {!substrate_graph} and pass it as [to_spec ~phys]);
+    [workload] + [fidelity] attach a background scenario to the spec,
+    which [Vini.start] brings up as the fluid model.
+
     Bandwidths accept [k]/[m]/[g] suffixes (bits per second); delays accept
     [us]/[ms]/[s]. *)
 
@@ -47,6 +63,25 @@ val parse : string -> (parsed, string) result
 val name : parsed -> string
 val vtopo : parsed -> Vini_topo.Graph.t
 val slice : parsed -> Vini_phys.Slice.t
+
+type substrate_decl =
+  | Sub_generate of Vini_scenario.Generate.spec
+      (** [topology generate ...]: regenerate from the seeded spec *)
+  | Sub_load of string  (** [topology load PATH]: a vini.topo/1 file *)
+
+val substrate : parsed -> substrate_decl option
+(** The spec's substrate declaration, verbatim. *)
+
+val substrate_graph :
+  parsed -> (Vini_topo.Graph.t option, string) result
+(** Resolve the declared substrate: generators are re-run (byte-identical
+    per seed), [load] paths are read here.  [Ok None] when the spec
+    declares none — the caller picks the substrate as before.  Callers
+    must pass the resolved graph as [to_spec ~phys] so the underlay and
+    the elaboration agree. *)
+
+val workload : parsed -> Vini_scenario.Workload.params option
+val fidelity : parsed -> (Vini_scenario.Fluid.fidelity * Vini_sim.Time.t) option
 
 val to_spec :
   parsed -> phys:Vini_topo.Graph.t -> (Experiment.spec, string) result

@@ -63,6 +63,9 @@ type instance = {
      v must reboot that same machine even if v migrated away meanwhile. *)
   crash_sites : (int, int) Hashtbl.t;
   down_since : (int, Time.t) Hashtbl.t;  (* vnode -> machine-death instant *)
+  (* The background fluid model, installed at [start] when the spec
+     carries a scenario with non-packet fidelity. *)
+  mutable fluid : Vini_scenario.Fluid.t option;
 }
 
 and t = {
@@ -292,6 +295,7 @@ let try_deploy t spec =
           migration_failures = [];
           crash_sites = Hashtbl.create 4;
           down_since = Hashtbl.create 4;
+          fluid = None;
         }
       in
       if areq <> None then
@@ -555,6 +559,17 @@ let start inst =
           Experiment.is_chaos_action ev.Experiment.action)
         inst.ispec.Experiment.events
     then Iias.enable_supervision inst.overlay;
+    (* A declared scenario with flow or hybrid fidelity brings up the
+       fluid background-load model on the shared underlay.  Its barrier
+       tick starts now, so the background ramps with the experiment. *)
+    (match inst.ispec.Experiment.scenario with
+    | Some { Experiment.workload; fidelity; tick }
+      when fidelity <> Vini_scenario.Fluid.Packet ->
+        inst.fluid <-
+          Some
+            (Vini_scenario.Fluid.install ~under:inst.owner.under
+               { Vini_scenario.Fluid.fidelity; tick; workload })
+    | Some _ | None -> ());
     List.iter
       (fun (ev : Experiment.event) ->
         ignore
@@ -565,6 +580,7 @@ let start inst =
   end
 
 let iias inst = inst.overlay
+let fluid inst = inst.fluid
 let spec inst = inst.ispec
 let instances t = t.deployed
 let on_upcall inst f = inst.upcall_hooks <- inst.upcall_hooks @ [ f ]

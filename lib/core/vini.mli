@@ -95,9 +95,17 @@ val start : instance -> unit
     ({!Experiment.is_chaos_action}), supervised crash recovery is enabled
     automatically with the default policy; call
     [Iias.enable_supervision ~policy] on {!iias} before [start] to choose
-    a different one (enabling twice is a no-op). *)
+    a different one (enabling twice is a no-op).  When the spec declares
+    a scenario with flow or hybrid fidelity, the fluid background-load
+    model is installed on the underlay and its barrier tick starts
+    here — see {!fluid}. *)
 
 val iias : instance -> Vini_overlay.Iias.t
+
+val fluid : instance -> Vini_scenario.Fluid.t option
+(** The background fluid model, when the spec declared a scenario with
+    non-packet fidelity and the instance has started. *)
+
 val spec : instance -> Experiment.spec
 val instances : t -> instance list
 

@@ -3,13 +3,11 @@ module Histogram = Vini_std.Histogram
 
 let schema_version = "vini.metrics/1"
 
-(* ---- a minimal JSON tree, printer and parser ---------------------------
+(* ---- the JSON tree lives in Vini_std.Json (shared with the scenario
+   generator's vini.topo/1 documents); re-exported here so existing
+   consumers keep their Export.json view of it. *)
 
-   The repository deliberately has no JSON dependency; the exporter's
-   needs (finite floats, plain ASCII-ish strings, round-trippable output
-   for tests and CI artifacts) fit in a page of code. *)
-
-type json =
+type json = Vini_std.Json.t =
   | Null
   | Bool of bool
   | Num of float
@@ -17,213 +15,13 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
-let num_to_string v =
-  if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.0f" v
-  else if Float.is_nan v then "null" (* JSON has no NaN *)
-  else if v = infinity then "1e999"
-  else if v = neg_infinity then "-1e999"
-  else Printf.sprintf "%.17g" v
-
-let escape_string s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let to_string j =
-  let b = Buffer.create 4096 in
-  let rec go = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (string_of_bool v)
-    | Num v -> Buffer.add_string b (num_to_string v)
-    | Str s ->
-        Buffer.add_char b '"';
-        Buffer.add_string b (escape_string s);
-        Buffer.add_char b '"'
-    | Arr items ->
-        Buffer.add_char b '[';
-        List.iteri
-          (fun i x ->
-            if i > 0 then Buffer.add_char b ',';
-            go x)
-          items;
-        Buffer.add_char b ']'
-    | Obj fields ->
-        Buffer.add_char b '{';
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_char b ',';
-            Buffer.add_char b '"';
-            Buffer.add_string b (escape_string k);
-            Buffer.add_string b "\":";
-            go v)
-          fields;
-        Buffer.add_char b '}'
-  in
-  go j;
-  Buffer.contents b
-
-exception Parse_error of string
-
-let of_string s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let skip_ws () =
-    while
-      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      advance ()
-    done
-  in
-  let expect c =
-    if !pos < n && s.[!pos] = c then advance ()
-    else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail ("bad literal " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string";
-      match s.[!pos] with
-      | '"' -> advance ()
-      | '\\' ->
-          advance ();
-          (if !pos >= n then fail "bad escape";
-           match s.[!pos] with
-           | '"' -> Buffer.add_char b '"'; advance ()
-           | '\\' -> Buffer.add_char b '\\'; advance ()
-           | '/' -> Buffer.add_char b '/'; advance ()
-           | 'n' -> Buffer.add_char b '\n'; advance ()
-           | 'r' -> Buffer.add_char b '\r'; advance ()
-           | 't' -> Buffer.add_char b '\t'; advance ()
-           | 'b' -> Buffer.add_char b '\b'; advance ()
-           | 'f' -> Buffer.add_char b '\012'; advance ()
-           | 'u' ->
-               if !pos + 4 >= n then fail "bad \\u escape";
-               let hex = String.sub s (!pos + 1) 4 in
-               let code =
-                 try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-               in
-               (* Keep it simple: BMP code points as a single byte when
-                  ASCII, else UTF-8 encode. *)
-               if code < 0x80 then Buffer.add_char b (Char.chr code)
-               else if code < 0x800 then begin
-                 Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
-                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-               end
-               else begin
-                 Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
-                 Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                 Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
-               end;
-               pos := !pos + 5
-           | _ -> fail "bad escape");
-          go ()
-      | c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    let numchar c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when numchar c -> true | _ -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some v -> v
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end"
-    | Some 'n' -> literal "null" Null
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some '"' -> Str (parse_string ())
-    | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then begin advance (); Arr [] end
-        else begin
-          let rec items acc =
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); items (v :: acc)
-            | Some ']' -> advance (); List.rev (v :: acc)
-            | _ -> fail "expected , or ]"
-          in
-          Arr (items [])
-        end
-    | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
-        else begin
-          let rec fields acc =
-            skip_ws ();
-            let k = parse_string () in
-            skip_ws ();
-            expect ':';
-            let v = parse_value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' -> advance (); fields ((k, v) :: acc)
-            | Some '}' -> advance (); List.rev ((k, v) :: acc)
-            | _ -> fail "expected , or }"
-          in
-          Obj (fields [])
-        end
-    | Some _ -> Num (parse_number ())
-  in
-  try
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then Error (Printf.sprintf "trailing garbage at %d" !pos)
-    else Ok v
-  with Parse_error msg -> Error msg
-
-(* ---- accessors (for tests and consumers) ------------------------------- *)
-
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let to_list = function Arr items -> Some items | _ -> None
-let to_float = function Num v -> Some v | _ -> None
-let to_str = function Str s -> Some s | _ -> None
+let to_string = Vini_std.Json.to_string
+let of_string = Vini_std.Json.of_string
+let member = Vini_std.Json.member
+let to_list = Vini_std.Json.to_list
+let to_float = Vini_std.Json.to_float
+let to_str = Vini_std.Json.to_str
+let num_to_string = Vini_std.Json.num_to_string
 
 (* ---- the stable export schema ------------------------------------------ *)
 
@@ -777,3 +575,88 @@ let embed_document ?(migrations = []) ?(extra = []) ~substrate ~slices () =
        ("migrations", Arr migrations_json);
      ]
     @ extra)
+
+(* ---- the vini.scenario/1 document --------------------------------------- *)
+
+let scenario_schema_version = "vini.scenario/1"
+
+let scenario_document ?(name = "scenario") ?fluid ?under ~substrate ~workload
+    () =
+  let module Graph = Vini_topo.Graph in
+  let module W = Vini_scenario.Workload in
+  let delays =
+    List.map (fun l -> Vini_sim.Time.to_ms_f l.Graph.delay)
+      (Graph.links substrate)
+  in
+  let mean xs =
+    match xs with
+    | [] -> 0.0
+    | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  in
+  let substrate_json =
+    Obj
+      [
+        ("label", Str (Graph.label substrate));
+        ("nodes", Num (float_of_int (Graph.node_count substrate)));
+        ("links", Num (float_of_int (Graph.link_count substrate)));
+        ("mean_delay_ms", Num (mean delays));
+      ]
+  in
+  let workload_json =
+    Obj
+      [
+        ("users", Num (float_of_int workload.W.users));
+        ("seed", Num (float_of_int workload.W.seed));
+        ("flow_rate_per_user", Num workload.W.flow_rate_per_user);
+        ("mean_flow_bytes", Num workload.W.mean_flow_bytes);
+        ("pareto_shape", Num workload.W.pareto_shape);
+        ("popularity_skew", Num workload.W.popularity_skew);
+        ("aggregate_flow_rate", Num (W.aggregate_rate workload));
+        ("mean_offered_bps", Num (W.mean_offered_bps workload));
+      ]
+  in
+  (* The packet side of the hybrid comparison: per-plink bytes actually
+     serialised, which under hybrid fidelity already includes the fluid
+     model's delay and loss pressure. *)
+  let packet_json =
+    match under with
+    | None -> Null
+    | Some u ->
+        Arr
+          (List.concat_map
+             (fun (l : Graph.link) ->
+               let plink = Vini_phys.Underlay.plink u l.Graph.a l.Graph.b in
+               List.map
+                 (fun dir ->
+                   let s = Vini_phys.Plink.stats plink ~dir in
+                   let from, to_ =
+                     if dir = 0 then (l.Graph.a, l.Graph.b)
+                     else (l.Graph.b, l.Graph.a)
+                   in
+                   Obj
+                     [
+                       ("from", Str (Graph.name substrate from));
+                       ("to", Str (Graph.name substrate to_));
+                       ("sent", Num (float_of_int s.Vini_phys.Plink.sent));
+                       ( "delivered",
+                         Num (float_of_int s.Vini_phys.Plink.delivered) );
+                       ( "bytes_sent",
+                         Num (float_of_int s.Vini_phys.Plink.bytes_sent) );
+                       ( "bg_drops",
+                         Num (float_of_int s.Vini_phys.Plink.bg_drops) );
+                     ])
+                 [ 0; 1 ])
+             (Graph.links substrate))
+  in
+  Obj
+    [
+      ("schema", Str scenario_schema_version);
+      ("name", Str name);
+      ("substrate", substrate_json);
+      ("workload", workload_json);
+      ( "fluid",
+        match fluid with
+        | None -> Null
+        | Some f -> Vini_scenario.Fluid.to_json f );
+      ("packet_links", packet_json);
+    ]

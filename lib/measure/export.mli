@@ -150,3 +150,25 @@ val series_csv : Monitor.t -> string
 
 val trace_csv : Vini_sim.Trace.t -> string
 (** "time_s,category,severity,component,detail" rows. *)
+
+(** {2 The [vini.scenario/1] document} *)
+
+val scenario_schema_version : string
+(** ["vini.scenario/1"]. *)
+
+val scenario_document :
+  ?name:string ->
+  ?fluid:Vini_scenario.Fluid.t ->
+  ?under:Vini_phys.Underlay.t ->
+  substrate:Vini_topo.Graph.t ->
+  workload:Vini_scenario.Workload.params ->
+  unit ->
+  json
+(** Snapshot of an Internet-scale scenario run: the substrate summary
+    (label, size, mean delay), the workload parameters with their derived
+    aggregate rates, the fluid model's conservation totals and per-link
+    load table ({!Vini_scenario.Fluid.to_json}), and — with [?under] —
+    the packet side's per-plink counters (bytes serialised, background
+    drops) for fluid-vs-packet comparison.  Deterministic field and row
+    order; the CI determinism gate [cmp]s this document across domain
+    counts. *)

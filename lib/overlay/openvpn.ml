@@ -64,3 +64,16 @@ let stack t = t.tun
 let vaddr t = t.client_vaddr
 let packets_sent t = t.sent
 let packets_received t = t.received
+
+(* The opt-in tunnel's wire cost for bulk traffic: the payload is
+   packetised at the Ethernet MTU (inner IPv4 header included) and every
+   packet pays the outer encapsulation.  Pure arithmetic on the same Wire
+   constants the packet model charges, so flow-level accounting in the
+   scenario workload agrees with what packet-level simulation would bill. *)
+let wire_bytes ~payload =
+  if payload <= 0 then 0
+  else
+    let module Wire = Vini_net.Wire in
+    let mss = Wire.ethernet_mtu - Wire.openvpn_overhead - Wire.ipv4_header in
+    let packets = (payload + mss - 1) / mss in
+    payload + (packets * (Wire.ipv4_header + Wire.openvpn_overhead))

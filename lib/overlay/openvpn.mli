@@ -28,3 +28,11 @@ val stack : t -> Vini_phys.Ipstack.t
 val vaddr : t -> Vini_net.Addr.t
 val packets_sent : t -> int
 val packets_received : t -> int
+
+val wire_bytes : payload:int -> int
+(** Physical-wire bytes for [payload] bytes of overlay traffic through an
+    opt-in client: packetised at the Ethernet MTU, each packet paying the
+    inner IPv4 header plus OpenVPN's outer encapsulation
+    ({!Vini_net.Wire.openvpn_overhead}).  The scenario workload generator
+    uses this to convert flow sizes into offered wire load, so flow-level
+    and packet-level accounting of the same traffic agree. *)

@@ -9,6 +9,7 @@ type stats = {
   queue_drops : int;
   loss_drops : int;
   down_drops : int;
+  bg_drops : int;
   bytes_sent : int;
 }
 
@@ -19,7 +20,15 @@ type dir_state = {
   mutable queue_drops : int;
   mutable loss_drops : int;
   mutable down_drops : int;
+  mutable bg_drops : int;
   mutable bytes_sent : int;
+  (* Background pressure from the scenario fluid model: extra queueing
+     delay and loss probability folded in by the coarse tick.  Zero by
+     default, in which case transmit takes no extra RNG draw — a run
+     without a fluid model is bit-for-bit the run before this field
+     existed. *)
+  mutable bg_delay : Time.t;
+  mutable bg_loss : float;
 }
 
 type t = {
@@ -47,7 +56,10 @@ let fresh_dir () =
     queue_drops = 0;
     loss_drops = 0;
     down_drops = 0;
+    bg_drops = 0;
     bytes_sent = 0;
+    bg_delay = Time.zero;
+    bg_loss = 0.0;
   }
 
 let create ~engine ~rng ?(name = "plink") ?(endpoint_shards = (0, 0))
@@ -97,6 +109,17 @@ let transmit t ~dir pkt ~deliver =
     d.queue_drops <- d.queue_drops + 1;
     span_drop t pkt ~reason:"link-queue-overflow"
   end
+  else if d.bg_loss > 0.0 && Vini_std.Rng.float t.rng 1.0 < d.bg_loss then begin
+    (* Loss pressure from fluid background traffic: the packet would have
+       met a full queue of cross-traffic.  Occupies the wire like random
+       loss does. *)
+    let now = Engine.now t.engine in
+    d.busy_until <- Time.add (Time.max d.busy_until now) (serialization t size);
+    d.bg_drops <- d.bg_drops + 1;
+    d.sent <- d.sent + 1;
+    d.bytes_sent <- d.bytes_sent + size;
+    span_drop t pkt ~reason:"background-loss"
+  end
   else if t.loss > 0.0 && Vini_std.Rng.float t.rng 1.0 < t.loss then begin
     (* Random loss still occupies the wire. *)
     let now = Engine.now t.engine in
@@ -122,7 +145,7 @@ let transmit t ~dir pkt ~deliver =
       Span.hop ~pkt:pkt.Packet.id ~orig:pkt.Packet.orig ~component:t.name
         Span.Serialization ~t0:start ~t1:tx_done
     end;
-    let arrival = Time.add tx_done t.delay in
+    let arrival = Time.add (Time.add tx_done d.bg_delay) t.delay in
     (* dir 0 transmits a -> b, so the arrival fires on b's shard. *)
     let dst_shard = if dir = 0 then t.shard_b else t.shard_a in
     ignore
@@ -144,6 +167,18 @@ let transmit t ~dir pkt ~deliver =
 let set_up t up = t.up <- up
 let is_up t = t.up
 
+let set_background t ~dir ~delay ~loss =
+  if loss < 0.0 || loss > 1.0 then invalid_arg "Plink.set_background: loss";
+  if Time.compare delay Time.zero < 0 then
+    invalid_arg "Plink.set_background: delay";
+  let d = t.dirs.(dir) in
+  d.bg_delay <- delay;
+  d.bg_loss <- loss
+
+let background t ~dir =
+  let d = t.dirs.(dir) in
+  (d.bg_delay, d.bg_loss)
+
 let utilization t ~dir =
   let d = t.dirs.(dir) in
   let now = Engine.now t.engine in
@@ -158,6 +193,7 @@ let stats t ~dir =
     queue_drops = d.queue_drops;
     loss_drops = d.loss_drops;
     down_drops = d.down_drops;
+    bg_drops = d.bg_drops;
     bytes_sent = d.bytes_sent;
   }
 

@@ -14,6 +14,7 @@ type stats = {
   queue_drops : int;
   loss_drops : int;
   down_drops : int;
+  bg_drops : int;  (** drops charged to fluid background pressure *)
   bytes_sent : int;
 }
 
@@ -44,6 +45,20 @@ val transmit : t -> dir:int -> Vini_net.Packet.t -> deliver:(Vini_net.Packet.t -
 
 val set_up : t -> bool -> unit
 val is_up : t -> bool
+
+val set_background : t -> dir:int -> delay:Vini_sim.Time.t -> loss:float -> unit
+(** Fold fluid background pressure into direction [dir]: every subsequent
+    packet sees [delay] of extra queueing (cross-traffic ahead of it) and
+    an extra [loss] drop probability (the chance it lands on a queue the
+    background already filled).  Set by the scenario {!Vini_scenario}
+    fluid model on its coarse tick — from a barrier event, so all shards
+    observe each update coherently.  Both default to zero, in which case
+    the transmit path takes no extra RNG draw and is byte-identical to a
+    run without a fluid model.
+    @raise Invalid_argument unless [loss] is in [\[0,1\]] and [delay >= 0]. *)
+
+val background : t -> dir:int -> Vini_sim.Time.t * float
+(** Current [(delay, loss)] background pressure on [dir]. *)
 
 val utilization : t -> dir:int -> float
 (** Instantaneous backlog in seconds of serialisation time. *)

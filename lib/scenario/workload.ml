@@ -1,0 +1,138 @@
+module Time = Vini_sim.Time
+module Rng = Vini_std.Rng
+
+type params = {
+  users : int;
+  seed : int;
+  flow_rate_per_user : float;
+  mean_flow_bytes : float;
+  pareto_shape : float;
+  popularity_skew : float;
+}
+
+let default ~users ~seed =
+  {
+    users;
+    seed;
+    flow_rate_per_user = 0.002;
+    mean_flow_bytes = 50_000.0;
+    pareto_shape = 1.5;
+    popularity_skew = 1.0;
+  }
+
+let validate p =
+  if p.users < 1 then Error "workload: users must be >= 1"
+  else if p.flow_rate_per_user <= 0.0 then Error "workload: flow rate must be positive"
+  else if p.mean_flow_bytes <= 0.0 then Error "workload: mean flow bytes must be positive"
+  else if p.pareto_shape <= 1.0 then
+    Error "workload: pareto shape must exceed 1 (finite mean)"
+  else if p.popularity_skew < 0.0 then Error "workload: skew must be >= 0"
+  else Ok ()
+
+type flow = {
+  at : Time.t;
+  user : int;
+  src_node : int;
+  dst_node : int;
+  bytes : int;
+  wire_bytes : int;
+}
+
+type t = {
+  p : params;
+  nodes : int;
+  rng : Rng.t;
+  perm : int array;  (* seeded node permutation: popularity order *)
+  mutable clock : float;  (* seconds; float to keep exponential precision *)
+  mutable pending : flow option;  (* the peeked-but-unconsumed head *)
+}
+
+(* A power-law index pick over [0, n): u = 0 is most popular.  With
+   skew 0 this is uniform; skew s maps the uniform draw x to
+   x^(1 + s), concentrating mass near zero — a one-draw stand-in for
+   Zipf that keeps the stream O(1) per flow. *)
+let skewed_index rng ~skew n =
+  let x = Rng.float rng 1.0 in
+  let y = x ** (1.0 +. skew) in
+  Stdlib.min (n - 1) (int_of_float (y *. float_of_int n))
+
+(* User -> attachment node, pure in (seed, user): a private RNG keyed by
+   both, then a skewed pick into the seeded popularity permutation. *)
+let home_pick ~seed ~skew ~nodes ~perm u =
+  let mix = (u * 0x9E3779B1) lxor (seed * 0x85EBCA77) lxor 0x165667B1 in
+  let rng = Rng.create mix in
+  perm.(skewed_index rng ~skew nodes)
+
+let popularity_perm ~seed ~nodes =
+  let perm = Array.init nodes Fun.id in
+  (* A dedicated RNG stream so adding parameters never shifts it. *)
+  Rng.shuffle (Rng.create (seed lxor 0x5DEECE6D)) perm;
+  perm
+
+let home_node p ~nodes u =
+  if nodes < 1 then invalid_arg "Workload.home_node: nodes";
+  let perm = popularity_perm ~seed:p.seed ~nodes in
+  home_pick ~seed:p.seed ~skew:p.popularity_skew ~nodes ~perm u
+
+let aggregate_rate p = float_of_int p.users *. p.flow_rate_per_user
+let mean_offered_bps p = aggregate_rate p *. p.mean_flow_bytes *. 8.0
+
+let create p ~nodes =
+  (match validate p with Ok () -> () | Error e -> invalid_arg e);
+  if nodes < 2 then invalid_arg "Workload.create: need at least 2 nodes";
+  {
+    p;
+    nodes;
+    rng = Rng.create p.seed;
+    perm = popularity_perm ~seed:p.seed ~nodes;
+    clock = 0.0;
+    pending = None;
+  }
+
+let draw t =
+  let p = t.p in
+  (* Merged Poisson process: the superposition of [users] independent
+     Poisson sources is Poisson at the aggregate rate, so one
+     exponential draw advances the whole population's clock. *)
+  t.clock <- t.clock +. Rng.exponential t.rng (1.0 /. aggregate_rate p);
+  let user = skewed_index t.rng ~skew:0.0 p.users in
+  let src_node =
+    home_pick ~seed:p.seed ~skew:p.popularity_skew ~nodes:t.nodes ~perm:t.perm
+      user
+  in
+  (* Egress popularity follows the same skew; a collision with the
+     source steps to the next permutation slot, which is necessarily a
+     different node. *)
+  let dst_node =
+    let i = skewed_index t.rng ~skew:p.popularity_skew t.nodes in
+    let d = t.perm.(i) in
+    if d <> src_node then d else t.perm.((i + 1) mod t.nodes)
+  in
+  (* Pareto sizes with the scale set so the mean is [mean_flow_bytes]:
+     E[X] = scale * a / (a - 1). *)
+  let a = p.pareto_shape in
+  let scale = p.mean_flow_bytes *. (a -. 1.0) /. a in
+  let bytes = Stdlib.max 1 (int_of_float (Rng.pareto t.rng ~scale ~shape:a)) in
+  {
+    at = Time.of_sec_f t.clock;
+    user;
+    src_node;
+    dst_node;
+    bytes;
+    wire_bytes = Vini_overlay.Openvpn.wire_bytes ~payload:bytes;
+  }
+
+let next t =
+  match t.pending with
+  | Some f ->
+      t.pending <- None;
+      f
+  | None -> draw t
+
+let peek_time t =
+  match t.pending with
+  | Some f -> f.at
+  | None ->
+      let f = draw t in
+      t.pending <- Some f;
+      f.at

@@ -309,6 +309,21 @@ let rec every t ?start ?jitter period f =
          if f () then
            every t ~start:(Time.add fire_at period) ?jitter period f))
 
+(* A recurring barrier tick: like [every] but each firing lands on
+   shard 0 at the head of its conservative window, so a coarse periodic
+   mutation that all shards read (the fluid background-load fold) has the
+   same cross-shard visibility guarantee as a one-shot [at_barrier].  No
+   jitter on purpose — barrier ticks exist to be phase-stable so exported
+   per-tick series align across runs and domain counts. *)
+let rec every_barrier t ?start period f =
+  let fire_at =
+    match start with Some s -> s | None -> Time.add (now t) period
+  in
+  ignore
+    (at_barrier t fire_at (fun () ->
+         if f () then
+           every_barrier t ~start:(Time.add fire_at period) period f))
+
 (* Two fire paths rather than one taking a clock-setting closure: the
    closure would be allocated per event, and this runs a million times a
    second. *)

@@ -150,6 +150,14 @@ val every : t -> ?start:Time.t -> ?jitter:Time.t -> Time.t ->
     is offset by a uniform random amount in [\[0, jitter\]] (default none) to
     avoid phase-locked protocol timers. *)
 
+val every_barrier : t -> ?start:Time.t -> Time.t -> (unit -> bool) -> unit
+(** [every_barrier t ~start period f] is {!every} with {!at_barrier}
+    placement: each firing runs on shard 0 first in its conservative
+    window, so periodic mutations that every shard reads (the scenario
+    fluid model's background-load fold) are race-free by construction.
+    Never jittered — barrier ticks stay phase-stable so per-tick exports
+    are byte-identical across domain counts. *)
+
 val run : ?until:Time.t -> t -> unit
 (** Drain events in timestamp order.  With [until], stops once the next
     event would be later than [until] and advances the clock to [until]. *)

@@ -36,7 +36,8 @@ module Abilene = struct
   let bw = 10e9
 
   let topology () =
-    Graph.create ~names:pop_names
+    Graph.relabel "abilene"
+    @@ Graph.create ~names:pop_names
       ~links:
         [
           link ~bw seattle sunnyvale 8.0;
@@ -63,7 +64,8 @@ module Deter = struct
 
   (* Gigabit Ethernet, back-to-back machines: propagation is microseconds. *)
   let topology () =
-    Graph.create
+    Graph.relabel "deter"
+    @@ Graph.create
       ~names:[| "Src"; "Fwdr"; "Sink" |]
       ~links:
         [
@@ -80,7 +82,8 @@ module Planetlab3 = struct
   (* 100 Mb/s node access; delays give the 24.4 ms Chicago-D.C. floor the
      paper measured with ping (Table 5, "Network" row). *)
   let topology () =
-    Graph.create
+    Graph.relabel "planetlab3"
+    @@ Graph.create
       ~names:[| "planetlab1.chin"; "planetlab1.nycm"; "planetlab1.wash" |]
       ~links:
         [
@@ -106,7 +109,8 @@ module Nlr = struct
   let bw = 10e9
 
   let topology () =
-    Graph.create
+    Graph.relabel "nlr"
+    @@ Graph.create
       ~names:
         [|
           "Seattle"; "Sunnyvale"; "Los Angeles"; "Denver"; "Chicago";
@@ -131,7 +135,8 @@ end
 
 let ring ~n ?(bandwidth_bps = 1e9) ?(delay = Vini_sim.Time.ms 2) () =
   if n < 3 then invalid_arg "Datasets.ring: need at least 3 nodes";
-  Graph.create
+  Graph.relabel (Printf.sprintf "ring-%d" n)
+  @@ Graph.create
     ~names:(Array.init n (Printf.sprintf "r%d"))
     ~links:
       (List.init n (fun i ->
@@ -146,7 +151,8 @@ let ring ~n ?(bandwidth_bps = 1e9) ?(delay = Vini_sim.Time.ms 2) () =
 
 let star ~leaves ?(bandwidth_bps = 1e9) ?(delay = Vini_sim.Time.ms 2) () =
   if leaves < 1 then invalid_arg "Datasets.star: need at least 1 leaf";
-  Graph.create
+  Graph.relabel (Printf.sprintf "star-%d" leaves)
+  @@ Graph.create
     ~names:(Array.init (leaves + 1) (fun i -> if i = 0 then "hub" else Printf.sprintf "leaf%d" i))
     ~links:
       (List.init leaves (fun i ->
@@ -177,7 +183,8 @@ let grid ~rows ~cols ?(bandwidth_bps = 1e9) ?(delay = Vini_sim.Time.ms 2) () =
           :: !links
     done
   done;
-  Graph.create
+  Graph.relabel (Printf.sprintf "grid-%dx%d" rows cols)
+  @@ Graph.create
     ~names:(Array.init (rows * cols) (Printf.sprintf "g%d"))
     ~links:!links
 
@@ -215,6 +222,7 @@ let waxman ~rng ~n ?(alpha = 0.4) ?(beta = 0.6) ?(bandwidth_bps = 1e9) () =
       if Vini_std.Rng.float rng 1.0 < p then add i j
     done
   done;
-  Graph.create
+  Graph.relabel (Printf.sprintf "waxman-%d" n)
+  @@ Graph.create
     ~names:(Array.init n (Printf.sprintf "n%d"))
     ~links:!links

@@ -10,11 +10,20 @@ type link = {
 }
 
 type t = {
+  label : string;
   names : string array;
   link_list : link list;
   adj : (node_id * link) list array;
   by_name : (string, node_id) Hashtbl.t;
 }
+
+exception Unknown_node of { topo : string; node : string }
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_node { topo; node } ->
+        Some (Printf.sprintf "Graph.Unknown_node(topology %S has no node %S)" topo node)
+    | _ -> None)
 
 let other_end link n =
   if n = link.a then link.b
@@ -45,16 +54,19 @@ let create ~names ~links =
     adj;
   let by_name = Hashtbl.create n in
   Array.iteri (fun i name -> Hashtbl.replace by_name name i) names;
-  { names; link_list = links; adj; by_name }
+  { label = "topology"; names; link_list = links; adj; by_name }
 
+let relabel label t = { t with label }
 let node_count t = Array.length t.names
 let link_count t = List.length t.link_list
+let label t = t.label
 let name t i = t.names.(i)
+let id_of_name_opt t n = Hashtbl.find_opt t.by_name n
 
 let id_of_name t n =
   match Hashtbl.find_opt t.by_name n with
   | Some i -> i
-  | None -> raise Not_found
+  | None -> raise (Unknown_node { topo = t.label; node = n })
 
 let links t = t.link_list
 let nodes t = List.init (node_count t) Fun.id

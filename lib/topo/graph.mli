@@ -19,15 +19,32 @@ type link = {
 
 type t
 
+exception Unknown_node of { topo : string; node : string }
+(** Raised by {!id_of_name} for unknown names; carries the topology's
+    {!label} and the offending name so the error that surfaces from spec
+    elaboration (or anywhere else) says exactly what was missing and
+    where — never a bare [Not_found]. *)
+
 val create : names:string array -> links:link list -> t
 (** @raise Invalid_argument on out-of-range endpoints, self-loops, or
-    duplicate (unordered) node pairs. *)
+    duplicate (unordered) node pairs.  The new graph's {!label} is the
+    generic ["topology"]; use {!relabel} to give it a real name. *)
+
+val relabel : string -> t -> t
+(** [relabel l t] is [t] with {!label} [l] — the built-in datasets stamp
+    theirs (["abilene"], ["nlr"], …), spec elaboration uses the spec name,
+    and the scenario generator stamps generated substrates with kind and
+    seed, so {!Unknown_node} errors say which topology was searched. *)
 
 val node_count : t -> int
 val link_count : t -> int
+val label : t -> string
 val name : t -> node_id -> string
+
 val id_of_name : t -> string -> node_id
-(** @raise Not_found for unknown names. *)
+(** @raise Unknown_node for unknown names. *)
+
+val id_of_name_opt : t -> string -> node_id option
 
 val links : t -> link list
 val nodes : t -> node_id list

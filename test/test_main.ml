@@ -20,4 +20,5 @@ let () =
       ("repro", Test_repro.suite);
       ("embed", Test_embed.suite);
       ("migrate", Test_migrate.suite);
+      ("scenario", Test_scenario.suite);
     ]

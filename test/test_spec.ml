@@ -14,9 +14,10 @@ let link a b =
   { Graph.a; b; bandwidth_bps = 1e9; delay = Time.ms 1; loss = 0.0; weight = 1 }
 
 let phys () =
-  Graph.create
-    ~names:[| "pop0"; "pop1"; "pop2"; "pop3"; "pop4" |]
-    ~links:[ link 0 1; link 1 2; link 2 3; link 3 4; link 4 0 ]
+  Graph.relabel "five-ring"
+  @@ Graph.create
+       ~names:[| "pop0"; "pop1"; "pop2"; "pop3"; "pop4" |]
+       ~links:[ link 0 1; link 1 2; link 2 3; link 3 4; link 4 0 ]
 
 let parse_ok text =
   match Spec_lang.parse text with
@@ -150,8 +151,21 @@ let test_embedding_errors () =
   in
   (match Spec_lang.to_spec p ~phys:(phys ()) with
   | Error e ->
-      check Alcotest.bool "unknown physical" true
-        (String.length e > 0)
+      (* Satellite regression: the error must name the missing node AND
+         which substrate was searched — never a bare Not_found. *)
+      let mentions frag =
+        let n = String.length frag in
+        let rec go i =
+          i + n <= String.length e && (String.sub e i n = frag || go (i + 1))
+        in
+        go 0
+      in
+      check Alcotest.bool
+        (Printf.sprintf "error names the node (got %S)" e)
+        true (mentions "nowhere");
+      check Alcotest.bool
+        (Printf.sprintf "error names the substrate (got %S)" e)
+        true (mentions "five-ring")
   | Ok _ -> Alcotest.fail "expected unknown physical node error");
   (* More virtual nodes than physical nodes. *)
   let big =

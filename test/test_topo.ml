@@ -29,8 +29,15 @@ let test_accessors () =
   check Alcotest.int "links" 4 (Graph.link_count g);
   check Alcotest.string "name" "c" (Graph.name g 2);
   check Alcotest.int "id_of_name" 2 (Graph.id_of_name g "c");
-  Alcotest.check_raises "unknown name" Not_found (fun () ->
+  Alcotest.check_raises "unknown name"
+    (Graph.Unknown_node { topo = "topology"; node = "zz" }) (fun () ->
       ignore (Graph.id_of_name g "zz"));
+  check Alcotest.(option int) "id_of_name_opt hit" (Some 2)
+    (Graph.id_of_name_opt g "c");
+  check Alcotest.(option int) "id_of_name_opt miss" None
+    (Graph.id_of_name_opt g "zz");
+  check Alcotest.string "relabel" "sq"
+    (Graph.label (Graph.relabel "sq" g));
   check Alcotest.int "degree of a" 2 (List.length (Graph.neighbors g 0));
   check Alcotest.bool "adjacent" true (Graph.find_link g 0 1 <> None);
   check Alcotest.bool "either order" true (Graph.find_link g 1 0 <> None);
